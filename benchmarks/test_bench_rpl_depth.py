@@ -1,0 +1,26 @@
+"""E11 — §5.2's depth-of-read audit.
+
+Paper: "all the five queries over the IEEE collection read the entire
+RPLs for k ≥ 10.  The same is true for the queries over the Wikipedia
+collection, except that it happens for k ≥ 50."  This is the paper's
+explanation of why Merge often beats the (instance-optimal) TA: when
+the whole list is read anyway, TA's threshold checks and heap
+management are pure overhead.
+"""
+
+from conftest import record_report
+
+from repro.bench import format_rows, rpl_depth_rows
+
+
+def test_rpl_depth_audit(benchmark, engines):
+    rows = benchmark.pedantic(lambda: rpl_depth_rows(engines),
+                              rounds=1, iterations=1)
+    record_report("E11: RPL read depth at the paper's probe k "
+                  "(k=10 IEEE, k=50 Wikipedia)", format_rows(rows))
+    for row in rows:
+        assert row["fraction"] >= 0.75, (
+            f"query {row['qid']} read only {row['fraction']:.0%} of its RPLs")
+    # Most queries read the lists completely.
+    full_reads = sum(1 for row in rows if row["fraction"] >= 0.999)
+    assert full_reads >= len(rows) - 2

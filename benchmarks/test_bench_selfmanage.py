@@ -1,0 +1,53 @@
+"""E12 — self-managing index selection (paper §4; no figure in the paper,
+reproduced as the ablation DESIGN.md calls for).
+
+Asserted shapes:
+
+* with enough disk, both selectors support every query and the
+  workload's weighted cost collapses versus the ERA-only baseline
+  (the paper's headline: relying on a single strategy is inferior);
+* gains are monotone in the budget;
+* the exact ILP never trails the greedy selection, and the greedy
+  result is within the Theorem 4.2 factor (T_o ≤ 2·T_G);
+* under tight budgets the selectors pick the queries with the best
+  gain-per-byte, keeping within budget.
+"""
+
+from conftest import record_report
+
+from repro.bench import PAPER_QUERIES, format_rows, selfmanage_rows
+from repro.selfmanage import Workload
+
+
+def _workload():
+    ieee_queries = [202, 203, 233, 260, 270]
+    return Workload.uniform([
+        (str(qid), PAPER_QUERIES[qid].nexi, 10) for qid in ieee_queries])
+
+
+def test_selfmanage_budget_sweep(benchmark, ieee_engine):
+    workload = _workload()
+    budgets = [0, 2_000, 10_000, 50_000, 500_000]
+    rows = benchmark.pedantic(
+        lambda: selfmanage_rows(ieee_engine, workload, budgets),
+        rounds=1, iterations=1)
+    record_report("E12: self-managing index selection across disk budgets",
+                  format_rows(rows))
+
+    # Gains are monotone in the budget, for both selectors.
+    greedy_gains = [row["greedy_gain"] for row in rows]
+    ilp_gains = [row["ilp_gain"] for row in rows]
+    assert greedy_gains == sorted(greedy_gains)
+    assert ilp_gains == sorted(ilp_gains)
+
+    # ILP is never worse than greedy; greedy is within factor 2 (Thm 4.2).
+    for row in rows:
+        assert row["ilp_gain"] >= row["greedy_gain"] - 1e-9
+        if row["greedy_gain"] > 0:
+            assert row["ilp_gain"] <= 2 * row["greedy_gain"] + 1e-9
+        assert row["greedy_bytes"] <= row["budget"]
+        assert row["ilp_bytes"] <= row["budget"]
+
+    # Zero budget keeps the ERA baseline; a generous budget collapses it.
+    assert rows[0]["greedy_cost"] == rows[0]["baseline_cost"]
+    assert rows[-1]["ilp_cost"] < rows[-1]["baseline_cost"] / 3

@@ -1,0 +1,48 @@
+"""E1 — §2.1 summary sizes.
+
+Paper (INEX IEEE): incoming summary 11,563 nodes; tag summary 185;
+alias incoming 7,860; alias tag 145.  The synthetic corpus is far
+smaller, so absolute counts differ; the reproduced *shape* is the
+ordering (incoming > alias incoming > tag > alias tag), the fact that
+aliasing shrinks both summaries, and that the alias incoming summary is
+retrieval-safe while remaining a strict refinement of the tag summary.
+"""
+
+from conftest import record_report
+
+from repro.corpus import AliasMapping
+from repro.bench import format_rows, summary_size_rows
+
+
+def test_summary_sizes_ieee(benchmark, ieee_engine):
+    collection = ieee_engine.collection
+    rows = benchmark.pedantic(
+        lambda: summary_size_rows(collection, AliasMapping.inex_ieee()),
+        rounds=1, iterations=1)
+    record_report("E1: summary sizes (paper §2.1, IEEE-like corpus)",
+                  format_rows(rows))
+    by_name = {row["summary"]: row for row in rows}
+
+    # Paper ordering: incoming > alias incoming > tag > alias tag.
+    assert (by_name["incoming"]["nodes"]
+            > by_name["alias incoming"]["nodes"]
+            > by_name["tag"]["nodes"]
+            > by_name["alias tag"]["nodes"])
+    # Both alias variants must be genuinely smaller (paper: 11563->7860,
+    # 185->145).
+    assert by_name["alias incoming"]["nodes"] < by_name["incoming"]["nodes"]
+    assert by_name["alias tag"]["nodes"] < by_name["tag"]["nodes"]
+    # TReX retrieves with the alias incoming summary: it must be safe.
+    assert by_name["alias incoming"]["retrieval_safe"]
+
+
+def test_summary_sizes_wiki(benchmark, wiki_engine):
+    collection = wiki_engine.collection
+    rows = benchmark.pedantic(
+        lambda: summary_size_rows(collection, AliasMapping.inex_wikipedia()),
+        rounds=1, iterations=1)
+    record_report("E1b: summary sizes (Wikipedia-like corpus)",
+                  format_rows(rows))
+    by_name = {row["summary"]: row for row in rows}
+    assert by_name["incoming"]["nodes"] >= by_name["alias incoming"]["nodes"]
+    assert by_name["alias incoming"]["retrieval_safe"]

@@ -1,0 +1,46 @@
+"""E3 — Table 1: the seven queries' translation and answer statistics.
+
+Paper columns: query id, NEXI expression, collection, #sids, #terms,
+#answers.  Absolute counts depend on corpus scale; the reproduced shape
+is the per-query selectivity *profile*:
+
+* Q233 translates to exactly 2 sids and 2 terms (the paper calls this
+  out) and has few answers;
+* Q260's wildcard target yields the most sids and the most answers of
+  the IEEE queries;
+* Q270 (frequent terms) has among the largest answer counts;
+* Q290 translates to a single sid; Q292 has many sids but few answers.
+"""
+
+from conftest import record_report
+
+from repro.bench import format_rows, table1_rows
+
+
+def test_table1(benchmark, engines):
+    rows = benchmark.pedantic(lambda: table1_rows(engines),
+                              rounds=1, iterations=1)
+    display = [dict(row, nexi=row["nexi"][:58]) for row in rows]
+    record_report("E3: Table 1 (queries, translation sizes, answer counts)",
+                  format_rows(display))
+    by_qid = {row["qid"]: row for row in rows}
+
+    assert by_qid[233]["num_sids"] == 2
+    assert by_qid[233]["num_terms"] == 2
+    assert by_qid[233]["num_answers"] < by_qid[270]["num_answers"] / 5
+
+    assert by_qid[260]["num_sids"] == max(r["num_sids"] for r in rows
+                                          if r["collection"] == "ieee")
+    assert by_qid[260]["num_answers"] == max(r["num_answers"] for r in rows
+                                             if r["collection"] == "ieee")
+
+    assert by_qid[290]["num_sids"] == 1
+    # Q292: many sids (figure variants), few answers.
+    assert by_qid[292]["num_sids"] >= 2
+    assert by_qid[292]["num_answers"] < by_qid[290]["num_answers"]
+
+    # Table 1 counts minus-terms too: Q292 has 6 terms.
+    assert by_qid[292]["num_terms"] == 6
+
+    for row in rows:
+        assert row["num_answers"] > 0, f"query {row['qid']} found nothing"

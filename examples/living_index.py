@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""A living index: incremental updates, snippets, and effectiveness.
+
+Simulates a deployment over time: start with a small collection, serve
+queries (with snippets), measure ranking effectiveness against the
+planted ground truth, then ingest new documents incrementally — stale
+redundant indexes are invalidated and rebuilt on demand — and verify
+the new content is immediately searchable with all strategies agreeing.
+
+Run:  python examples/living_index.py
+"""
+
+from repro import AliasMapping, IncomingSummary, SyntheticIEEECorpus, TrexEngine
+from repro.evaluation import qrels_for_query, score_result
+from repro.retrieval import make_snippet
+
+QUERY = "//article//sec[about(., introduction information retrieval)]"
+
+
+def show_results(engine, result, terms):
+    for rank, hit in enumerate(result, start=1):
+        snippet = make_snippet(engine.collection, hit, terms, window=8)
+        print(f"  {rank}. doc={hit.docid} score={hit.score:.4f}  {snippet.text()}")
+
+
+def main() -> None:
+    generator = SyntheticIEEECorpus(num_docs=25, seed=47)
+    collection = generator.build()
+    engine = TrexEngine(collection,
+                        IncomingSummary(collection, alias=AliasMapping.inex_ieee()))
+    translated = engine.translate(QUERY)
+    terms = set()
+    for clause in translated.clauses:
+        terms.update(clause.terms)
+
+    print(f"Query: {QUERY}\n\nInitial top-5 (with snippets):")
+    result = engine.evaluate(QUERY, k=5, method="merge")
+    show_results(engine, result, terms)
+
+    qrels = qrels_for_query(engine.collection, engine.summary, translated)
+    report = score_result(QUERY, engine.evaluate(QUERY, method="merge"), qrels)
+    print(f"\nEffectiveness vs planted ground truth: "
+          f"AP={report.mean_average_precision:.3f} "
+          f"MRR={report.mrr:.3f} nDCG@10={report.ndcg_at_10:.3f}")
+
+    print("\nIngesting 5 new documents incrementally...")
+    before_segments = len(list(engine.catalog.segments()))
+    bigger = SyntheticIEEECorpus(num_docs=30, seed=47)
+    for docid in range(25, 30):
+        engine.add_document(bigger.document_xml(docid))
+    after_segments = len(list(engine.catalog.segments()))
+    print(f"  catalog segments: {before_segments} -> {after_segments} "
+          "(stale lists for affected terms were dropped)")
+
+    print("\nTop-5 after ingestion (rebuilt on demand):")
+    result = engine.evaluate(QUERY, k=5, method="merge")
+    show_results(engine, result, terms)
+
+    era = engine.evaluate(QUERY, k=5, method="era")
+    assert [h.element_key() for h in era.hits] == \
+        [h.element_key() for h in result.hits]
+    print("\nERA and Merge agree on the post-ingestion ranking — the")
+    print("incremental maintenance kept every access path consistent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Keeps ``pip install -e .`` working on minimal environments whose
+setuptools predates PEP 660 editable wheels (or that lack the ``wheel``
+package for offline builds): pip falls back to the legacy
+``setup.py develop`` path when this file exists.
+"""
+
+from setuptools import setup
+
+setup()

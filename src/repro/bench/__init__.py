@@ -1,0 +1,35 @@
+"""Benchmark harness: paper queries, experiment runners, reporting."""
+
+from .queries import (
+    DEFAULT_IEEE_DOCS,
+    DEFAULT_WIKI_DOCS,
+    PAPER_QUERIES,
+    PaperQuery,
+    bench_engine,
+)
+from .reporting import format_figure, format_rows, format_table
+from .runner import (
+    figure_series,
+    index_size_rows,
+    rpl_depth_rows,
+    selfmanage_rows,
+    summary_size_rows,
+    table1_rows,
+)
+
+__all__ = [
+    "DEFAULT_IEEE_DOCS",
+    "DEFAULT_WIKI_DOCS",
+    "PAPER_QUERIES",
+    "PaperQuery",
+    "bench_engine",
+    "format_figure",
+    "format_rows",
+    "format_table",
+    "figure_series",
+    "index_size_rows",
+    "rpl_depth_rows",
+    "selfmanage_rows",
+    "summary_size_rows",
+    "table1_rows",
+]

@@ -1,0 +1,95 @@
+"""The paper's seven experimental queries (Table 1) and bench corpora.
+
+Query ids, NEXI expressions and target collections follow Table 1 of
+the paper exactly.  The keyword vocabulary maps onto the synthetic
+corpora's planted topics (see :mod:`repro.corpus.generator`), chosen so
+each query's selectivity profile mirrors its original: Q202 mid-
+frequency terms over many element types, Q203 a common term plus rarer
+ones, Q233 two needles (2 sids / 2 terms, few answers), Q260 a wildcard
+target with frequent terms (many sids), Q270 very frequent terms (huge
+answer sets), Q290 a single-sid whole-article query, and Q292 many sids
+but few answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..corpus.alias import AliasMapping
+from ..corpus.generator import SyntheticIEEECorpus, SyntheticWikipediaCorpus
+from ..retrieval.engine import TrexEngine
+from ..summary.variants import IncomingSummary
+
+__all__ = ["PaperQuery", "PAPER_QUERIES", "bench_engine", "DEFAULT_IEEE_DOCS",
+           "DEFAULT_WIKI_DOCS"]
+
+DEFAULT_IEEE_DOCS = 120
+DEFAULT_WIKI_DOCS = 200
+
+
+@dataclass(frozen=True)
+class PaperQuery:
+    """One row of the paper's Table 1."""
+
+    qid: int
+    nexi: str
+    collection: str  # 'ieee' or 'wiki'
+    #: k values for the figure sweep (scaled down from the paper's axes
+    #: in proportion to the smaller synthetic corpus).
+    k_sweep: tuple[int, ...]
+
+
+PAPER_QUERIES: dict[int, PaperQuery] = {
+    202: PaperQuery(
+        202,
+        "//article[about(., ontologies)]//sec[about(., ontologies case study)]",
+        "ieee", (1, 5, 10, 25, 50, 100, 250, 500, 1000)),
+    203: PaperQuery(
+        203,
+        "//sec[about(., code signing verification)]",
+        "ieee", (1, 5, 10, 25, 50, 100, 250, 500, 1000)),
+    233: PaperQuery(
+        233,
+        "//article[about (.//bdy, synthesizers) and about (.//bdy, music)]",
+        "ieee", (1, 5, 10, 25, 50)),
+    260: PaperQuery(
+        260,
+        "//bdy//*[about(., model checking state space explosion)]",
+        "ieee", (1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)),
+    270: PaperQuery(
+        270,
+        "//article//sec[about(., introduction information retrieval)]",
+        "ieee", (1, 5, 10, 25, 50, 100, 250, 500, 1000)),
+    290: PaperQuery(
+        290,
+        "//article[about(., genetic algorithm)]",
+        "wiki", (1, 5, 10, 25, 50, 100, 200)),
+    292: PaperQuery(
+        292,
+        "//article//figure[about(., Renaissance painting Italian Flemish "
+        "-French -German)]",
+        "wiki", (1, 5, 10, 25, 50)),
+}
+
+
+@lru_cache(maxsize=4)
+def bench_engine(collection_name: str, num_docs: int | None = None,
+                 seed: int = 42) -> TrexEngine:
+    """A cached engine over one of the two bench corpora.
+
+    The engine uses the alias incoming summary, exactly the
+    configuration the paper's experiments run (§2.1/§5.1).
+    """
+    if collection_name == "ieee":
+        docs = num_docs if num_docs is not None else DEFAULT_IEEE_DOCS
+        collection = SyntheticIEEECorpus(num_docs=docs, seed=seed).build()
+        alias = AliasMapping.inex_ieee()
+    elif collection_name == "wiki":
+        docs = num_docs if num_docs is not None else DEFAULT_WIKI_DOCS
+        collection = SyntheticWikipediaCorpus(num_docs=docs, seed=seed).build()
+        alias = AliasMapping.inex_wikipedia()
+    else:
+        raise ValueError(f"unknown bench collection {collection_name!r}")
+    summary = IncomingSummary(collection, alias=alias)
+    return TrexEngine(collection, summary)

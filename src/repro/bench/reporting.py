@@ -1,0 +1,65 @@
+"""Paper-style rendering of experiment results.
+
+Plain-text tables and k-series, formatted to read like the paper's
+Table 1 and Figures 4–6 (as numbers rather than plots).  Used by the
+benchmark harness, whose terminal summary embeds these reports into
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_figure", "format_rows"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[dict], title: str = "") -> str:
+    """Render a list of homogeneous dicts as a table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row[h] for h in headers] for row in rows],
+                        title=title)
+
+
+def format_figure(series: dict, title: str = "") -> str:
+    """Render one evaluation-time figure as a k-series table.
+
+    ``series`` is the output of :func:`repro.bench.runner.figure_series`:
+    flat ERA/Merge levels plus TA/ITA per k.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"answers={series['answers']}  "
+                 f"ERA(all)={series['era']:.0f}  Merge(all)={series['merge']:.0f}")
+    rows = []
+    for i, k in enumerate(series["k_values"]):
+        rows.append([k, f"{series['ta'][i]:.0f}", f"{series['ita'][i]:.0f}",
+                     f"{series['rpl_depth_fraction'][i]:.2f}"])
+    lines.append(format_table(["k", "TA", "ITA", "rpl-read-frac"], rows))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}" if abs(value) >= 1 else f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,245 @@
+"""Command-line interface for the TReX reproduction.
+
+Subcommands::
+
+    python -m repro corpus    generate a synthetic corpus into a directory
+    python -m repro info      collection / summary / index statistics
+    python -m repro translate show a NEXI query's (sids, terms) translation
+    python -m repro query     evaluate a NEXI query
+    python -m repro advise    run the self-managing index advisor
+
+Corpora are directories of ``*.xml`` files; docids follow sorted
+filename order.  The ``--alias`` option selects the INEX alias mapping
+(``ieee``, ``wikipedia`` or ``none``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .corpus.alias import AliasMapping
+from .corpus.generator import SyntheticIEEECorpus, SyntheticWikipediaCorpus
+from .corpus.loader import dump_collection, load_collection
+from .errors import TrexError
+from .retrieval.engine import METHODS, TrexEngine
+from .selfmanage.advisor import IndexAdvisor
+from .selfmanage.workload import Workload, WorkloadQuery
+from .summary.variants import AKIndex, IncomingSummary, TagSummary
+
+__all__ = ["main", "build_parser"]
+
+_ALIASES = {
+    "ieee": AliasMapping.inex_ieee,
+    "wikipedia": AliasMapping.inex_wikipedia,
+    "none": AliasMapping.identity,
+}
+
+_SUMMARIES = ("incoming", "tag", "ak1", "ak2")
+
+
+def _make_engine(args) -> TrexEngine:
+    collection = load_collection(args.corpus)
+    alias = _ALIASES[args.alias]()
+    if args.summary == "tag":
+        summary = TagSummary(collection, alias=alias)
+    elif args.summary.startswith("ak"):
+        summary = AKIndex(collection, k=int(args.summary[2:]), alias=alias)
+    else:
+        summary = IncomingSummary(collection, alias=alias)
+    return TrexEngine(collection, summary)
+
+
+def _cmd_corpus(args) -> int:
+    if args.kind == "ieee":
+        collection = SyntheticIEEECorpus(num_docs=args.docs, seed=args.seed).build()
+    else:
+        collection = SyntheticWikipediaCorpus(num_docs=args.docs,
+                                              seed=args.seed).build()
+    written = dump_collection(collection, args.out)
+    print(f"wrote {len(written)} documents to {args.out}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    engine = _make_engine(args)
+    info = engine.describe()
+    print(f"collection: {info['collection']}")
+    print(f"summary:    {info['summary']}")
+    print(f"Elements:     {info['elements_rows']:>8} rows  "
+          f"{info['elements_bytes']:>10} bytes")
+    print(f"PostingLists: {info['postings_rows']:>8} rows  "
+          f"{info['postings_bytes']:>10} bytes")
+    print(f"catalog:      {len(info['segments']):>8} segments  "
+          f"{info['catalog_bytes']:>10} bytes")
+    return 0
+
+
+def _cmd_translate(args) -> int:
+    engine = _make_engine(args)
+    translated = engine.translate(args.nexi, vague=not args.strict)
+    print(f"query: {translated.query}")
+    print(f"target pattern: {translated.target_pattern} "
+          f"({len(translated.target_sids)} sids)")
+    for index, clause in enumerate(translated.clauses):
+        role = "target" if clause.is_target else "support"
+        print(f"clause {index} ({role}): path={clause.pattern}")
+        print(f"  sids:  {sorted(clause.sids)}")
+        print(f"  terms: {list(clause.terms)}"
+              + (f"  excluded: {list(clause.excluded_terms)}"
+                 if clause.excluded_terms else ""))
+    print(f"totals: {translated.num_sids} sids, {translated.num_terms} terms")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    engine = _make_engine(args)
+    result = engine.evaluate(args.nexi, k=args.k, method=args.method,
+                             vague=not args.strict,
+                             mode="flat" if args.flat else "nexi")
+    print(f"method={result.stats.method} cost={result.stats.cost:.1f} "
+          f"answers={len(result.hits)}")
+    for rank, hit in enumerate(result, start=1):
+        label = engine.summary.label(hit.sid)
+        print(f"{rank:>4}. score={hit.score:.4f} doc={hit.docid} "
+              f"<{label}> span=[{hit.start_pos},{hit.end_pos}]")
+    if args.run_output:
+        from .evaluation.runfile import write_run
+        with open(args.run_output, "a", encoding="utf-8") as fh:
+            write_run(fh, args.topic, result, tag=args.run_tag)
+        print(f"appended {len(result.hits)} run lines to {args.run_output}")
+    return 0
+
+
+def _parse_workload_file(path: str) -> Workload:
+    queries = []
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 4:
+                raise TrexError(
+                    f"{path}:{line_no}: expected 'id<TAB>k<TAB>freq<TAB>nexi'")
+            qid, k, freq, nexi = parts
+            queries.append(WorkloadQuery(qid, nexi, int(k), float(freq)))
+    return Workload(queries, normalize=True)
+
+
+def _cmd_explain(args) -> int:
+    engine = _make_engine(args)
+    plan = engine.explain(args.nexi, k=args.k)
+    print(f"query:   {plan['query']}")
+    print(f"target:  {plan['target_pattern']} "
+          f"({plan['num_sids']} sids, {plan['num_terms']} terms)")
+    if plan["comparisons"]:
+        print(f"filters: {', '.join(plan['comparisons'])}")
+    print(f"method:  {plan['chosen_method']}")
+    for clause in plan["clauses"]:
+        print(f"clause ({clause['role']}) {clause['pattern']}:")
+        extents = ", ".join(f"{sid}:{size}"
+                            for sid, size in clause["extent_sizes"].items())
+        print(f"  extents (sid:size): {extents}")
+        for term, info in clause["terms"].items():
+            rpl = info["rpl"] or "-"
+            erpl = info["erpl"] or "-"
+            print(f"  term {term!r}: postings={info['postings']} "
+                  f"rpl={rpl} erpl={erpl}")
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    engine = _make_engine(args)
+    workload = _parse_workload_file(args.workload)
+    advisor = IndexAdvisor(engine)
+    plan = advisor.recommend(workload, args.budget, method=args.selector)
+    for line in plan.describe():
+        print(line)
+    print(f"baseline (ERA-only) cost: {advisor.baseline_cost(workload):.1f}")
+    print(f"expected cost under plan: {advisor.expected_cost(workload, plan):.1f}")
+    if args.apply:
+        applied = advisor.apply(workload, plan)
+        print(f"materialized {len(applied.segments)} segments "
+              f"({applied.total_bytes} bytes)")
+        print(f"achieved cost: {advisor.achieved_cost(workload, applied):.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TReX: self-managing top-k indexes for XML retrieval "
+                    "(ICDE 2007 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    corpus = sub.add_parser("corpus", help="generate a synthetic corpus")
+    corpus.add_argument("--kind", choices=("ieee", "wikipedia"), default="ieee")
+    corpus.add_argument("--docs", type=int, default=20)
+    corpus.add_argument("--seed", type=int, default=42)
+    corpus.add_argument("--out", required=True, help="output directory")
+    corpus.set_defaults(func=_cmd_corpus)
+
+    def add_engine_args(p):
+        p.add_argument("corpus", help="directory of .xml files")
+        p.add_argument("--alias", choices=sorted(_ALIASES), default="none")
+        p.add_argument("--summary", choices=_SUMMARIES, default="incoming")
+
+    info = sub.add_parser("info", help="collection and index statistics")
+    add_engine_args(info)
+    info.set_defaults(func=_cmd_info)
+
+    translate = sub.add_parser("translate", help="show a query's translation")
+    add_engine_args(translate)
+    translate.add_argument("nexi", help="NEXI query string")
+    translate.add_argument("--strict", action="store_true",
+                           help="strict (non-vague) interpretation")
+    translate.set_defaults(func=_cmd_translate)
+
+    query = sub.add_parser("query", help="evaluate a NEXI query")
+    add_engine_args(query)
+    query.add_argument("nexi", help="NEXI query string")
+    query.add_argument("--k", type=int, default=None, help="top-k (default: all)")
+    query.add_argument("--method", choices=METHODS, default="auto")
+    query.add_argument("--strict", action="store_true")
+    query.add_argument("--flat", action="store_true",
+                       help="paper-style single-task evaluation")
+    query.add_argument("--run-output", default=None,
+                       help="append results to an INEX/TREC-style run file")
+    query.add_argument("--topic", default="topic",
+                       help="topic id for --run-output lines")
+    query.add_argument("--run-tag", default="trex-repro",
+                       help="run tag for --run-output lines")
+    query.set_defaults(func=_cmd_query)
+
+    explain = sub.add_parser("explain", help="show the evaluation plan")
+    add_engine_args(explain)
+    explain.add_argument("nexi", help="NEXI query string")
+    explain.add_argument("--k", type=int, default=None)
+    explain.set_defaults(func=_cmd_explain)
+
+    advise = sub.add_parser("advise", help="self-managing index selection")
+    add_engine_args(advise)
+    advise.add_argument("--workload", required=True,
+                        help="TSV file: id<TAB>k<TAB>freq<TAB>nexi")
+    advise.add_argument("--budget", type=int, required=True,
+                        help="disk budget in bytes")
+    advise.add_argument("--selector", choices=("greedy", "ilp"), default="greedy")
+    advise.add_argument("--apply", action="store_true",
+                        help="materialize the plan and measure achieved cost")
+    advise.set_defaults(func=_cmd_advise)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except TrexError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

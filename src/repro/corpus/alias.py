@@ -1,0 +1,102 @@
+"""INEX-style tag alias mappings.
+
+In XML retrieval, different tags often denote the same kind of content:
+the paper's example is IEEE article sections appearing as ``sec``,
+``ss1`` or ``ss2``.  INEX publishes an *alias mapping* that folds such
+synonyms onto one canonical tag, and TReX applies it before building
+summaries ("alias incoming summary", "alias tag summary") — this both
+shrinks the summary and guarantees the retrieval-safety property that
+no extent contains an ancestor–descendant pair (paper §2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["AliasMapping"]
+
+
+class AliasMapping:
+    """Maps tag labels to canonical labels; identity for unmapped tags."""
+
+    def __init__(self, mapping: Mapping[str, str] | None = None, name: str = "custom"):
+        self._mapping = dict(mapping or {})
+        self.name = name
+        for synonym, canonical in self._mapping.items():
+            # Chains (a->b->c) are collapsed eagerly so lookup is one hop.
+            seen = {synonym}
+            while canonical in self._mapping and canonical not in seen:
+                seen.add(canonical)
+                canonical = self._mapping[canonical]
+            self._mapping[synonym] = canonical
+
+    @classmethod
+    def identity(cls) -> "AliasMapping":
+        """The no-op mapping (plain, non-alias summaries)."""
+        return cls({}, name="identity")
+
+    @classmethod
+    def inex_ieee(cls) -> "AliasMapping":
+        """Alias mapping modeled on the INEX IEEE collection's.
+
+        The real INEX mapping covers hundreds of tags; this reproduces
+        the classes that matter for the paper's queries: nested section
+        levels fold to ``sec``, paragraph variants to ``p``, title
+        variants to ``st``, and list variants to ``list``.
+        """
+        mapping = {
+            "ss1": "sec",
+            "ss2": "sec",
+            "ss3": "sec",
+            "ip1": "p",
+            "ip2": "p",
+            "ilrj": "p",
+            "item-none": "p",
+            "st1": "st",
+            "st2": "st",
+            "tig": "fig",
+            "fgc": "fig",
+            "l1": "list",
+            "l2": "list",
+            "numeric-list": "list",
+            "bullet-list": "list",
+        }
+        return cls(mapping, name="inex-ieee")
+
+    @classmethod
+    def inex_wikipedia(cls) -> "AliasMapping":
+        """Alias mapping modeled on the INEX Wikipedia collection's."""
+        mapping = {
+            "ss1": "section",
+            "ss2": "section",
+            "subsection": "section",
+            "subsubsection": "section",
+            "image": "figure",
+            "caption": "figure",
+            "normallist": "list",
+            "numberlist": "list",
+        }
+        return cls(mapping, name="inex-wikipedia")
+
+    def canonical(self, label: str) -> str:
+        """The canonical label for *label* (identity when unmapped)."""
+        return self._mapping.get(label, label)
+
+    def canonical_path(self, labels: Iterable[str]) -> tuple[str, ...]:
+        """Apply the mapping to every label of a path."""
+        return tuple(self.canonical(label) for label in labels)
+
+    def synonyms_of(self, canonical: str) -> frozenset[str]:
+        """All labels that map to *canonical* (including itself)."""
+        result = {canonical}
+        result.update(s for s, c in self._mapping.items() if c == canonical)
+        return frozenset(result)
+
+    def is_identity(self) -> bool:
+        return not self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __repr__(self) -> str:
+        return f"AliasMapping({self.name!r}, {len(self._mapping)} synonyms)"

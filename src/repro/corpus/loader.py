@@ -1,0 +1,100 @@
+"""Loading collections from directories of XML files.
+
+The synthetic generators cover the paper's experiments, but a real
+deployment indexes documents from disk.  ``load_collection`` parses
+every ``*.xml`` file of a directory (sorted, for stable docids) through
+the positional parser, and ``dump_collection`` writes a generated
+collection out as one file per document so the CLI round-trips.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import TrexError
+from .collection import Collection
+from .document import Document, XMLNode
+from .tokenizer import Tokenizer
+from .xmlparser import XMLParser
+
+__all__ = ["load_collection", "dump_collection", "node_to_xml"]
+
+
+def load_collection(directory: str, tokenizer: Tokenizer | None = None,
+                    name: str | None = None) -> Collection:
+    """Parse every ``*.xml`` file under *directory* into a collection.
+
+    Files are assigned docids in sorted filename order, so reloading a
+    directory always produces identical ids.
+    """
+    if not os.path.isdir(directory):
+        raise TrexError(f"not a directory: {directory}")
+    files = sorted(entry for entry in os.listdir(directory)
+                   if entry.endswith(".xml"))
+    if not files:
+        raise TrexError(f"no .xml files in {directory}")
+    parser = XMLParser(tokenizer)
+    collection = Collection(name=name or os.path.basename(directory.rstrip("/")))
+    for docid, filename in enumerate(files):
+        path = os.path.join(directory, filename)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        try:
+            collection.add(parser.parse(text, docid))
+        except TrexError as err:
+            raise TrexError(f"{path}: {err}") from err
+    return collection
+
+
+_XML_ESCAPES = str.maketrans({"&": "&amp;", "<": "&lt;", ">": "&gt;"})
+
+
+def node_to_xml(node: XMLNode, texts: dict[int, list[str]] | None = None) -> str:
+    """Serialize an element tree back to XML (structure + attributes).
+
+    Token text is not retained by the node model (it lives in the
+    document's token stream); pass *texts* mapping ``start_pos`` to the
+    words to embed, as :func:`dump_collection` does.
+    """
+    parts = [f"<{node.tag}"]
+    for key, value in node.attributes.items():
+        escaped = value.translate(_XML_ESCAPES).replace('"', "&quot;")
+        parts.append(f' {key}="{escaped}"')
+    parts.append(">")
+    if texts is not None:
+        own = texts.get(node.start_pos)
+        if own:
+            parts.append(" ".join(own))
+    for child in node.children:
+        parts.append(node_to_xml(child, texts))
+    parts.append(f"</{node.tag}>")
+    return "".join(parts)
+
+
+def dump_collection(collection: Collection, directory: str) -> list[str]:
+    """Write one ``doc-<id>.xml`` per document; returns the paths written.
+
+    Tokens are re-attached to the deepest element containing them, so a
+    reload produces the same terms inside the same elements (token
+    *positions* may shift because the original inter-element text
+    layout is not preserved — scores and structure are unaffected).
+    """
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for document in collection:
+        # Assign each token to the innermost element containing it.
+        texts: dict[int, list[str]] = {}
+        spans = sorted(document.elements(),
+                       key=lambda n: (n.start_pos, -n.end_pos))
+        for token in document.tokens:
+            owner = None
+            for node in spans:
+                if node.start_pos < token.position < node.end_pos:
+                    owner = node  # keep refining: innermost wins
+            if owner is not None:
+                texts.setdefault(owner.start_pos, []).append(token.term)
+        path = os.path.join(directory, f"doc-{document.docid:06d}.xml")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(node_to_xml(document.root, texts))
+        written.append(path)
+    return written

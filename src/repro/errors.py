@@ -1,0 +1,76 @@
+"""Exception hierarchy for the TReX reproduction.
+
+All library errors derive from :class:`TrexError` so that callers can
+catch a single base class.  Subsystems raise the most specific subclass
+that applies.
+"""
+
+from __future__ import annotations
+
+
+class TrexError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(TrexError):
+    """A storage-engine invariant was violated (bad key, closed tree, ...)."""
+
+
+class CodecError(StorageError):
+    """A value could not be encoded to, or decoded from, bytes."""
+
+
+class SchemaError(StorageError):
+    """A row does not conform to its table schema."""
+
+
+class XMLParseError(TrexError):
+    """The positional XML parser rejected its input."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class NexiSyntaxError(TrexError):
+    """A NEXI query string could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        suffix = f" (at offset {position})" if position is not None else ""
+        super().__init__(f"{message}{suffix}")
+        self.position = position
+
+
+class SummaryError(TrexError):
+    """A structural summary was used in an unsupported way."""
+
+
+class RetrievalError(TrexError):
+    """Query evaluation failed (missing index, bad method name, ...)."""
+
+
+class MissingIndexError(RetrievalError):
+    """A retrieval strategy requires an index that is not materialized."""
+
+    def __init__(self, kind: str, term: str | None = None, sid: int | None = None):
+        detail = kind
+        if term is not None:
+            detail += f" for term {term!r}"
+        if sid is not None:
+            detail += f" (sid {sid})"
+        super().__init__(f"required index not materialized: {detail}")
+        self.kind = kind
+        self.term = term
+        self.sid = sid
+
+
+class WorkloadError(TrexError):
+    """A workload definition is invalid (frequencies, duplicate ids, ...)."""
+
+
+class OptimizationError(TrexError):
+    """Index-selection optimization failed or was given bad inputs."""

@@ -1,0 +1,27 @@
+"""Retrieval-effectiveness evaluation: metrics and synthetic qrels."""
+
+from .metrics import (
+    average_precision,
+    f1_score,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from .qrels import EffectivenessReport, qrels_for_query, score_result
+from .runfile import RunEntry, read_run, write_run
+
+__all__ = [
+    "average_precision",
+    "f1_score",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+    "EffectivenessReport",
+    "qrels_for_query",
+    "score_result",
+    "RunEntry",
+    "read_run",
+    "write_run",
+]

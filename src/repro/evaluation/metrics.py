@@ -1,0 +1,110 @@
+"""Retrieval-effectiveness metrics.
+
+The paper defers ranking quality ("providing such ranking is beyond the
+scope of this paper"), but TReX lives inside INEX, whose campaigns
+score systems with ranked-retrieval metrics.  This module implements
+the standard set over element-level judgments (qrels): precision@k,
+recall@k, average precision, reciprocal rank, and nDCG@k with graded
+relevance.
+
+Identifiers are element keys ``(docid, endpos)`` — the same identity
+the engine's hits carry — so results plug in directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping, Sequence
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "reciprocal_rank",
+    "ndcg_at_k",
+    "f1_score",
+]
+
+Key = Hashable
+
+
+def _relevant_set(qrels: Mapping[Key, float]) -> set[Key]:
+    return {key for key, grade in qrels.items() if grade > 0}
+
+
+def precision_at_k(ranking: Sequence[Key], qrels: Mapping[Key, float],
+                   k: int) -> float:
+    """Fraction of the top-k results that are relevant."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    relevant = _relevant_set(qrels)
+    top = ranking[:k]
+    if not top:
+        return 0.0
+    return sum(1 for key in top if key in relevant) / k
+
+
+def recall_at_k(ranking: Sequence[Key], qrels: Mapping[Key, float],
+                k: int) -> float:
+    """Fraction of all relevant items found in the top-k."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    relevant = _relevant_set(qrels)
+    if not relevant:
+        return 0.0
+    return sum(1 for key in ranking[:k] if key in relevant) / len(relevant)
+
+
+def f1_score(ranking: Sequence[Key], qrels: Mapping[Key, float],
+             k: int) -> float:
+    """Harmonic mean of precision@k and recall@k."""
+    p = precision_at_k(ranking, qrels, k)
+    r = recall_at_k(ranking, qrels, k)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+def average_precision(ranking: Sequence[Key],
+                      qrels: Mapping[Key, float]) -> float:
+    """Mean of precision at each relevant rank (AP; average over a
+    query set gives MAP)."""
+    relevant = _relevant_set(qrels)
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for rank, key in enumerate(ranking, start=1):
+        if key in relevant:
+            hits += 1
+            total += hits / rank
+    return total / len(relevant)
+
+
+def reciprocal_rank(ranking: Sequence[Key],
+                    qrels: Mapping[Key, float]) -> float:
+    """1/rank of the first relevant result (0 when none appears)."""
+    relevant = _relevant_set(qrels)
+    for rank, key in enumerate(ranking, start=1):
+        if key in relevant:
+            return 1.0 / rank
+    return 0.0
+
+
+def ndcg_at_k(ranking: Sequence[Key], qrels: Mapping[Key, float],
+              k: int) -> float:
+    """Normalized discounted cumulative gain with graded relevance."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+
+    def dcg(grades: Sequence[float]) -> float:
+        return sum(grade / math.log2(rank + 1)
+                   for rank, grade in enumerate(grades, start=1))
+
+    gains = [qrels.get(key, 0.0) for key in ranking[:k]]
+    ideal = sorted((grade for grade in qrels.values() if grade > 0),
+                   reverse=True)[:k]
+    ideal_dcg = dcg(ideal)
+    if ideal_dcg == 0:
+        return 0.0
+    return dcg(gains) / ideal_dcg

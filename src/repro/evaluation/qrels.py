@@ -1,0 +1,120 @@
+"""Synthetic relevance judgments from the corpus generator's topics.
+
+INEX assessments are human judgments; the synthetic corpora offer the
+next best thing — *planted ground truth*.  A generated document
+contains a topic term only where the generator put it, so "elements in
+the query's target extents containing the topic terms" is a faithful
+oracle for topical relevance, with graded relevance from term coverage
+and frequency.
+
+:func:`qrels_for_query` builds such judgments for any translated query,
+and :class:`EffectivenessReport` scores a result list against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..corpus.collection import Collection
+from ..nexi.translate import TranslatedQuery
+from ..retrieval.result import ResultSet
+from ..summary.base import PartitionSummary
+from .metrics import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+__all__ = ["qrels_for_query", "EffectivenessReport", "score_result"]
+
+Key = tuple[int, int]
+
+
+def qrels_for_query(collection: Collection, summary: PartitionSummary,
+                    translated: TranslatedQuery) -> dict[Key, float]:
+    """Graded judgments for the target elements of *translated*.
+
+    An element of the target extents is judged relevant in proportion
+    to how many distinct target-clause terms it contains (coverage),
+    with a small bonus for repeated occurrences.  Elements containing
+    no query term are irrelevant (grade 0, omitted).
+    """
+    terms: set[str] = set()
+    for clause in translated.target_clauses or translated.clauses:
+        terms.update(clause.terms)
+    if not terms:
+        return {}
+    qrels: dict[Key, float] = {}
+    for document in collection:
+        docid = document.docid
+        term_positions = {term: [occ.position for occ in document.tokens
+                                 if occ.term == term]
+                          for term in terms}
+        if not any(term_positions.values()):
+            continue
+        for node in document.elements():
+            sid = summary.sid_of(docid, node.end_pos)
+            if sid not in translated.target_sids:
+                continue
+            distinct = 0
+            occurrences = 0
+            for positions in term_positions.values():
+                inside = [p for p in positions
+                          if node.start_pos < p < node.end_pos]
+                if inside:
+                    distinct += 1
+                    occurrences += len(inside)
+            if distinct == 0:
+                continue
+            coverage = distinct / len(terms)
+            bonus = min(occurrences - distinct, 3) * 0.1
+            qrels[(docid, node.end_pos)] = round(coverage + bonus, 4)
+    return qrels
+
+
+@dataclass
+class EffectivenessReport:
+    """Effectiveness of one result list against one qrels set."""
+
+    query: str
+    num_relevant: int
+    num_retrieved: int
+    precision_at_10: float
+    recall_at_10: float
+    mean_average_precision: float
+    mrr: float
+    ndcg_at_10: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        out: dict[str, float | int | str] = {
+            "query": self.query,
+            "relevant": self.num_relevant,
+            "retrieved": self.num_retrieved,
+            "P@10": round(self.precision_at_10, 4),
+            "R@10": round(self.recall_at_10, 4),
+            "AP": round(self.mean_average_precision, 4),
+            "MRR": round(self.mrr, 4),
+            "nDCG@10": round(self.ndcg_at_10, 4),
+        }
+        out.update({name: round(value, 4)
+                    for name, value in self.extras.items()})
+        return out
+
+
+def score_result(query: str, result: ResultSet,
+                 qrels: dict[Key, float]) -> EffectivenessReport:
+    """Score a ranked :class:`ResultSet` against *qrels*."""
+    ranking = result.element_keys()
+    return EffectivenessReport(
+        query=query,
+        num_relevant=sum(1 for grade in qrels.values() if grade > 0),
+        num_retrieved=len(ranking),
+        precision_at_10=precision_at_k(ranking, qrels, 10),
+        recall_at_10=recall_at_k(ranking, qrels, 10),
+        mean_average_precision=average_precision(ranking, qrels),
+        mrr=reciprocal_rank(ranking, qrels),
+        ndcg_at_10=ndcg_at_k(ranking, qrels, 10),
+    )

@@ -1,0 +1,82 @@
+"""TREC/INEX-style run files.
+
+INEX participants (the paper's venue) submit *runs*: per topic, a
+ranked list of retrieved elements with scores.  This module writes and
+reads the classic whitespace format::
+
+    <topic-id> Q0 <element-id> <rank> <score> <run-tag>
+
+with the element identified as ``docid:endpos`` (the TReX element
+identity).  Round-tripping through a run file is exact for ranks and
+element identities and float-faithful for scores, so saved runs can be
+re-scored against qrels later.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TextIO
+
+from ..errors import TrexError
+from ..retrieval.result import ResultSet
+from ..scoring.combine import ScoredHit
+
+__all__ = ["write_run", "read_run", "RunEntry"]
+
+
+class RunEntry(tuple):
+    """One run line: (topic_id, docid, endpos, rank, score, tag)."""
+
+    __slots__ = ()
+
+    def __new__(cls, topic_id: str, docid: int, endpos: int, rank: int,
+                score: float, tag: str):
+        return super().__new__(cls, (topic_id, docid, endpos, rank, score, tag))
+
+    topic_id = property(lambda self: self[0])
+    docid = property(lambda self: self[1])
+    endpos = property(lambda self: self[2])
+    rank = property(lambda self: self[3])
+    score = property(lambda self: self[4])
+    tag = property(lambda self: self[5])
+
+    def element_key(self) -> tuple[int, int]:
+        return (self.docid, self.endpos)
+
+
+def write_run(out: TextIO, topic_id: str, result: ResultSet | Iterable[ScoredHit],
+              tag: str = "trex-repro") -> int:
+    """Write one topic's ranked results; returns the number of lines."""
+    if any(ch.isspace() for ch in topic_id) or not topic_id:
+        raise TrexError(f"invalid topic id {topic_id!r}")
+    if any(ch.isspace() for ch in tag) or not tag:
+        raise TrexError(f"invalid run tag {tag!r}")
+    hits = result.hits if isinstance(result, ResultSet) else list(result)
+    for rank, hit in enumerate(hits, start=1):
+        out.write(f"{topic_id} Q0 {hit.docid}:{hit.end_pos} {rank} "
+                  f"{hit.score!r} {tag}\n")
+    return len(hits)
+
+
+def read_run(source: TextIO) -> dict[str, list[RunEntry]]:
+    """Parse a run file into topic → entries (rank order preserved)."""
+    runs: dict[str, list[RunEntry]] = {}
+    for line_no, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 6 or parts[1] != "Q0":
+            raise TrexError(f"run file line {line_no}: malformed: {line!r}")
+        topic_id, _, element, rank_text, score_text, tag = parts
+        try:
+            docid_text, endpos_text = element.split(":")
+            entry = RunEntry(topic_id, int(docid_text), int(endpos_text),
+                             int(rank_text), float(score_text), tag)
+        except ValueError as err:
+            raise TrexError(f"run file line {line_no}: {err}") from None
+        runs.setdefault(topic_id, []).append(entry)
+    for topic_id, entries in runs.items():
+        ranks = [entry.rank for entry in entries]
+        if ranks != sorted(ranks):
+            raise TrexError(f"topic {topic_id}: ranks out of order")
+    return runs

@@ -1,0 +1,25 @@
+"""Physical indexes: Elements, PostingLists, RPL/ERPL segments, catalog."""
+
+from .catalog import ERPLS_SCHEMA, IndexCatalog, IndexSegment, RPLS_SCHEMA
+from .elements import ELEMENTS_SCHEMA, build_elements_table
+from .postings import (
+    DEFAULT_FRAGMENT_SIZE,
+    POSTING_LISTS_SCHEMA,
+    build_posting_lists_table,
+)
+from .rpl import RplEntry, compute_rpl_entries, term_positions_by_document
+
+__all__ = [
+    "ERPLS_SCHEMA",
+    "IndexCatalog",
+    "IndexSegment",
+    "RPLS_SCHEMA",
+    "ELEMENTS_SCHEMA",
+    "build_elements_table",
+    "DEFAULT_FRAGMENT_SIZE",
+    "POSTING_LISTS_SCHEMA",
+    "build_posting_lists_table",
+    "RplEntry",
+    "compute_rpl_entries",
+    "term_positions_by_document",
+]

@@ -1,0 +1,258 @@
+"""The index catalog: which RPL/ERPL segments are materialized.
+
+The paper's self-management problem is *which* redundant lists to keep:
+"a system should store only the lists that contribute the most to the
+efficiency of handling a given workload" (§4).  The catalog is the
+registry the engine and the advisor share:
+
+* a **segment** is one materialized list — an RPL or an ERPL — for one
+  term, with a *scope*: either universal (``None``: entries for every
+  extent containing the term) or a specific sid set (a query-scoped,
+  usually much smaller, redundant index);
+* segments own rows in the shared ``RPLs``/``ERPLs`` tables, keyed by
+  their segment id, and their byte footprint is tracked so the advisor
+  can enforce the disk budget ``d``;
+* a lookup finds the best (smallest superset-scope) segment usable to
+  answer a query over a given sid set — using a superset segment is
+  correct but costs skipping, which is exactly the TA behaviour the
+  paper observes on universal lists.
+
+Table layouts (cf. paper §2.2, fragmentation done row-per-entry):
+
+* ``RPLs(token, seg, ir, score, sid, docid, endpos, length)`` with key
+  ``(token, seg, ir)`` — ``ir`` is the descending-relevance rank, so a
+  prefix scan performs sorted access;
+* ``ERPLs(token, seg, sid, docid, endpos, score, length)`` with key
+  ``(token, seg, sid, docid, endpos)`` — per-(term, sid) ranges in
+  position order, so Merge can seek straight to a query's extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import MissingIndexError, StorageError
+from ..index.rpl import RplEntry
+from ..storage.cost import CostModel
+from ..storage.table import Column, Schema, Table
+
+__all__ = ["IndexSegment", "IndexCatalog", "RPLS_SCHEMA", "ERPLS_SCHEMA"]
+
+RPLS_SCHEMA = Schema(
+    [
+        Column("token", "str"),
+        Column("seg", "uint"),
+        Column("ir", "uint"),
+        Column("score", "float"),
+        Column("sid", "uint"),
+        Column("docid", "uint"),
+        Column("endpos", "uint"),
+        Column("length", "uint"),
+    ],
+    key_length=3,
+)
+
+ERPLS_SCHEMA = Schema(
+    [
+        Column("token", "str"),
+        Column("seg", "uint"),
+        Column("sid", "uint"),
+        Column("docid", "uint"),
+        Column("endpos", "uint"),
+        Column("score", "float"),
+        Column("length", "uint"),
+    ],
+    key_length=5,
+)
+
+
+@dataclass(frozen=True)
+class IndexSegment:
+    """Metadata for one materialized list."""
+
+    segment_id: int
+    kind: str  # 'rpl' or 'erpl'
+    term: str
+    scope: frozenset[int] | None  # None means universal
+    entry_count: int
+    size_bytes: int
+
+    def covers(self, sids: Iterable[int]) -> bool:
+        """Can this segment answer a query restricted to *sids*?"""
+        if self.scope is None:
+            return True
+        return set(sids) <= self.scope
+
+    @property
+    def is_universal(self) -> bool:
+        return self.scope is None
+
+    def describe(self) -> str:
+        scope = "ALL" if self.scope is None else f"{len(self.scope)} sids"
+        return (f"{self.kind.upper()}({self.term!r}, {scope}, "
+                f"{self.entry_count} entries, {self.size_bytes} B)")
+
+
+class IndexCatalog:
+    """Registry plus storage for all RPL/ERPL segments."""
+
+    def __init__(self, cost_model: CostModel | None = None, btree_order: int = 64):
+        self.rpls = Table("RPLs", RPLS_SCHEMA, cost_model=cost_model,
+                          btree_order=btree_order)
+        self.erpls = Table("ERPLs", ERPLS_SCHEMA, cost_model=cost_model,
+                           btree_order=btree_order)
+        self._segments: dict[int, IndexSegment] = {}
+        self._next_segment_id = 1
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_rpl_segment(self, term: str, entries: list[RplEntry],
+                        scope: Iterable[int] | None = None) -> IndexSegment:
+        """Store *entries* (already in descending-score order) as an RPL."""
+        segment_id = self._next_segment_id
+        self._next_segment_id += 1
+        before = self.rpls.size_bytes
+        for rank, entry in enumerate(entries):
+            self.rpls.insert((term, segment_id, rank, entry.score, entry.sid,
+                              entry.docid, entry.endpos, entry.length))
+        segment = IndexSegment(
+            segment_id=segment_id,
+            kind="rpl",
+            term=term,
+            scope=None if scope is None else frozenset(scope),
+            entry_count=len(entries),
+            size_bytes=self.rpls.size_bytes - before,
+        )
+        self._segments[segment_id] = segment
+        return segment
+
+    def add_erpl_segment(self, term: str, entries: list[RplEntry],
+                         scope: Iterable[int] | None = None) -> IndexSegment:
+        """Store *entries* as an ERPL (rows keyed by sid, then position)."""
+        segment_id = self._next_segment_id
+        self._next_segment_id += 1
+        before = self.erpls.size_bytes
+        for entry in entries:
+            self.erpls.insert((term, segment_id, entry.sid, entry.docid,
+                               entry.endpos, entry.score, entry.length))
+        segment = IndexSegment(
+            segment_id=segment_id,
+            kind="erpl",
+            term=term,
+            scope=None if scope is None else frozenset(scope),
+            entry_count=len(entries),
+            size_bytes=self.erpls.size_bytes - before,
+        )
+        self._segments[segment_id] = segment
+        return segment
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def segments(self, kind: str | None = None) -> Iterator[IndexSegment]:
+        for segment in self._segments.values():
+            if kind is None or segment.kind == kind:
+                yield segment
+
+    def get_segment(self, segment_id: int) -> IndexSegment:
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise StorageError(f"unknown segment id {segment_id}") from None
+
+    def find_segment(self, kind: str, term: str,
+                     sids: Iterable[int]) -> IndexSegment | None:
+        """Best segment of *kind* for *term* covering *sids*.
+
+        Preference order: the segment with the smallest scope that still
+        covers the requested sids (fewer entries to skip); a universal
+        segment is the fallback.
+        """
+        sid_set = set(sids)
+        best: IndexSegment | None = None
+        for segment in self._segments.values():
+            if segment.kind != kind or segment.term != term:
+                continue
+            if not segment.covers(sid_set):
+                continue
+            if best is None:
+                best = segment
+                continue
+            best_rank = float("inf") if best.scope is None else len(best.scope)
+            seg_rank = float("inf") if segment.scope is None else len(segment.scope)
+            if seg_rank < best_rank:
+                best = segment
+        return best
+
+    def require_segment(self, kind: str, term: str,
+                        sids: Iterable[int]) -> IndexSegment:
+        segment = self.find_segment(kind, term, sids)
+        if segment is None:
+            raise MissingIndexError(kind, term=term)
+        return segment
+
+    # ------------------------------------------------------------------
+    # Removal
+    # ------------------------------------------------------------------
+    def drop_segment(self, segment_id: int) -> None:
+        """Delete a segment's rows and unregister it."""
+        segment = self.get_segment(segment_id)
+        table = self.rpls if segment.kind == "rpl" else self.erpls
+        keys = [tuple(row[: table.schema.key_length])
+                for row in table.scan_prefix((segment.term, segment_id))]
+        for key in keys:
+            table.delete(key)
+        del self._segments[segment_id]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return sum(segment.size_bytes for segment in self._segments.values())
+
+    def describe(self) -> list[str]:
+        return [segment.describe() for segment in
+                sorted(self._segments.values(), key=lambda s: s.segment_id)]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Persist the RPLs/ERPLs tables and the segment metadata."""
+        import os
+        os.makedirs(directory, exist_ok=True)
+        self.rpls.save(os.path.join(directory, "rpls.tbl"))
+        self.erpls.save(os.path.join(directory, "erpls.tbl"))
+        lines = [f"{self._next_segment_id}"]
+        for segment in sorted(self._segments.values(), key=lambda s: s.segment_id):
+            scope = ("*" if segment.scope is None
+                     else ",".join(str(sid) for sid in sorted(segment.scope)))
+            lines.append("\t".join([
+                str(segment.segment_id), segment.kind, segment.term, scope,
+                str(segment.entry_count), str(segment.size_bytes)]))
+        with open(os.path.join(directory, "segments.tsv"), "w",
+                  encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+
+    def load(self, directory: str) -> None:
+        """Replace this catalog's contents from a saved directory."""
+        import os
+        self.rpls.load(os.path.join(directory, "rpls.tbl"))
+        self.erpls.load(os.path.join(directory, "erpls.tbl"))
+        with open(os.path.join(directory, "segments.tsv"), encoding="utf-8") as fh:
+            lines = [line.rstrip("\n") for line in fh if line.strip()]
+        if not lines:
+            raise StorageError(f"{directory}/segments.tsv is empty")
+        self._next_segment_id = int(lines[0])
+        self._segments = {}
+        for line in lines[1:]:
+            seg_id, kind, term, scope_text, entry_count, size_bytes = \
+                line.split("\t")
+            scope = (None if scope_text == "*" else
+                     frozenset(int(s) for s in scope_text.split(",") if s))
+            self._segments[int(seg_id)] = IndexSegment(
+                segment_id=int(seg_id), kind=kind, term=term, scope=scope,
+                entry_count=int(entry_count), size_bytes=int(size_bytes))

@@ -1,0 +1,41 @@
+"""The Elements table: ``Elements(SID, docid, endpos, length)``.
+
+One row per element in the corpus, keyed by ``(SID, docid, endpos)``
+(paper §2.2).  The key order is what makes extent iterators work: a
+prefix scan on ``SID`` yields the extent in document/position order,
+and a seek to ``(SID, docid, pos)`` implements the ERA primitive
+``nextElementAfter``.
+"""
+
+from __future__ import annotations
+
+from ..corpus.collection import Collection
+from ..storage.cost import CostModel
+from ..storage.table import Column, Schema, Table
+from ..summary.base import PartitionSummary
+
+__all__ = ["ELEMENTS_SCHEMA", "build_elements_table"]
+
+ELEMENTS_SCHEMA = Schema(
+    [
+        Column("sid", "uint"),
+        Column("docid", "uint"),
+        Column("endpos", "uint"),
+        Column("length", "uint"),
+    ],
+    key_length=3,
+)
+
+
+def build_elements_table(collection: Collection, summary: PartitionSummary,
+                         cost_model: CostModel | None = None,
+                         btree_order: int = 64) -> Table:
+    """Materialize the Elements table for *collection* under *summary*."""
+    table = Table("Elements", ELEMENTS_SCHEMA, cost_model=cost_model,
+                  btree_order=btree_order)
+    for document in collection:
+        docid = document.docid
+        for node in document.elements():
+            sid = summary.sid_of(docid, node.end_pos)
+            table.insert((sid, docid, node.end_pos, node.length))
+    return table

@@ -1,0 +1,100 @@
+"""The PostingLists table: fragmented positional inverted lists.
+
+``PostingLists(token, docid, offset, postingdataentry)`` (paper §2.2):
+for each term, all positions where it appears, as ``(docid, offset)``
+pairs.  A long posting list is split into fragments — each stored row
+holds a bounded batch of positions and is keyed by its first position,
+so that fragments of one term are adjacent and in position order, and a
+seek can land mid-list.  Following the paper, a maximal dummy position
+``m-pos`` is appended after the last real position of every term, so
+iterators detect exhaustion uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..corpus.collection import Collection
+from ..corpus.document import M_POS
+from ..storage.cost import CostModel
+from ..storage.table import Column, Schema, Table
+
+__all__ = ["POSTING_LISTS_SCHEMA", "build_posting_lists_table", "DEFAULT_FRAGMENT_SIZE"]
+
+DEFAULT_FRAGMENT_SIZE = 64
+
+POSTING_LISTS_SCHEMA = Schema(
+    [
+        Column("token", "str"),
+        Column("docid", "uint"),
+        Column("offset", "uint"),
+        Column("postingdataentry", "list[tuple[uint,uint]]"),
+    ],
+    key_length=3,
+)
+
+
+def build_posting_lists_table(collection: Collection,
+                              cost_model: CostModel | None = None,
+                              fragment_size: int = DEFAULT_FRAGMENT_SIZE,
+                              btree_order: int = 64) -> Table:
+    """Materialize the PostingLists table for *collection*.
+
+    Positions are gathered per term across the whole collection in
+    ``(docid, offset)`` order, chunked into fragments of at most
+    *fragment_size* positions, and terminated with the ``m-pos``
+    sentinel.
+    """
+    if fragment_size < 1:
+        raise ValueError("fragment_size must be positive")
+    table = Table("PostingLists", POSTING_LISTS_SCHEMA, cost_model=cost_model,
+                  btree_order=btree_order)
+    positions: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    for document in collection:
+        docid = document.docid
+        for occurrence in document.tokens:
+            positions[occurrence.term].append((docid, occurrence.position))
+
+    for term, term_positions in positions.items():
+        term_positions.sort()
+        _write_term_fragments(table, term, term_positions, fragment_size)
+    return table
+
+
+def _write_term_fragments(table: Table, term: str,
+                          sorted_positions: list[tuple[int, int]],
+                          fragment_size: int) -> None:
+    """Write one term's posting list as fragments + the m-pos sentinel."""
+    with_sentinel = sorted_positions + [M_POS]
+    for start in range(0, len(with_sentinel), fragment_size):
+        fragment = with_sentinel[start: start + fragment_size]
+        first_docid, first_offset = fragment[0]
+        table.insert((term, first_docid, first_offset, list(fragment)))
+
+
+def extend_posting_lists(table: Table, document,
+                         fragment_size: int = DEFAULT_FRAGMENT_SIZE) -> set[str]:
+    """Fold a new document's positions into an existing PostingLists table.
+
+    For each term of the document, the term's fragments are read back,
+    merged with the new positions, and rewritten (fragment boundaries
+    and the m-pos sentinel are rebuilt).  Returns the set of affected
+    terms, so callers can invalidate dependent RPL/ERPL segments.
+    """
+    new_positions: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    for occurrence in document.tokens:
+        new_positions[occurrence.term].append((document.docid,
+                                               occurrence.position))
+    for term, added in new_positions.items():
+        existing: list[tuple[int, int]] = []
+        old_keys = []
+        for row in table.scan_prefix((term,)):
+            old_keys.append((row[0], row[1], row[2]))
+            existing.extend(tuple(pair) for pair in row[3])
+        if existing and existing[-1] == M_POS:
+            existing.pop()
+        for key in old_keys:
+            table.delete(key)
+        merged = sorted(existing + added)
+        _write_term_fragments(table, term, merged, fragment_size)
+    return set(new_positions)

@@ -1,0 +1,113 @@
+"""Builders for relevance posting lists (RPLs) and element RPLs (ERPLs).
+
+An RPL of a term ``t`` stores scored elements containing ``t`` in
+*descending relevance* order — the sorted-access lists the threshold
+algorithm consumes.  An ERPL stores the same entries in *position*
+order, grouped by sid — what the Merge algorithm consumes (paper §2.2).
+
+Entry computation walks each document bottom-up, so an element's term
+frequency counts every occurrence in its subtree, exactly as the ERA
+algorithm would produce when asked to extend these tables (paper §3.2:
+"TReX also uses ERA for generating or extending the RPLs and ERPLs
+tables"; :meth:`repro.retrieval.era` is tested to agree with this
+builder).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections.abc import Collection as AbstractCollection
+
+from ..corpus.collection import Collection
+from ..corpus.document import Document, XMLNode
+from ..scoring.scorers import ElementScorer
+from ..summary.base import PartitionSummary
+
+__all__ = ["RplEntry", "compute_rpl_entries", "term_positions_by_document"]
+
+
+class RplEntry(tuple):
+    """A scored element entry: (score, sid, docid, endpos, length).
+
+    The paper's 5-tuple (§2.2): "(1) a relevance score, (2) an sid,
+    (3) a document identifier, (4) an offset to end position, and
+    (5) a length".  Implemented as a tuple subclass so entries stay
+    cheap and hashable while giving named access.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, score: float, sid: int, docid: int, endpos: int, length: int):
+        return super().__new__(cls, (float(score), sid, docid, endpos, length))
+
+    @property
+    def score(self) -> float:
+        return self[0]
+
+    @property
+    def sid(self) -> int:
+        return self[1]
+
+    @property
+    def docid(self) -> int:
+        return self[2]
+
+    @property
+    def endpos(self) -> int:
+        return self[3]
+
+    @property
+    def length(self) -> int:
+        return self[4]
+
+    @property
+    def startpos(self) -> int:
+        return self[3] - self[4]
+
+    def element_key(self) -> tuple[int, int]:
+        return (self[2], self[3])
+
+
+def term_positions_by_document(document: Document, term: str) -> list[int]:
+    """Sorted token positions of *term* within *document*."""
+    return [occ.position for occ in document.tokens if occ.term == term]
+
+
+def _element_tf(node: XMLNode, sorted_positions: list[int]) -> int:
+    """Occurrences of the term strictly inside *node*'s span."""
+    lo = bisect_right(sorted_positions, node.start_pos)
+    hi = bisect_left(sorted_positions, node.end_pos)
+    return hi - lo
+
+
+def compute_rpl_entries(collection: Collection, summary: PartitionSummary,
+                        term: str, scorer: ElementScorer,
+                        sids: AbstractCollection[int] | None = None) -> list[RplEntry]:
+    """All scored-element entries of *term*, in descending score order.
+
+    ``sids=None`` builds the *universal* list (every element that
+    contains the term, whatever its extent); passing a sid set builds a
+    query-scoped list restricted to those extents — the redundant
+    indexes the self-managing advisor materializes.
+    """
+    sid_filter = None if sids is None else set(sids)
+    entries: list[RplEntry] = []
+    for document in collection:
+        positions = term_positions_by_document(document, term)
+        if not positions:
+            continue
+        docid = document.docid
+        for node in document.elements():
+            sid = summary.sid_of(docid, node.end_pos)
+            if sid_filter is not None and sid not in sid_filter:
+                continue
+            tf = _element_tf(node, positions)
+            if tf == 0:
+                continue
+            score = scorer.score(term, tf, node.length)
+            if score <= 0.0:
+                continue
+            entries.append(RplEntry(score, sid, docid, node.end_pos, node.length))
+    # Descending score; position order breaks ties deterministically.
+    entries.sort(key=lambda e: (-e.score, e.docid, e.endpos))
+    return entries

@@ -1,0 +1,35 @@
+"""NEXI query language: AST, parser, and summary-based translation."""
+
+from .ast import (
+    AboutClause,
+    BooleanPredicate,
+    ComparisonClause,
+    Keyword,
+    NexiQuery,
+    QueryStep,
+    iter_about_clauses,
+    iter_atoms,
+)
+from .parser import parse_nexi
+from .translate import (
+    TranslatedClause,
+    TranslatedComparison,
+    TranslatedQuery,
+    translate_query,
+)
+
+__all__ = [
+    "AboutClause",
+    "BooleanPredicate",
+    "ComparisonClause",
+    "Keyword",
+    "NexiQuery",
+    "QueryStep",
+    "iter_about_clauses",
+    "iter_atoms",
+    "parse_nexi",
+    "TranslatedClause",
+    "TranslatedComparison",
+    "TranslatedQuery",
+    "translate_query",
+]

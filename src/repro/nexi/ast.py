@@ -1,0 +1,199 @@
+"""Abstract syntax for NEXI retrieval queries.
+
+NEXI (Narrowed Extended XPath I) narrows XPath to child/descendant
+navigation and extends it with the ``about(path, keywords)`` filter
+(paper §1).  The AST mirrors that shape:
+
+* a query is a sequence of :class:`QueryStep`; each step contributes
+  path steps (``//sec``) and may carry a predicate;
+* a predicate is a boolean combination (``and`` / ``or``) of
+  :class:`AboutClause` filters;
+* an about clause has a relative path (``.`` or ``.//bdy``) and a list
+  of :class:`Keyword` tokens with the NEXI modifiers: ``+`` (emphasis),
+  ``-`` (avoid), and quoted phrases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..summary.matcher import PathPattern, PathStep
+
+__all__ = [
+    "Keyword",
+    "AboutClause",
+    "BooleanPredicate",
+    "Predicate",
+    "QueryStep",
+    "NexiQuery",
+]
+
+
+@dataclass(frozen=True)
+class Keyword:
+    """One search token from an about() keyword list."""
+
+    text: str
+    modifier: str = ""  # '', '+', or '-'
+    phrase: bool = False  # True when the token came from a quoted phrase
+
+    @property
+    def words(self) -> tuple[str, ...]:
+        """Individual words (phrases contribute several)."""
+        return tuple(self.text.split())
+
+    def __str__(self) -> str:
+        body = f'"{self.text}"' if self.phrase else self.text
+        return f"{self.modifier}{body}"
+
+
+@dataclass(frozen=True)
+class AboutClause:
+    """``about(relative_path, keywords)``."""
+
+    relative: PathPattern  # empty steps tuple means '.'
+    keywords: tuple[Keyword, ...]
+
+    @property
+    def is_self(self) -> bool:
+        return not self.relative.steps
+
+    def __str__(self) -> str:
+        rel = "." + str(self.relative) if self.relative.steps else "."
+        kws = " ".join(str(k) for k in self.keywords)
+        return f"about({rel}, {kws})"
+
+
+@dataclass(frozen=True)
+class ComparisonClause:
+    """A NEXI value comparison, e.g. ``.//yr > 2000`` or ``./lang = "en"``.
+
+    ``value`` is a float for numeric comparisons and a lowercase string
+    for string comparisons (NEXI restricts strings to equality tests).
+    """
+
+    relative: PathPattern
+    op: str  # one of =, !=, <, <=, >, >=
+    value: float | str
+
+    OPS = ("<=", ">=", "!=", "=", "<", ">")
+
+    @property
+    def is_numeric(self) -> bool:
+        return isinstance(self.value, float)
+
+    def matches(self, token: str) -> bool:
+        """Does one element token satisfy the comparison?"""
+        if self.is_numeric:
+            try:
+                number = float(token)
+            except ValueError:
+                return False
+            if self.op == "=":
+                return number == self.value
+            if self.op == "!=":
+                return number != self.value
+            if self.op == "<":
+                return number < self.value
+            if self.op == "<=":
+                return number <= self.value
+            if self.op == ">":
+                return number > self.value
+            return number >= self.value
+        if self.op == "=":
+            return token == self.value
+        if self.op == "!=":
+            return token != self.value
+        return False  # ordered comparison of strings is not NEXI
+
+    def __str__(self) -> str:
+        rel = "." + str(self.relative) if self.relative.steps else "."
+        value = (f"{self.value:g}" if self.is_numeric else f'"{self.value}"')
+        return f"{rel} {self.op} {value}"
+
+
+@dataclass(frozen=True)
+class BooleanPredicate:
+    """``and`` / ``or`` combination of sub-predicates."""
+
+    op: str  # 'and' or 'or'
+    operands: tuple["Predicate", ...]
+
+    def __str__(self) -> str:
+        return f" {self.op} ".join(
+            f"({operand})" if isinstance(operand, BooleanPredicate) else str(operand)
+            for operand in self.operands)
+
+
+Predicate = AboutClause | ComparisonClause | BooleanPredicate
+
+
+def iter_about_clauses(predicate: Predicate) -> Iterator[AboutClause]:
+    """All about clauses in a predicate, left to right."""
+    for atom in iter_atoms(predicate):
+        if isinstance(atom, AboutClause):
+            yield atom
+
+
+def iter_atoms(predicate: Predicate) -> Iterator[AboutClause | ComparisonClause]:
+    """All atomic clauses (about and comparison), left to right."""
+    if isinstance(predicate, (AboutClause, ComparisonClause)):
+        yield predicate
+        return
+    for operand in predicate.operands:
+        yield from iter_atoms(operand)
+
+
+@dataclass(frozen=True)
+class QueryStep:
+    """Path steps plus an optional predicate, e.g. ``//article[...]``."""
+
+    pattern_steps: tuple[PathStep, ...]
+    predicate: Predicate | None = None
+
+    def __str__(self) -> str:
+        path = str(PathPattern(self.pattern_steps))
+        if self.predicate is None:
+            return path
+        return f"{path}[{self.predicate}]"
+
+
+@dataclass(frozen=True)
+class NexiQuery:
+    """A full NEXI query: concatenated steps with predicates."""
+
+    steps: tuple[QueryStep, ...]
+    source: str = field(default="", compare=False)
+
+    def full_pattern(self) -> PathPattern:
+        """The structural path of the query's target elements."""
+        steps: list[PathStep] = []
+        for step in self.steps:
+            steps.extend(step.pattern_steps)
+        return PathPattern(tuple(steps))
+
+    def pattern_up_to(self, step_index: int) -> PathPattern:
+        """The path from the root through ``steps[:step_index + 1]``."""
+        steps: list[PathStep] = []
+        for step in self.steps[: step_index + 1]:
+            steps.extend(step.pattern_steps)
+        return PathPattern(tuple(steps))
+
+    def about_clauses(self) -> Iterator[tuple[int, AboutClause]]:
+        """Yield (step index, clause) for every about clause in the query."""
+        for index, step in enumerate(self.steps):
+            if step.predicate is not None:
+                for clause in iter_about_clauses(step.predicate):
+                    yield index, clause
+
+    def comparison_clauses(self) -> Iterator[tuple[int, "ComparisonClause"]]:
+        """Yield (step index, clause) for every value comparison."""
+        for index, step in enumerate(self.steps):
+            if step.predicate is not None:
+                for atom in iter_atoms(step.predicate):
+                    if isinstance(atom, ComparisonClause):
+                        yield index, atom
+
+    def __str__(self) -> str:
+        return "".join(str(step) for step in self.steps)

@@ -1,0 +1,265 @@
+"""Recursive-descent parser for NEXI retrieval queries.
+
+Accepts the NEXI content-and-structure subset the paper evaluates:
+
+* paths of ``/`` and ``//`` steps over tag names and ``*``;
+* predicates in ``[...]`` combining ``about()`` clauses with ``and`` /
+  ``or`` (parentheses allowed);
+* about targets ``.`` or a dot-relative path such as ``.//bdy``;
+* keyword lists with ``+`` / ``-`` modifiers and quoted phrases.
+
+Whitespace is insignificant outside quoted phrases (the paper's own
+topies write ``about (...)`` with a space).  Errors raise
+:class:`~repro.errors.NexiSyntaxError` with a character offset.
+"""
+
+from __future__ import annotations
+
+from ..errors import NexiSyntaxError
+from ..summary.matcher import PathPattern, PathStep
+from .ast import (
+    AboutClause,
+    BooleanPredicate,
+    ComparisonClause,
+    Keyword,
+    NexiQuery,
+    Predicate,
+    QueryStep,
+)
+
+__all__ = ["parse_nexi"]
+
+_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-")
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+
+    # Low-level helpers --------------------------------------------------
+    def error(self, message: str) -> NexiSyntaxError:
+        return NexiSyntaxError(message, self.pos)
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def skip_ws(self) -> None:
+        while not self.eof() and self.source[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self, length: int = 1) -> str:
+        return self.source[self.pos: self.pos + length]
+
+    def accept(self, literal: str) -> bool:
+        if self.source.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.accept(literal):
+            raise self.error(f"expected {literal!r}")
+
+    def accept_word(self, word: str) -> bool:
+        """Accept *word* only when followed by a non-name character."""
+        end = self.pos + len(word)
+        if (self.source.startswith(word, self.pos)
+                and (end >= len(self.source) or self.source[end] not in _NAME_CHARS)):
+            self.pos = end
+            return True
+        return False
+
+    def scan_name(self) -> str:
+        start = self.pos
+        if self.accept("*"):
+            return "*"
+        while not self.eof() and self.source[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a tag name or '*'")
+        return self.source[start: self.pos]
+
+    # Grammar ------------------------------------------------------------
+    def parse_query(self) -> NexiQuery:
+        steps: list[QueryStep] = []
+        self.skip_ws()
+        while not self.eof():
+            steps.append(self.parse_step())
+            self.skip_ws()
+        if not steps:
+            raise self.error("empty query")
+        return NexiQuery(tuple(steps), source=self.source)
+
+    def parse_step(self) -> QueryStep:
+        pattern_steps: list[PathStep] = []
+        while True:
+            self.skip_ws()
+            if self.accept("//"):
+                axis = "descendant"
+            elif self.accept("/"):
+                axis = "child"
+            else:
+                break
+            label = self.scan_name()
+            pattern_steps.append(PathStep(axis, label))
+            # a predicate ends the path segment of this query step
+            self.skip_ws()
+            if self.peek() == "[":
+                break
+        if not pattern_steps:
+            raise self.error("expected a path step")
+        predicate = None
+        if self.peek() == "[":
+            self.expect("[")
+            predicate = self.parse_predicate()
+            self.skip_ws()
+            self.expect("]")
+        return QueryStep(tuple(pattern_steps), predicate)
+
+    def parse_predicate(self) -> Predicate:
+        left = self.parse_predicate_term("or")
+        return left
+
+    def parse_predicate_term(self, level: str) -> Predicate:
+        if level == "or":
+            operands = [self.parse_predicate_term("and")]
+            while True:
+                self.skip_ws()
+                if not self.accept_word("or"):
+                    break
+                operands.append(self.parse_predicate_term("and"))
+            if len(operands) == 1:
+                return operands[0]
+            return BooleanPredicate("or", tuple(operands))
+        # 'and' level
+        operands = [self.parse_predicate_atom()]
+        while True:
+            self.skip_ws()
+            if not self.accept_word("and"):
+                break
+            operands.append(self.parse_predicate_atom())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanPredicate("and", tuple(operands))
+
+    def parse_predicate_atom(self) -> Predicate:
+        self.skip_ws()
+        if self.accept("("):
+            inner = self.parse_predicate()
+            self.skip_ws()
+            self.expect(")")
+            return inner
+        if self.accept_word("about"):
+            return self.parse_about()
+        if self.peek() == ".":
+            return self.parse_comparison()
+        raise self.error("expected 'about(', a comparison, or '('")
+
+    def parse_comparison(self) -> ComparisonClause:
+        relative = self.parse_relative_path()
+        self.skip_ws()
+        op = None
+        for candidate in ComparisonClause.OPS:
+            if self.accept(candidate):
+                op = candidate
+                break
+        if op is None:
+            raise self.error("expected a comparison operator")
+        self.skip_ws()
+        value = self.parse_comparison_value(op)
+        return ComparisonClause(relative, op, value)
+
+    def parse_comparison_value(self, op: str) -> float | str:
+        if self.peek() == '"':
+            self.pos += 1
+            end = self.source.find('"', self.pos)
+            if end < 0:
+                raise self.error("unterminated string literal")
+            text = self.source[self.pos: end].strip().lower()
+            self.pos = end + 1
+            if not text:
+                raise self.error("empty string literal")
+            if op not in ("=", "!="):
+                raise self.error("strings support only = and !=")
+            return text
+        start = self.pos
+        while (not self.eof()
+               and (self.source[self.pos].isdigit()
+                    or self.source[self.pos] in ".-+eE")):
+            self.pos += 1
+        literal = self.source[start: self.pos]
+        try:
+            return float(literal)
+        except ValueError:
+            raise self.error(f"expected a number or quoted string, "
+                             f"got {literal!r}") from None
+
+    def parse_about(self) -> AboutClause:
+        self.skip_ws()
+        self.expect("(")
+        self.skip_ws()
+        relative = self.parse_relative_path()
+        self.skip_ws()
+        self.expect(",")
+        keywords = self.parse_keywords()
+        self.expect(")")
+        return AboutClause(relative, tuple(keywords))
+
+    def parse_relative_path(self) -> PathPattern:
+        self.expect(".")
+        steps: list[PathStep] = []
+        while True:
+            if self.accept("//"):
+                axis = "descendant"
+            elif self.accept("/"):
+                axis = "child"
+            else:
+                break
+            steps.append(PathStep(axis, self.scan_name()))
+        return PathPattern(tuple(steps))
+
+    def parse_keywords(self) -> list[Keyword]:
+        keywords: list[Keyword] = []
+        while True:
+            self.skip_ws()
+            if self.eof():
+                raise self.error("unterminated about() keyword list")
+            ch = self.peek()
+            if ch == ")":
+                break
+            modifier = ""
+            if ch in "+-":
+                modifier = ch
+                self.pos += 1
+                ch = self.peek()
+            if ch == '"':
+                self.pos += 1
+                end = self.source.find('"', self.pos)
+                if end < 0:
+                    raise self.error("unterminated phrase")
+                phrase = self.source[self.pos: end]
+                self.pos = end + 1
+                if not phrase.strip():
+                    raise self.error("empty phrase")
+                keywords.append(Keyword(phrase.strip(), modifier, phrase=True))
+                continue
+            start = self.pos
+            while (not self.eof()
+                   and not self.source[self.pos].isspace()
+                   and self.source[self.pos] not in '),"'):
+                self.pos += 1
+            word = self.source[start: self.pos]
+            if not word:
+                raise self.error("expected a keyword")
+            keywords.append(Keyword(word, modifier))
+        if not keywords:
+            raise self.error("about() requires at least one keyword")
+        return keywords
+
+
+def parse_nexi(source: str) -> NexiQuery:
+    """Parse a NEXI query string into a :class:`NexiQuery`."""
+    if not source or not source.strip():
+        raise NexiSyntaxError("empty query")
+    return _Parser(source.strip()).parse_query()

@@ -1,0 +1,673 @@
+"""TReX engine: builds the indexes and evaluates NEXI queries.
+
+The engine owns everything an instance of TReX owns in the paper: the
+collection, a structural summary, the Elements and PostingLists tables,
+the catalog of materialized RPL/ERPL segments, a scorer, and a cost
+model.  ``evaluate`` runs the two-phase scheme of §3.1 — translation
+(each about path → sids + terms) and retrieval (one of ERA / TA / ITA /
+Merge per clause) — then combines clause results into ranked target
+elements.
+
+Multi-clause semantics (the paper leaves ranking details open; we
+follow common INEX practice and document the choice in DESIGN.md):
+
+* the query's *target* elements are those matching the full path;
+* an about clause attached to ``.`` of the last step scores targets
+  directly; a clause with a relative path (``.//bdy``) scores
+  descendants, which vote for their target-sid ancestors; predicates on
+  earlier steps act as *support*: their scores are added, discounted by
+  ``support_weight``, to contained targets, but do not filter;
+* the last step's boolean predicate structure *is* enforced: an
+  ``and`` requires every operand clause to be satisfied for the target.
+"""
+
+from __future__ import annotations
+
+from ..corpus.alias import AliasMapping
+from ..corpus.collection import Collection
+from ..corpus.document import Document
+from ..corpus.tokenizer import Tokenizer
+from ..corpus.xmlparser import XMLParser
+from ..errors import MissingIndexError, RetrievalError
+from ..index.catalog import IndexCatalog, IndexSegment
+from ..index.elements import build_elements_table
+from ..index.postings import build_posting_lists_table, extend_posting_lists
+from ..index.rpl import compute_rpl_entries
+from ..nexi.ast import (
+    AboutClause,
+    BooleanPredicate,
+    ComparisonClause,
+    NexiQuery,
+    Predicate,
+)
+from ..nexi.parser import parse_nexi
+from ..nexi.translate import (
+    TranslatedClause,
+    TranslatedComparison,
+    TranslatedQuery,
+    translate_query,
+)
+from ..scoring.combine import ScoredHit
+from ..scoring.scorers import BM25Scorer, ElementScorer
+from ..scoring.stats import ScoringStats
+from ..storage.cost import CostModel
+from ..summary.base import PartitionSummary
+from ..summary.variants import IncomingSummary
+from .era import era_retrieve
+from .iterators import ExtentIterator
+from .merge import merge_retrieve
+from .race import race as race_strategies
+from .result import EvaluationStats, ResultSet
+from .ta import ta_retrieve
+
+__all__ = ["TrexEngine", "METHODS"]
+
+METHODS = ("era", "ta", "ita", "merge", "race", "auto")
+
+
+class TrexEngine:
+    """A fully materialized TReX instance over one collection."""
+
+    def __init__(self, collection: Collection,
+                 summary: PartitionSummary | None = None, *,
+                 alias: AliasMapping | None = None,
+                 scorer: ElementScorer | None = None,
+                 tokenizer: Tokenizer | None = None,
+                 cost_model: CostModel | None = None,
+                 support_weight: float = 0.5,
+                 auto_materialize: bool = True,
+                 fragment_size: int = 64,
+                 btree_order: int = 64):
+        self.collection = collection
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        if summary is None:
+            summary = IncomingSummary(
+                collection, alias if alias is not None else AliasMapping.identity())
+        self.summary = summary
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        if scorer is None:
+            scorer = BM25Scorer(ScoringStats.from_collection(collection))
+        self.scorer = scorer
+        self.support_weight = support_weight
+        self.auto_materialize = auto_materialize
+
+        with self.cost_model.muted():
+            self.elements = build_elements_table(
+                collection, summary, cost_model=self.cost_model,
+                btree_order=btree_order)
+            self.postings = build_posting_lists_table(
+                collection, cost_model=self.cost_model,
+                fragment_size=fragment_size, btree_order=btree_order)
+            self.catalog = IndexCatalog(cost_model=self.cost_model,
+                                        btree_order=btree_order)
+
+    # ------------------------------------------------------------------
+    # Materialization of redundant indexes
+    # ------------------------------------------------------------------
+    def materialize_rpl(self, term: str, sids=None) -> IndexSegment:
+        """Materialize an RPL segment for *term* (universal when sids=None)."""
+        with self.cost_model.muted():
+            entries = compute_rpl_entries(self.collection, self.summary, term,
+                                          self.scorer, sids=sids)
+            return self.catalog.add_rpl_segment(term, entries, scope=sids)
+
+    def materialize_erpl(self, term: str, sids=None) -> IndexSegment:
+        """Materialize an ERPL segment for *term* (universal when sids=None)."""
+        with self.cost_model.muted():
+            entries = compute_rpl_entries(self.collection, self.summary, term,
+                                          self.scorer, sids=sids)
+            return self.catalog.add_erpl_segment(term, entries, scope=sids)
+
+    def materialize_for_query(self, query, kinds=("rpl", "erpl"), *,
+                              scope: str = "universal") -> list[IndexSegment]:
+        """Materialize every missing segment the query's clauses need.
+
+        ``scope='universal'`` builds whole-term lists (shared across
+        queries; TA reads and skips through them); ``scope='query'``
+        builds lists restricted to each clause's sids; ``scope='flat'``
+        builds lists restricted to the union of the query's sids — the
+        redundant index a flat-mode evaluation of exactly this query
+        reads without any skipping.
+        """
+        if scope not in ("universal", "query", "flat"):
+            raise RetrievalError(f"unknown materialization scope {scope!r}")
+        translated = self.translate(query)
+        created: list[IndexSegment] = []
+
+        def ensure(term: str, sids, kind: str) -> None:
+            if self.catalog.find_segment(kind, term, sids) is not None:
+                return
+            stored_scope = None if scope == "universal" else sids
+            if kind == "rpl":
+                created.append(self.materialize_rpl(term, stored_scope))
+            else:
+                created.append(self.materialize_erpl(term, stored_scope))
+
+        if scope == "flat":
+            flat_sids = translated.flat_sids()
+            for term in translated.flat_term_weights():
+                for kind in kinds:
+                    ensure(term, flat_sids, kind)
+        else:
+            for clause in translated.clauses:
+                for term in clause.terms:
+                    for kind in kinds:
+                        ensure(term, clause.sids, kind)
+        return created
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+    def translate(self, query: str | NexiQuery, *, vague: bool = True) -> TranslatedQuery:
+        if isinstance(query, str):
+            query = parse_nexi(query)
+        return translate_query(query, self.summary, self.tokenizer, vague=vague)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, query: str | NexiQuery, k: int | None = None,
+                 method: str = "auto", *, vague: bool = True,
+                 mode: str = "nexi", require_phrases: bool = False) -> ResultSet:
+        """Evaluate *query*, returning all answers or the top *k*.
+
+        ``method`` is one of ``era``, ``ta``, ``ita``, ``merge`` or
+        ``auto``.  ``ita`` runs TA but reports the ideal-heap cost.
+
+        ``mode`` selects the evaluation semantics:
+
+        * ``'nexi'`` (default) — full NEXI semantics: clauses evaluated
+          separately, descendant votes and ancestor support combined by
+          containment, the last step's boolean predicate enforced.  In
+          this mode multi-clause queries evaluate each clause
+          exhaustively, so TA's top-k early termination only helps
+          single-clause queries.
+        * ``'flat'`` — the paper's §2.2 single-task evaluation: one
+          retrieval over the union of all clause sids and terms, ranked
+          directly.  This is what the paper's experiments time (each
+          query of Table 1 is one sid list + one term list) and what
+          the benchmark harness uses.
+        """
+        if method not in METHODS:
+            raise RetrievalError(f"unknown method {method!r}; choose from {METHODS}")
+        if mode not in ("nexi", "flat"):
+            raise RetrievalError(f"unknown mode {mode!r}; choose 'nexi' or 'flat'")
+        if k is not None and k < 1:
+            raise RetrievalError(f"k must be at least 1 or None, got {k}")
+        if method == "race":
+            # Paper §4: run TA and Merge in parallel, return the first
+            # finisher.  Requires both index kinds to be available.
+            ta_result = self.evaluate(query, k, "ta", vague=vague, mode=mode)
+            merge_result = self.evaluate(query, k, "merge", vague=vague, mode=mode)
+            outcome = race_strategies((ta_result.hits, ta_result.stats),
+                                      (merge_result.hits, merge_result.stats))
+            return ResultSet(hits=outcome.hits, stats=outcome.stats, k=k)
+        translated = self.translate(query, vague=vague)
+        if method == "auto":
+            method = self.choose_method(translated, k)
+
+        if mode == "flat":
+            return self._evaluate_flat(translated, method, k)
+
+        total = EvaluationStats(method=method)
+        # With several clauses, each must be evaluated exhaustively for
+        # the combination step to be exact (see docstring).
+        clause_k = k if len(translated.clauses) == 1 else None
+        clause_hits: list[list[ScoredHit]] = []
+        for clause in translated.clauses:
+            hits, stats = self._evaluate_clause(clause, method, clause_k)
+            clause_hits.append(hits)
+            total.merge_with(stats)
+
+        hits = self._combine(translated, clause_hits)
+        if require_phrases:
+            hits = self._filter_phrases(translated, hits)
+        if method == "ita":
+            total.cost = total.ideal_cost
+        if k is not None:
+            hits = hits[:k]
+        return ResultSet(hits=hits, stats=total, k=k)
+
+    def _filter_phrases(self, translated: TranslatedQuery,
+                        hits: list[ScoredHit]) -> list[ScoredHit]:
+        """Keep only hits containing every target-clause quoted phrase.
+
+        Phrases are matched by positional adjacency of the surviving
+        tokens — stopwords consume no position, so ``"state of the
+        art"`` matches the adjacent tokens ``state art``.
+        """
+        phrases = [phrase for clause in translated.target_clauses
+                   for phrase in clause.phrases]
+        if not phrases:
+            return hits
+        kept = []
+        for hit in hits:
+            document = self.collection.document(hit.docid)
+            if all(self._contains_phrase(document, hit, phrase)
+                   for phrase in phrases):
+                kept.append(hit)
+        return kept
+
+    def _contains_phrase(self, document, hit: ScoredHit,
+                         phrase: tuple[str, ...]) -> bool:
+        tokens = document.tokens_in_span(hit.start_pos, hit.end_pos)
+        by_position = {t.position: t.term for t in tokens}
+        for token in tokens:
+            self.cost_model.compare()
+            if token.term != phrase[0]:
+                continue
+            if all(by_position.get(token.position + offset) == word
+                   for offset, word in enumerate(phrase[1:], start=1)):
+                return True
+        return False
+
+    def _evaluate_flat(self, translated: TranslatedQuery, method: str,
+                       k: int | None) -> ResultSet:
+        sids = translated.flat_sids()
+        weights = translated.flat_term_weights()
+        flat_clause = TranslatedClause(
+            step_index=len(translated.query.steps) - 1,
+            pattern=translated.target_pattern,
+            sids=sids,
+            term_weights=tuple(sorted(weights.items())),
+            excluded_terms=(),
+            is_target=True,
+        )
+        hits, stats = self._evaluate_clause(flat_clause, method, k)
+        if method == "ita":
+            stats.method = "ita"
+            stats.cost = stats.ideal_cost
+        if k is not None:
+            hits = hits[:k]
+        return ResultSet(hits=hits, stats=stats, k=k)
+
+    def _evaluate_clause(self, clause: TranslatedClause, method: str,
+                         k: int | None) -> tuple[list[ScoredHit], EvaluationStats]:
+        if not clause.sids or not clause.terms:
+            return [], EvaluationStats(method=method)
+        weights = dict(clause.term_weights)
+        if method == "era":
+            return era_retrieve(self.elements, self.postings,
+                                sorted(clause.sids), list(clause.terms),
+                                self.scorer, self.cost_model, weights)
+        if method in ("ta", "ita"):
+            segments = self._segments_for(clause, "rpl")
+            effective_k = k if k is not None else max(
+                1, sum(s.entry_count for s in segments.values()))
+            hits, stats = ta_retrieve(self.catalog, segments, clause.sids,
+                                      effective_k, self.cost_model, weights)
+            if method == "ita":
+                stats.method = "ita"
+            return hits, stats
+        if method == "merge":
+            segments = self._segments_for(clause, "erpl")
+            return merge_retrieve(self.catalog, segments, clause.sids,
+                                  self.cost_model, weights)
+        raise RetrievalError(f"unknown method {method!r}")
+
+    def _segments_for(self, clause: TranslatedClause,
+                      kind: str) -> dict[str, IndexSegment]:
+        segments: dict[str, IndexSegment] = {}
+        for term in clause.terms:
+            segment = self.catalog.find_segment(kind, term, clause.sids)
+            if segment is None:
+                if not self.auto_materialize:
+                    raise MissingIndexError(kind, term=term)
+                if kind == "rpl":
+                    segment = self.materialize_rpl(term)
+                else:
+                    segment = self.materialize_erpl(term)
+            segments[term] = segment
+        return segments
+
+    # ------------------------------------------------------------------
+    # Clause combination
+    # ------------------------------------------------------------------
+    def _combine(self, translated: TranslatedQuery,
+                 clause_hits: list[list[ScoredHit]]) -> list[ScoredHit]:
+        clauses = translated.clauses
+        last_step = len(translated.query.steps) - 1
+
+        # 1. Candidate targets and their direct scores.
+        candidates: dict[tuple[int, int], ScoredHit] = {}
+        satisfied: dict[tuple[int, int], set[int]] = {}
+
+        def note(key, clause_index):
+            satisfied.setdefault(key, set()).add(clause_index)
+
+        for index, (clause, hits) in enumerate(zip(clauses, clause_hits)):
+            if clause.is_target:
+                for hit in hits:
+                    key = hit.element_key()
+                    note(key, index)
+                    existing = candidates.get(key)
+                    if existing is None:
+                        candidates[key] = ScoredHit(hit.score, hit.docid, hit.end_pos,
+                                                    sid=hit.sid, length=hit.length)
+                    else:
+                        existing.score += hit.score
+            elif clause.step_index == last_step:
+                # relative-path clause on the last step: descendants vote
+                # for their target-sid ancestors.
+                for hit in hits:
+                    for ancestor in self._ancestors_in_sids(
+                            hit, translated.target_sids):
+                        key = ancestor.element_key()
+                        note(key, index)
+                        if key not in candidates:
+                            candidates[key] = ancestor
+                        candidates[key].score += self.support_weight * hit.score
+                        self.cost_model.score_combine()
+
+        # 2. Support from earlier steps: discounted ancestor contributions.
+        for index, (clause, hits) in enumerate(zip(clauses, clause_hits)):
+            if clause.is_target or clause.step_index == last_step:
+                continue
+            for hit in hits:
+                for key, candidate in candidates.items():
+                    self.cost_model.compare()
+                    if hit.docid != candidate.docid:
+                        continue
+                    if (hit.contains(candidate)
+                            or hit.element_key() == key
+                            or candidate.contains(hit)):
+                        candidate.score += self.support_weight * hit.score
+                        note(key, index)
+                        self.cost_model.score_combine()
+
+        # Pure structural / comparison queries carry no about clauses:
+        # every target-sid element is a candidate (at score zero).
+        if not clauses:
+            for sid in sorted(translated.target_sids):
+                for span in ExtentIterator(self.elements, sid).scan():
+                    candidates[(span.docid, span.endpos)] = ScoredHit(
+                        0.0, span.docid, span.endpos, sid=span.sid,
+                        length=span.length)
+
+        # 3. Value comparisons: satisfaction per candidate, by positional
+        # relation to an element satisfying the comparison.
+        comparison_hits = [self._comparison_hits(tc)
+                           for tc in translated.comparisons]
+
+        def comparison_ok(comp_index: int, candidate: ScoredHit) -> bool:
+            comparison = translated.comparisons[comp_index]
+            for hit in comparison_hits[comp_index]:
+                self.cost_model.compare()
+                if hit.docid != candidate.docid:
+                    continue
+                if (hit.contains(candidate) or candidate.contains(hit)
+                        or hit.element_key() == candidate.element_key()):
+                    return True
+                # Sibling case: the compared element and the candidate
+                # are joined through the comparison's step element
+                # (e.g. //article[.//yr > 2000]//sec — yr and sec are
+                # siblings under the shared article).
+                for ancestor in self._ancestors_in_sids(
+                        hit, comparison.step_sids):
+                    if (ancestor.contains(candidate)
+                            or ancestor.element_key() == candidate.element_key()):
+                        return True
+            return False
+
+        # 4. Enforce the last step's boolean predicate (about clauses by
+        # recorded satisfaction, comparisons by positional test), and
+        # AND in any comparisons from earlier steps.
+        predicate = translated.query.steps[last_step].predicate
+        about_ids = _about_indices_for_step(clauses, last_step)
+        comp_ids = [index for index, tc in enumerate(translated.comparisons)
+                    if tc.step_index == last_step]
+        earlier_comp_ids = [index for index, tc
+                            in enumerate(translated.comparisons)
+                            if tc.step_index != last_step]
+
+        kept = {}
+        for key, candidate in candidates.items():
+            if predicate is not None and not _predicate_satisfied(
+                    predicate, about_ids, comp_ids, satisfied.get(key, set()),
+                    lambda ci, c=candidate: comparison_ok(ci, c)):
+                continue
+            if any(not comparison_ok(ci, candidate)
+                   for ci in earlier_comp_ids):
+                continue
+            kept[key] = candidate
+        candidates = kept
+
+        hits = list(candidates.values())
+        self.cost_model.sort(len(hits))
+        hits.sort(key=lambda h: (-h.score, h.docid, h.end_pos))
+        return hits
+
+    def _comparison_hits(self, comparison: TranslatedComparison) -> list[ScoredHit]:
+        """Elements of the comparison's sids satisfying its value test."""
+        from bisect import bisect_left, bisect_right
+        hits: list[ScoredHit] = []
+        if not comparison.sids:
+            return hits
+        for document in self.collection:
+            positions = [t.position for t in document.tokens]
+            for node in document.elements():
+                sid = self.summary.sid_of(document.docid, node.end_pos)
+                if sid not in comparison.sids:
+                    continue
+                lo = bisect_right(positions, node.start_pos)
+                hi = bisect_left(positions, node.end_pos)
+                for occurrence in document.tokens[lo:hi]:
+                    self.cost_model.compare()
+                    if comparison.clause.matches(occurrence.term):
+                        hits.append(ScoredHit(0.0, document.docid,
+                                              node.end_pos, sid=sid,
+                                              length=node.length))
+                        break
+        return hits
+
+    def _ancestors_in_sids(self, hit: ScoredHit,
+                           target_sids: frozenset[int]) -> list[ScoredHit]:
+        """Ancestors-or-self of *hit* whose sid is in *target_sids*."""
+        document = self.collection.document(hit.docid)
+        node = document.find_by_end(hit.end_pos)
+        result = []
+        while node is not None:
+            sid = self.summary.sid_of(hit.docid, node.end_pos)
+            if sid in target_sids:
+                result.append(ScoredHit(0.0, hit.docid, node.end_pos,
+                                        sid=sid, length=node.length))
+            node = node.parent
+        return result
+
+    # ------------------------------------------------------------------
+    # Strategy selection (simple heuristic; the advisor refines this)
+    # ------------------------------------------------------------------
+    def choose_method(self, translated: TranslatedQuery, k: int | None) -> str:
+        have_rpl = all(
+            self.catalog.find_segment("rpl", term, clause.sids) is not None
+            for clause in translated.clauses for term in clause.terms)
+        have_erpl = all(
+            self.catalog.find_segment("erpl", term, clause.sids) is not None
+            for clause in translated.clauses for term in clause.terms)
+        if self.auto_materialize:
+            have_rpl = have_erpl = True
+        if k is not None and k <= 10 and have_rpl:
+            return "ta"
+        if have_erpl:
+            return "merge"
+        if have_rpl:
+            return "ta"
+        return "era"
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def add_document(self, source: str | Document, docid: int | None = None) -> Document:
+        """Add one document to the live engine.
+
+        Updates the collection, summary (path-determined summaries
+        extend in place), Elements and PostingLists tables, and drops
+        every RPL/ERPL segment whose term occurs in the new document —
+        those lists are stale and will be rebuilt on demand.
+
+        Scoring note: the engine's scorer keeps the corpus-statistics
+        snapshot taken at construction, so scores remain mutually
+        consistent across strategies as documents arrive; call
+        :meth:`rebuild_scorer` to refresh statistics (which drops all
+        segments, since every stored score depends on them).
+        """
+        if isinstance(source, str):
+            parser = XMLParser(self.tokenizer)
+            next_id = docid if docid is not None else (
+                max(self.collection.docids, default=-1) + 1)
+            document = parser.parse(source, next_id)
+        else:
+            document = source
+        with self.cost_model.muted():
+            self.collection.add(document)
+            self.summary.extend(document)
+            for node in document.elements():
+                sid = self.summary.sid_of(document.docid, node.end_pos)
+                self.elements.insert((sid, document.docid, node.end_pos,
+                                      node.length))
+            affected = extend_posting_lists(self.postings, document)
+            for segment in list(self.catalog.segments()):
+                if segment.term in affected:
+                    self.catalog.drop_segment(segment.segment_id)
+        return document
+
+    def rebuild_scorer(self, scorer_factory=None) -> None:
+        """Refresh corpus statistics and drop every stored segment.
+
+        ``scorer_factory`` receives the fresh :class:`ScoringStats` and
+        returns a scorer; by default a BM25 scorer is built.
+        """
+        with self.cost_model.muted():
+            stats = ScoringStats.from_collection(self.collection)
+            if scorer_factory is None:
+                self.scorer = BM25Scorer(stats)
+            else:
+                self.scorer = scorer_factory(stats)
+            for segment in list(self.catalog.segments()):
+                self.catalog.drop_segment(segment.segment_id)
+
+    # ------------------------------------------------------------------
+    # Plan explanation
+    # ------------------------------------------------------------------
+    def explain(self, query: str | NexiQuery, k: int | None = None, *,
+                vague: bool = True) -> dict:
+        """Describe how the engine would evaluate *query* — translation,
+        per-method index availability, and the auto-chosen method —
+        without charging the cost model or running anything."""
+        with self.cost_model.muted():
+            translated = self.translate(query, vague=vague)
+            clause_plans = []
+            for clause in translated.clauses:
+                terms = {}
+                for term in clause.terms:
+                    rpl = self.catalog.find_segment("rpl", term, clause.sids)
+                    erpl = self.catalog.find_segment("erpl", term, clause.sids)
+                    terms[term] = {
+                        "rpl": rpl.describe() if rpl else None,
+                        "erpl": erpl.describe() if erpl else None,
+                        "postings": sum(
+                            len(row[3]) for row in
+                            self.postings.scan_prefix((term,))),
+                    }
+                clause_plans.append({
+                    "pattern": str(clause.pattern),
+                    "role": "target" if clause.is_target else "support",
+                    "sids": sorted(clause.sids),
+                    "extent_sizes": {
+                        sid: self.summary.extent_size(sid)
+                        for sid in sorted(clause.sids)},
+                    "terms": terms,
+                })
+            return {
+                "query": str(translated.query),
+                "target_pattern": str(translated.target_pattern),
+                "num_sids": translated.num_sids,
+                "num_terms": translated.num_terms,
+                "comparisons": [str(tc.clause) for tc in translated.comparisons],
+                "clauses": clause_plans,
+                "chosen_method": self.choose_method(translated, k),
+            }
+
+    # ------------------------------------------------------------------
+    # Index persistence
+    # ------------------------------------------------------------------
+    def save_indexes(self, directory: str) -> None:
+        """Persist Elements, PostingLists and the RPL/ERPL catalog.
+
+        The collection and summary are *not* saved — they are cheap to
+        rebuild from the source documents deterministically, while the
+        index tables are the expensive artifacts (paper §5.1's
+        gigabytes).
+        """
+        import os
+        os.makedirs(directory, exist_ok=True)
+        with self.cost_model.muted():
+            self.elements.save(os.path.join(directory, "elements.tbl"))
+            self.postings.save(os.path.join(directory, "postings.tbl"))
+            self.catalog.save(os.path.join(directory, "catalog"))
+
+    def load_indexes(self, directory: str) -> None:
+        """Replace this engine's index tables from a saved directory."""
+        import os
+        with self.cost_model.muted():
+            self.elements.load(os.path.join(directory, "elements.tbl"))
+            self.postings.load(os.path.join(directory, "postings.tbl"))
+            self.catalog.load(os.path.join(directory, "catalog"))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        return {
+            "collection": self.collection.describe(),
+            "summary": self.summary.describe(),
+            "elements_rows": len(self.elements),
+            "elements_bytes": self.elements.size_bytes,
+            "postings_rows": len(self.postings),
+            "postings_bytes": self.postings.size_bytes,
+            "catalog_bytes": self.catalog.total_bytes,
+            "segments": self.catalog.describe(),
+        }
+
+
+def _about_indices_for_step(clauses, step) -> dict[int, int]:
+    """Map the i-th about clause of *step*'s predicate (in AST order) to
+    its translated-clause index.  Translation enumerates about clauses
+    in AST order, so positions line up."""
+    mapping = {}
+    position = 0
+    for index, clause in enumerate(clauses):
+        if clause.step_index == step:
+            mapping[position] = index
+            position += 1
+    return mapping
+
+
+def _predicate_satisfied(predicate: Predicate, about_ids: dict[int, int],
+                         comp_ids: list[int], satisfied: set[int],
+                         comparison_ok, _counters=None) -> bool:
+    """Evaluate the predicate's boolean structure for one candidate.
+
+    About-clause atoms consult the recorded *satisfied* clause indices;
+    comparison atoms call *comparison_ok* with the translated
+    comparison's index.  Atoms are matched positionally, in AST order.
+    """
+    if _counters is None:
+        _counters = [0, 0]  # [about atoms seen, comparison atoms seen]
+    if isinstance(predicate, AboutClause):
+        position = _counters[0]
+        _counters[0] += 1
+        index = about_ids.get(position)
+        return index is not None and index in satisfied
+    if isinstance(predicate, ComparisonClause):
+        position = _counters[1]
+        _counters[1] += 1
+        if position >= len(comp_ids):
+            return False
+        return comparison_ok(comp_ids[position])
+    if isinstance(predicate, BooleanPredicate):
+        results = [_predicate_satisfied(op, about_ids, comp_ids, satisfied,
+                                        comparison_ok, _counters)
+                   for op in predicate.operands]
+        if predicate.op == "and":
+            return all(results)
+        return any(results)
+    raise RetrievalError(f"unsupported predicate node {type(predicate).__name__}")

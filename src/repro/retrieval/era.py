@@ -1,0 +1,142 @@
+"""ERA — the Exhaustive Retrieval Algorithm (paper Figure 2).
+
+ERA evaluates one retrieval task (a sid list and a term list) using
+only the Elements and PostingLists tables: it sweeps all term positions
+in global (docid, offset) order, maintaining one extent iterator per
+sid and a ``C[m][n]`` term-frequency matrix, and emits each extent
+element together with its term-frequency vector once the sweep passes
+its end position.
+
+This is the strategy that always works (no redundant indexes needed)
+but pays for reading *every occurrence* of every query term — the
+baseline the paper's figures compare TA and Merge against.  It is also
+the generator used to materialize RPL and ERPL tables ("TReX also uses
+ERA for generating or extending the RPLs and ERPLs tables", §3.2);
+:func:`era_scored_entries` is that path.
+"""
+
+from __future__ import annotations
+
+from ..corpus.document import M_POS
+from ..index.rpl import RplEntry
+from ..scoring.combine import ScoredHit
+from ..scoring.scorers import ElementScorer
+from ..storage.cost import CostModel
+from ..storage.table import Table
+from .iterators import DUMMY_ELEMENT, ElementSpan, ExtentIterator, PostingIterator
+from .result import EvaluationStats
+
+__all__ = ["era_raw", "era_retrieve", "era_scored_entries"]
+
+
+def era_raw(elements_table: Table, postings_table: Table,
+            sids: list[int], terms: list[str],
+            cost_model: CostModel) -> list[tuple[ElementSpan, list[int]]]:
+    """The literal algorithm of Figure 2.
+
+    Returns ``(element, tf_vector)`` pairs where ``tf_vector[j]`` is the
+    number of occurrences of ``terms[j]`` strictly inside the element.
+    Elements are emitted in the order their end positions are passed.
+    """
+    if not sids or not terms:
+        return []
+    results: list[tuple[ElementSpan, list[int]]] = []
+
+    extent_iterators = [ExtentIterator(elements_table, sid) for sid in sids]
+    elements = [iterator.first_element() for iterator in extent_iterators]
+    counts = [[0] * len(terms) for _ in sids]
+
+    posting_iterators = [PostingIterator(postings_table, term) for term in terms]
+    positions = [iterator.next_position() for iterator in posting_iterators]
+
+    while True:
+        # x: index of the minimal current position (line 12)
+        x = min(range(len(terms)), key=lambda j: positions[j])
+        pos_x = positions[x]
+        cost_model.compare(len(terms))
+
+        for i in range(len(sids)):
+            element = elements[i]
+            cost_model.compare()
+            if pos_x < element.start:
+                continue  # line 15: do nothing
+            if element.covers(pos_x):
+                counts[i][x] += 1  # line 17
+                continue
+            if element.end < pos_x:
+                # lines 19-23: flush the finished element
+                if any(counts[i]):
+                    results.append((element, counts[i][:]))
+                    counts[i] = [0] * len(terms)
+                # line 24: advance past pos_x
+                elements[i] = extent_iterators[i].next_element_after(pos_x)
+                if elements[i].covers(pos_x):
+                    counts[i][x] += 1  # lines 25-27
+
+        # line 31: the repeat..until loop stops once every term reached
+        # m-pos — i.e. after the iteration that *processed* pos_x == m-pos
+        # (which is the minimum only when all positions are m-pos), whose
+        # flush above emitted every remaining element.
+        if pos_x == M_POS:
+            break
+        positions[x] = posting_iterators[x].next_position()
+
+    return results
+
+
+def era_retrieve(elements_table: Table, postings_table: Table,
+                 sids: list[int], terms: list[str],
+                 scorer: ElementScorer, cost_model: CostModel,
+                 term_weights: dict[str, float] | None = None,
+                 ) -> tuple[list[ScoredHit], EvaluationStats]:
+    """Run ERA and score the relevant elements.
+
+    The score of an element is the weighted sum of per-term scores —
+    the same aggregation RPL/ERPL-based strategies use, so all three
+    strategies agree on scores.
+    """
+    snapshot = cost_model.snapshot()
+    raw = era_raw(elements_table, postings_table, sorted(sids), list(terms),
+                  cost_model)
+    hits: list[ScoredHit] = []
+    for element, tf_vector in raw:
+        score = 0.0
+        for term, tf in zip(terms, tf_vector):
+            if tf == 0:
+                continue
+            weight = 1.0 if term_weights is None else term_weights.get(term, 1.0)
+            score += weight * scorer.score(term, tf, element.length)
+            cost_model.score_combine()
+        if score <= 0.0:
+            continue
+        hits.append(ScoredHit(score=score, docid=element.docid,
+                              end_pos=element.endpos, sid=element.sid,
+                              length=element.length))
+    cost_model.sort(len(hits))
+    hits.sort(key=lambda h: (-h.score, h.docid, h.end_pos))
+
+    spent = cost_model.since(snapshot)
+    stats = EvaluationStats(method="era", cost=spent.total_cost,
+                            ideal_cost=spent.ideal_cost,
+                            candidates=len(hits))
+    return hits, stats
+
+
+def era_scored_entries(elements_table: Table, postings_table: Table,
+                       sids: list[int], term: str, scorer: ElementScorer,
+                       cost_model: CostModel) -> list[RplEntry]:
+    """Generate RPL entries for one term via ERA (paper §3.2).
+
+    Equivalent to :func:`repro.index.rpl.compute_rpl_entries` but driven
+    through the index tables; tested to agree with the direct builder.
+    """
+    raw = era_raw(elements_table, postings_table, sorted(sids), [term], cost_model)
+    entries = []
+    for element, tf_vector in raw:
+        score = scorer.score(term, tf_vector[0], element.length)
+        if score <= 0.0:
+            continue
+        entries.append(RplEntry(score, element.sid, element.docid,
+                                element.endpos, element.length))
+    entries.sort(key=lambda e: (-e.score, e.docid, e.endpos))
+    return entries

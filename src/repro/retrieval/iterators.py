@@ -1,0 +1,238 @@
+"""Index iterators: the access paths of the three retrieval strategies.
+
+* :class:`ExtentIterator` — elements of one sid from the Elements table,
+  in (docid, endpos) order, with the ERA primitives ``first_element``
+  and ``next_element_after`` (paper §3.2);
+* :class:`PostingIterator` — positions of one term from the fragmented
+  PostingLists table, ending at the ``m-pos`` sentinel;
+* :class:`RplIterator` — sorted (descending-score) access over one RPL
+  segment, skipping entries whose sid is outside the query (paper §3.3);
+  skipped rows are still read and therefore still cost, which is the
+  mechanism behind TA losing to Merge on wide-scope lists;
+* :class:`ErplIterator` — position-ordered stream over the ERPL ranges
+  of one (term, sid set), implemented as a k-way merge over the per-sid
+  ranges (ERPL rows are keyed sid-major, paper §2.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..corpus.document import M_POS
+from ..index.catalog import IndexCatalog, IndexSegment
+from ..index.rpl import RplEntry
+from ..storage.table import Table
+
+__all__ = ["ElementSpan", "DUMMY_ELEMENT", "ExtentIterator", "PostingIterator",
+           "RplIterator", "ErplIterator"]
+
+Position = tuple[int, int]  # (docid, offset)
+
+
+@dataclass(frozen=True)
+class ElementSpan:
+    """An element as the Elements table describes it."""
+
+    sid: int
+    docid: int
+    endpos: int
+    length: int
+
+    @property
+    def startpos(self) -> int:
+        return self.endpos - self.length
+
+    @property
+    def start(self) -> Position:
+        return (self.docid, self.startpos)
+
+    @property
+    def end(self) -> Position:
+        return (self.docid, self.endpos)
+
+    def covers(self, position: Position) -> bool:
+        """Strictly-inside test (tag positions make this exact)."""
+        return self.start < position < self.end
+
+    @property
+    def is_dummy(self) -> bool:
+        return self.endpos >= M_POS[1]
+
+
+#: The "dummy element" the paper returns when an extent is exhausted:
+#: end position m-pos, length zero.
+DUMMY_ELEMENT = ElementSpan(sid=0, docid=M_POS[0], endpos=M_POS[1], length=0)
+
+
+class ExtentIterator:
+    """Iterates the extent of one sid in document/position order."""
+
+    def __init__(self, elements_table: Table, sid: int):
+        self._table = elements_table
+        self.sid = sid
+
+    def first_element(self) -> ElementSpan:
+        """The first element of the extent, or the dummy when empty."""
+        cursor = self._table.seek((self.sid,))
+        return self._from_cursor(cursor)
+
+    def next_element_after(self, position: Position) -> ElementSpan:
+        """The extent element with the lowest end position > *position*.
+
+        Implemented as a search over the Elements index, exactly as the
+        paper describes.  Returns the dummy element when exhausted.
+        """
+        docid, offset = position
+        cursor = self._table.seek((self.sid, docid, offset + 1))
+        return self._from_cursor(cursor)
+
+    def _from_cursor(self, cursor) -> ElementSpan:
+        if not cursor.valid:
+            return DUMMY_ELEMENT
+        key = cursor.key
+        if key[0] != self.sid:
+            return DUMMY_ELEMENT
+        row = cursor.value
+        return ElementSpan(sid=row[0], docid=row[1], endpos=row[2], length=row[3])
+
+    def scan(self):
+        """All elements of the extent, in order (used by tests/examples)."""
+        for row in self._table.scan_prefix((self.sid,)):
+            yield ElementSpan(sid=row[0], docid=row[1], endpos=row[2], length=row[3])
+
+
+class PostingIterator:
+    """Iterates the positions of one term; yields ``m-pos`` at the end."""
+
+    def __init__(self, postings_table: Table, term: str):
+        self._table = postings_table
+        self.term = term
+        self._cursor = postings_table.seek((term,))
+        self._fragment: list[Position] = []
+        self._index = 0
+        self._exhausted = False
+
+    def next_position(self) -> Position:
+        """The next position, or ``m-pos`` forever once exhausted."""
+        if self._exhausted:
+            return M_POS
+        while self._index >= len(self._fragment):
+            if not self._cursor.valid or self._cursor.key[0] != self.term:
+                # Term absent from the corpus: behave as an empty list.
+                self._exhausted = True
+                return M_POS
+            row = self._cursor.value
+            self._fragment = [tuple(pair) for pair in row[3]]
+            self._index = 0
+            self._cursor.advance()
+        position = self._fragment[self._index]
+        self._index += 1
+        if position == M_POS:
+            self._exhausted = True
+        return position
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the m-pos sentinel has been returned."""
+        return self._exhausted
+
+
+class RplIterator:
+    """Sorted access over one RPL segment with sid filtering.
+
+    ``next_entry()`` returns entries in descending score order whose sid
+    belongs to *sids*, or ``None`` at exhaustion.  ``depth`` counts every
+    row read (including skipped ones) and ``last_read_score`` tracks the
+    score of the most recent row — the value TA's threshold uses.
+    """
+
+    def __init__(self, catalog: IndexCatalog, segment: IndexSegment,
+                 sids: frozenset[int] | set[int]):
+        self._segment = segment
+        self.term = segment.term
+        self._sids = set(sids)
+        self._rows = catalog.rpls.scan_prefix((segment.term, segment.segment_id))
+        self.depth = 0
+        self.skipped = 0
+        self.last_read_score = float("inf")
+        self.exhausted = False
+
+    @property
+    def length(self) -> int:
+        return self._segment.entry_count
+
+    def next_entry(self) -> RplEntry | None:
+        for row in self._rows:
+            self.depth += 1
+            score, sid = row[3], row[4]
+            self.last_read_score = score
+            if sid not in self._sids:
+                self.skipped += 1
+                continue
+            return RplEntry(score, sid, row[5], row[6], row[7])
+        self.exhausted = True
+        self.last_read_score = 0.0
+        return None
+
+    @property
+    def upper_bound(self) -> float:
+        """Best possible score of any entry not yet returned."""
+        if self.exhausted:
+            return 0.0
+        if self.last_read_score == float("inf"):
+            return float("inf")
+        return self.last_read_score
+
+
+class ErplIterator:
+    """Position-ordered stream over the ERPL ranges of (term, sids).
+
+    One underlying range scan per sid (each begins with a seek), merged
+    by (docid, endpos) with a small in-memory heap — the standard way to
+    read a sid-major table in position order.
+    """
+
+    def __init__(self, catalog: IndexCatalog, segment: IndexSegment,
+                 sids: frozenset[int] | set[int]):
+        self._segment = segment
+        self.term = segment.term
+        self.rows_read = 0
+        self._heap: list[tuple[Position, int, RplEntry]] = []
+        self._streams = []
+        for stream_id, sid in enumerate(sorted(sids)):
+            rows = catalog.erpls.scan_prefix((segment.term, segment.segment_id, sid))
+            self._streams.append(rows)
+            self._push_from(stream_id)
+
+    def _push_from(self, stream_id: int) -> None:
+        try:
+            row = next(self._streams[stream_id])
+        except StopIteration:
+            return
+        self.rows_read += 1
+        entry = RplEntry(row[5], row[2], row[3], row[4], row[6])
+        heapq.heappush(self._heap, ((row[3], row[4]), stream_id, entry))
+
+    @property
+    def current(self) -> RplEntry | None:
+        """The entry at the iterator's head, or None when exhausted."""
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    @property
+    def current_position(self) -> Position:
+        if not self._heap:
+            return M_POS
+        return self._heap[0][0]
+
+    def advance(self) -> None:
+        if not self._heap:
+            return
+        _, stream_id, _ = heapq.heappop(self._heap)
+        self._push_from(stream_id)
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._heap

@@ -1,0 +1,66 @@
+"""Race — running TA and Merge in parallel, keeping the first finisher.
+
+Paper §4: "If the two computations are being done in parallel, the
+system can return the answer from the computation that finishes first."
+In the simulated-cost setting, a race of two deterministic computations
+finishes at the *minimum* of their costs, while occupying both
+executors for that long (so the charged cost is ``2 × min`` under a
+work-accounting view, or ``min`` under a latency view — we report
+both).  The race requires both kinds of redundant indexes (RPLs *and*
+ERPLs) for the query, which is exactly the storage trade-off the
+self-managing advisor's ``x_i1 + x_i2 ≤ 1`` constraint avoids paying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..scoring.combine import ScoredHit
+from .result import EvaluationStats
+
+__all__ = ["RaceOutcome", "race"]
+
+
+@dataclass
+class RaceOutcome:
+    """The result of racing two strategy runs."""
+
+    winner: str
+    hits: list[ScoredHit]
+    stats: EvaluationStats
+    #: Wall-clock-style latency: the winner's cost.
+    latency: float
+    #: Total work performed: both executors ran until the winner finished.
+    work: float
+    loser_cost: float
+
+
+def race(ta_run: tuple[list[ScoredHit], EvaluationStats],
+         merge_run: tuple[list[ScoredHit], EvaluationStats]) -> RaceOutcome:
+    """Combine a TA run and a Merge run into a race outcome.
+
+    Both runs are executed (this is a simulation — there is no way to
+    abort the loser early), then the winner is chosen by simulated
+    cost.  ``latency`` is the winner's cost; ``work`` charges both
+    executors for the duration of the race, i.e. ``2 × latency``.
+    """
+    ta_hits, ta_stats = ta_run
+    merge_hits, merge_stats = merge_run
+    if ta_stats.cost <= merge_stats.cost:
+        winner, hits, stats, loser_cost = "ta", ta_hits, ta_stats, merge_stats.cost
+    else:
+        winner, hits, stats, loser_cost = "merge", merge_hits, merge_stats, ta_stats.cost
+    latency = stats.cost
+    outcome_stats = EvaluationStats(
+        method=f"race({winner})",
+        cost=latency,
+        ideal_cost=stats.ideal_cost,
+        list_depths=dict(stats.list_depths),
+        list_lengths=dict(stats.list_lengths),
+        rows_skipped=stats.rows_skipped,
+        candidates=stats.candidates,
+        early_stop=stats.early_stop,
+    )
+    return RaceOutcome(winner=winner, hits=hits, stats=outcome_stats,
+                       latency=latency, work=2 * latency,
+                       loser_cost=loser_cost)

@@ -1,0 +1,86 @@
+"""Result containers for query evaluation.
+
+Every evaluation returns a :class:`ResultSet`: ranked hits plus an
+:class:`EvaluationStats` record of *simulated* cost (the reproduction's
+substitute for the paper's wall-clock seconds — see
+:mod:`repro.storage.cost`) and per-strategy diagnostics such as how deep
+into each RPL the threshold algorithm read (paper §5.2 discusses this
+depth explicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..scoring.combine import ScoredHit
+
+__all__ = ["EvaluationStats", "ResultSet"]
+
+
+@dataclass
+class EvaluationStats:
+    """Cost and diagnostics for one strategy run."""
+
+    method: str
+    #: Simulated time including heap maintenance (paper: TA / ERA / Merge).
+    cost: float = 0.0
+    #: Simulated time with heap maintenance suppressed (paper: ITA).
+    ideal_cost: float = 0.0
+    #: Rows read from each term's sorted list: term -> depth.
+    list_depths: dict[str, int] = field(default_factory=dict)
+    #: Total length of each term's sorted list (to detect full reads).
+    list_lengths: dict[str, int] = field(default_factory=dict)
+    #: Rows read but skipped because their sid was outside the query.
+    rows_skipped: int = 0
+    #: Candidate elements touched.
+    candidates: int = 0
+    #: True when TA terminated via its stopping condition before exhaustion.
+    early_stop: bool = False
+    #: Random-access probes performed (TA-RA only).
+    random_accesses: int = 0
+
+    def read_entire_lists(self) -> bool:
+        """Did the run consume every sorted list to the end? (paper §5.2)"""
+        if not self.list_lengths:
+            return False
+        return all(self.list_depths.get(term, 0) >= length
+                   for term, length in self.list_lengths.items())
+
+    def merge_with(self, other: "EvaluationStats") -> None:
+        """Accumulate another clause's stats into this one (same method)."""
+        self.cost += other.cost
+        self.ideal_cost += other.ideal_cost
+        self.rows_skipped += other.rows_skipped
+        self.candidates += other.candidates
+        self.early_stop = self.early_stop or other.early_stop
+        for term, depth in other.list_depths.items():
+            self.list_depths[term] = self.list_depths.get(term, 0) + depth
+        for term, length in other.list_lengths.items():
+            self.list_lengths[term] = self.list_lengths.get(term, 0) + length
+
+
+@dataclass
+class ResultSet:
+    """Ranked answers to one query."""
+
+    hits: list[ScoredHit]
+    stats: EvaluationStats
+    k: int | None = None  # None means "all answers"
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def __iter__(self):
+        return iter(self.hits)
+
+    def __getitem__(self, index):
+        return self.hits[index]
+
+    def top(self, k: int) -> list[ScoredHit]:
+        return self.hits[:k]
+
+    def element_keys(self) -> list[tuple[int, int]]:
+        return [hit.element_key() for hit in self.hits]
+
+    def scores(self) -> list[float]:
+        return [hit.score for hit in self.hits]

@@ -1,0 +1,71 @@
+"""Result snippets: keyword-in-context extraction for hits.
+
+A retrieval system's results page shows *why* an element matched.  The
+document model keeps the full token stream with positions, so a snippet
+is a window of tokens around the densest cluster of query-term matches
+inside the hit's span, with matches marked.
+"""
+
+from __future__ import annotations
+
+from ..corpus.collection import Collection
+from ..scoring.combine import ScoredHit
+
+__all__ = ["make_snippet", "Snippet"]
+
+
+class Snippet:
+    """A keyword-in-context excerpt."""
+
+    __slots__ = ("words", "matches", "leading_gap", "trailing_gap")
+
+    def __init__(self, words: list[str], matches: set[int],
+                 leading_gap: bool, trailing_gap: bool):
+        self.words = words
+        self.matches = matches  # indices into words
+        self.leading_gap = leading_gap
+        self.trailing_gap = trailing_gap
+
+    def text(self, highlight: str = "[{}]") -> str:
+        """Render the snippet; matched terms wrapped via *highlight*."""
+        rendered = [highlight.format(word) if i in self.matches else word
+                    for i, word in enumerate(self.words)]
+        body = " ".join(rendered)
+        prefix = "… " if self.leading_gap else ""
+        suffix = " …" if self.trailing_gap else ""
+        return f"{prefix}{body}{suffix}"
+
+    def __bool__(self) -> bool:
+        return bool(self.words)
+
+
+def make_snippet(collection: Collection, hit: ScoredHit,
+                 terms: set[str] | frozenset[str],
+                 window: int = 12) -> Snippet:
+    """Extract a ~*window*-token snippet around the hit's best match run.
+
+    The window is centred on the position whose surrounding window
+    contains the most query-term occurrences; ties resolve to the
+    earliest.  Returns an empty snippet when the element has no tokens.
+    """
+    if window < 1:
+        raise ValueError("window must be positive")
+    document = collection.document(hit.docid)
+    tokens = document.tokens_in_span(hit.start_pos, hit.end_pos)
+    if not tokens:
+        return Snippet([], set(), False, False)
+
+    match_flags = [token.term in terms for token in tokens]
+    best_start, best_count = 0, -1
+    for start in range(max(1, len(tokens) - window + 1)):
+        count = sum(match_flags[start: start + window])
+        if count > best_count:
+            best_start, best_count = start, count
+    chunk = tokens[best_start: best_start + window]
+    matches = {i for i, token in enumerate(chunk) if token.term in terms}
+    return Snippet(
+        words=[token.term for token in chunk],
+        matches=matches,
+        leading_gap=best_start > 0,
+        trailing_gap=best_start + window < len(tokens),
+    )

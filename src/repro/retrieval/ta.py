@@ -1,0 +1,154 @@
+"""TA — the threshold algorithm over RPLs (paper §3.3).
+
+TReX implements TA "in a version similar to the implementation that has
+been used in TopX": batched sorted access over the per-term relevance-
+ordered lists, candidate bookkeeping with worst/best score bounds, a
+top-k heap, and a threshold-based stopping condition.  Entries whose
+sid is not among the query's sids are skipped — but skipped rows are
+still read, which is what makes TA pay dearly on wide-scope RPLs.
+
+Heap management follows the paper's observed discipline (§5.2): every
+candidate update is pushed and the minimum evicted once the heap
+exceeds ``k``, so the number of removals is roughly ``inserts - k`` —
+large for small ``k``, vanishing as ``k`` approaches the answer count.
+All heap work is charged to the cost model's separate heap meter, so a
+single run reports both the TA cost (with heap) and the ITA cost (the
+paper's ideal-heap variant, measured by pausing the clock during heap
+operations).
+
+The stopping condition is the sound bounded variant (no random
+accesses are assumed): stop once (a) the k-th worst score reaches the
+threshold ``Σ_j w_j · high_j``, (b) no pending candidate's best score
+can overtake it, and (c) every member of the current top-k is fully
+resolved, so reported scores equal the true aggregate scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..index.catalog import IndexCatalog, IndexSegment
+from ..scoring.combine import ScoredHit
+from ..storage.cost import CostModel
+from .heap import TopKHeap
+from .iterators import RplIterator
+from .result import EvaluationStats
+
+__all__ = ["ta_retrieve", "DEFAULT_BATCH_SIZE"]
+
+#: Sorted accesses between evaluations of the stopping condition
+#: (TopX-style batching; checking every row would itself dominate).
+DEFAULT_BATCH_SIZE = 32
+
+
+@dataclass
+class _Candidate:
+    worst: float = 0.0
+    seen: set[str] = field(default_factory=set)
+    sid: int = 0
+    length: int = 0
+
+
+def ta_retrieve(catalog: IndexCatalog,
+                segments: dict[str, IndexSegment],
+                sids: frozenset[int] | set[int],
+                k: int,
+                cost_model: CostModel,
+                term_weights: dict[str, float] | None = None,
+                batch_size: int = DEFAULT_BATCH_SIZE,
+                ) -> tuple[list[ScoredHit], EvaluationStats]:
+    """Run the threshold algorithm for the top-*k* elements.
+
+    Parameters
+    ----------
+    segments:
+        For each query term, the RPL segment to perform sorted access
+        on (resolved by the caller through the catalog).
+    """
+    if k < 1:
+        raise ValueError("TA requires k >= 1")
+    weights = {term: 1.0 for term in segments}
+    if term_weights:
+        weights.update({t: w for t, w in term_weights.items() if t in weights})
+
+    snapshot = cost_model.snapshot()
+    iterators = {term: RplIterator(catalog, segment, sids)
+                 for term, segment in segments.items()}
+    candidates: dict[tuple[int, int], _Candidate] = {}
+    heap = TopKHeap(k, cost_model)
+    early_stop = False
+    accesses_since_check = 0
+
+    def threshold() -> float:
+        return sum(weights[t] * it.upper_bound for t, it in iterators.items())
+
+    def best_of(candidate: _Candidate) -> float:
+        bonus = sum(weights[t] * iterators[t].upper_bound
+                    for t in iterators if t not in candidate.seen)
+        return candidate.worst + bonus
+
+    def should_stop() -> bool:
+        if len(heap) < min(k, max(len(candidates), 1)):
+            return False
+        floor = heap.min_score()
+        if floor == float("-inf"):
+            return False
+        current_threshold = threshold()
+        cost_model.compare()
+        if floor < current_threshold:
+            return False
+        in_heap = heap.keys()
+        # (b) no pending candidate can overtake; (c) top-k fully resolved.
+        for key, candidate in candidates.items():
+            cost_model.compare()
+            best = best_of(candidate)
+            if key in in_heap:
+                if best > candidate.worst + 1e-12:
+                    return False  # unresolved top-k member
+            elif best > floor + 1e-12:
+                return False
+        return True
+
+    while True:
+        progressed = False
+        for term, iterator in iterators.items():
+            if iterator.exhausted:
+                continue
+            entry = iterator.next_entry()
+            if entry is None:
+                continue
+            progressed = True
+            key = entry.element_key()
+            candidate = candidates.get(key)
+            if candidate is None:
+                candidate = candidates[key] = _Candidate(sid=entry.sid,
+                                                         length=entry.length)
+            candidate.worst += weights[term] * entry.score
+            candidate.seen.add(term)
+            cost_model.score_combine()
+            heap.offer(candidate.worst, key)
+            accesses_since_check += 1
+
+        if not progressed:
+            break  # every list exhausted: exact answer by construction
+        if accesses_since_check >= batch_size:
+            accesses_since_check = 0
+            if should_stop():
+                early_stop = True
+                break
+
+    hits = [ScoredHit(score=score, docid=key[0], end_pos=key[1],
+                      sid=candidates[key].sid, length=candidates[key].length)
+            for score, key in heap.items()]
+    hits.sort(key=lambda h: (-h.score, h.docid, h.end_pos))
+
+    spent = cost_model.since(snapshot)
+    stats = EvaluationStats(method="ta", cost=spent.total_cost,
+                            ideal_cost=spent.ideal_cost,
+                            candidates=len(candidates),
+                            early_stop=early_stop)
+    for term, iterator in iterators.items():
+        stats.list_depths[term] = iterator.depth
+        stats.list_lengths[term] = iterator.length
+        stats.rows_skipped += iterator.skipped
+    return hits, stats

@@ -1,0 +1,143 @@
+"""Element relevance scorers.
+
+The paper leaves the content-scoring function open ("each
+implementation of NEXI has its own ranking criteria, which generally
+use well-established IR techniques"); what TReX requires of it is that
+the per-term element score is a non-negative number and that the
+per-query aggregation is *monotone*, so that the threshold algorithm's
+stopping condition is sound.  Two standard scorers are provided:
+
+* :class:`BM25Scorer` — Okapi BM25 with element-length normalization,
+  the default (this is also what TopX, the paper's reference TA
+  implementation, derives its scores from);
+* :class:`TfIdfScorer` — lnc-style tf·idf, kept for ablations.
+
+Both implement the :class:`ElementScorer` interface: a pure function of
+(term, term frequency, element length) given frozen corpus statistics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .stats import ScoringStats
+
+__all__ = ["ElementScorer", "BM25Scorer", "TfIdfScorer", "LMImpactScorer"]
+
+
+class ElementScorer:
+    """Interface: per-term element scores from (tf, element length)."""
+
+    def __init__(self, stats: ScoringStats):
+        self.stats = stats
+
+    def score(self, term: str, tf: int, element_length: int) -> float:
+        """Relevance contribution of *term* occurring *tf* times."""
+        raise NotImplementedError
+
+    def idf(self, term: str) -> float:
+        """Inverse document frequency; 0 for unseen terms."""
+        raise NotImplementedError
+
+    def max_score(self, term: str) -> float:
+        """An upper bound on ``score(term, ...)`` over any element.
+
+        Used by tests to validate the monotonicity assumptions of TA.
+        """
+        raise NotImplementedError
+
+
+class BM25Scorer(ElementScorer):
+    """Okapi BM25 adapted to element granularity.
+
+    ``score(t, e) = idf(t) * tf*(k1+1) / (tf + k1*(1 - b + b*len(e)/avglen))``
+    with the robust idf variant that never goes negative.
+    """
+
+    def __init__(self, stats: ScoringStats, k1: float = 1.2, b: float = 0.75):
+        super().__init__(stats)
+        if k1 < 0 or not 0 <= b <= 1:
+            raise ValueError("BM25 requires k1 >= 0 and 0 <= b <= 1")
+        self.k1 = k1
+        self.b = b
+
+    def idf(self, term: str) -> float:
+        # Terms unseen in the statistics snapshot (e.g. introduced by
+        # documents added after construction) are smoothed as df = 1:
+        # maximally rare.  Truly absent terms have no postings, so this
+        # never conjures hits out of nothing.
+        df = max(self.stats.df(term), 1)
+        n = max(self.stats.num_documents, df)
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    def score(self, term: str, tf: int, element_length: int) -> float:
+        if tf <= 0:
+            return 0.0
+        idf = self.idf(term)
+        if idf == 0.0:
+            return 0.0
+        norm_len = element_length / self.stats.average_element_length
+        denom = tf + self.k1 * (1.0 - self.b + self.b * norm_len)
+        return idf * tf * (self.k1 + 1.0) / denom
+
+    def max_score(self, term: str) -> float:
+        # tf -> inf, len -> 0 bound: idf * (k1 + 1)
+        return self.idf(term) * (self.k1 + 1.0)
+
+
+class LMImpactScorer(ElementScorer):
+    """Language-model impacts: the per-term form used by impact-ordered
+    indexes, derived from query likelihood with Dirichlet smoothing.
+
+    ``w(t, e) = ln(1 + tf · N / (μ · df(t)))`` — positive and monotone
+    in ``tf``, so the sum aggregation stays TA-compatible.  (The
+    element-length normalizer of the full Dirichlet model depends on
+    the query length and cannot be precomputed per term; dropping it is
+    the standard impact-index simplification.)
+    """
+
+    def __init__(self, stats: ScoringStats, mu: float = 200.0):
+        super().__init__(stats)
+        if mu <= 0:
+            raise ValueError("Dirichlet mu must be positive")
+        self.mu = mu
+
+    def idf(self, term: str) -> float:
+        df = max(self.stats.df(term), 1)  # unseen-term smoothing
+        return max(self.stats.num_documents, df) / (self.mu * df)
+
+    def score(self, term: str, tf: int, element_length: int) -> float:
+        if tf <= 0:
+            return 0.0
+        ratio = self.idf(term)
+        if ratio == 0.0:
+            return 0.0
+        return math.log(1.0 + tf * ratio)
+
+    def max_score(self, term: str) -> float:
+        # tf is bounded by the longest element's token capacity; use the
+        # average element length scaled generously as a practical bound.
+        bound_tf = max(1.0, self.stats.average_element_length * 64)
+        return math.log(1.0 + bound_tf * self.idf(term))
+
+
+class TfIdfScorer(ElementScorer):
+    """Log-tf · idf with square-root length normalization."""
+
+    def idf(self, term: str) -> float:
+        df = max(self.stats.df(term), 1)  # unseen-term smoothing
+        return math.log(1.0 + max(self.stats.num_documents, df) / df)
+
+    def score(self, term: str, tf: int, element_length: int) -> float:
+        if tf <= 0:
+            return 0.0
+        idf = self.idf(term)
+        if idf == 0.0:
+            return 0.0
+        normalizer = math.sqrt(max(element_length, 1))
+        return (1.0 + math.log(tf)) * idf / normalizer
+
+    def max_score(self, term: str) -> float:
+        # tf is at most the element length, so score <= idf*(1+ln tf)/sqrt(tf),
+        # whose maximum over tf >= 1 is 2/sqrt(e) at tf = e.
+        return self.idf(term) * 2.0 / math.sqrt(math.e)

@@ -1,0 +1,48 @@
+"""Corpus statistics snapshot used by the scorers.
+
+Scorers must be usable both at index-build time (to fill RPL/ERPL
+entries) and at query time (ERA scores elements on the fly), and the
+two must agree exactly — the consistency of the three retrieval
+strategies depends on it.  To make that easy to guarantee, scorers
+read from an immutable :class:`ScoringStats` snapshot taken from a
+collection once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from ..corpus.collection import Collection
+
+__all__ = ["ScoringStats"]
+
+
+@dataclass(frozen=True)
+class ScoringStats:
+    """Immutable corpus statistics for scoring.
+
+    ``document_frequency`` maps a term to the number of *documents*
+    containing it; element-level scores derive their idf from this, as
+    is standard in XML retrieval (element-level df would make deeply
+    repeated terms vanish).
+    """
+
+    num_documents: int
+    num_elements: int
+    average_element_length: float
+    document_frequency: Mapping[str, int]
+
+    @classmethod
+    def from_collection(cls, collection: Collection) -> "ScoringStats":
+        stats = collection.stats
+        return cls(
+            num_documents=stats.num_documents,
+            num_elements=stats.num_elements,
+            average_element_length=stats.average_element_length or 1.0,
+            document_frequency=MappingProxyType(dict(stats.document_frequency)),
+        )
+
+    def df(self, term: str) -> int:
+        return self.document_frequency.get(term, 0)

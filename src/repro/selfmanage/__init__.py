@@ -1,0 +1,25 @@
+"""Self-managing retrieval indexes: workloads, measurement, selection."""
+
+from .advisor import AppliedPlan, IndexAdvisor
+from .greedy import GreedyIndexSelector
+from .ilp import IlpIndexSelector
+from .measure import QueryCosts, measure_query, measure_workload
+from .selection import IndexChoice, SelectionPlan, options_from_costs
+from .wgen import WorkloadGenerator
+from .workload import Workload, WorkloadQuery
+
+__all__ = [
+    "AppliedPlan",
+    "IndexAdvisor",
+    "GreedyIndexSelector",
+    "IlpIndexSelector",
+    "QueryCosts",
+    "measure_query",
+    "measure_workload",
+    "IndexChoice",
+    "SelectionPlan",
+    "options_from_costs",
+    "WorkloadGenerator",
+    "Workload",
+    "WorkloadQuery",
+]

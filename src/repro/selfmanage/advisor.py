@@ -1,0 +1,137 @@
+"""The self-managing index advisor: measure → select → apply.
+
+Ties the pieces of §4 together.  Given an engine and a workload, the
+advisor measures per-query method costs and index sizes, runs one of
+the two selectors under a disk budget, materializes the chosen
+query-scoped segments, and can then report the workload's expected and
+actually-achieved weighted evaluation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OptimizationError
+from ..index.catalog import IndexSegment
+from ..retrieval.engine import TrexEngine
+from .greedy import GreedyIndexSelector
+from .ilp import IlpIndexSelector
+from .measure import QueryCosts, measure_workload
+from .selection import SelectionPlan
+from .workload import Workload
+
+__all__ = ["IndexAdvisor", "AppliedPlan"]
+
+
+@dataclass
+class AppliedPlan:
+    """A selection plan after materialization."""
+
+    plan: SelectionPlan
+    segments: list[IndexSegment]
+    #: query_id -> method that the stored indexes support ('merge'/'ta'),
+    #: or 'era' for unsupported queries.
+    methods: dict[str, str]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(segment.size_bytes for segment in self.segments)
+
+
+class IndexAdvisor:
+    """Self-manages redundant top-k indexes for a query workload."""
+
+    _SELECTORS = {
+        "greedy": GreedyIndexSelector,
+        "ilp": IlpIndexSelector,
+    }
+
+    def __init__(self, engine: TrexEngine):
+        self.engine = engine
+        self._costs_cache: dict[int, dict[str, QueryCosts]] = {}
+
+    # ------------------------------------------------------------------
+    def measure(self, workload: Workload) -> dict[str, QueryCosts]:
+        """Measure (and cache) per-query costs for *workload*."""
+        key = id(workload)
+        if key not in self._costs_cache:
+            self._costs_cache[key] = measure_workload(self.engine, workload)
+        return self._costs_cache[key]
+
+    def invalidate_measurements(self) -> None:
+        """Drop cached measurements (call after the collection changes,
+        e.g. :meth:`~repro.retrieval.engine.TrexEngine.add_document`)."""
+        self._costs_cache.clear()
+
+    def autotune(self, workload: Workload, disk_budget: int,
+                 method: str = "greedy") -> "AppliedPlan":
+        """The full §4 cycle in one call: re-measure, select under the
+        budget, and materialize the chosen segments."""
+        self.invalidate_measurements()
+        plan = self.recommend(workload, disk_budget, method=method)
+        return self.apply(workload, plan)
+
+    def recommend(self, workload: Workload, disk_budget: int,
+                  method: str = "greedy") -> SelectionPlan:
+        """Select which indexes to store under *disk_budget* bytes."""
+        selector_cls = self._SELECTORS.get(method)
+        if selector_cls is None:
+            raise OptimizationError(
+                f"unknown selection method {method!r}; choose from "
+                f"{sorted(self._SELECTORS)}")
+        costs = self.measure(workload)
+        return selector_cls().select(costs, disk_budget)
+
+    def apply(self, workload: Workload, plan: SelectionPlan) -> AppliedPlan:
+        """Materialize the plan's query-scoped segments on the engine."""
+        segments: list[IndexSegment] = []
+        methods: dict[str, str] = {query.query_id: "era" for query in workload}
+        for choice in plan.choices:
+            query = workload.query(choice.query_id)
+            translated = self.engine.translate(query.nexi)
+            for clause in translated.clauses:
+                for term in clause.terms:
+                    if choice.kind == "erpl":
+                        segments.append(
+                            self.engine.materialize_erpl(term, clause.sids))
+                    else:
+                        segments.append(
+                            self.engine.materialize_rpl(term, clause.sids))
+            methods[choice.query_id] = "merge" if choice.kind == "erpl" else "ta"
+        return AppliedPlan(plan=plan, segments=segments, methods=methods)
+
+    # ------------------------------------------------------------------
+    def expected_cost(self, workload: Workload, plan: SelectionPlan) -> float:
+        """Predicted weighted evaluation cost under *plan* (from measures)."""
+        costs = self.measure(workload)
+        total = 0.0
+        for query in workload:
+            cost = costs[query.query_id]
+            choice = plan.choice_for(query.query_id)
+            if choice is None:
+                total += query.frequency * cost.t_era
+            elif choice.kind == "erpl":
+                total += query.frequency * cost.t_merge
+            else:
+                total += query.frequency * cost.t_ta
+        return total
+
+    def achieved_cost(self, workload: Workload, applied: AppliedPlan) -> float:
+        """Actually evaluate the workload with the applied plan's methods."""
+        previous = self.engine.auto_materialize
+        self.engine.auto_materialize = False
+        try:
+            total = 0.0
+            for query in workload:
+                method = applied.methods[query.query_id]
+                k = query.k if method == "ta" else None
+                result = self.engine.evaluate(query.nexi, k=k, method=method)
+                total += query.frequency * result.stats.cost
+            return total
+        finally:
+            self.engine.auto_materialize = previous
+
+    def baseline_cost(self, workload: Workload) -> float:
+        """Weighted cost of answering everything with ERA (no indexes)."""
+        costs = self.measure(workload)
+        return sum(q.frequency * costs[q.query_id].t_era for q in workload)

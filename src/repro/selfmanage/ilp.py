@@ -1,0 +1,98 @@
+"""Exact index selection by 0/1 linear programming (paper §4.1).
+
+The paper's program, with the storage constraint's evident intent
+(ERPLs cost ERPL space, RPLs cost RPL space — the printed equation (2)
+swaps the two subscripts; see DESIGN.md):
+
+    maximize   Σ_i (x_i1 · f_i · Δm(Q_i) + x_i2 · f_i · Δta(Q_i))
+    subject to x_i1 + x_i2 ≤ 1                        for each query
+               Σ_i (x_i1 · S_ERPL(Q_i) + x_i2 · S_RPL(Q_i)) ≤ d
+               x_ij ∈ {0, 1}
+
+This is a multiple-choice knapsack.  The paper suggests branch-and-cut
+or branch-and-bound; we implement depth-first branch-and-bound with a
+fractional-relaxation upper bound (dropping the integrality and the
+one-choice-per-query constraints yields a fractional knapsack over all
+options, a valid and cheap bound).
+"""
+
+from __future__ import annotations
+
+from ..errors import OptimizationError
+from .measure import QueryCosts
+from .selection import IndexChoice, SelectionPlan, options_from_costs
+
+__all__ = ["IlpIndexSelector"]
+
+
+class IlpIndexSelector:
+    """Optimal 0/1 selection via branch-and-bound."""
+
+    name = "ilp"
+
+    def __init__(self, max_nodes: int = 2_000_000):
+        self.max_nodes = max_nodes
+
+    def select(self, costs: dict[str, QueryCosts], disk_budget: int) -> SelectionPlan:
+        if disk_budget < 0:
+            raise OptimizationError("disk budget must be non-negative")
+        per_query = options_from_costs(costs)
+        # Deterministic ordering; queries with no useful options drop out.
+        items: list[list[IndexChoice]] = [
+            options for _, options in sorted(per_query.items()) if options]
+
+        # All options flattened in density order, for the fractional bound.
+        flat = sorted((opt for options in items for opt in options),
+                      key=lambda o: (o.gain / o.size) if o.size else float("inf"),
+                      reverse=True)
+
+        def fractional_bound(start: int, capacity: int) -> float:
+            """Upper bound on the gain attainable from items[start:]."""
+            allowed = {id(opt) for options in items[start:] for opt in options}
+            bound = 0.0
+            remaining = capacity
+            for opt in flat:
+                if id(opt) not in allowed:
+                    continue
+                if opt.size <= remaining:
+                    bound += opt.gain
+                    remaining -= opt.size
+                elif opt.size > 0:
+                    bound += opt.gain * remaining / opt.size
+                    break
+                else:
+                    bound += opt.gain
+            return bound
+
+        best_value = -1.0
+        best_choices: list[IndexChoice] = []
+        nodes = 0
+
+        def search(index: int, capacity: int, value: float,
+                   chosen: list[IndexChoice]) -> None:
+            nonlocal best_value, best_choices, nodes
+            nodes += 1
+            if nodes > self.max_nodes:
+                raise OptimizationError(
+                    f"branch-and-bound exceeded {self.max_nodes} nodes; "
+                    "use the greedy selector for workloads this large")
+            if value > best_value:
+                best_value = value
+                best_choices = chosen[:]
+            if index >= len(items):
+                return
+            if value + fractional_bound(index, capacity) <= best_value + 1e-12:
+                return  # prune
+            # Branch on each option of this query, most valuable first...
+            for option in sorted(items[index], key=lambda o: -o.gain):
+                if option.size <= capacity:
+                    chosen.append(option)
+                    search(index + 1, capacity - option.size,
+                           value + option.gain, chosen)
+                    chosen.pop()
+            # ... and on skipping the query entirely.
+            search(index + 1, capacity, value, chosen)
+
+        search(0, disk_budget, 0.0, [])
+        return SelectionPlan(choices=sorted(best_choices, key=lambda c: c.query_id),
+                             disk_budget=disk_budget, method=self.name)

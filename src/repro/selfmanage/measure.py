@@ -1,0 +1,105 @@
+"""Measuring per-query costs and index sizes for the advisor.
+
+Paper §4: "The actual time savings and disk space for typical queries
+should be measured experimentally and assigned in the formulas."  This
+module does that measurement: for each workload query it materializes
+temporary query-scoped RPL and ERPL segments, runs the three retrieval
+methods, and records
+
+* ``T_e``, ``T_m``, ``T_ta`` — simulated evaluation costs;
+* ``Δm = max(T_e - T_m, 0)``, ``Δta = max(T_e - T_ta, 0)`` — savings;
+* ``S_ERPL`` — bytes of the ERPL segments Merge needs;
+* ``S_RPL`` — bytes of the RPL *prefixes* TA read before stopping
+  (the paper: "only the part of the RPLs that is needed for computing
+  the top-k elements must be stored").
+
+The temporary segments are dropped afterwards; the advisor decides
+which to re-materialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..retrieval.engine import TrexEngine
+from .workload import Workload, WorkloadQuery
+
+__all__ = ["QueryCosts", "measure_query", "measure_workload"]
+
+
+@dataclass(frozen=True)
+class QueryCosts:
+    """Measured inputs to the index-selection optimization."""
+
+    query_id: str
+    frequency: float
+    t_era: float
+    t_merge: float
+    t_ta: float
+    s_rpl: int
+    s_erpl: int
+
+    @property
+    def delta_merge(self) -> float:
+        """Paper: Δm(Q) = max(T_e - T_m, 0)."""
+        return max(self.t_era - self.t_merge, 0.0)
+
+    @property
+    def delta_ta(self) -> float:
+        """Paper: Δta(Q) = max(T_e - T_ta, 0)."""
+        return max(self.t_era - self.t_ta, 0.0)
+
+    @property
+    def weighted_delta_merge(self) -> float:
+        return self.frequency * self.delta_merge
+
+    @property
+    def weighted_delta_ta(self) -> float:
+        return self.frequency * self.delta_ta
+
+
+def measure_query(engine: TrexEngine, query: WorkloadQuery) -> QueryCosts:
+    """Measure one query's method costs and index sizes on *engine*."""
+    translated = engine.translate(query.nexi)
+
+    # Materialize temporary query-scoped segments for the measurement.
+    created = []
+    rpl_segments = {}
+    for clause in translated.clauses:
+        for term in clause.terms:
+            rpl = engine.materialize_rpl(term, clause.sids)
+            erpl = engine.materialize_erpl(term, clause.sids)
+            created.extend([rpl, erpl])
+            rpl_segments[(term, clause.sids)] = rpl
+
+    era_result = engine.evaluate(query.nexi, k=None, method="era")
+    merge_result = engine.evaluate(query.nexi, k=None, method="merge")
+    ta_result = engine.evaluate(query.nexi, k=query.k, method="ta")
+
+    s_erpl = sum(seg.size_bytes for seg in created if seg.kind == "erpl")
+    # RPL prefix actually read by TA, prorated from the depth counters.
+    s_rpl = 0
+    depths = ta_result.stats.list_depths
+    for (term, _sids), segment in rpl_segments.items():
+        if segment.entry_count == 0:
+            continue
+        depth = min(depths.get(term, segment.entry_count), segment.entry_count)
+        s_rpl += round(segment.size_bytes * depth / segment.entry_count)
+
+    for segment in created:
+        engine.catalog.drop_segment(segment.segment_id)
+
+    return QueryCosts(
+        query_id=query.query_id,
+        frequency=query.frequency,
+        t_era=era_result.stats.cost,
+        t_merge=merge_result.stats.cost,
+        t_ta=ta_result.stats.cost,
+        s_rpl=s_rpl,
+        s_erpl=s_erpl,
+    )
+
+
+def measure_workload(engine: TrexEngine, workload: Workload) -> dict[str, QueryCosts]:
+    """Measure every query of *workload*; returns query_id → costs."""
+    return {query.query_id: measure_query(engine, query) for query in workload}

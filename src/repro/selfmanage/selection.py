@@ -1,0 +1,84 @@
+"""Shared types for index selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import OptimizationError
+from .measure import QueryCosts
+
+__all__ = ["IndexChoice", "SelectionPlan", "options_from_costs"]
+
+
+@dataclass(frozen=True)
+class IndexChoice:
+    """Store one redundant index for one query.
+
+    ``kind='erpl'`` supports Merge (variable x_i1 in the paper's LP),
+    ``kind='rpl'`` supports TA (variable x_i2).
+    """
+
+    query_id: str
+    kind: str  # 'erpl' or 'rpl'
+    gain: float  # f_i * Δ(Q_i), the weighted time saving
+    size: int  # bytes of the index
+
+    def __post_init__(self):
+        if self.kind not in ("erpl", "rpl"):
+            raise OptimizationError(f"unknown index kind {self.kind!r}")
+        if self.gain < 0 or self.size < 0:
+            raise OptimizationError("gain and size must be non-negative")
+
+
+@dataclass
+class SelectionPlan:
+    """The outcome of an index-selection run."""
+
+    choices: list[IndexChoice] = field(default_factory=list)
+    disk_budget: int = 0
+    method: str = ""
+
+    @property
+    def total_gain(self) -> float:
+        return sum(choice.gain for choice in self.choices)
+
+    @property
+    def total_size(self) -> int:
+        return sum(choice.size for choice in self.choices)
+
+    def choice_for(self, query_id: str) -> IndexChoice | None:
+        for choice in self.choices:
+            if choice.query_id == query_id:
+                return choice
+        return None
+
+    def supported_queries(self) -> set[str]:
+        return {choice.query_id for choice in self.choices}
+
+    def describe(self) -> list[str]:
+        lines = [f"plan({self.method}): gain={self.total_gain:.1f} "
+                 f"size={self.total_size}/{self.disk_budget} bytes"]
+        for choice in sorted(self.choices, key=lambda c: c.query_id):
+            lines.append(f"  {choice.query_id}: {choice.kind.upper()} "
+                         f"(gain {choice.gain:.1f}, {choice.size} B)")
+        return lines
+
+
+def options_from_costs(costs: dict[str, QueryCosts]) -> dict[str, list[IndexChoice]]:
+    """The per-query candidate indexes implied by measured costs.
+
+    Each query contributes up to two options: an ERPL (gain f·Δm, size
+    S_ERPL) and an RPL (gain f·Δta, size S_RPL).  Options with zero
+    gain are dropped — storing them could never help.
+    """
+    options: dict[str, list[IndexChoice]] = {}
+    for query_id, cost in costs.items():
+        candidates = []
+        if cost.weighted_delta_merge > 0:
+            candidates.append(IndexChoice(query_id, "erpl",
+                                          cost.weighted_delta_merge, cost.s_erpl))
+        if cost.weighted_delta_ta > 0:
+            candidates.append(IndexChoice(query_id, "rpl",
+                                          cost.weighted_delta_ta, cost.s_rpl))
+        options[query_id] = candidates
+    return options

@@ -1,0 +1,88 @@
+"""Synthetic workload generation for self-management experiments.
+
+The paper assumes "a set of typical queries that are frequently being
+posed to the system" (§4).  This module fabricates such workloads
+reproducibly: queries drawn from templates over a collection's actual
+tags and vocabulary, frequencies drawn from a Zipf distribution (a few
+hot queries, a long tail) — the regime in which index selection under
+a budget is interesting.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus.collection import Collection
+from ..errors import WorkloadError
+from .workload import Workload, WorkloadQuery
+
+__all__ = ["WorkloadGenerator"]
+
+
+class WorkloadGenerator:
+    """Generates NEXI workloads grounded in a collection's content.
+
+    Parameters
+    ----------
+    collection:
+        Source of tags and terms; generated queries are guaranteed to
+        use tags that occur and terms from the collection vocabulary,
+        so they have non-trivial translations.
+    seed:
+        Seeds the internal PRNG; same seed → same workload.
+    zipf_exponent:
+        Skew of the frequency distribution across queries.
+    """
+
+    def __init__(self, collection: Collection, seed: int = 0,
+                 zipf_exponent: float = 1.0):
+        self.collection = collection
+        self.seed = seed
+        self.zipf_exponent = zipf_exponent
+        self._tags = self._collect_tags()
+        self._terms = self._collect_terms()
+
+    def _collect_tags(self) -> list[str]:
+        tags: set[str] = set()
+        for document in self.collection:
+            tags.update(node.tag for node in document.elements())
+        return sorted(tags)
+
+    def _collect_terms(self, top: int = 400) -> list[str]:
+        frequency = self.collection.stats.collection_frequency
+        ranked = sorted(frequency.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [term for term, _ in ranked[:top]]
+
+    def generate(self, num_queries: int, *, k_choices=(5, 10, 50),
+                 terms_per_query=(1, 3)) -> Workload:
+        """A workload of *num_queries* single-clause NEXI queries."""
+        if num_queries < 1:
+            raise WorkloadError("num_queries must be positive")
+        if not self._terms:
+            raise WorkloadError("collection has no vocabulary to draw from")
+        rng = random.Random(self.seed)
+        queries = []
+        seen_nexi: set[str] = set()
+        attempts = 0
+        while len(queries) < num_queries:
+            attempts += 1
+            if attempts > num_queries * 50:
+                raise WorkloadError(
+                    "could not generate enough distinct queries; "
+                    "collection too small")
+            tag = rng.choice(self._tags)
+            count = rng.randint(*terms_per_query)
+            terms = rng.sample(self._terms, min(count, len(self._terms)))
+            nexi = f"//{tag}[about(., {' '.join(terms)})]"
+            if nexi in seen_nexi:
+                continue
+            seen_nexi.add(nexi)
+            queries.append((f"q{len(queries):03d}", nexi, rng.choice(k_choices)))
+
+        weights = [1.0 / (rank ** self.zipf_exponent)
+                   for rank in range(1, num_queries + 1)]
+        total = sum(weights)
+        workload_queries = [
+            WorkloadQuery(qid, nexi, k, weight / total)
+            for (qid, nexi, k), weight in zip(queries, weights)]
+        return Workload(workload_queries, normalize=True)

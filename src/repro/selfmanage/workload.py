@@ -1,0 +1,84 @@
+"""Workloads of top-k retrieval queries (paper Definition 4.1).
+
+"A workload is a list of top-k retrieval queries Q_1, ..., Q_l, where
+each query Q_i is associated with a frequency 0 < f_i <= 1, such that
+the frequencies sum to 1."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..errors import WorkloadError
+
+__all__ = ["WorkloadQuery", "Workload"]
+
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload member: a NEXI query, its top-k, and its frequency."""
+
+    query_id: str
+    nexi: str
+    k: int
+    frequency: float
+
+    def __post_init__(self):
+        if not self.nexi.strip():
+            raise WorkloadError(f"query {self.query_id!r} has an empty NEXI string")
+        if self.k < 1:
+            raise WorkloadError(f"query {self.query_id!r} has k < 1")
+        if not 0 < self.frequency <= 1:
+            raise WorkloadError(
+                f"query {self.query_id!r} frequency {self.frequency} not in (0, 1]")
+
+
+class Workload:
+    """An immutable list of workload queries with frequencies summing to 1."""
+
+    def __init__(self, queries: Sequence[WorkloadQuery], *, normalize: bool = False):
+        if not queries:
+            raise WorkloadError("a workload must contain at least one query")
+        ids = [q.query_id for q in queries]
+        if len(set(ids)) != len(ids):
+            raise WorkloadError(f"duplicate query ids in workload: {ids}")
+        total = sum(q.frequency for q in queries)
+        if normalize:
+            queries = [WorkloadQuery(q.query_id, q.nexi, q.k, q.frequency / total)
+                       for q in queries]
+        elif abs(total - 1.0) > _TOLERANCE:
+            raise WorkloadError(
+                f"workload frequencies sum to {total}, expected 1 "
+                "(pass normalize=True to rescale)")
+        self._queries = tuple(queries)
+
+    @classmethod
+    def uniform(cls, pairs: Sequence[tuple[str, str, int]]) -> "Workload":
+        """Build a workload of (id, nexi, k) triples with equal frequencies."""
+        if not pairs:
+            raise WorkloadError("a workload must contain at least one query")
+        frequency = 1.0 / len(pairs)
+        return cls([WorkloadQuery(qid, nexi, k, frequency)
+                    for qid, nexi, k in pairs], normalize=True)
+
+    def __iter__(self) -> Iterator[WorkloadQuery]:
+        return iter(self._queries)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __getitem__(self, index: int) -> WorkloadQuery:
+        return self._queries[index]
+
+    def query(self, query_id: str) -> WorkloadQuery:
+        for query in self._queries:
+            if query.query_id == query_id:
+                return query
+        raise WorkloadError(f"no query with id {query_id!r}")
+
+    @property
+    def query_ids(self) -> list[str]:
+        return [q.query_id for q in self._queries]

@@ -1,0 +1,54 @@
+"""Storage engine substrate: B+-tree tables with simulated, metered I/O.
+
+This package replaces the BerkeleyDB layer of the original TReX
+implementation.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from .btree import BPlusTree, Cursor
+from .cost import (
+    Charge,
+    CostCounters,
+    CostModel,
+    CostSnapshot,
+    GLOBAL_COST_MODEL,
+    free_cost_model,
+)
+from .pager import PageCache, PageIdAllocator
+from .serialization import (
+    BoolCodec,
+    Codec,
+    FloatCodec,
+    IntCodec,
+    ListCodec,
+    StringCodec,
+    TupleCodec,
+    UIntCodec,
+    encoded_size,
+)
+from .table import Column, Schema, Table, column_codec
+
+__all__ = [
+    "BPlusTree",
+    "Cursor",
+    "Charge",
+    "CostCounters",
+    "CostModel",
+    "CostSnapshot",
+    "GLOBAL_COST_MODEL",
+    "free_cost_model",
+    "PageCache",
+    "PageIdAllocator",
+    "BoolCodec",
+    "Codec",
+    "FloatCodec",
+    "IntCodec",
+    "ListCodec",
+    "StringCodec",
+    "TupleCodec",
+    "UIntCodec",
+    "encoded_size",
+    "Column",
+    "Schema",
+    "Table",
+    "column_codec",
+]

@@ -1,0 +1,523 @@
+"""A B+-tree ordered key–value store.
+
+This is the reproduction's stand-in for the BerkeleyDB B-tree tables the
+paper stores its indexes in.  It supports the access paths TReX needs:
+
+* point lookups (``get``),
+* ordered insertion (``put``) and deletion (``delete``) with node
+  splitting, borrowing and merging,
+* cursor positioning at the smallest key ``>=`` a probe key (``seek``),
+  which is how iterators such as ``nextElementAfter`` from the paper's
+  ERA algorithm are implemented, and
+* forward sequential scans along the chained leaf level.
+
+Keys may be any mutually comparable Python values; in practice the table
+layer uses tuples, whose lexicographic ordering matches the paper's
+composite primary keys.  Every node visit is routed through a
+:class:`~repro.storage.pager.PageCache` so that the active cost model
+observes realistic page traffic, and every cursor positioning charges a
+seek.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import StorageError
+from .cost import CostModel, GLOBAL_COST_MODEL
+from .pager import PageCache, PageIdAllocator
+
+__all__ = ["BPlusTree", "Cursor"]
+
+
+class _Node:
+    """Internal or leaf node; ``children`` is unused in leaves."""
+
+    __slots__ = ("page_id", "is_leaf", "keys", "values", "children", "next_leaf", "prev_leaf")
+
+    def __init__(self, page_id: int, is_leaf: bool):
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.keys: list[Any] = []
+        self.values: list[Any] = []          # leaves only
+        self.children: list[_Node] = []      # internal only
+        self.next_leaf: _Node | None = None  # leaves only
+        self.prev_leaf: _Node | None = None  # leaves only
+
+
+def _chunk_sizes(total: int, maximum: int, minimum: int) -> list[int]:
+    """Partition *total* into chunks of at most *maximum*, each at least
+    *minimum* except when a single chunk holds everything.
+
+    Targets ~2/3 occupancy (the usual bulk-load fill factor) and fixes
+    up the tail by redistributing the last two chunks.
+    """
+    if total <= maximum:
+        return [total] if total else []
+    target = max(minimum, (2 * maximum) // 3)
+    sizes = []
+    remaining = total
+    while remaining > 0:
+        sizes.append(min(target, remaining))
+        remaining -= sizes[-1]
+    if len(sizes) > 1 and sizes[-1] < minimum:
+        combined = sizes.pop() + sizes.pop()
+        if combined <= maximum:
+            sizes.append(combined)
+        else:
+            # combined > maximum >= 2*minimum - 1, so both halves are
+            # at least `minimum`.
+            sizes.extend([combined - combined // 2, combined // 2])
+    return sizes
+
+
+def _bisect_right(keys: list[Any], key: Any) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key < keys[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _bisect_left(keys: list[Any], key: Any) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class BPlusTree:
+    """An in-memory B+-tree with simulated paging.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node; nodes split when they exceed
+        it.  Minimum occupancy for non-root nodes is ``order // 2``.
+    cache:
+        Page cache used to meter node accesses.  When omitted, a private
+        cache charging the global cost model is created.
+    """
+
+    def __init__(self, order: int = 64, cache: PageCache | None = None,
+                 cost_model: CostModel | None = None):
+        if order < 4:
+            raise StorageError("B+-tree order must be at least 4")
+        self.order = order
+        self._cost_model = cost_model if cost_model is not None else GLOBAL_COST_MODEL
+        self._cache = cache if cache is not None else PageCache(cost_model=self._cost_model)
+        self._pages = PageIdAllocator()
+        self._root: _Node = self._new_node(is_leaf=True)
+        self._size = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _new_node(self, is_leaf: bool) -> _Node:
+        return _Node(self._pages.allocate(), is_leaf)
+
+    @property
+    def cache(self) -> PageCache:
+        return self._cache
+
+    def use_cache(self, cache: PageCache) -> None:
+        """Route subsequent node accesses through *cache* (e.g. to share
+        one buffer pool across several trees, as BerkeleyDB does)."""
+        self._cache = cache
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def page_count(self) -> int:
+        return self._pages.allocated
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: list[tuple[Any, Any]]) -> None:
+        """Replace the tree's contents with *items* (must be sorted by
+        key, without duplicates), building the tree bottom-up.
+
+        This is the classic index-build fast path: leaves are packed to
+        ~⅔ occupancy and parent levels assembled level by level, with
+        no per-key descents.  Charges one tuple write per item.
+        """
+        for (a, _), (b, _) in zip(items, items[1:]):
+            if not a < b:
+                raise StorageError("bulk_load requires strictly sorted keys")
+        self._cost_model.tuple_write(len(items))
+        self._root = self._new_node(is_leaf=True)
+        self._size = len(items)
+        self._height = 1
+        if not items:
+            return
+
+        # Leaf level: chunks of keys, each >= min occupancy (except a
+        # lone root leaf), rebalancing the tail pair when needed.
+        leaf_sizes = _chunk_sizes(len(items), self.order,
+                                  minimum=self._min_keys())
+        leaves: list[_Node] = []
+        offset = 0
+        for size in leaf_sizes:
+            chunk = items[offset: offset + size]
+            offset += size
+            leaf = self._new_node(is_leaf=True)
+            leaf.keys = [key for key, _ in chunk]
+            leaf.values = [value for _, value in chunk]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+                leaf.prev_leaf = leaves[-1]
+            leaves.append(leaf)
+
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            # Internal level: a node with c children holds c-1 keys, so
+            # the child-group minimum is min_keys + 1 (max order + 1).
+            group_sizes = _chunk_sizes(len(level), self.order + 1,
+                                       minimum=self._min_keys() + 1)
+            parents: list[_Node] = []
+            offset = 0
+            for size in group_sizes:
+                group = level[offset: offset + size]
+                offset += size
+                parent = self._new_node(is_leaf=False)
+                parent.children = group
+                parent.keys = [self._smallest_key(child) for child in group[1:]]
+                parents.append(parent)
+            level = parents
+            self._height += 1
+        self._root = level[0]
+
+    @staticmethod
+    def _smallest_key(node: _Node) -> Any:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _descend(self, key: Any, *, charge: bool = True) -> _Node:
+        """Walk from the root to the leaf that owns *key*."""
+        node = self._root
+        while True:
+            if charge:
+                self._cache.touch(node.page_id)
+            if node.is_leaf:
+                return node
+            node = node.children[_bisect_right(node.keys, key)]
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Point lookup; charges one seek plus the page path."""
+        self._cost_model.seek()
+        leaf = self._descend(key)
+        idx = _bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and not (key < leaf.keys[idx]):
+            self._cost_model.tuple_read()
+            return leaf.values[idx]
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or overwrite *key*; charges one tuple write."""
+        self._cost_model.tuple_write()
+        root = self._root
+        split = self._insert(root, key, value)
+        if split is not None:
+            sep_key, right = split
+            new_root = self._new_node(is_leaf=False)
+            new_root.keys = [sep_key]
+            new_root.children = [root, right]
+            self._root = new_root
+            self._height += 1
+
+    def _insert(self, node: _Node, key: Any, value: Any) -> tuple[Any, _Node] | None:
+        self._cache.touch(node.page_id)
+        if node.is_leaf:
+            idx = _bisect_left(node.keys, key)
+            if idx < len(node.keys) and not (key < node.keys[idx]):
+                node.values[idx] = value
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        idx = _bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep_key, right = split
+        node.keys.insert(idx, sep_key)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        right = self._new_node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        if right.next_leaf is not None:
+            right.next_leaf.prev_leaf = right
+        right.prev_leaf = node
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = self._new_node(is_leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep_key, right
+
+    # ------------------------------------------------------------------
+    # Deletion (with borrow/merge rebalancing)
+    # ------------------------------------------------------------------
+    def delete(self, key: Any) -> bool:
+        """Remove *key*; return True if it was present."""
+        removed = self._delete(self._root, key)
+        root = self._root
+        if not root.is_leaf and len(root.children) == 1:
+            self._cache.invalidate(root.page_id)
+            self._root = root.children[0]
+            self._height -= 1
+        return removed
+
+    def _min_keys(self) -> int:
+        return self.order // 2
+
+    def _delete(self, node: _Node, key: Any) -> bool:
+        self._cache.touch(node.page_id)
+        if node.is_leaf:
+            idx = _bisect_left(node.keys, key)
+            if idx >= len(node.keys) or key < node.keys[idx]:
+                return False
+            node.keys.pop(idx)
+            node.values.pop(idx)
+            self._size -= 1
+            return True
+        idx = _bisect_right(node.keys, key)
+        child = node.children[idx]
+        removed = self._delete(child, key)
+        if removed and self._underflowed(child):
+            self._rebalance(node, idx)
+        return removed
+
+    def _underflowed(self, node: _Node) -> bool:
+        if node is self._root:
+            return False
+        return len(node.keys) < self._min_keys()
+
+    def _rebalance(self, parent: _Node, idx: int) -> None:
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        if left is not None and len(left.keys) > self._min_keys():
+            self._borrow_from_left(parent, idx, left, child)
+        elif right is not None and len(right.keys) > self._min_keys():
+            self._borrow_from_right(parent, idx, child, right)
+        elif left is not None:
+            self._merge(parent, idx - 1, left, child)
+        elif right is not None:
+            self._merge(parent, idx, child, right)
+
+    def _borrow_from_left(self, parent: _Node, idx: int, left: _Node, child: _Node) -> None:
+        if child.is_leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(self, parent: _Node, idx: int, child: _Node, right: _Node) -> None:
+        if child.is_leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(self, parent: _Node, sep_idx: int, left: _Node, right: _Node) -> None:
+        """Fold *right* into *left*; *sep_idx* separates them in *parent*."""
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+            if right.next_leaf is not None:
+                right.next_leaf.prev_leaf = left
+        else:
+            left.keys.append(parent.keys[sep_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(sep_idx)
+        parent.children.pop(sep_idx + 1)
+        self._cache.invalidate(right.page_id)
+
+    # ------------------------------------------------------------------
+    # Cursors and scans
+    # ------------------------------------------------------------------
+    def seek(self, key: Any) -> "Cursor":
+        """Position a cursor at the smallest key ``>=`` *key*."""
+        self._cost_model.seek()
+        leaf = self._descend(key)
+        idx = _bisect_left(leaf.keys, key)
+        cursor = Cursor(self, leaf, idx)
+        cursor._skip_exhausted_leaf()
+        return cursor
+
+    def first(self) -> "Cursor":
+        """Position a cursor at the smallest key in the tree."""
+        self._cost_model.seek()
+        node = self._root
+        while True:
+            self._cache.touch(node.page_id)
+            if node.is_leaf:
+                break
+            node = node.children[0]
+        cursor = Cursor(self, node, 0)
+        cursor._skip_exhausted_leaf()
+        return cursor
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Yield every (key, value) pair in key order."""
+        cursor = self.first()
+        while cursor.valid:
+            yield cursor.key, cursor.value
+            cursor.advance()
+
+    def range(self, low: Any, high: Any, *, include_high: bool = False) -> Iterator[tuple[Any, Any]]:
+        """Yield pairs with ``low <= key < high`` (or ``<=`` when asked)."""
+        cursor = self.seek(low)
+        while cursor.valid:
+            key = cursor.key
+            if key > high or (key == high and not include_high):
+                return
+            yield key, cursor.value
+            cursor.advance()
+
+    def keys(self) -> Iterator[Any]:
+        for key, _ in self.items():
+            yield key
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises StorageError on failure.
+
+        Used by tests (including property-based ones) after random
+        sequences of inserts and deletes.
+        """
+        leaf_keys: list[Any] = []
+        self._check_node(self._root, None, None, self._height, leaf_keys)
+        for a, b in zip(leaf_keys, leaf_keys[1:]):
+            if not a < b:
+                raise StorageError(f"leaf keys out of order: {a!r} !< {b!r}")
+        if len(leaf_keys) != self._size:
+            raise StorageError(f"size mismatch: counted {len(leaf_keys)}, recorded {self._size}")
+        # leaf chain must visit exactly the same keys
+        chained: list[Any] = []
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            chained.extend(node.keys)
+            node = node.next_leaf
+        if chained != leaf_keys:
+            raise StorageError("leaf chain disagrees with tree traversal")
+
+    def _check_node(self, node: _Node, low: Any, high: Any, depth: int,
+                    leaf_keys: list[Any]) -> None:
+        for key in node.keys:
+            if low is not None and key < low:
+                raise StorageError(f"key {key!r} below lower bound {low!r}")
+            if high is not None and not (key < high):
+                raise StorageError(f"key {key!r} not below upper bound {high!r}")
+        if node is not self._root and len(node.keys) < self._min_keys() and depth > 0:
+            raise StorageError(f"node underflow: {len(node.keys)} keys")
+        if node.is_leaf:
+            if depth != 1:
+                raise StorageError("leaves at unequal depth")
+            leaf_keys.extend(node.keys)
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise StorageError("internal fanout mismatch")
+        bounds = [low, *node.keys, high]
+        for i, child in enumerate(node.children):
+            self._check_node(child, bounds[i], bounds[i + 1], depth - 1, leaf_keys)
+
+
+class Cursor:
+    """A forward cursor over a :class:`BPlusTree` leaf chain."""
+
+    __slots__ = ("_tree", "_leaf", "_idx")
+
+    def __init__(self, tree: BPlusTree, leaf: _Node, idx: int):
+        self._tree = tree
+        self._leaf: _Node | None = leaf
+        self._idx = idx
+
+    def _skip_exhausted_leaf(self) -> None:
+        while self._leaf is not None and self._idx >= len(self._leaf.keys):
+            self._leaf = self._leaf.next_leaf
+            self._idx = 0
+            if self._leaf is not None:
+                self._tree.cache.touch(self._leaf.page_id)
+
+    @property
+    def valid(self) -> bool:
+        return self._leaf is not None
+
+    @property
+    def key(self) -> Any:
+        if self._leaf is None:
+            raise StorageError("cursor is exhausted")
+        return self._leaf.keys[self._idx]
+
+    @property
+    def value(self) -> Any:
+        if self._leaf is None:
+            raise StorageError("cursor is exhausted")
+        self._tree.cost_model.tuple_read()
+        return self._leaf.values[self._idx]
+
+    def advance(self) -> None:
+        """Move to the next key in order; cursor may become invalid."""
+        if self._leaf is None:
+            raise StorageError("cannot advance an exhausted cursor")
+        self._idx += 1
+        self._skip_exhausted_leaf()

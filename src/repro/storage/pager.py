@@ -1,0 +1,89 @@
+"""Page cache simulation for the storage engine.
+
+The B+-tree in :mod:`repro.storage.btree` keeps its nodes as Python
+objects, but every *access* to a node is routed through a
+:class:`PageCache`, which simulates a fixed-capacity LRU buffer pool in
+front of disk-resident pages.  A node access that misses the cache is
+charged as a page read against the active :class:`~repro.storage.cost.
+CostModel`; a hit is charged the (much cheaper) cache-hit cost.
+
+This gives the reproduction the property that matters for the paper's
+experiments: scanning a long posting list costs proportionally to its
+length in pages, re-visiting a hot index root is nearly free, and random
+probes into a large table keep missing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .cost import CostModel, GLOBAL_COST_MODEL
+
+
+class PageCache:
+    """An LRU cache over opaque page identifiers.
+
+    The cache does not hold page *contents* (nodes stay reachable as
+    Python objects); it tracks which page ids would be resident in a
+    buffer pool of ``capacity`` pages, and charges the cost model
+    accordingly on every touch.
+    """
+
+    def __init__(self, capacity: int = 4096, cost_model: CostModel | None = None):
+        if capacity < 1:
+            raise ValueError("page cache capacity must be >= 1")
+        self.capacity = capacity
+        self.cost_model = cost_model if cost_model is not None else GLOBAL_COST_MODEL
+        self._resident: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def touch(self, page_id: int) -> bool:
+        """Record an access to *page_id*; return True on a cache hit."""
+        if page_id in self._resident:
+            self._resident.move_to_end(page_id)
+            self.hits += 1
+            self.cost_model.page_hit()
+            return True
+        self.misses += 1
+        self.cost_model.page_read()
+        self._resident[page_id] = None
+        if len(self._resident) > self.capacity:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop *page_id* from the cache (page was freed or rewritten)."""
+        self._resident.pop(page_id, None)
+
+    def clear(self) -> None:
+        self._resident.clear()
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._resident
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PageIdAllocator:
+    """Hands out monotonically increasing page identifiers."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def allocate(self) -> int:
+        page_id = self._next
+        self._next += 1
+        return page_id
+
+    @property
+    def allocated(self) -> int:
+        return self._next

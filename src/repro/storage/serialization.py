@@ -1,0 +1,217 @@
+"""Binary codecs for table rows.
+
+The paper's tables live in BerkeleyDB, where every row has a concrete
+byte representation; the *size* of the RPL/ERPL representations is what
+the self-managing index advisor trades off against the disk budget
+``d``.  These codecs give every row in this reproduction a concrete
+binary encoding so that index sizes are measured in real bytes, and so
+that tables can be persisted to and reloaded from disk files.
+
+All integers are encoded as unsigned LEB128 varints (with zig-zag for
+signed values), strings as length-prefixed UTF-8, floats as IEEE-754
+doubles, and composite values as concatenations — a compact, self-
+delimiting format in the spirit of what a storage engine would use.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterable, Sequence
+
+from ..errors import CodecError
+
+__all__ = [
+    "Codec",
+    "UIntCodec",
+    "IntCodec",
+    "FloatCodec",
+    "StringCodec",
+    "BoolCodec",
+    "ListCodec",
+    "TupleCodec",
+    "encoded_size",
+]
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise CodecError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise CodecError("truncated uvarint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise CodecError("uvarint too long")
+
+
+class Codec:
+    """Base interface: encode into a bytearray, decode from bytes."""
+
+    def encode_into(self, out: bytearray, value: Any) -> None:
+        raise NotImplementedError
+
+    def decode_from(self, data: bytes, offset: int) -> tuple[Any, int]:
+        raise NotImplementedError
+
+    # Convenience wrappers -------------------------------------------------
+    def encode(self, value: Any) -> bytes:
+        out = bytearray()
+        self.encode_into(out, value)
+        return bytes(out)
+
+    def decode(self, data: bytes) -> Any:
+        value, offset = self.decode_from(data, 0)
+        if offset != len(data):
+            raise CodecError(f"{len(data) - offset} trailing bytes after decode")
+        return value
+
+
+class UIntCodec(Codec):
+    """Non-negative integers as LEB128 varints."""
+
+    def encode_into(self, out: bytearray, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise CodecError(f"expected int, got {type(value).__name__}")
+        _write_uvarint(out, value)
+
+    def decode_from(self, data: bytes, offset: int) -> tuple[int, int]:
+        return _read_uvarint(data, offset)
+
+
+class IntCodec(Codec):
+    """Signed integers, zig-zag mapped onto varints."""
+
+    def encode_into(self, out: bytearray, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise CodecError(f"expected int, got {type(value).__name__}")
+        zigzag = (value << 1) ^ (value >> 63) if -(1 << 63) <= value < (1 << 63) else None
+        if zigzag is None:
+            # Fall back to a sign-magnitude form for arbitrary precision.
+            raise CodecError(f"int out of 64-bit range: {value}")
+        _write_uvarint(out, zigzag & ((1 << 64) - 1))
+
+    def decode_from(self, data: bytes, offset: int) -> tuple[int, int]:
+        zigzag, offset = _read_uvarint(data, offset)
+        value = (zigzag >> 1) ^ -(zigzag & 1)
+        return value, offset
+
+
+class FloatCodec(Codec):
+    """IEEE-754 double precision, big endian."""
+
+    _packer = struct.Struct(">d")
+
+    def encode_into(self, out: bytearray, value: Any) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise CodecError(f"expected float, got {type(value).__name__}")
+        out.extend(self._packer.pack(float(value)))
+
+    def decode_from(self, data: bytes, offset: int) -> tuple[float, int]:
+        end = offset + self._packer.size
+        if end > len(data):
+            raise CodecError("truncated float")
+        return self._packer.unpack_from(data, offset)[0], end
+
+
+class StringCodec(Codec):
+    """Length-prefixed UTF-8."""
+
+    def encode_into(self, out: bytearray, value: Any) -> None:
+        if not isinstance(value, str):
+            raise CodecError(f"expected str, got {type(value).__name__}")
+        raw = value.encode("utf-8")
+        _write_uvarint(out, len(raw))
+        out.extend(raw)
+
+    def decode_from(self, data: bytes, offset: int) -> tuple[str, int]:
+        length, offset = _read_uvarint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise CodecError("truncated string")
+        return data[offset:end].decode("utf-8"), end
+
+
+class BoolCodec(Codec):
+    """Single byte 0/1."""
+
+    def encode_into(self, out: bytearray, value: Any) -> None:
+        if not isinstance(value, bool):
+            raise CodecError(f"expected bool, got {type(value).__name__}")
+        out.append(1 if value else 0)
+
+    def decode_from(self, data: bytes, offset: int) -> tuple[bool, int]:
+        if offset >= len(data):
+            raise CodecError("truncated bool")
+        byte = data[offset]
+        if byte not in (0, 1):
+            raise CodecError(f"invalid bool byte {byte}")
+        return bool(byte), offset + 1
+
+
+class ListCodec(Codec):
+    """Count-prefixed homogeneous list of an inner codec."""
+
+    def __init__(self, inner: Codec):
+        self.inner = inner
+
+    def encode_into(self, out: bytearray, value: Any) -> None:
+        if not isinstance(value, (list, tuple)):
+            raise CodecError(f"expected list, got {type(value).__name__}")
+        _write_uvarint(out, len(value))
+        for item in value:
+            self.inner.encode_into(out, item)
+
+    def decode_from(self, data: bytes, offset: int) -> tuple[list[Any], int]:
+        count, offset = _read_uvarint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = self.inner.decode_from(data, offset)
+            items.append(item)
+        return items, offset
+
+
+class TupleCodec(Codec):
+    """Fixed sequence of heterogeneous fields."""
+
+    def __init__(self, fields: Sequence[Codec]):
+        self.fields = tuple(fields)
+
+    def encode_into(self, out: bytearray, value: Any) -> None:
+        if not isinstance(value, (list, tuple)) or len(value) != len(self.fields):
+            raise CodecError(
+                f"expected sequence of {len(self.fields)} fields, got {value!r}")
+        for codec, item in zip(self.fields, value):
+            codec.encode_into(out, item)
+
+    def decode_from(self, data: bytes, offset: int) -> tuple[tuple[Any, ...], int]:
+        items = []
+        for codec in self.fields:
+            item, offset = codec.decode_from(data, offset)
+            items.append(item)
+        return tuple(items), offset
+
+
+def encoded_size(codec: Codec, values: Iterable[Any]) -> int:
+    """Total encoded size in bytes of *values* under *codec*."""
+    out = bytearray()
+    for value in values:
+        codec.encode_into(out, value)
+    return len(out)

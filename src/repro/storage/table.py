@@ -1,0 +1,286 @@
+"""Schema'd tables over the B+-tree, in the style of the paper's BDB tables.
+
+The paper stores four indexed tables::
+
+    Elements(SID, docid, endpos, length)
+    PostingLists(token, docid, offset, postingdataentry)
+    RPLs(token, ir, SID, docid, endpos, rpldataentry)
+    ERPLs(token, SID, docid, endpos, ir, erpldataentry)
+
+with the primary key underlined and "for each table, an index on the
+primary key provides a sequential access to the tuples".  This module
+provides exactly that abstraction: a :class:`Table` has named, typed
+columns, a key prefix, and supports point gets, prefix scans and
+ordered cursors.  Row bytes are accounted via the column codecs so that
+``size_bytes`` reports the real on-disk footprint, which the
+self-managing advisor uses as storage cost.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from ..errors import SchemaError, StorageError
+from .btree import BPlusTree, Cursor
+from .cost import CostModel, GLOBAL_COST_MODEL
+from .pager import PageCache
+from .serialization import (
+    BoolCodec,
+    Codec,
+    FloatCodec,
+    IntCodec,
+    ListCodec,
+    StringCodec,
+    TupleCodec,
+    UIntCodec,
+)
+
+__all__ = ["Column", "Schema", "Table", "column_codec"]
+
+_SCALAR_CODECS: dict[str, Codec] = {
+    "uint": UIntCodec(),
+    "int": IntCodec(),
+    "float": FloatCodec(),
+    "str": StringCodec(),
+    "bool": BoolCodec(),
+}
+
+
+def column_codec(type_name: str) -> Codec:
+    """Resolve a column type name to a codec.
+
+    Supported names: ``uint``, ``int``, ``float``, ``str``, ``bool``,
+    and ``list[...]`` / ``tuple[a,b,...]`` compositions thereof, e.g.
+    ``list[tuple[uint,uint]]`` for the paper's posting-data entries.
+    """
+    name = type_name.strip()
+    if name in _SCALAR_CODECS:
+        return _SCALAR_CODECS[name]
+    if name.startswith("list[") and name.endswith("]"):
+        return ListCodec(column_codec(name[5:-1]))
+    if name.startswith("tuple[") and name.endswith("]"):
+        inner = name[6:-1]
+        parts: list[str] = []
+        depth = 0
+        current = []
+        for ch in inner:
+            if ch == "," and depth == 0:
+                parts.append("".join(current))
+                current = []
+                continue
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            current.append(ch)
+        if current:
+            parts.append("".join(current))
+        return TupleCodec([column_codec(p) for p in parts])
+    raise SchemaError(f"unknown column type: {type_name!r}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed table column."""
+
+    name: str
+    type_name: str
+
+    @property
+    def codec(self) -> Codec:
+        return column_codec(self.type_name)
+
+
+class Schema:
+    """Column list plus the length of the primary-key prefix."""
+
+    def __init__(self, columns: Sequence[Column], key_length: int):
+        if not 1 <= key_length <= len(columns):
+            raise SchemaError("key_length must cover a non-empty column prefix")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self.columns = tuple(columns)
+        self.key_length = key_length
+        self._codecs = tuple(c.codec for c in columns)
+        self._row_codec = TupleCodec(self._codecs)
+        self._index = {c.name: i for i, c in enumerate(columns)}
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def key_columns(self) -> tuple[Column, ...]:
+        return self.columns[: self.key_length]
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def validate(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(row)} fields, schema has {len(self.columns)}")
+        return tuple(row)
+
+    def key_of(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        return tuple(row[: self.key_length])
+
+    def encode_row(self, row: Sequence[Any]) -> bytes:
+        return self._row_codec.encode(self.validate(row))
+
+    def decode_row(self, data: bytes) -> tuple[Any, ...]:
+        return self._row_codec.decode(data)
+
+    def row_size(self, row: Sequence[Any]) -> int:
+        return len(self.encode_row(row))
+
+
+class Table:
+    """An ordered table: rows stored by primary key in a B+-tree.
+
+    Rows are kept as decoded tuples for speed, but ``size_bytes`` tracks
+    the encoded footprint and ``save``/``load`` round-trip rows through
+    the binary codecs, so the encoding is always exercised.
+    """
+
+    def __init__(self, name: str, schema: Schema, *,
+                 cost_model: CostModel | None = None,
+                 cache: PageCache | None = None,
+                 btree_order: int = 64):
+        self.name = name
+        self.schema = schema
+        self.cost_model = cost_model if cost_model is not None else GLOBAL_COST_MODEL
+        self._tree = BPlusTree(order=btree_order, cache=cache, cost_model=self.cost_model)
+        self._size_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[Any]) -> None:
+        """Insert *row*; replaces any row with the same primary key."""
+        row = self.schema.validate(row)
+        key = self.schema.key_of(row)
+        encoded = self.schema.encode_row(row)
+        existing = self._tree.get(key)
+        if existing is not None:
+            self._size_bytes -= self.schema.row_size(existing)
+        self._tree.put(key, row)
+        self._size_bytes += len(encoded)
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def delete(self, key: Sequence[Any]) -> bool:
+        key = tuple(key)
+        existing = self._tree.get(key)
+        if existing is None:
+            return False
+        self._tree.delete(key)
+        self._size_bytes -= self.schema.row_size(existing)
+        return True
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def get(self, key: Sequence[Any]) -> tuple[Any, ...] | None:
+        """Point lookup by full primary key."""
+        key = tuple(key)
+        if len(key) != self.schema.key_length:
+            raise StorageError(
+                f"{self.name}: point lookup needs the full {self.schema.key_length}-column key")
+        return self._tree.get(key)
+
+    def seek(self, key_prefix: Sequence[Any]) -> Cursor:
+        """Cursor at the first row whose key is ``>=`` the given prefix.
+
+        Prefixes shorter than the key are padded conceptually with
+        minus infinity, which for tuple comparison means using the bare
+        prefix tuple (shorter tuples sort before their extensions).
+        """
+        return self._tree.seek(tuple(key_prefix))
+
+    def first(self) -> Cursor:
+        return self._tree.first()
+
+    def scan(self) -> Iterator[tuple[Any, ...]]:
+        """Yield every row in primary-key order."""
+        for _, row in self._tree.items():
+            yield row
+
+    def scan_prefix(self, key_prefix: Sequence[Any]) -> Iterator[tuple[Any, ...]]:
+        """Yield rows whose primary key starts with *key_prefix*, in order."""
+        prefix = tuple(key_prefix)
+        if len(prefix) > self.schema.key_length:
+            raise StorageError(f"{self.name}: prefix longer than key")
+        cursor = self._tree.seek(prefix)
+        plen = len(prefix)
+        while cursor.valid:
+            key = cursor.key
+            self.cost_model.compare()
+            if tuple(key[:plen]) != prefix:
+                return
+            yield cursor.value
+            cursor.advance()
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size of all rows (the table's simulated disk footprint)."""
+        return self._size_bytes
+
+    @property
+    def tree(self) -> BPlusTree:
+        return self._tree
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    MAGIC = b"TRXT\x01"
+
+    def save(self, path: str) -> None:
+        """Write all rows to *path* in a length-prefixed binary format."""
+        with open(path, "wb") as fh:
+            fh.write(self.MAGIC)
+            header = StringCodec().encode(self.name)
+            fh.write(len(header).to_bytes(4, "big"))
+            fh.write(header)
+            fh.write(len(self._tree).to_bytes(8, "big"))
+            for _, row in self._tree.items():
+                encoded = self.schema.encode_row(row)
+                fh.write(len(encoded).to_bytes(4, "big"))
+                fh.write(encoded)
+
+    def load(self, path: str) -> None:
+        """Replace this table's contents with rows read from *path*."""
+        with open(path, "rb") as fh:
+            data = fh.read()
+        stream = io.BytesIO(data)
+        if stream.read(len(self.MAGIC)) != self.MAGIC:
+            raise StorageError(f"{path}: bad magic, not a table file")
+        header_len = int.from_bytes(stream.read(4), "big")
+        name = StringCodec().decode(stream.read(header_len))
+        if name != self.name:
+            raise StorageError(f"{path}: table name mismatch ({name!r} != {self.name!r})")
+        count = int.from_bytes(stream.read(8), "big")
+        self._tree = BPlusTree(order=self._tree.order, cost_model=self.cost_model)
+        self._size_bytes = 0
+        items = []
+        for _ in range(count):
+            row_len = int.from_bytes(stream.read(4), "big")
+            encoded = stream.read(row_len)
+            if len(encoded) != row_len:
+                raise StorageError(f"{path}: truncated row")
+            row = self.schema.decode_row(encoded)
+            items.append((self.schema.key_of(row), row))
+            self._size_bytes += row_len
+        # Rows were saved in key order, so the bulk-load fast path applies.
+        self._tree.bulk_load(items)

@@ -1,0 +1,29 @@
+"""Structural summaries: tag, incoming, A(k), with alias variants."""
+
+from .base import ExtentInfo, PartitionSummary
+from .matcher import (
+    PathPattern,
+    PathStep,
+    match_path,
+    parse_path_pattern,
+    sids_for_pattern,
+)
+from .fbindex import FBIndex
+from .variants import AKIndex, IncomingSummary, TagSummary
+from .xpathdesc import extent_xpath, summary_xpaths
+
+__all__ = [
+    "ExtentInfo",
+    "PartitionSummary",
+    "PathPattern",
+    "PathStep",
+    "match_path",
+    "parse_path_pattern",
+    "sids_for_pattern",
+    "AKIndex",
+    "FBIndex",
+    "IncomingSummary",
+    "TagSummary",
+    "extent_xpath",
+    "summary_xpaths",
+]

@@ -1,0 +1,115 @@
+"""The F&B index: forward & backward bisimulation (Kaushik et al.).
+
+The paper (§2.1) lists the F&B-Index and F+B-Index among the summaries
+TReX can exploit, because their extents too "can be described using
+XPath expressions".  On tree-shaped data the F&B partition is the
+coarsest one stable under *both* the parent relation (backward — this
+alone yields the incoming summary) and the child relation (forward), so
+it distinguishes elements by their whole structural context, supporting
+branching path queries exactly.
+
+It is computed by partition refinement to a fixpoint: blocks start as
+canonical labels and are repeatedly split by (own block, parent block,
+multiset of child blocks).  Unlike the path-determined summaries, the
+group key is not a function of the incoming path alone — but extent
+intersection with a path pattern is still decided exactly from the
+extents' *observed* path sets, so query translation works unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..corpus.alias import AliasMapping
+from ..corpus.collection import Collection
+from ..errors import SummaryError
+from .base import ExtentInfo, PartitionSummary
+
+__all__ = ["FBIndex"]
+
+
+class FBIndex(PartitionSummary):
+    """Forward & backward bisimulation summary (fixpoint refinement)."""
+
+    name = "f&b"
+
+    def __init__(self, collection: Collection, alias: AliasMapping | None = None,
+                 max_rounds: int = 1000):
+        self.max_rounds = max_rounds
+        super().__init__(collection, alias)
+
+    def group_key(self, path) -> Hashable:  # pragma: no cover - never called
+        raise SummaryError("the F&B partition is not a function of the path")
+
+    def extend(self, document) -> None:
+        raise SummaryError(
+            "the F&B index is a global-refinement summary; adding a "
+            "document can re-split existing extents — rebuild it instead")
+
+    def _build(self) -> None:
+        # Gather the forest: per node, its canonical label/path, parent
+        # index and children indices.
+        labels: list[str] = []
+        paths: list[tuple[str, ...]] = []
+        parents: list[int] = []
+        children: list[list[int]] = []
+        keys: list[tuple[int, int]] = []  # (docid, end_pos)
+
+        def walk(docid: int, node, parent_index: int,
+                 parent_path: tuple[str, ...]) -> None:
+            index = len(labels)
+            label = self.alias.canonical(node.tag)
+            path = parent_path + (label,)
+            labels.append(label)
+            paths.append(path)
+            parents.append(parent_index)
+            children.append([])
+            keys.append((docid, node.end_pos))
+            if parent_index >= 0:
+                children[parent_index].append(index)
+            for child in node.children:
+                walk(docid, child, index, path)
+
+        for document in self.collection:
+            walk(document.docid, document.root, -1, ())
+
+        n = len(labels)
+        # Initial partition: canonical labels.
+        block_of_key: dict[Hashable, int] = {}
+        blocks = []
+        for label in labels:
+            if label not in block_of_key:
+                block_of_key[label] = len(block_of_key)
+            blocks.append(block_of_key[label])
+
+        # Refine by (own, parent, sorted children blocks) to fixpoint.
+        for _ in range(self.max_rounds):
+            signature_ids: dict[Hashable, int] = {}
+            new_blocks = [0] * n
+            for i in range(n):
+                parent_block = blocks[parents[i]] if parents[i] >= 0 else -1
+                child_blocks = tuple(sorted(blocks[c] for c in children[i]))
+                signature = (blocks[i], parent_block, child_blocks)
+                if signature not in signature_ids:
+                    signature_ids[signature] = len(signature_ids)
+                new_blocks[i] = signature_ids[signature]
+            if len(signature_ids) == len(set(blocks)):
+                blocks = new_blocks
+                break
+            blocks = new_blocks
+        else:
+            raise SummaryError(
+                f"F&B refinement did not converge in {self.max_rounds} rounds")
+
+        # Assign dense sids in first-encounter order and fill the extents.
+        block_to_sid: dict[int, int] = {}
+        for i in range(n):
+            sid = block_to_sid.get(blocks[i])
+            if sid is None:
+                sid = len(block_to_sid) + 1
+                block_to_sid[blocks[i]] = sid
+                self._extents[sid] = ExtentInfo(sid, labels[i])
+            info = self._extents[sid]
+            info.size += 1
+            info.paths.add(paths[i])
+            self._assignment[keys[i]] = sid

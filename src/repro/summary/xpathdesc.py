@@ -1,0 +1,42 @@
+"""XPath descriptions of summary extents.
+
+The paper notes that TReX "uses the alias incoming summary where the
+extents are described using XPath expressions" and that most summaries
+in the literature (dataguides, T-index, ToXin, A(k), F&B) can be so
+described.  This module renders the extent of any partition summary as
+an XPath union expression — useful for debugging, for documentation,
+and for interoperating with external XPath processors.
+"""
+
+from __future__ import annotations
+
+from .base import LabelPath, PartitionSummary
+
+__all__ = ["extent_xpath", "summary_xpaths"]
+
+
+def _path_xpath(path: LabelPath, *, anchored: bool) -> str:
+    """Render one label path as an XPath expression."""
+    if anchored:
+        return "/" + "/".join(path)
+    return "//" + "/".join(path)
+
+
+def extent_xpath(summary: PartitionSummary, sid: int) -> str:
+    """An XPath expression selecting exactly the extent of *sid*.
+
+    For summaries keyed on full incoming paths the expression is a
+    single absolute path; for coarser summaries (tag, A(k)) it is the
+    union of the observed paths.  Either way the expression is exact
+    for the collection the summary was built from.
+    """
+    paths = sorted(summary.paths_of(sid))
+    if len(paths) == 1:
+        return _path_xpath(paths[0], anchored=True)
+    # Union of the distinct paths this extent was observed under.
+    return " | ".join(_path_xpath(p, anchored=True) for p in paths)
+
+
+def summary_xpaths(summary: PartitionSummary) -> dict[int, str]:
+    """Map every sid of *summary* to its XPath description."""
+    return {sid: extent_xpath(summary, sid) for sid in summary.sids()}

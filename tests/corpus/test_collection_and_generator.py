@@ -1,0 +1,155 @@
+"""Tests for collections, alias mappings, and the synthetic generators."""
+
+import pytest
+
+from repro.corpus import (
+    AliasMapping,
+    Collection,
+    SyntheticIEEECorpus,
+    SyntheticWikipediaCorpus,
+    Tokenizer,
+    parse_document,
+)
+from repro.errors import TrexError
+
+
+def doc(text, docid=0):
+    return parse_document(text, docid, tokenizer=Tokenizer(stopwords=()))
+
+
+class TestCollection:
+    def test_add_and_lookup(self):
+        collection = Collection()
+        collection.add(doc("<a>x</a>", 1))
+        assert collection.document(1).root.tag == "a"
+        assert 1 in collection and 2 not in collection
+
+    def test_duplicate_docid_rejected(self):
+        collection = Collection()
+        collection.add(doc("<a/>", 1))
+        with pytest.raises(TrexError):
+            collection.add(doc("<b/>", 1))
+
+    def test_missing_docid(self):
+        with pytest.raises(TrexError):
+            Collection().document(9)
+
+    def test_stats_document_frequency(self):
+        collection = Collection.from_documents([
+            doc("<a>xml xml</a>", 0),
+            doc("<a>xml db</a>", 1),
+            doc("<a>db</a>", 2),
+        ])
+        stats = collection.stats
+        assert stats.num_documents == 3
+        assert stats.df("xml") == 2
+        assert stats.cf("xml") == 3
+        assert stats.df("db") == 2
+        assert stats.df("nope") == 0
+
+    def test_stats_elements(self):
+        collection = Collection.from_documents([doc("<a><b>x</b><c/></a>", 0)])
+        assert collection.stats.num_elements == 3
+        assert collection.stats.total_tokens == 1
+
+    def test_element_by_position(self):
+        collection = Collection.from_documents([doc("<a><b>x</b></a>", 0)])
+        b = collection.document(0).root.children[0]
+        assert collection.element_by_position(0, b.end_pos) is b
+        assert collection.element_by_position(5, 0) is None
+
+    def test_describe(self):
+        collection = Collection.from_documents([doc("<a>x y</a>", 0)], name="tiny")
+        info = collection.describe()
+        assert info["name"] == "tiny"
+        assert info["documents"] == 1
+        assert info["tokens"] == 2
+
+
+class TestAliasMapping:
+    def test_identity(self):
+        alias = AliasMapping.identity()
+        assert alias.canonical("anything") == "anything"
+        assert alias.is_identity()
+
+    def test_ieee_sections_fold(self):
+        alias = AliasMapping.inex_ieee()
+        assert alias.canonical("ss1") == "sec"
+        assert alias.canonical("ss2") == "sec"
+        assert alias.canonical("sec") == "sec"
+        assert alias.canonical("article") == "article"
+
+    def test_canonical_path(self):
+        alias = AliasMapping.inex_ieee()
+        assert alias.canonical_path(("article", "bdy", "ss1")) == ("article", "bdy", "sec")
+
+    def test_synonyms_of(self):
+        alias = AliasMapping.inex_ieee()
+        assert {"sec", "ss1", "ss2", "ss3"} <= set(alias.synonyms_of("sec"))
+
+    def test_chain_collapse(self):
+        alias = AliasMapping({"a": "b", "b": "c"})
+        assert alias.canonical("a") == "c"
+
+    def test_wikipedia(self):
+        alias = AliasMapping.inex_wikipedia()
+        assert alias.canonical("image") == "figure"
+        assert alias.canonical("subsection") == "section"
+
+
+class TestGenerators:
+    def test_ieee_deterministic(self):
+        gen1 = SyntheticIEEECorpus(num_docs=3, seed=7)
+        gen2 = SyntheticIEEECorpus(num_docs=3, seed=7)
+        assert [gen1.document_xml(i) for i in range(3)] == [gen2.document_xml(i) for i in range(3)]
+
+    def test_ieee_seed_changes_output(self):
+        a = SyntheticIEEECorpus(num_docs=1, seed=1).document_xml(0)
+        b = SyntheticIEEECorpus(num_docs=1, seed=2).document_xml(0)
+        assert a != b
+
+    def test_ieee_structure(self):
+        collection = SyntheticIEEECorpus(num_docs=5, seed=3).build()
+        assert len(collection) == 5
+        for document in collection:
+            root = document.root
+            assert root.tag == "books"
+            article = root.children[0].children[0]
+            assert article.tag == "article"
+            tags = {n.tag for n in document.elements()}
+            assert "bdy" in tags and "sec" in tags
+
+    def test_ieee_contains_synonym_tags(self):
+        collection = SyntheticIEEECorpus(num_docs=20, seed=3).build()
+        tags = set()
+        for document in collection:
+            tags.update(n.tag for n in document.elements())
+        assert "ss1" in tags  # synonyms present, alias summary will fold them
+
+    def test_ieee_topics_planted(self):
+        collection = SyntheticIEEECorpus(num_docs=30, seed=3).build()
+        stats = collection.stats
+        # Frequent topics must occur much more often than needle topics.
+        assert stats.cf("information") > stats.cf("synthesizers") >= 1
+        assert stats.cf("retrieval") > 0
+        assert stats.cf("ontologies") > 0
+
+    def test_wikipedia_structure(self):
+        collection = SyntheticWikipediaCorpus(num_docs=5, seed=3).build()
+        for document in collection:
+            assert document.root.tag == "article"
+            tags = {n.tag for n in document.elements()}
+            assert "body" in tags
+
+    def test_wikipedia_topics_planted(self):
+        collection = SyntheticWikipediaCorpus(num_docs=60, seed=3).build()
+        stats = collection.stats
+        assert stats.cf("algorithm") > stats.cf("flemish") >= 0
+        assert stats.cf("genetic") > 0
+
+    def test_collections_have_disjoint_vocab_prefixes(self):
+        ieee = SyntheticIEEECorpus(num_docs=2).build()
+        wiki = SyntheticWikipediaCorpus(num_docs=2).build()
+        ieee_bg = {t for t in ieee.stats.collection_frequency if t.startswith("w0")}
+        wiki_bg = {t for t in wiki.stats.collection_frequency if t.startswith("v0")}
+        assert ieee_bg and wiki_bg

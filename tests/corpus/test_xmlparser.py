@@ -1,0 +1,205 @@
+"""Tests for the positional XML parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import Tokenizer, XMLParser, parse_document, parse_xml
+from repro.errors import XMLParseError
+
+
+def tok():
+    return Tokenizer(stopwords=())
+
+
+class TestStructure:
+    def test_single_element(self):
+        root = parse_xml("<a></a>")
+        assert root.tag == "a"
+        assert root.children == []
+
+    def test_self_closing(self):
+        root = parse_xml("<a/>")
+        assert root.tag == "a"
+        assert root.length == 1
+
+    def test_nested_elements(self):
+        root = parse_xml("<a><b><c/></b><d/></a>")
+        assert [c.tag for c in root.children] == ["b", "d"]
+        assert root.children[0].children[0].tag == "c"
+
+    def test_parent_links(self):
+        root = parse_xml("<a><b/></a>")
+        assert root.children[0].parent is root
+        assert root.parent is None
+
+    def test_attributes(self):
+        root = parse_xml('<a x="1" y=\'two\'/>')
+        assert root.attributes == {"x": "1", "y": "two"}
+
+    def test_attribute_entities(self):
+        root = parse_xml('<a t="a&amp;b"/>')
+        assert root.attributes["t"] == "a&b"
+
+    def test_label_path(self):
+        root = parse_xml("<books><journal><article/></journal></books>")
+        article = root.children[0].children[0]
+        assert article.label_path() == ("books", "journal", "article")
+        assert article.depth() == 2
+
+    def test_prolog_comment_doctype_skipped(self):
+        text = '<?xml version="1.0"?><!-- hi --><!DOCTYPE a><a/>'
+        assert parse_xml(text).tag == "a"
+
+    def test_comments_inside_content(self):
+        doc = parse_document("<a>x <!-- skip me --> y</a>", tokenizer=tok())
+        assert [t.term for t in doc.tokens] == ["x", "y"]
+
+    def test_cdata(self):
+        doc = parse_document("<a><![CDATA[x <b> y]]></a>", tokenizer=tok())
+        assert [t.term for t in doc.tokens] == ["x", "b", "y"]
+
+    def test_processing_instruction_in_content(self):
+        doc = parse_document("<a>x<?pi data?>y</a>", tokenizer=tok())
+        assert [t.term for t in doc.tokens] == ["x", "y"]
+
+
+class TestErrors:
+    def test_mismatched_tags(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a></b>")
+
+    def test_unclosed_tag(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a><b></a>")
+
+    def test_unterminated_document(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a>text")
+
+    def test_trailing_content(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a/><b/>")
+
+    def test_unknown_entity(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a>&nbsp;</a>")
+
+    def test_unquoted_attribute(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a x=1/>")
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(XMLParseError):
+            parse_xml('<a x="1" x="2"/>')
+
+    def test_error_carries_location(self):
+        try:
+            parse_xml("<a>\n  <b></c>\n</a>")
+        except XMLParseError as err:
+            assert err.line == 2
+        else:
+            pytest.fail("expected XMLParseError")
+
+    def test_not_xml_at_all(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("just words")
+
+
+class TestEntities:
+    def test_predefined(self):
+        doc = parse_document("<a>x &amp; y &lt;tag&gt;</a>", tokenizer=tok())
+        assert [t.term for t in doc.tokens] == ["x", "y", "tag"]
+
+    def test_numeric_decimal_and_hex(self):
+        doc = parse_document("<a>&#65;&#x42;</a>", tokenizer=tok())
+        assert [t.term for t in doc.tokens] == ["ab"]
+
+
+class TestPositions:
+    """The positional model: tags and tokens each consume one position."""
+
+    def test_empty_element_positions(self):
+        root = parse_xml("<a></a>")
+        assert (root.start_pos, root.end_pos) == (0, 1)
+        assert root.length == 1
+
+    def test_tokens_strictly_inside(self):
+        doc = parse_document("<a>one two</a>", tokenizer=tok())
+        root = doc.root
+        assert root.start_pos == 0
+        assert [t.position for t in doc.tokens] == [1, 2]
+        assert root.end_pos == 3
+        for t in doc.tokens:
+            assert root.start_pos < t.position < root.end_pos
+
+    def test_nested_positions(self):
+        doc = parse_document("<a>x<b>y</b>z</a>", tokenizer=tok())
+        a, b = doc.root, doc.root.children[0]
+        # positions: <a>=0 x=1 <b>=2 y=3 </b>=4 z=5 </a>=6
+        assert (a.start_pos, a.end_pos) == (0, 6)
+        assert (b.start_pos, b.end_pos) == (2, 4)
+        assert [t.position for t in doc.tokens] == [1, 3, 5]
+        assert a.contains(b)
+        assert not b.contains(a)
+
+    def test_sibling_positions_disjoint(self):
+        doc = parse_document("<a><b>x</b><c>y</c></a>", tokenizer=tok())
+        b, c = doc.root.children
+        assert b.end_pos < c.start_pos
+
+    def test_position_count(self):
+        doc = parse_document("<a>x<b>y</b>z</a>", tokenizer=tok())
+        assert doc.position_count == 7
+
+    def test_stopwords_consume_no_position(self):
+        doc = parse_document("<a>the cat</a>", tokenizer=Tokenizer())
+        assert [t.term for t in doc.tokens] == ["cat"]
+        assert doc.root.end_pos == 2  # <a>=0 cat=1 </a>=2
+
+    def test_find_by_end(self):
+        doc = parse_document("<a><b>x</b></a>", tokenizer=tok())
+        b = doc.root.children[0]
+        assert doc.find_by_end(b.end_pos) is b
+        assert doc.find_by_end(999) is None
+
+    def test_tokens_in_span(self):
+        doc = parse_document("<a>x<b>y</b>z</a>", tokenizer=tok())
+        b = doc.root.children[0]
+        inside = doc.tokens_in_span(b.start_pos, b.end_pos)
+        assert [t.term for t in inside] == ["y"]
+
+
+@st.composite
+def xml_trees(draw, depth=0):
+    """Random small XML documents built from a fixed tag/word alphabet."""
+    tag = draw(st.sampled_from(["a", "b", "c", "sec"]))
+    n_children = 0 if depth >= 3 else draw(st.integers(0, 3))
+    words = draw(st.lists(st.sampled_from(["alpha", "beta", "gamma"]), max_size=4))
+    children = [draw(xml_trees(depth=depth + 1)) for _ in range(n_children)]
+    inner = " ".join(words) + "".join(children)
+    return f"<{tag}>{inner}</{tag}>"
+
+
+class TestPropertyBased:
+    @given(xml_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_positions_well_nested(self, text):
+        doc = parse_document(text, tokenizer=tok())
+        nodes = list(doc.elements())
+        for node in nodes:
+            assert node.start_pos < node.end_pos
+            if node.parent is not None:
+                assert node.parent.contains(node)
+        # all assigned positions are distinct
+        positions = [n.start_pos for n in nodes] + [n.end_pos for n in nodes]
+        positions += [t.position for t in doc.tokens]
+        assert len(positions) == len(set(positions))
+        assert sorted(positions) == list(range(doc.position_count))
+
+    @given(xml_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_token_count_matches_text(self, text):
+        doc = parse_document(text, tokenizer=tok())
+        raw_words = sum(text.count(w) for w in ("alpha", "beta", "gamma"))
+        assert len(doc.tokens) == raw_words

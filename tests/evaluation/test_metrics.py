@@ -1,0 +1,120 @@
+"""Tests for the effectiveness metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    average_precision,
+    f1_score,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+QRELS = {"a": 1.0, "b": 1.0, "c": 0.5, "z": 0.0}
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self):
+        assert precision_at_k(["a", "b", "c"], QRELS, 3) == 1.0
+        assert recall_at_k(["a", "b", "c"], QRELS, 3) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k(["a", "x"], QRELS, 2) == 0.5
+        assert recall_at_k(["a", "x"], QRELS, 2) == pytest.approx(1 / 3)
+
+    def test_zero_grade_counts_irrelevant(self):
+        assert precision_at_k(["z"], QRELS, 1) == 0.0
+
+    def test_short_ranking_pads(self):
+        # precision@10 of 2 relevant in a 2-long ranking is 0.2
+        assert precision_at_k(["a", "b"], QRELS, 10) == pytest.approx(0.2)
+
+    def test_empty(self):
+        assert precision_at_k([], QRELS, 5) == 0.0
+        assert recall_at_k(["a"], {}, 5) == 0.0
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], QRELS, 0)
+        with pytest.raises(ValueError):
+            ndcg_at_k(["a"], QRELS, 0)
+
+    def test_f1(self):
+        assert f1_score(["a", "b", "c"], QRELS, 3) == 1.0
+        assert f1_score(["x", "y"], QRELS, 2) == 0.0
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(["a", "b", "c"], QRELS) == 1.0
+
+    def test_interleaved(self):
+        # relevant at ranks 1 and 3 of {a,b,c} relevant (3 total)
+        ap = average_precision(["a", "x", "b"], QRELS)
+        assert ap == pytest.approx((1 / 1 + 2 / 3) / 3)
+
+    def test_none_found(self):
+        assert average_precision(["x", "y"], QRELS) == 0.0
+
+    def test_no_relevant(self):
+        assert average_precision(["a"], {"a": 0.0}) == 0.0
+
+
+class TestReciprocalRank:
+    def test_first(self):
+        assert reciprocal_rank(["a"], QRELS) == 1.0
+
+    def test_third(self):
+        assert reciprocal_rank(["x", "y", "b"], QRELS) == pytest.approx(1 / 3)
+
+    def test_missing(self):
+        assert reciprocal_rank(["x"], QRELS) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_graded(self):
+        assert ndcg_at_k(["a", "b", "c"], QRELS, 3) == pytest.approx(1.0)
+
+    def test_reversed_graded_worse(self):
+        good = ndcg_at_k(["a", "c"], QRELS, 2)
+        bad = ndcg_at_k(["c", "a"], QRELS, 2)
+        assert good > bad > 0
+
+    def test_no_relevant(self):
+        assert ndcg_at_k(["a"], {}, 5) == 0.0
+
+
+@st.composite
+def rankings(draw):
+    universe = [f"e{i}" for i in range(12)]
+    qrels = {key: draw(st.sampled_from([0.0, 0.5, 1.0])) for key in universe}
+    ranking = draw(st.permutations(universe))
+    k = draw(st.integers(1, 12))
+    return list(ranking), qrels, k
+
+
+class TestMetricProperties:
+    @given(rankings())
+    @settings(max_examples=150, deadline=None)
+    def test_all_metrics_in_unit_interval(self, data):
+        ranking, qrels, k = data
+        for value in (precision_at_k(ranking, qrels, k),
+                      recall_at_k(ranking, qrels, k),
+                      f1_score(ranking, qrels, k),
+                      average_precision(ranking, qrels),
+                      reciprocal_rank(ranking, qrels),
+                      ndcg_at_k(ranking, qrels, k)):
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(rankings())
+    @settings(max_examples=100, deadline=None)
+    def test_ideal_ranking_maximal(self, data):
+        _, qrels, k = data
+        ideal = sorted(qrels, key=lambda key: -qrels[key])
+        assert ndcg_at_k(ideal, qrels, k) in (0.0, pytest.approx(1.0))
+        relevant_count = sum(1 for g in qrels.values() if g > 0)
+        if relevant_count:
+            assert average_precision(ideal, qrels) == pytest.approx(1.0)

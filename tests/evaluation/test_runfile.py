@@ -1,0 +1,74 @@
+"""Tests for TREC/INEX-style run files."""
+
+import io
+
+import pytest
+
+from repro.errors import TrexError
+from repro.evaluation import read_run, write_run
+from repro.retrieval.result import EvaluationStats, ResultSet
+from repro.scoring import ScoredHit
+
+
+def make_result():
+    hits = [ScoredHit(0.75, 3, 120, sid=7, length=20),
+            ScoredHit(0.5, 1, 44, sid=7, length=10)]
+    return ResultSet(hits=hits, stats=EvaluationStats(method="merge"))
+
+
+class TestWriteRun:
+    def test_format(self):
+        out = io.StringIO()
+        count = write_run(out, "202", make_result(), tag="mytag")
+        assert count == 2
+        lines = out.getvalue().splitlines()
+        assert lines[0] == "202 Q0 3:120 1 0.75 mytag"
+        assert lines[1].startswith("202 Q0 1:44 2 0.5")
+
+    def test_accepts_plain_hit_list(self):
+        out = io.StringIO()
+        assert write_run(out, "t", [ScoredHit(1.0, 0, 9)]) == 1
+
+    def test_invalid_topic_or_tag(self):
+        out = io.StringIO()
+        with pytest.raises(TrexError):
+            write_run(out, "bad topic", make_result())
+        with pytest.raises(TrexError):
+            write_run(out, "t", make_result(), tag="bad tag")
+
+
+class TestReadRun:
+    def test_round_trip(self):
+        out = io.StringIO()
+        write_run(out, "202", make_result(), tag="x")
+        write_run(out, "203", make_result(), tag="x")
+        runs = read_run(io.StringIO(out.getvalue()))
+        assert set(runs) == {"202", "203"}
+        entries = runs["202"]
+        assert [e.element_key() for e in entries] == [(3, 120), (1, 44)]
+        assert entries[0].score == 0.75
+        assert entries[0].rank == 1 and entries[0].tag == "x"
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\n202 Q0 1:2 1 0.5 t\n"
+        runs = read_run(io.StringIO(text))
+        assert len(runs["202"]) == 1
+
+    def test_malformed_rejected(self):
+        with pytest.raises(TrexError):
+            read_run(io.StringIO("202 Q0 1:2 1 0.5\n"))  # 5 fields
+        with pytest.raises(TrexError):
+            read_run(io.StringIO("202 XX 1:2 1 0.5 t\n"))
+        with pytest.raises(TrexError):
+            read_run(io.StringIO("202 Q0 nodocid 1 0.5 t\n"))
+
+    def test_out_of_order_ranks_rejected(self):
+        text = "202 Q0 1:2 2 0.5 t\n202 Q0 1:3 1 0.9 t\n"
+        with pytest.raises(TrexError):
+            read_run(io.StringIO(text))
+
+    def test_scores_float_faithful(self):
+        out = io.StringIO()
+        write_run(out, "t", [ScoredHit(0.1234567890123456789, 0, 9)])
+        runs = read_run(io.StringIO(out.getvalue()))
+        assert runs["t"][0].score == 0.1234567890123456789

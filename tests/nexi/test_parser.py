@@ -1,0 +1,137 @@
+"""Tests for the NEXI parser over the paper's seven queries and more."""
+
+import pytest
+
+from repro.errors import NexiSyntaxError
+from repro.nexi import AboutClause, BooleanPredicate, parse_nexi
+
+PAPER_QUERIES = {
+    202: "//article[about(., ontologies)]//sec[about(., ontologies case study)]",
+    203: "//sec[about(., code signing verification)]",
+    233: "//article[about (.//bdy, synthesizers) and about (.//bdy, music)]",
+    260: "//bdy//*[about(., model checking state space explosion)]",
+    270: "//article//sec[about(., introduction information retrieval)]",
+    290: '//article[about(., genetic algorithm)]',
+    292: ('//article//figure[about(., Renaissance painting Italian '
+          'Flemish -French -German)]'),
+}
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("qid", sorted(PAPER_QUERIES))
+    def test_all_parse(self, qid):
+        query = parse_nexi(PAPER_QUERIES[qid])
+        assert query.steps
+
+    def test_202_two_steps_with_predicates(self):
+        query = parse_nexi(PAPER_QUERIES[202])
+        assert len(query.steps) == 2
+        assert str(query.full_pattern()) == "//article//sec"
+        clauses = list(query.about_clauses())
+        assert len(clauses) == 2
+        step0, about0 = clauses[0]
+        assert step0 == 0 and [k.text for k in about0.keywords] == ["ontologies"]
+        step1, about1 = clauses[1]
+        assert step1 == 1
+        assert [k.text for k in about1.keywords] == ["ontologies", "case", "study"]
+
+    def test_233_and_predicate_with_relative_paths(self):
+        query = parse_nexi(PAPER_QUERIES[233])
+        assert len(query.steps) == 1
+        predicate = query.steps[0].predicate
+        assert isinstance(predicate, BooleanPredicate) and predicate.op == "and"
+        lhs, rhs = predicate.operands
+        assert isinstance(lhs, AboutClause) and str(lhs.relative) == "//bdy"
+        assert [k.text for k in rhs.keywords] == ["music"]
+
+    def test_260_wildcard_target(self):
+        query = parse_nexi(PAPER_QUERIES[260])
+        assert str(query.full_pattern()) == "//bdy//*"
+
+    def test_270_no_predicate_on_first_step(self):
+        query = parse_nexi(PAPER_QUERIES[270])
+        assert str(query.full_pattern()) == "//article//sec"
+        assert len(list(query.about_clauses())) == 1
+
+    def test_292_minus_modifiers(self):
+        query = parse_nexi(PAPER_QUERIES[292])
+        (_, about), = list(query.about_clauses())
+        modifiers = {k.text: k.modifier for k in about.keywords}
+        assert modifiers["French"] == "-"
+        assert modifiers["German"] == "-"
+        assert modifiers["Renaissance"] == ""
+
+
+class TestSyntaxFeatures:
+    def test_plus_modifier(self):
+        query = parse_nexi('//sec[about(., +xml retrieval)]')
+        (_, about), = list(query.about_clauses())
+        assert about.keywords[0].modifier == "+"
+
+    def test_quoted_phrase(self):
+        query = parse_nexi('//sec[about(., "query evaluation" xml)]')
+        (_, about), = list(query.about_clauses())
+        assert about.keywords[0].phrase is True
+        assert about.keywords[0].words == ("query", "evaluation")
+        assert about.keywords[1].text == "xml"
+
+    def test_or_predicate(self):
+        query = parse_nexi("//a[about(., x) or about(., y)]")
+        predicate = query.steps[0].predicate
+        assert isinstance(predicate, BooleanPredicate) and predicate.op == "or"
+
+    def test_and_binds_tighter_than_or(self):
+        query = parse_nexi("//a[about(., x) or about(., y) and about(., z)]")
+        predicate = query.steps[0].predicate
+        assert predicate.op == "or"
+        assert isinstance(predicate.operands[1], BooleanPredicate)
+        assert predicate.operands[1].op == "and"
+
+    def test_parenthesized_predicate(self):
+        query = parse_nexi("//a[(about(., x) or about(., y)) and about(., z)]")
+        predicate = query.steps[0].predicate
+        assert predicate.op == "and"
+        assert isinstance(predicate.operands[0], BooleanPredicate)
+
+    def test_nested_relative_path(self):
+        query = parse_nexi("//a[about(.//b/c, x)]")
+        (_, about), = list(query.about_clauses())
+        assert str(about.relative) == "//b/c"
+
+    def test_whitespace_tolerated(self):
+        query = parse_nexi("  //a [ about ( . , x  y ) ] ")
+        (_, about), = list(query.about_clauses())
+        assert [k.text for k in about.keywords] == ["x", "y"]
+
+    def test_str_round_trip_parses(self):
+        for text in PAPER_QUERIES.values():
+            rendered = str(parse_nexi(text))
+            reparsed = parse_nexi(rendered)
+            assert str(reparsed) == rendered
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "article//sec",            # missing leading axis
+        "//a[about(., x)",         # unterminated predicate
+        "//a[about(, x)]",         # missing path
+        "//a[about(.)]",           # missing keywords
+        "//a[about(., )]",         # empty keywords
+        "//a[notafunc(., x)]",     # unknown predicate function
+        "//a[about(., \"unterminated)]",
+        "//a[]",
+        "//",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(NexiSyntaxError):
+            parse_nexi(bad)
+
+    def test_error_position_reported(self):
+        try:
+            parse_nexi("//a[xyz]")
+        except NexiSyntaxError as err:
+            assert err.position is not None
+        else:
+            pytest.fail("expected NexiSyntaxError")

@@ -1,0 +1,99 @@
+"""Property-based tests: random NEXI queries round-trip through the parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nexi import parse_nexi
+
+TAGS = ["article", "sec", "bdy", "p", "fig", "a1"]
+WORDS = ["xml", "query", "retrieval", "evaluation", "model", "data"]
+
+
+@st.composite
+def keywords(draw):
+    modifier = draw(st.sampled_from(["", "+", "-"]))
+    if draw(st.booleans()):
+        words = draw(st.lists(st.sampled_from(WORDS), min_size=2, max_size=3))
+        return f'{modifier}"{" ".join(words)}"'
+    return modifier + draw(st.sampled_from(WORDS))
+
+
+@st.composite
+def about_clauses(draw):
+    steps = draw(st.lists(st.sampled_from(TAGS), max_size=2))
+    relative = "." + "".join(f"//{tag}" for tag in steps)
+    kws = " ".join(draw(st.lists(keywords(), min_size=1, max_size=4)))
+    return f"about({relative}, {kws})"
+
+
+@st.composite
+def comparisons(draw):
+    tag = draw(st.sampled_from(TAGS))
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+    value = draw(st.integers(0, 3000))
+    return f".//{tag} {op} {value}"
+
+
+@st.composite
+def predicates(draw, depth=0):
+    kind = draw(st.sampled_from(["about", "about", "comparison", "bool"]))
+    if kind == "about" or depth >= 2:
+        return draw(about_clauses())
+    if kind == "comparison":
+        return draw(comparisons())
+    op = draw(st.sampled_from(["and", "or"]))
+    left = draw(predicates(depth=depth + 1))
+    right = draw(predicates(depth=depth + 1))
+    wrap = draw(st.booleans())
+    expr = f"{left} {op} {right}"
+    return f"({expr})" if wrap else expr
+
+
+@st.composite
+def nexi_queries(draw):
+    parts = []
+    for _ in range(draw(st.integers(1, 3))):
+        axis = draw(st.sampled_from(["//", "//", "/"]))
+        tag = draw(st.sampled_from(TAGS + ["*"]))
+        parts.append(f"{axis}{tag}")
+        if draw(st.booleans()):
+            parts.append(f"[{draw(predicates())}]")
+    text = "".join(parts)
+    if text.startswith("/") and not text.startswith("//"):
+        text = "/" + text  # ensure a valid leading axis form
+    return text
+
+
+class TestParserProperties:
+    @given(nexi_queries())
+    @settings(max_examples=200, deadline=None)
+    def test_random_queries_parse(self, text):
+        query = parse_nexi(text)
+        assert query.steps
+
+    @given(nexi_queries())
+    @settings(max_examples=150, deadline=None)
+    def test_render_reparse_fixpoint(self, text):
+        """str(parse(q)) must be parseable and stable."""
+        once = parse_nexi(text)
+        rendered = str(once)
+        twice = parse_nexi(rendered)
+        assert str(twice) == rendered
+        # same structural shape
+        assert len(twice.steps) == len(once.steps)
+        assert ([k for _, c in twice.about_clauses() for k in c.keywords]
+                == [k for _, c in once.about_clauses() for k in c.keywords])
+
+    @given(nexi_queries())
+    @settings(max_examples=100, deadline=None)
+    def test_translation_never_crashes(self, text):
+        from repro.corpus import Collection, Tokenizer, parse_document
+        from repro.nexi import translate_query
+        from repro.summary import IncomingSummary
+        collection = Collection.from_documents([parse_document(
+            "<article><sec><p>xml query</p></sec></article>", 0,
+            tokenizer=Tokenizer(stopwords=()))])
+        summary = IncomingSummary(collection)
+        translated = translate_query(parse_nexi(text), summary)
+        for clause in translated.clauses:
+            assert all(weight > 0 for _, weight in clause.term_weights)

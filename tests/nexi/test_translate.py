@@ -1,0 +1,118 @@
+"""Tests for the translation phase (query → sids and terms)."""
+
+import pytest
+
+from repro.corpus import AliasMapping, Collection, Tokenizer, parse_document
+from repro.nexi import parse_nexi, translate_query
+from repro.summary import IncomingSummary
+
+
+def build_collection(*texts):
+    tok = Tokenizer(stopwords=())
+    return Collection.from_documents(
+        parse_document(text, docid, tokenizer=tok) for docid, text in enumerate(texts))
+
+
+@pytest.fixture()
+def summary():
+    collection = build_collection(
+        "<books><journal><article>"
+        "<fm><abs>xml retrieval</abs></fm>"
+        "<bdy><sec><p>query evaluation</p></sec>"
+        "<sec><ss1><p>xml indexes</p></ss1></sec></bdy>"
+        "</article></journal></books>")
+    return IncomingSummary(collection, alias=AliasMapping.inex_ieee())
+
+
+class TestTranslateExample11:
+    """Paper §3.1 translation of Example 1.1."""
+
+    QUERY = "//article[about(., XML)]//sec[about(., query evaluation)]"
+
+    def test_two_clauses(self, summary):
+        translated = translate_query(parse_nexi(self.QUERY), summary)
+        assert len(translated.clauses) == 2
+
+    def test_article_clause(self, summary):
+        translated = translate_query(parse_nexi(self.QUERY), summary)
+        article_clause = translated.clauses[0]
+        assert article_clause.terms == ("xml",)
+        assert len(article_clause.sids) == 1
+        assert summary.label(next(iter(article_clause.sids))) == "article"
+        assert not article_clause.is_target
+
+    def test_sec_clause_is_target(self, summary):
+        translated = translate_query(parse_nexi(self.QUERY), summary)
+        sec_clause = translated.clauses[1]
+        assert set(sec_clause.terms) == {"evaluation", "query"}
+        assert sec_clause.is_target
+        for sid in sec_clause.sids:
+            assert summary.label(sid) == "sec"
+        # both sec and the folded ss1 paths
+        assert len(sec_clause.sids) == 2
+
+    def test_target_sids_equal_last_clause_sids(self, summary):
+        translated = translate_query(parse_nexi(self.QUERY), summary)
+        assert translated.target_sids == translated.clauses[1].sids
+
+    def test_table1_style_counts(self, summary):
+        translated = translate_query(parse_nexi(self.QUERY), summary)
+        assert translated.num_sids == 3  # 1 article + 2 sec
+        assert translated.num_terms == 3  # xml, query, evaluation
+
+
+class TestKeywordHandling:
+    def test_stopwords_dropped_from_terms(self, summary):
+        translated = translate_query(
+            parse_nexi("//sec[about(., the query of evaluation)]"), summary)
+        assert set(translated.clauses[0].terms) == {"query", "evaluation"}
+
+    def test_minus_terms_excluded_but_recorded(self, summary):
+        translated = translate_query(
+            parse_nexi("//sec[about(., query -evaluation)]"), summary)
+        clause = translated.clauses[0]
+        assert clause.terms == ("query",)
+        assert clause.excluded_terms == ("evaluation",)
+        assert translated.num_terms == 2  # Table 1 counts both
+
+    def test_plus_terms_weighted(self, summary):
+        translated = translate_query(
+            parse_nexi("//sec[about(., +query evaluation)]"), summary)
+        clause = translated.clauses[0]
+        assert clause.weight_of("query") == 2.0
+        assert clause.weight_of("evaluation") == 1.0
+        assert clause.weight_of("absent") == 0.0
+
+    def test_phrase_contributes_words(self, summary):
+        translated = translate_query(
+            parse_nexi('//sec[about(., "query evaluation")]'), summary)
+        assert set(translated.clauses[0].terms) == {"query", "evaluation"}
+
+    def test_duplicate_terms_deduplicated(self, summary):
+        translated = translate_query(
+            parse_nexi("//sec[about(., query query)]"), summary)
+        assert translated.clauses[0].terms == ("query",)
+
+
+class TestVagueVsStrict:
+    def test_vague_accepts_synonym_tag(self, summary):
+        vague = translate_query(parse_nexi("//article//ss1[about(., xml)]"),
+                                summary, vague=True)
+        strict = translate_query(parse_nexi("//article//ss1[about(., xml)]"),
+                                 summary, vague=False)
+        assert len(vague.clauses[0].sids) == 2  # ss1 → sec
+        assert len(strict.clauses[0].sids) == 0
+
+    def test_relative_path_clause(self, summary):
+        translated = translate_query(
+            parse_nexi("//article[about(.//sec, query)]"), summary)
+        clause = translated.clauses[0]
+        assert not clause.is_target  # attached to .//sec, not '.'
+        for sid in clause.sids:
+            assert summary.label(sid) == "sec"
+
+    def test_support_and_target_partition(self, summary):
+        translated = translate_query(parse_nexi(
+            "//article[about(., xml)]//sec[about(., query)]"), summary)
+        assert len(translated.support_clauses) == 1
+        assert len(translated.target_clauses) == 1

@@ -1,0 +1,92 @@
+"""Edge-case coverage for the engine: method choice, modes, validation."""
+
+import pytest
+
+from repro.corpus import Collection, Tokenizer, parse_document
+from repro.errors import RetrievalError
+from repro.retrieval import TrexEngine
+from repro.summary import IncomingSummary
+
+
+def build_collection(*texts):
+    tok = Tokenizer(stopwords=())
+    return Collection.from_documents(
+        parse_document(text, docid, tokenizer=tok) for docid, text in enumerate(texts))
+
+
+@pytest.fixture()
+def engine():
+    collection = build_collection(
+        "<a><sec>xml retrieval</sec></a>",
+        "<a><sec>xml indexes</sec></a>")
+    return TrexEngine(collection, IncomingSummary(collection),
+                      tokenizer=Tokenizer(stopwords=()))
+
+
+class TestValidation:
+    def test_k_zero_rejected(self, engine):
+        with pytest.raises(RetrievalError):
+            engine.evaluate("//sec[about(., xml)]", k=0)
+
+    def test_k_negative_rejected(self, engine):
+        with pytest.raises(RetrievalError):
+            engine.evaluate("//sec[about(., xml)]", k=-3)
+
+    def test_bad_materialize_scope(self, engine):
+        with pytest.raises(RetrievalError):
+            engine.materialize_for_query("//sec[about(., xml)]", scope="galactic")
+
+
+class TestChooseMethodWithoutAutoMaterialize:
+    def test_era_when_nothing_materialized(self, engine):
+        engine.auto_materialize = False
+        translated = engine.translate("//sec[about(., xml)]")
+        assert engine.choose_method(translated, k=5) == "era"
+
+    def test_ta_when_only_rpl(self, engine):
+        engine.materialize_rpl("xml")
+        engine.auto_materialize = False
+        translated = engine.translate("//sec[about(., xml)]")
+        assert engine.choose_method(translated, k=5) == "ta"
+
+    def test_merge_when_erpl_available(self, engine):
+        engine.materialize_erpl("xml")
+        engine.auto_materialize = False
+        translated = engine.translate("//sec[about(., xml)]")
+        assert engine.choose_method(translated, k=None) == "merge"
+
+    def test_small_k_prefers_ta_when_both(self, engine):
+        engine.materialize_rpl("xml")
+        engine.materialize_erpl("xml")
+        engine.auto_materialize = False
+        translated = engine.translate("//sec[about(., xml)]")
+        assert engine.choose_method(translated, k=3) == "ta"
+        assert engine.choose_method(translated, k=500) == "merge"
+
+
+class TestRaceInNexiMode:
+    def test_race_nexi_mode(self, engine):
+        result = engine.evaluate("//sec[about(., xml)]", k=2, method="race")
+        assert result.stats.method in ("race(ta)", "race(merge)")
+        era = engine.evaluate("//sec[about(., xml)]", k=2, method="era")
+        assert result.element_keys() == era.element_keys()
+
+
+class TestFlatTermWeights:
+    def test_max_weight_wins_across_clauses(self, engine):
+        translated = engine.translate(
+            "//a[about(., xml)]//sec[about(., +xml retrieval)]")
+        weights = translated.flat_term_weights()
+        assert weights["xml"] == 2.0  # emphasized in one clause
+        assert weights["retrieval"] == 1.0
+
+
+class TestEmptyClauseHandling:
+    def test_query_with_unmatched_structure(self, engine):
+        result = engine.evaluate("//nonexistenttag[about(., xml)]", method="era")
+        assert result.hits == []
+
+    def test_query_with_only_stopword_keywords(self, engine):
+        eng = TrexEngine(engine.collection, engine.summary)  # default stopwords
+        result = eng.evaluate("//sec[about(., the of and)]", method="era")
+        assert result.hits == []

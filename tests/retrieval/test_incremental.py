@@ -1,0 +1,125 @@
+"""Tests for incremental document addition and index maintenance."""
+
+import pytest
+
+from repro.corpus import Collection, Tokenizer, parse_document
+from repro.errors import SummaryError, TrexError
+from repro.index.postings import extend_posting_lists
+from repro.retrieval import TrexEngine
+from repro.summary import FBIndex, IncomingSummary
+
+
+def build_collection(*texts):
+    tok = Tokenizer(stopwords=())
+    return Collection.from_documents(
+        parse_document(text, docid, tokenizer=tok) for docid, text in enumerate(texts))
+
+
+@pytest.fixture()
+def engine():
+    collection = build_collection(
+        "<a><sec>xml retrieval</sec></a>",
+        "<a><sec>databases</sec></a>",
+    )
+    return TrexEngine(collection, IncomingSummary(collection),
+                      tokenizer=Tokenizer(stopwords=()))
+
+
+class TestAddDocument:
+    def test_new_document_becomes_searchable(self, engine):
+        before = len(engine.evaluate("//sec[about(., xml)]", method="era").hits)
+        engine.add_document("<a><sec>more xml content</sec></a>")
+        after = engine.evaluate("//sec[about(., xml)]", method="era")
+        assert len(after.hits) == before + 1
+        assert {h.docid for h in after.hits} == {0, 2}
+
+    def test_docid_assigned_automatically(self, engine):
+        document = engine.add_document("<a><sec>fresh</sec></a>")
+        assert document.docid == 2
+        another = engine.add_document("<a><sec>fresher</sec></a>")
+        assert another.docid == 3
+
+    def test_explicit_docid_conflict_rejected(self, engine):
+        with pytest.raises(TrexError):
+            engine.add_document("<a><sec>dup</sec></a>", docid=0)
+
+    def test_new_paths_get_new_sids(self, engine):
+        before = engine.summary.sid_count
+        engine.add_document("<a><appendix>extra</appendix></a>")
+        assert engine.summary.sid_count == before + 1
+        result = engine.evaluate("//appendix[about(., extra)]", method="era")
+        assert len(result.hits) == 1
+
+    def test_elements_table_updated(self, engine):
+        rows_before = len(engine.elements)
+        document = engine.add_document("<a><sec>x y</sec></a>")
+        assert len(engine.elements) == rows_before + document.element_count()
+
+    def test_affected_segments_dropped(self, engine):
+        engine.materialize_rpl("xml")
+        engine.materialize_rpl("databases")
+        engine.add_document("<a><sec>xml again</sec></a>")
+        # 'xml' segment stale -> dropped; 'databases' untouched -> kept.
+        assert engine.catalog.find_segment("rpl", "xml", set()) is None
+        assert engine.catalog.find_segment("rpl", "databases", set()) is not None
+
+    def test_methods_agree_after_adds(self, engine):
+        engine.add_document("<a><sec>xml xml retrieval</sec></a>")
+        engine.add_document("<a><sec>retrieval only</sec></a>")
+        query = "//sec[about(., xml retrieval)]"
+        era = engine.evaluate(query, method="era")
+        merge = engine.evaluate(query, method="merge")
+        ta = engine.evaluate(query, k=10, method="ta")
+        reference = [(h.element_key(), round(h.score, 9)) for h in era.hits]
+        assert [(h.element_key(), round(h.score, 9)) for h in merge.hits] == reference
+        assert [(h.element_key(), round(h.score, 9)) for h in ta.hits] == reference[:10]
+
+    def test_fb_index_refuses_extension(self):
+        collection = build_collection("<a><sec>x</sec></a>")
+        engine = TrexEngine(collection, FBIndex(collection),
+                            tokenizer=Tokenizer(stopwords=()))
+        with pytest.raises(SummaryError):
+            engine.add_document("<a><sec>y</sec></a>")
+
+    def test_add_not_charged(self, engine):
+        before = engine.cost_model.total_cost
+        engine.add_document("<a><sec>quiet</sec></a>")
+        assert engine.cost_model.total_cost == before
+
+
+class TestRebuildScorer:
+    def test_rebuild_refreshes_stats_and_drops_segments(self, engine):
+        engine.materialize_rpl("xml")
+        old_scorer = engine.scorer
+        engine.add_document("<a><sec>xml xml</sec></a>")
+        engine.rebuild_scorer()
+        assert engine.scorer is not old_scorer
+        assert engine.scorer.stats.num_documents == 3
+        assert list(engine.catalog.segments()) == []
+
+    def test_rebuild_with_custom_factory(self, engine):
+        from repro.scoring import TfIdfScorer
+        engine.rebuild_scorer(lambda stats: TfIdfScorer(stats))
+        assert isinstance(engine.scorer, TfIdfScorer)
+
+
+class TestExtendPostingLists:
+    def test_merges_positions_in_order(self):
+        collection = build_collection("<a>xml db</a>")
+        from repro.index import build_posting_lists_table
+        from repro.storage import free_cost_model
+        table = build_posting_lists_table(collection, cost_model=free_cost_model(),
+                                          fragment_size=2)
+        new_doc = parse_document("<a>xml xml</a>", 1,
+                                 tokenizer=Tokenizer(stopwords=()))
+        affected = extend_posting_lists(table, new_doc, fragment_size=2)
+        assert affected == {"xml"}
+        rows = list(table.scan_prefix(("xml",)))
+        positions = [tuple(p) for row in rows for p in row[3]]
+        from repro.corpus import M_POS
+        assert positions[-1] == M_POS
+        real = positions[:-1]
+        assert len(real) == 3
+        assert real == sorted(real)
+        # exactly one sentinel in the whole list
+        assert positions.count(M_POS) == 1

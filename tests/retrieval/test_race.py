@@ -1,0 +1,72 @@
+"""Tests for the race strategy (paper §4's parallel TA+Merge idea)."""
+
+import pytest
+
+from repro.corpus import AliasMapping, SyntheticIEEECorpus
+from repro.retrieval import RaceOutcome, TrexEngine, race
+from repro.retrieval.result import EvaluationStats
+from repro.scoring import ScoredHit
+from repro.summary import IncomingSummary
+
+
+def run(method_cost, hits=None, method="x"):
+    stats = EvaluationStats(method=method, cost=method_cost,
+                            ideal_cost=method_cost / 2)
+    return (hits if hits is not None else [ScoredHit(1.0, 0, 10)], stats)
+
+
+class TestRaceCombinator:
+    def test_ta_wins(self):
+        outcome = race(run(10.0, method="ta"), run(50.0, method="merge"))
+        assert outcome.winner == "ta"
+        assert outcome.latency == 10.0
+        assert outcome.work == 20.0
+        assert outcome.loser_cost == 50.0
+        assert outcome.stats.method == "race(ta)"
+
+    def test_merge_wins(self):
+        outcome = race(run(80.0), run(30.0))
+        assert outcome.winner == "merge"
+        assert outcome.latency == 30.0
+
+    def test_tie_goes_to_ta(self):
+        outcome = race(run(30.0), run(30.0))
+        assert outcome.winner == "ta"
+
+    def test_hits_come_from_winner(self):
+        ta_hits = [ScoredHit(9.0, 1, 11)]
+        merge_hits = [ScoredHit(9.0, 2, 22)]
+        outcome = race(run(10.0, ta_hits), run(50.0, merge_hits))
+        assert outcome.hits is ta_hits
+
+
+class TestRaceInEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        collection = SyntheticIEEECorpus(num_docs=8, seed=77).build()
+        return TrexEngine(collection,
+                          IncomingSummary(collection, alias=AliasMapping.inex_ieee()))
+
+    def test_race_matches_individual_winner(self, engine):
+        query = "//sec[about(., information retrieval)]"
+        ta = engine.evaluate(query, k=5, method="ta", mode="flat")
+        merge = engine.evaluate(query, k=5, method="merge", mode="flat")
+        raced = engine.evaluate(query, k=5, method="race", mode="flat")
+        assert raced.stats.cost == pytest.approx(min(ta.stats.cost,
+                                                     merge.stats.cost))
+        assert raced.stats.method in ("race(ta)", "race(merge)")
+
+    def test_race_results_correct(self, engine):
+        query = "//sec[about(., information retrieval)]"
+        era = engine.evaluate(query, k=5, method="era", mode="flat")
+        raced = engine.evaluate(query, k=5, method="race", mode="flat")
+        assert ([(h.element_key(), round(h.score, 9)) for h in raced.hits]
+                == [(h.element_key(), round(h.score, 9)) for h in era.hits])
+
+    def test_race_never_worse_than_either(self, engine):
+        for query in ("//sec[about(., code)]", "//article[about(., ontologies)]"):
+            ta = engine.evaluate(query, k=3, method="ta", mode="flat")
+            merge = engine.evaluate(query, k=3, method="merge", mode="flat")
+            raced = engine.evaluate(query, k=3, method="race", mode="flat")
+            assert raced.stats.cost <= ta.stats.cost + 1e-9
+            assert raced.stats.cost <= merge.stats.cost + 1e-9

@@ -1,0 +1,71 @@
+"""Tests for keyword-in-context snippets."""
+
+import pytest
+
+from repro.corpus import Collection, Tokenizer, parse_document
+from repro.retrieval import TrexEngine, make_snippet
+from repro.scoring import ScoredHit
+from repro.summary import IncomingSummary
+
+
+def build_collection(*texts):
+    tok = Tokenizer(stopwords=())
+    return Collection.from_documents(
+        parse_document(text, docid, tokenizer=tok) for docid, text in enumerate(texts))
+
+
+@pytest.fixture()
+def engine():
+    words = " ".join(f"filler{i}" for i in range(30))
+    collection = build_collection(
+        f"<a><sec>{words} xml retrieval systems {words}</sec></a>")
+    return TrexEngine(collection, IncomingSummary(collection),
+                      tokenizer=Tokenizer(stopwords=()))
+
+
+class TestMakeSnippet:
+    def test_snippet_centres_on_matches(self, engine):
+        hit = engine.evaluate("//sec[about(., xml retrieval)]",
+                              method="era").hits[0]
+        snippet = make_snippet(engine.collection, hit, {"xml", "retrieval"})
+        assert "xml" in snippet.words and "retrieval" in snippet.words
+        assert snippet.matches
+        assert snippet.leading_gap and snippet.trailing_gap
+
+    def test_highlighting(self, engine):
+        hit = engine.evaluate("//sec[about(., xml)]", method="era").hits[0]
+        snippet = make_snippet(engine.collection, hit, {"xml"})
+        assert "[xml]" in snippet.text()
+        assert "«xml»" in snippet.text(highlight="«{}»")
+
+    def test_window_respected(self, engine):
+        hit = engine.evaluate("//sec[about(., xml)]", method="era").hits[0]
+        snippet = make_snippet(engine.collection, hit, {"xml"}, window=5)
+        assert len(snippet.words) <= 5
+
+    def test_short_element_no_gaps(self):
+        collection = build_collection("<a><sec>xml db</sec></a>")
+        engine = TrexEngine(collection, IncomingSummary(collection),
+                            tokenizer=Tokenizer(stopwords=()))
+        hit = engine.evaluate("//sec[about(., xml)]", method="era").hits[0]
+        snippet = make_snippet(collection, hit, {"xml"})
+        assert snippet.words == ["xml", "db"]
+        assert not snippet.leading_gap and not snippet.trailing_gap
+
+    def test_empty_element(self):
+        collection = build_collection("<a><sec></sec><p>xml</p></a>")
+        sec = collection.document(0).root.children[0]
+        hit = ScoredHit(1.0, 0, sec.end_pos, length=sec.length)
+        snippet = make_snippet(collection, hit, {"xml"})
+        assert not snippet
+        assert snippet.text() == ""
+
+    def test_bad_window(self, engine):
+        hit = ScoredHit(1.0, 0, 5, length=3)
+        with pytest.raises(ValueError):
+            make_snippet(engine.collection, hit, {"xml"}, window=0)
+
+    def test_no_matching_terms_still_returns_text(self, engine):
+        hit = engine.evaluate("//sec[about(., xml)]", method="era").hits[0]
+        snippet = make_snippet(engine.collection, hit, {"absentterm"})
+        assert snippet.words and not snippet.matches

@@ -1,0 +1,93 @@
+"""Property-based equivalence of TA and Merge on random catalogs.
+
+Rather than going through a corpus, these tests generate random scored
+element entries directly, materialize them as both RPL and ERPL
+segments, and check the core contract: for any entry set, any sid
+filter, and any k, the threshold algorithm's top-k equals the prefix of
+Merge's full ranking (scores compared exactly — both must compute the
+same sums).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import IndexCatalog, RplEntry
+from repro.retrieval import merge_retrieve, ta_retrieve
+from repro.storage import CostModel
+
+
+@st.composite
+def catalogs(draw):
+    """Random entries for 1-3 terms over a small universe of elements."""
+    num_terms = draw(st.integers(1, 3))
+    terms = [f"t{i}" for i in range(num_terms)]
+    entries_by_term = {}
+    for term in terms:
+        count = draw(st.integers(0, 25))
+        entries = []
+        used = set()
+        for _ in range(count):
+            docid = draw(st.integers(0, 4))
+            endpos = draw(st.integers(1, 10)) * 10
+            if (docid, endpos) in used:
+                continue
+            used.add((docid, endpos))
+            sid = draw(st.integers(1, 3))
+            score = draw(st.floats(0.01, 10.0, allow_nan=False))
+            entries.append(RplEntry(round(score, 4), sid, docid, endpos, 5))
+        entries.sort(key=lambda e: (-e.score, e.docid, e.endpos))
+        entries_by_term[term] = entries
+    sids = draw(st.sets(st.integers(1, 3), min_size=1, max_size=3))
+    k = draw(st.integers(1, 30))
+    return entries_by_term, sids, k
+
+
+class TestTaMergeEquivalence:
+    @given(catalogs())
+    @settings(max_examples=120, deadline=None)
+    def test_ta_topk_equals_merge_prefix(self, data):
+        entries_by_term, sids, k = data
+        catalog = IndexCatalog(cost_model=CostModel())
+        rpl_segments = {}
+        erpl_segments = {}
+        for term, entries in entries_by_term.items():
+            rpl_segments[term] = catalog.add_rpl_segment(term, entries)
+            erpl_segments[term] = catalog.add_erpl_segment(term, entries)
+
+        merge_hits, _ = merge_retrieve(catalog, erpl_segments, sids,
+                                       CostModel())
+        ta_hits, _ = ta_retrieve(catalog, rpl_segments, sids, k, CostModel())
+
+        expected = [(h.element_key(), round(h.score, 9))
+                    for h in merge_hits[:k]]
+        actual = [(h.element_key(), round(h.score, 9)) for h in ta_hits]
+        assert actual == expected
+
+    @given(catalogs())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_scores_are_exact_sums(self, data):
+        entries_by_term, sids, _ = data
+        catalog = IndexCatalog(cost_model=CostModel())
+        segments = {}
+        expected_scores: dict[tuple[int, int], float] = {}
+        for term, entries in entries_by_term.items():
+            segments[term] = catalog.add_erpl_segment(term, entries)
+            for entry in entries:
+                if entry.sid in sids:
+                    key = entry.element_key()
+                    expected_scores[key] = expected_scores.get(key, 0.0) + entry.score
+        hits, _ = merge_retrieve(catalog, segments, sids, CostModel())
+        assert {h.element_key(): round(h.score, 9) for h in hits} == {
+            key: round(score, 9) for key, score in expected_scores.items()}
+
+    @given(catalogs())
+    @settings(max_examples=60, deadline=None)
+    def test_ta_cost_never_below_ideal(self, data):
+        entries_by_term, sids, k = data
+        catalog = IndexCatalog(cost_model=CostModel())
+        segments = {term: catalog.add_rpl_segment(term, entries)
+                    for term, entries in entries_by_term.items()}
+        _, stats = ta_retrieve(catalog, segments, sids, k, CostModel())
+        assert stats.cost >= stats.ideal_cost
+        for term, depth in stats.list_depths.items():
+            assert depth <= stats.list_lengths[term]

@@ -1,0 +1,100 @@
+"""Tests for TA-RA, the classic random-access threshold algorithm."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import IndexCatalog, RplEntry
+from repro.retrieval import merge_retrieve, ta_ra_retrieve, ta_retrieve
+from repro.storage import CostModel
+
+
+def build_catalog(entries_by_term):
+    catalog = IndexCatalog(cost_model=CostModel())
+    rpls, erpls = {}, {}
+    for term, entries in entries_by_term.items():
+        ordered = sorted(entries, key=lambda e: (-e.score, e.docid, e.endpos))
+        rpls[term] = catalog.add_rpl_segment(term, ordered)
+        erpls[term] = catalog.add_erpl_segment(term, ordered)
+    return catalog, rpls, erpls
+
+
+def skewed(n=100, sids=(1,), offset=0):
+    return [RplEntry(50.0 / (rank + 1 + offset), sids[rank % len(sids)],
+                     rank // 10, 10 + (rank % 10) * 20, 5)
+            for rank in range(n)]
+
+
+class TestTaRa:
+    def test_k_validation(self):
+        catalog, rpls, erpls = build_catalog({"xml": skewed()})
+        with pytest.raises(ValueError):
+            ta_ra_retrieve(catalog, rpls, erpls, {1}, 0, CostModel())
+
+    def test_mismatched_segments_rejected(self):
+        catalog, rpls, erpls = build_catalog({"xml": skewed()})
+        with pytest.raises(ValueError):
+            ta_ra_retrieve(catalog, rpls, {}, {1}, 1, CostModel())
+
+    def test_matches_merge_prefix(self):
+        entries = {"a": skewed(80), "b": skewed(80, offset=3)}
+        catalog, rpls, erpls = build_catalog(entries)
+        merge_hits, _ = merge_retrieve(catalog, erpls, {1}, CostModel())
+        ra_hits, _ = ta_ra_retrieve(catalog, rpls, erpls, {1}, 10, CostModel())
+        assert ([(h.element_key(), round(h.score, 9)) for h in ra_hits]
+                == [(h.element_key(), round(h.score, 9)) for h in merge_hits[:10]])
+
+    def test_stops_earlier_than_nra_on_skewed_lists(self):
+        entries = {"a": skewed(400), "b": skewed(400, offset=7)}
+        catalog, rpls, erpls = build_catalog(entries)
+        _, ra_stats = ta_ra_retrieve(catalog, rpls, erpls, {1}, 1, CostModel())
+        _, nra_stats = ta_retrieve(catalog, rpls, {1}, 1, CostModel())
+        assert ra_stats.early_stop
+        assert sum(ra_stats.list_depths.values()) <= \
+            sum(nra_stats.list_depths.values())
+        assert ra_stats.random_accesses > 0
+
+    def test_random_access_scores_exact(self):
+        # element (0,10) appears in both lists; RA must find both parts.
+        entries = {
+            "a": [RplEntry(3.0, 1, 0, 10, 5), RplEntry(1.0, 1, 0, 30, 5)],
+            "b": [RplEntry(2.0, 1, 0, 10, 5)],
+        }
+        catalog, rpls, erpls = build_catalog(entries)
+        hits, _ = ta_ra_retrieve(catalog, rpls, erpls, {1}, 3, CostModel())
+        by_key = {h.element_key(): h.score for h in hits}
+        assert by_key[(0, 10)] == pytest.approx(5.0)
+        assert by_key[(0, 30)] == pytest.approx(1.0)
+
+    def test_weights_applied(self):
+        entries = {"a": [RplEntry(2.0, 1, 0, 10, 5)],
+                   "b": [RplEntry(3.0, 1, 0, 10, 5)]}
+        catalog, rpls, erpls = build_catalog(entries)
+        hits, _ = ta_ra_retrieve(catalog, rpls, erpls, {1}, 1, CostModel(),
+                                 term_weights={"a": 2.0})
+        assert hits[0].score == pytest.approx(2 * 2.0 + 3.0)
+
+    def test_sid_filter(self):
+        entries = {"a": skewed(60, sids=(1, 2))}
+        catalog, rpls, erpls = build_catalog(entries)
+        hits, stats = ta_ra_retrieve(catalog, rpls, erpls, {1}, 60, CostModel())
+        assert all(h.sid == 1 for h in hits)
+        assert stats.rows_skipped > 0
+
+    @given(st.integers(1, 25), st.sets(st.integers(1, 3), min_size=1))
+    @settings(max_examples=40, deadline=None)
+    def test_property_agrees_with_nra(self, k, sids):
+        # an element's sid is a function of its identity, identical in
+        # both term lists (as the Elements table guarantees)
+        def entries_for(offset):
+            return [RplEntry(50.0 / (rank + 1 + offset),
+                             (rank // 10 + (10 + (rank % 10) * 20)) % 3 + 1,
+                             rank // 10, 10 + (rank % 10) * 20, 5)
+                    for rank in range(50)]
+
+        entries = {"a": entries_for(0), "b": entries_for(5)}
+        catalog, rpls, erpls = build_catalog(entries)
+        ra_hits, _ = ta_ra_retrieve(catalog, rpls, erpls, sids, k, CostModel())
+        nra_hits, _ = ta_retrieve(catalog, rpls, sids, k, CostModel())
+        assert ([(h.element_key(), round(h.score, 9)) for h in ra_hits]
+                == [(h.element_key(), round(h.score, 9)) for h in nra_hits])

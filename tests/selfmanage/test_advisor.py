@@ -1,0 +1,121 @@
+"""End-to-end tests for measurement and the index advisor."""
+
+import pytest
+
+from repro.corpus import AliasMapping, SyntheticIEEECorpus
+from repro.errors import OptimizationError
+from repro.retrieval import TrexEngine
+from repro.selfmanage import IndexAdvisor, Workload, measure_query, WorkloadQuery
+from repro.summary import IncomingSummary
+
+
+@pytest.fixture(scope="module")
+def engine():
+    collection = SyntheticIEEECorpus(num_docs=8, seed=21).build()
+    summary = IncomingSummary(collection, alias=AliasMapping.inex_ieee())
+    return TrexEngine(collection, summary)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload.uniform([
+        ("q-ret", "//article//sec[about(., introduction information retrieval)]", 10),
+        ("q-code", "//sec[about(., code signing verification)]", 10),
+        ("q-onto", "//article[about(., ontologies)]", 5),
+    ])
+
+
+class TestMeasurement:
+    def test_measures_all_methods(self, engine, workload):
+        costs = measure_query(engine, workload[0])
+        assert costs.t_era > 0
+        assert costs.t_merge > 0
+        assert costs.t_ta > 0
+        assert costs.s_rpl > 0
+        assert costs.s_erpl > 0
+
+    def test_era_is_slowest_on_frequent_terms(self, engine, workload):
+        costs = measure_query(engine, workload[0])
+        assert costs.t_era > costs.t_merge
+
+    def test_deltas_non_negative(self, engine, workload):
+        costs = measure_query(engine, workload[0])
+        assert costs.delta_merge >= 0
+        assert costs.delta_ta >= 0
+
+    def test_temporary_segments_dropped(self, engine, workload):
+        before = engine.catalog.total_bytes
+        measure_query(engine, workload[1])
+        assert engine.catalog.total_bytes == before
+
+
+class TestAdvisor:
+    def test_measure_caches(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        first = advisor.measure(workload)
+        second = advisor.measure(workload)
+        assert first is second
+
+    def test_recommend_unknown_method(self, engine, workload):
+        with pytest.raises(OptimizationError):
+            IndexAdvisor(engine).recommend(workload, 1000, method="magic")
+
+    def test_recommend_within_budget(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        plan = advisor.recommend(workload, disk_budget=5000, method="greedy")
+        assert plan.total_size <= 5000
+
+    def test_ilp_at_least_as_good_as_greedy(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        for budget in (2000, 10000, 10**7):
+            greedy = advisor.recommend(workload, budget, method="greedy")
+            ilp = advisor.recommend(workload, budget, method="ilp")
+            assert ilp.total_gain >= greedy.total_gain - 1e-9
+
+    def test_apply_materializes_segments(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        plan = advisor.recommend(workload, disk_budget=10**7, method="ilp")
+        assert plan.choices  # big budget: something is worth storing
+        applied = advisor.apply(workload, plan)
+        assert applied.segments
+        assert applied.total_bytes > 0
+        for choice in plan.choices:
+            assert applied.methods[choice.query_id] in ("merge", "ta")
+
+    def test_applied_plan_reduces_cost_vs_era(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        plan = advisor.recommend(workload, disk_budget=10**7, method="ilp")
+        applied = advisor.apply(workload, plan)
+        achieved = advisor.achieved_cost(workload, applied)
+        baseline = advisor.baseline_cost(workload)
+        assert achieved < baseline
+
+    def test_expected_close_to_achieved(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        plan = advisor.recommend(workload, disk_budget=10**7, method="greedy")
+        applied = advisor.apply(workload, plan)
+        expected = advisor.expected_cost(workload, plan)
+        achieved = advisor.achieved_cost(workload, applied)
+        assert achieved == pytest.approx(expected, rel=0.35)
+
+    def test_zero_budget_plan_is_all_era(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        plan = advisor.recommend(workload, disk_budget=0, method="greedy")
+        assert plan.choices == []
+        assert advisor.expected_cost(workload, plan) == pytest.approx(
+            advisor.baseline_cost(workload))
+
+
+class TestAutotune:
+    def test_autotune_applies_plan(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        applied = advisor.autotune(workload, disk_budget=10**7, method="ilp")
+        assert applied.segments
+        assert advisor.achieved_cost(workload, applied) < advisor.baseline_cost(workload)
+
+    def test_invalidate_measurements(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        first = advisor.measure(workload)
+        advisor.invalidate_measurements()
+        second = advisor.measure(workload)
+        assert first is not second

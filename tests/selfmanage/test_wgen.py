@@ -1,0 +1,60 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.corpus import SyntheticIEEECorpus
+from repro.errors import WorkloadError
+from repro.nexi import parse_nexi
+from repro.selfmanage import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return SyntheticIEEECorpus(num_docs=5, seed=1).build()
+
+
+class TestWorkloadGenerator:
+    def test_deterministic(self, collection):
+        a = WorkloadGenerator(collection, seed=3).generate(5)
+        b = WorkloadGenerator(collection, seed=3).generate(5)
+        assert [q.nexi for q in a] == [q.nexi for q in b]
+        assert [q.frequency for q in a] == [q.frequency for q in b]
+
+    def test_different_seeds_differ(self, collection):
+        a = WorkloadGenerator(collection, seed=3).generate(5)
+        b = WorkloadGenerator(collection, seed=4).generate(5)
+        assert [q.nexi for q in a] != [q.nexi for q in b]
+
+    def test_queries_parse_and_use_real_tags(self, collection):
+        workload = WorkloadGenerator(collection, seed=7).generate(8)
+        tags = set()
+        for document in collection:
+            tags.update(node.tag for node in document.elements())
+        for query in workload:
+            parsed = parse_nexi(query.nexi)
+            assert parsed.steps[0].pattern_steps[0].label in tags
+
+    def test_frequencies_zipfian_and_normalized(self, collection):
+        workload = WorkloadGenerator(collection, seed=7, zipf_exponent=1.2).generate(6)
+        freqs = [q.frequency for q in workload]
+        assert sum(freqs) == pytest.approx(1.0)
+        assert freqs == sorted(freqs, reverse=True)
+        assert freqs[0] > freqs[-1]
+
+    def test_distinct_queries(self, collection):
+        workload = WorkloadGenerator(collection, seed=7).generate(10)
+        nexis = [q.nexi for q in workload]
+        assert len(set(nexis)) == len(nexis)
+
+    def test_bad_count(self, collection):
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(collection).generate(0)
+
+    def test_generated_workload_runs_through_advisor(self, collection):
+        from repro.retrieval import TrexEngine
+        from repro.selfmanage import IndexAdvisor
+        engine = TrexEngine(collection)
+        workload = WorkloadGenerator(collection, seed=5).generate(3, k_choices=(5,))
+        advisor = IndexAdvisor(engine)
+        plan = advisor.recommend(workload, disk_budget=10**6, method="greedy")
+        assert plan.total_size <= 10**6

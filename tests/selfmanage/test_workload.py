@@ -1,0 +1,65 @@
+"""Tests for the workload model (paper Definition 4.1)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.selfmanage import Workload, WorkloadQuery
+
+
+def wq(qid, freq, k=10):
+    return WorkloadQuery(qid, f"//sec[about(., {qid})]", k, freq)
+
+
+class TestWorkloadQuery:
+    def test_valid(self):
+        query = wq("q1", 0.5)
+        assert query.frequency == 0.5
+
+    def test_empty_nexi_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadQuery("q", "  ", 10, 0.5)
+
+    def test_bad_k(self):
+        with pytest.raises(WorkloadError):
+            WorkloadQuery("q", "//a[about(., x)]", 0, 0.5)
+
+    @pytest.mark.parametrize("freq", [0.0, -0.1, 1.5])
+    def test_bad_frequency(self, freq):
+        with pytest.raises(WorkloadError):
+            WorkloadQuery("q", "//a[about(., x)]", 10, freq)
+
+
+class TestWorkload:
+    def test_frequencies_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            Workload([wq("a", 0.5), wq("b", 0.4)])
+
+    def test_normalize(self):
+        workload = Workload([wq("a", 0.5), wq("b", 0.4)], normalize=True)
+        assert sum(q.frequency for q in workload) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload([wq("a", 0.5), wq("a", 0.5)])
+
+    def test_uniform(self):
+        workload = Workload.uniform([("a", "//x[about(., y)]", 5),
+                                     ("b", "//x[about(., z)]", 7)])
+        assert len(workload) == 2
+        assert all(q.frequency == pytest.approx(0.5) for q in workload)
+
+    def test_query_lookup(self):
+        workload = Workload([wq("a", 1.0)])
+        assert workload.query("a").query_id == "a"
+        with pytest.raises(WorkloadError):
+            workload.query("zzz")
+
+    def test_iteration_and_indexing(self):
+        workload = Workload([wq("a", 0.25), wq("b", 0.75)])
+        assert [q.query_id for q in workload] == ["a", "b"]
+        assert workload[1].query_id == "b"
+        assert workload.query_ids == ["a", "b"]

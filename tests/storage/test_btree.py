@@ -1,0 +1,268 @@
+"""Unit and property-based tests for the B+-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import BPlusTree, CostModel, free_cost_model
+
+
+def make_tree(order=4):
+    return BPlusTree(order=order, cost_model=free_cost_model())
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree = make_tree()
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert 1 not in tree
+        assert list(tree.items()) == []
+
+    def test_put_get_single(self):
+        tree = make_tree()
+        tree.put(5, "five")
+        assert tree.get(5) == "five"
+        assert 5 in tree
+        assert len(tree) == 1
+
+    def test_put_overwrites(self):
+        tree = make_tree()
+        tree.put(5, "five")
+        tree.put(5, "cinq")
+        assert tree.get(5) == "cinq"
+        assert len(tree) == 1
+
+    def test_get_default(self):
+        tree = make_tree()
+        assert tree.get(99, default="missing") == "missing"
+
+    def test_ordered_iteration(self):
+        tree = make_tree()
+        for key in [7, 3, 9, 1, 5, 8, 2, 6, 4]:
+            tree.put(key, key * 10)
+        assert list(tree.keys()) == list(range(1, 10))
+        assert [v for _, v in tree.items()] == [k * 10 for k in range(1, 10)]
+
+    def test_many_inserts_cause_splits(self):
+        tree = make_tree(order=4)
+        n = 500
+        for key in range(n):
+            tree.put(key, -key)
+        assert len(tree) == n
+        assert tree.height > 1
+        tree.check_invariants()
+
+    def test_reverse_insert_order(self):
+        tree = make_tree(order=4)
+        for key in reversed(range(200)):
+            tree.put(key, key)
+        assert list(tree.keys()) == list(range(200))
+        tree.check_invariants()
+
+    def test_tuple_keys_lexicographic(self):
+        tree = make_tree()
+        keys = [("b", 1), ("a", 2), ("a", 1), ("b", 0)]
+        for key in keys:
+            tree.put(key, None)
+        assert list(tree.keys()) == sorted(keys)
+
+    def test_order_too_small_rejected(self):
+        with pytest.raises(StorageError):
+            BPlusTree(order=2)
+
+
+class TestDeletion:
+    def test_delete_missing_returns_false(self):
+        tree = make_tree()
+        assert tree.delete(42) is False
+
+    def test_delete_present(self):
+        tree = make_tree()
+        tree.put(1, "a")
+        assert tree.delete(1) is True
+        assert tree.get(1) is None
+        assert len(tree) == 0
+
+    def test_delete_all_after_splits(self):
+        tree = make_tree(order=4)
+        n = 300
+        for key in range(n):
+            tree.put(key, key)
+        for key in range(n):
+            assert tree.delete(key) is True
+            tree.check_invariants()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_interleaved_insert_delete(self):
+        tree = make_tree(order=4)
+        for key in range(100):
+            tree.put(key, key)
+        for key in range(0, 100, 2):
+            tree.delete(key)
+        assert list(tree.keys()) == list(range(1, 100, 2))
+        tree.check_invariants()
+
+    def test_delete_shrinks_height(self):
+        tree = make_tree(order=4)
+        for key in range(200):
+            tree.put(key, key)
+        high = tree.height
+        for key in range(195):
+            tree.delete(key)
+        assert tree.height < high
+        tree.check_invariants()
+
+
+class TestCursors:
+    def test_seek_exact(self):
+        tree = make_tree()
+        for key in range(0, 20, 2):
+            tree.put(key, key)
+        cursor = tree.seek(6)
+        assert cursor.valid and cursor.key == 6
+
+    def test_seek_between_keys(self):
+        tree = make_tree()
+        for key in range(0, 20, 2):
+            tree.put(key, key)
+        cursor = tree.seek(7)
+        assert cursor.key == 8
+
+    def test_seek_past_end(self):
+        tree = make_tree()
+        tree.put(1, "a")
+        cursor = tree.seek(100)
+        assert not cursor.valid
+        with pytest.raises(StorageError):
+            _ = cursor.key
+
+    def test_seek_on_empty_tree(self):
+        tree = make_tree()
+        assert not tree.seek(1).valid
+        assert not tree.first().valid
+
+    def test_advance_walks_leaf_chain(self):
+        tree = make_tree(order=4)
+        for key in range(100):
+            tree.put(key, key)
+        cursor = tree.seek(37)
+        seen = []
+        while cursor.valid and len(seen) < 10:
+            seen.append(cursor.key)
+            cursor.advance()
+        assert seen == list(range(37, 47))
+
+    def test_advance_exhausted_raises(self):
+        tree = make_tree()
+        cursor = tree.first()
+        with pytest.raises(StorageError):
+            cursor.advance()
+
+    def test_range_scan(self):
+        tree = make_tree(order=4)
+        for key in range(50):
+            tree.put(key, key)
+        assert [k for k, _ in tree.range(10, 15)] == [10, 11, 12, 13, 14]
+        assert [k for k, _ in tree.range(10, 15, include_high=True)] == [10, 11, 12, 13, 14, 15]
+
+    def test_range_scan_empty_window(self):
+        tree = make_tree()
+        tree.put(1, "a")
+        tree.put(10, "b")
+        assert list(tree.range(2, 9)) == []
+
+
+class TestCostAccounting:
+    def test_seek_charges_cost(self):
+        model = CostModel()
+        tree = BPlusTree(order=4, cost_model=model)
+        for key in range(100):
+            tree.put(key, key)
+        before = model.counters.seeks
+        tree.seek(50)
+        assert model.counters.seeks == before + 1
+
+    def test_get_charges_tuple_read(self):
+        model = CostModel()
+        tree = BPlusTree(order=4, cost_model=model)
+        tree.put(1, "a")
+        before = model.counters.tuples_read
+        tree.get(1)
+        assert model.counters.tuples_read == before + 1
+
+    def test_put_charges_tuple_write(self):
+        model = CostModel()
+        tree = BPlusTree(order=4, cost_model=model)
+        before = model.counters.tuples_written
+        tree.put(1, "a")
+        assert model.counters.tuples_written == before + 1
+
+    def test_scan_cheaper_than_seeks(self):
+        """A sequential scan of n rows must cost less than n point gets."""
+        model_scan = CostModel()
+        tree = BPlusTree(order=32, cost_model=model_scan)
+        for key in range(1000):
+            tree.put(key, key)
+        model_scan.reset()
+        list(tree.items())
+        scan_cost = model_scan.total_cost
+
+        model_scan.reset()
+        for key in range(1000):
+            tree.get(key)
+        probe_cost = model_scan.total_cost
+        assert scan_cost < probe_cost / 3
+
+
+@st.composite
+def operations(draw):
+    n = draw(st.integers(min_value=1, max_value=200))
+    ops = []
+    for _ in range(n):
+        op = draw(st.sampled_from(["put", "delete"]))
+        key = draw(st.integers(min_value=0, max_value=60))
+        ops.append((op, key))
+    return ops
+
+
+class TestPropertyBased:
+    @given(operations())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_dict_model(self, ops):
+        tree = BPlusTree(order=4, cost_model=free_cost_model())
+        model = {}
+        for op, key in ops:
+            if op == "put":
+                tree.put(key, key * 3)
+                model[key] = key * 3
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert list(tree.items()) == sorted(model.items())
+        tree.check_invariants()
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=300),
+           st.integers(0, 1000))
+    @settings(max_examples=80, deadline=None)
+    def test_seek_finds_least_upper_bound(self, keys, probe):
+        tree = BPlusTree(order=4, cost_model=free_cost_model())
+        for key in keys:
+            tree.put(key, None)
+        cursor = tree.seek(probe)
+        expected = sorted(k for k in set(keys) if k >= probe)
+        if expected:
+            assert cursor.valid and cursor.key == expected[0]
+        else:
+            assert not cursor.valid
+
+    @given(st.sets(st.integers(0, 500), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_after_bulk_load(self, keys):
+        tree = BPlusTree(order=6, cost_model=free_cost_model())
+        for key in keys:
+            tree.put(key, key)
+        tree.check_invariants()
+        assert list(tree.keys()) == sorted(keys)

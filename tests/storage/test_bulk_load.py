@@ -1,0 +1,116 @@
+"""Tests for the B+-tree bulk-load fast path."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import BPlusTree, free_cost_model
+from repro.storage.btree import _chunk_sizes
+
+
+def make_tree(order=4):
+    return BPlusTree(order=order, cost_model=free_cost_model())
+
+
+class TestChunkSizes:
+    def test_empty(self):
+        assert _chunk_sizes(0, 4, 2) == []
+
+    def test_single_chunk(self):
+        assert _chunk_sizes(3, 4, 2) == [3]
+
+    @given(st.integers(0, 500), st.integers(4, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_all_chunks_valid(self, total, maximum):
+        minimum = maximum // 2
+        sizes = _chunk_sizes(total, maximum, minimum)
+        assert sum(sizes) == total
+        for size in sizes:
+            assert size <= maximum
+        if len(sizes) > 1:
+            for size in sizes:
+                assert size >= minimum
+
+    @given(st.integers(0, 500), st.integers(4, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_internal_node_parameters(self, total, order):
+        maximum, minimum = order + 1, order // 2 + 1
+        sizes = _chunk_sizes(total, maximum, minimum)
+        assert sum(sizes) == total
+        if len(sizes) > 1:
+            assert all(minimum <= size <= maximum for size in sizes)
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = make_tree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_single_item(self):
+        tree = make_tree()
+        tree.bulk_load([(1, "a")])
+        assert tree.get(1) == "a"
+        tree.check_invariants()
+
+    def test_replaces_existing_contents(self):
+        tree = make_tree()
+        tree.put(99, "old")
+        tree.bulk_load([(1, "a"), (2, "b")])
+        assert tree.get(99) is None
+        assert len(tree) == 2
+
+    def test_matches_incremental_build(self):
+        items = [(key, key * 2) for key in range(1000)]
+        bulk = make_tree(order=8)
+        bulk.bulk_load(items)
+        incremental = make_tree(order=8)
+        for key, value in items:
+            incremental.put(key, value)
+        assert list(bulk.items()) == list(incremental.items())
+        bulk.check_invariants()
+
+    def test_unsorted_rejected(self):
+        tree = make_tree()
+        with pytest.raises(StorageError):
+            tree.bulk_load([(2, "b"), (1, "a")])
+
+    def test_duplicates_rejected(self):
+        tree = make_tree()
+        with pytest.raises(StorageError):
+            tree.bulk_load([(1, "a"), (1, "b")])
+
+    def test_mutations_after_bulk_load(self):
+        tree = make_tree(order=4)
+        tree.bulk_load([(key, key) for key in range(0, 100, 2)])
+        tree.put(51, "new")
+        assert tree.delete(0) is True
+        tree.check_invariants()
+        assert tree.get(51) == "new"
+
+    def test_seek_after_bulk_load(self):
+        tree = make_tree(order=6)
+        tree.bulk_load([(key, key) for key in range(0, 200, 4)])
+        cursor = tree.seek(42)
+        assert cursor.key == 44
+
+    @given(st.sets(st.integers(0, 10_000), max_size=400), st.integers(4, 32))
+    @settings(max_examples=80, deadline=None)
+    def test_property_invariants_and_contents(self, keys, order):
+        items = [(key, -key) for key in sorted(keys)]
+        tree = make_tree(order=order)
+        tree.bulk_load(items)
+        tree.check_invariants()
+        assert list(tree.items()) == items
+
+    @given(st.sets(st.integers(0, 1000), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_mutable_after_load(self, keys):
+        items = [(key, key) for key in sorted(keys)]
+        tree = make_tree(order=4)
+        tree.bulk_load(items)
+        for key in sorted(keys)[::3]:
+            tree.delete(key)
+        tree.check_invariants()

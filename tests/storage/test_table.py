@@ -1,0 +1,186 @@
+"""Tests for the schema'd table layer (paper-style indexed tables)."""
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage import Column, CostModel, Schema, Table, free_cost_model
+
+
+def elements_schema():
+    """The paper's Elements(SID, docid, endpos, length) table."""
+    return Schema(
+        [
+            Column("sid", "uint"),
+            Column("docid", "uint"),
+            Column("endpos", "uint"),
+            Column("length", "uint"),
+        ],
+        key_length=3,
+    )
+
+
+def make_elements_table():
+    return Table("Elements", elements_schema(), cost_model=free_cost_model())
+
+
+class TestSchema:
+    def test_column_names(self):
+        schema = elements_schema()
+        assert schema.column_names == ("sid", "docid", "endpos", "length")
+        assert [c.name for c in schema.key_columns] == ["sid", "docid", "endpos"]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", "uint"), Column("a", "uint")], key_length=1)
+
+    def test_bad_key_length(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", "uint")], key_length=0)
+        with pytest.raises(SchemaError):
+            Schema([Column("a", "uint")], key_length=2)
+
+    def test_validate_arity(self):
+        schema = elements_schema()
+        with pytest.raises(SchemaError):
+            schema.validate((1, 2))
+
+    def test_row_round_trip(self):
+        schema = elements_schema()
+        row = (7, 123, 456, 10)
+        assert schema.decode_row(schema.encode_row(row)) == row
+
+    def test_column_index(self):
+        schema = elements_schema()
+        assert schema.column_index("endpos") == 2
+        with pytest.raises(SchemaError):
+            schema.column_index("nope")
+
+
+class TestTable:
+    def test_insert_and_get(self):
+        table = make_elements_table()
+        table.insert((7, 1, 100, 12))
+        assert table.get((7, 1, 100)) == (7, 1, 100, 12)
+
+    def test_get_requires_full_key(self):
+        table = make_elements_table()
+        with pytest.raises(StorageError):
+            table.get((7,))
+
+    def test_insert_replaces_same_key(self):
+        table = make_elements_table()
+        table.insert((7, 1, 100, 12))
+        table.insert((7, 1, 100, 99))
+        assert table.get((7, 1, 100)) == (7, 1, 100, 99)
+        assert len(table) == 1
+
+    def test_scan_prefix_returns_extent_in_order(self):
+        table = make_elements_table()
+        rows = [
+            (7, 2, 50, 5),
+            (7, 1, 30, 3),
+            (7, 1, 10, 1),
+            (8, 1, 5, 2),
+            (6, 9, 9, 9),
+        ]
+        table.insert_many(rows)
+        extent = list(table.scan_prefix((7,)))
+        assert extent == [(7, 1, 10, 1), (7, 1, 30, 3), (7, 2, 50, 5)]
+
+    def test_scan_prefix_two_columns(self):
+        table = make_elements_table()
+        table.insert_many([(7, 1, 10, 1), (7, 1, 30, 3), (7, 2, 50, 5)])
+        assert list(table.scan_prefix((7, 1))) == [(7, 1, 10, 1), (7, 1, 30, 3)]
+
+    def test_scan_prefix_missing(self):
+        table = make_elements_table()
+        table.insert((7, 1, 10, 1))
+        assert list(table.scan_prefix((9,))) == []
+
+    def test_prefix_longer_than_key_rejected(self):
+        table = make_elements_table()
+        with pytest.raises(StorageError):
+            list(table.scan_prefix((1, 2, 3, 4)))
+
+    def test_full_scan_in_key_order(self):
+        table = make_elements_table()
+        table.insert_many([(8, 1, 5, 2), (7, 2, 50, 5), (7, 1, 30, 3)])
+        assert [r[0] for r in table.scan()] == [7, 7, 8]
+
+    def test_delete(self):
+        table = make_elements_table()
+        table.insert((7, 1, 100, 12))
+        assert table.delete((7, 1, 100)) is True
+        assert table.delete((7, 1, 100)) is False
+        assert len(table) == 0
+
+    def test_size_bytes_tracks_inserts_and_deletes(self):
+        table = make_elements_table()
+        assert table.size_bytes == 0
+        table.insert((7, 1, 100, 12))
+        one = table.size_bytes
+        assert one > 0
+        table.insert((8, 1, 100, 12))
+        assert table.size_bytes > one
+        table.delete((8, 1, 100))
+        assert table.size_bytes == one
+
+    def test_size_bytes_on_replace(self):
+        table = make_elements_table()
+        table.insert((7, 1, 100, 1))
+        small = table.size_bytes
+        table.insert((7, 1, 100, 2**40))  # larger varint
+        assert table.size_bytes > small
+        assert len(table) == 1
+
+    def test_string_keys(self):
+        schema = Schema(
+            [Column("token", "str"), Column("docid", "uint"), Column("payload", "list[uint]")],
+            key_length=2,
+        )
+        table = Table("PostingLists", schema, cost_model=free_cost_model())
+        table.insert(("zebra", 1, [1, 2]))
+        table.insert(("apple", 2, [3]))
+        table.insert(("apple", 1, [4]))
+        assert [r[0] for r in table.scan()] == ["apple", "apple", "zebra"]
+        assert list(table.scan_prefix(("apple",))) == [("apple", 1, [4]), ("apple", 2, [3])]
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        table = make_elements_table()
+        rows = [(sid, doc, pos, pos % 7) for sid in range(5) for doc in range(4) for pos in (10, 20)]
+        table.insert_many(rows)
+        path = str(tmp_path / "elements.tbl")
+        table.save(path)
+
+        fresh = make_elements_table()
+        fresh.load(path)
+        assert list(fresh.scan()) == list(table.scan())
+        assert fresh.size_bytes == table.size_bytes
+
+    def test_load_rejects_wrong_table(self, tmp_path):
+        table = make_elements_table()
+        table.insert((1, 1, 1, 1))
+        path = str(tmp_path / "x.tbl")
+        table.save(path)
+        other = Table("Other", elements_schema(), cost_model=free_cost_model())
+        with pytest.raises(StorageError):
+            other.load(path)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.tbl"
+        path.write_bytes(b"not a table at all")
+        with pytest.raises(StorageError):
+            make_elements_table().load(str(path))
+
+
+class TestTableCosts:
+    def test_scan_prefix_charges_compares(self):
+        model = CostModel()
+        table = Table("Elements", elements_schema(), cost_model=model)
+        table.insert_many([(7, 1, 10, 1), (7, 1, 30, 3)])
+        model.reset()
+        list(table.scan_prefix((7,)))
+        assert model.counters.comparisons > 0
+        assert model.counters.seeks == 1

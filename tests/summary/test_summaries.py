@@ -1,0 +1,162 @@
+"""Tests for partition summaries (tag, incoming, A(k), alias variants)."""
+
+import pytest
+
+from repro.corpus import AliasMapping, Collection, Tokenizer, parse_document
+from repro.errors import SummaryError
+from repro.summary import AKIndex, IncomingSummary, TagSummary
+
+
+def build_collection(*texts):
+    tok = Tokenizer(stopwords=())
+    return Collection.from_documents(
+        parse_document(text, docid, tokenizer=tok) for docid, text in enumerate(texts))
+
+
+@pytest.fixture()
+def ieee_like():
+    return build_collection(
+        "<books><journal><article>"
+        "<fm><ti>intro</ti></fm>"
+        "<bdy><sec><st>one</st><p>alpha</p><ip1>zeta</ip1><ss1><p>beta</p></ss1></sec>"
+        "<sec><p>gamma</p></sec></bdy>"
+        "</article></journal></books>",
+        "<books><journal><article>"
+        "<bdy><sec><p>delta</p><ss1><ss2><p>eps</p></ss2></ss1></sec></bdy>"
+        "</article></journal></books>",
+    )
+
+
+class TestTagSummary:
+    def test_one_sid_per_tag(self, ieee_like):
+        summary = TagSummary(ieee_like)
+        labels = {summary.label(sid) for sid in summary.sids()}
+        assert labels == {"books", "journal", "article", "fm", "ti", "bdy",
+                          "sec", "st", "p", "ip1", "ss1", "ss2"}
+        assert summary.sid_count == len(labels)
+
+    def test_alias_folds_synonyms(self, ieee_like):
+        summary = TagSummary(ieee_like, alias=AliasMapping.inex_ieee())
+        labels = {summary.label(sid) for sid in summary.sids()}
+        assert "ss1" not in labels and "ss2" not in labels
+        assert "sec" in labels
+        assert summary.sid_count < TagSummary(ieee_like).sid_count
+
+    def test_extent_sizes_sum_to_element_count(self, ieee_like):
+        summary = TagSummary(ieee_like)
+        total = sum(summary.extent_size(sid) for sid in summary.sids())
+        assert total == ieee_like.stats.num_elements
+
+    def test_sid_of_element(self, ieee_like):
+        summary = TagSummary(ieee_like)
+        document = ieee_like.document(0)
+        for node in document.elements():
+            sid = summary.sid_of(0, node.end_pos)
+            assert summary.label(sid) == node.tag
+
+    def test_sid_of_missing_raises(self, ieee_like):
+        summary = TagSummary(ieee_like)
+        with pytest.raises(SummaryError):
+            summary.sid_of(0, 10**9)
+
+    def test_unknown_sid_raises(self, ieee_like):
+        with pytest.raises(SummaryError):
+            TagSummary(ieee_like).extent(9999)
+
+
+class TestIncomingSummary:
+    def test_refines_tag_summary(self, ieee_like):
+        tag = TagSummary(ieee_like)
+        incoming = IncomingSummary(ieee_like)
+        assert incoming.sid_count >= tag.sid_count
+        # refinement: elements sharing an incoming sid share a tag sid
+        tag_of = {}
+        for docid, end_pos, sid in incoming.assignments():
+            tsid = tag.sid_of(docid, end_pos)
+            assert tag_of.setdefault(sid, tsid) == tsid
+
+    def test_one_path_per_sid(self, ieee_like):
+        summary = IncomingSummary(ieee_like)
+        for sid in summary.sids():
+            assert len(summary.paths_of(sid)) == 1
+
+    def test_distinguishes_p_under_sec_vs_ss1(self, ieee_like):
+        summary = IncomingSummary(ieee_like)
+        paths = {next(iter(summary.paths_of(sid))) for sid in summary.sids()
+                 if summary.label(sid) == "p"}
+        assert len(paths) >= 2  # p under sec and p under ss1 differ
+
+    def test_alias_incoming_smaller(self, ieee_like):
+        plain = IncomingSummary(ieee_like)
+        aliased = IncomingSummary(ieee_like, alias=AliasMapping.inex_ieee())
+        assert aliased.sid_count < plain.sid_count
+
+    def test_alias_incoming_nested_secs_have_distinct_sids(self, ieee_like):
+        """sec/ss1/ss2 all canonicalize to sec but keep distinct sids by depth."""
+        summary = IncomingSummary(ieee_like, alias=AliasMapping.inex_ieee())
+        sec_sids = summary.sids_with_label("sec")
+        assert len(sec_sids) >= 2  # .../sec and .../sec/sec at least
+
+    def test_retrieval_safe(self, ieee_like):
+        assert IncomingSummary(ieee_like, alias=AliasMapping.inex_ieee()).is_retrieval_safe()
+        assert IncomingSummary(ieee_like).is_retrieval_safe()
+
+
+class TestRetrievalSafety:
+    def test_tag_summary_unsafe_with_nested_same_tag(self):
+        collection = build_collection("<a><b><b>x</b></b></a>")
+        summary = TagSummary(collection)
+        assert not summary.is_retrieval_safe()
+        unsafe = summary.unsafe_sids()
+        assert {summary.label(sid) for sid in unsafe} == {"b"}
+
+    def test_tag_summary_safe_without_nesting(self):
+        collection = build_collection("<a><b>x</b><c>y</c></a>")
+        assert TagSummary(collection).is_retrieval_safe()
+
+    def test_alias_can_make_tag_summary_unsafe(self):
+        # sec containing ss1: distinct tags, but aliases fold them together.
+        collection = build_collection("<a><sec><ss1>x</ss1></sec></a>")
+        plain = TagSummary(collection)
+        aliased = TagSummary(collection, alias=AliasMapping.inex_ieee())
+        assert plain.is_retrieval_safe()
+        assert not aliased.is_retrieval_safe()
+        # ... while the alias *incoming* summary stays safe (paper's point).
+        assert IncomingSummary(collection, alias=AliasMapping.inex_ieee()).is_retrieval_safe()
+
+
+class TestAKIndex:
+    def test_k0_equals_tag_summary(self, ieee_like):
+        ak0 = AKIndex(ieee_like, k=0)
+        tag = TagSummary(ieee_like)
+        assert ak0.sid_count == tag.sid_count
+
+    def test_large_k_equals_incoming(self, ieee_like):
+        ak = AKIndex(ieee_like, k=50)
+        incoming = IncomingSummary(ieee_like)
+        assert ak.sid_count == incoming.sid_count
+
+    def test_k1_between(self, ieee_like):
+        tag = TagSummary(ieee_like).sid_count
+        inc = IncomingSummary(ieee_like).sid_count
+        ak1 = AKIndex(ieee_like, k=1).sid_count
+        assert tag <= ak1 <= inc
+
+    def test_monotone_in_k(self, ieee_like):
+        counts = [AKIndex(ieee_like, k=k).sid_count for k in range(5)]
+        assert counts == sorted(counts)
+
+    def test_negative_k_rejected(self, ieee_like):
+        with pytest.raises(ValueError):
+            AKIndex(ieee_like, k=-1)
+
+    def test_name_embeds_k(self, ieee_like):
+        assert AKIndex(ieee_like, k=2).name == "a(2)"
+
+
+class TestDescribe:
+    def test_describe_keys(self, ieee_like):
+        info = IncomingSummary(ieee_like).describe()
+        assert info["summary"] == "incoming"
+        assert info["nodes"] > 0
+        assert info["retrieval_safe"] is True

@@ -1,0 +1,61 @@
+"""Tests for XPath descriptions of summary extents."""
+
+from repro.corpus import AliasMapping, Collection, Tokenizer, parse_document
+from repro.summary import (
+    IncomingSummary,
+    TagSummary,
+    extent_xpath,
+    match_path,
+    parse_path_pattern,
+    summary_xpaths,
+)
+
+
+def build_collection(*texts):
+    tok = Tokenizer(stopwords=())
+    return Collection.from_documents(
+        parse_document(text, docid, tokenizer=tok) for docid, text in enumerate(texts))
+
+
+class TestExtentXPath:
+    def test_incoming_extent_single_absolute_path(self):
+        collection = build_collection("<a><b><c>x</c></b></a>")
+        summary = IncomingSummary(collection)
+        c_sid = next(iter(summary.sids_with_label("c")))
+        assert extent_xpath(summary, c_sid) == "/a/b/c"
+
+    def test_tag_extent_union(self):
+        collection = build_collection("<a><b><p>x</p></b><c><p>y</p></c></a>")
+        summary = TagSummary(collection)
+        p_sid = next(iter(summary.sids_with_label("p")))
+        xpath = extent_xpath(summary, p_sid)
+        assert " | " in xpath
+        assert "/a/b/p" in xpath and "/a/c/p" in xpath
+
+    def test_alias_paths_are_canonical(self):
+        collection = build_collection("<a><sec><ss1>x</ss1></sec></a>")
+        summary = IncomingSummary(collection, alias=AliasMapping.inex_ieee())
+        inner = [sid for sid in summary.sids_with_label("sec")
+                 if len(next(iter(summary.paths_of(sid)))) == 3]
+        assert extent_xpath(summary, inner[0]) == "/a/sec/sec"
+
+    def test_summary_xpaths_covers_all_sids(self):
+        collection = build_collection("<a><b>x</b><c>y</c></a>")
+        summary = IncomingSummary(collection)
+        xpaths = summary_xpaths(summary)
+        assert set(xpaths) == set(summary.sids())
+
+    def test_descriptions_select_exactly_the_extent(self):
+        """Each sid's XPath, evaluated via our matcher, selects exactly
+        the elements of the extent — the paper's exactness claim."""
+        collection = build_collection(
+            "<a><b><p>x</p></b><c><p>y</p></c><b><p>z</p></b></a>")
+        summary = TagSummary(collection)
+        for sid in summary.sids():
+            union = extent_xpath(summary, sid).split(" | ")
+            patterns = [parse_path_pattern(p) for p in union]
+            for docid, end_pos, assigned in summary.assignments():
+                node = collection.document(docid).find_by_end(end_pos)
+                path = tuple(node.label_path())
+                selected = any(match_path(p, path) for p in patterns)
+                assert selected == (assigned == sid)

@@ -1,0 +1,122 @@
+"""Unit tests for the benchmark harness library (repro.bench)."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_QUERIES,
+    PaperQuery,
+    bench_engine,
+    figure_series,
+    format_figure,
+    format_rows,
+    format_table,
+    index_size_rows,
+    rpl_depth_rows,
+    selfmanage_rows,
+    summary_size_rows,
+    table1_rows,
+)
+from repro.corpus import AliasMapping
+from repro.nexi import parse_nexi
+from repro.selfmanage import Workload
+
+
+class TestPaperQueries:
+    def test_seven_queries_with_paper_ids(self):
+        assert sorted(PAPER_QUERIES) == [202, 203, 233, 260, 270, 290, 292]
+
+    def test_collections_match_table1(self):
+        for qid, query in PAPER_QUERIES.items():
+            expected = "wiki" if qid >= 290 else "ieee"
+            assert query.collection == expected
+
+    def test_all_nexi_parse(self):
+        for query in PAPER_QUERIES.values():
+            assert parse_nexi(query.nexi).steps
+
+    def test_k_sweeps_sorted(self):
+        for query in PAPER_QUERIES.values():
+            assert list(query.k_sweep) == sorted(query.k_sweep)
+
+    def test_bench_engine_cached(self):
+        a = bench_engine("ieee", num_docs=3, seed=1)
+        b = bench_engine("ieee", num_docs=3, seed=1)
+        assert a is b
+
+    def test_bench_engine_unknown_collection(self):
+        with pytest.raises(ValueError):
+            bench_engine("medline")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["col", "n"], [["a", 1], ["bb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1] and "-" in lines[2]
+        assert len(lines) == 5
+
+    def test_format_rows_empty(self):
+        assert "(no rows)" in format_rows([], title="x")
+
+    def test_format_rows_headers_from_dict(self):
+        text = format_rows([{"a": 1, "b": 2.5}])
+        assert "a" in text and "2.5" in text
+
+    def test_format_figure(self):
+        series = {"qid": 1, "answers": 3, "era": 100.0, "merge": 10.0,
+                  "k_values": [1, 5], "ta": [20.0, 30.0], "ita": [5.0, 6.0],
+                  "rpl_depth_fraction": [0.5, 1.0]}
+        text = format_figure(series, title="F")
+        assert "ERA(all)=100" in text
+        assert "rpl-read-frac" in text
+
+
+class TestRunnersOnTinyEngines:
+    """Exercise every runner at tiny scale (the real runs live in benchmarks/)."""
+
+    @pytest.fixture(scope="class")
+    def engines(self):
+        return {"ieee": bench_engine("ieee", num_docs=6, seed=2),
+                "wiki": bench_engine("wiki", num_docs=8, seed=2)}
+
+    def test_summary_size_rows(self, engines):
+        rows = summary_size_rows(engines["ieee"].collection,
+                                 AliasMapping.inex_ieee())
+        assert {row["summary"] for row in rows} == {
+            "incoming", "tag", "alias incoming", "alias tag"}
+
+    def test_index_size_rows(self, engines):
+        rows = index_size_rows(engines)
+        assert len(rows) == 2
+        assert all(row["postings_bytes"] > 0 for row in rows)
+
+    def test_table1_rows(self, engines):
+        rows = table1_rows(engines)
+        assert [row["qid"] for row in rows] == sorted(PAPER_QUERIES)
+
+    def test_figure_series_structure(self, engines):
+        query = PaperQuery(999, "//sec[about(., information)]", "ieee", (1, 3))
+        series = figure_series(engines["ieee"], query)
+        assert len(series["ta"]) == len(series["k_values"]) == 2
+        assert series["era"] > 0 and series["merge"] > 0
+        assert all(0 <= f <= 1 for f in series["rpl_depth_fraction"])
+
+    def test_figure_series_bad_scope(self, engines):
+        from repro.errors import RetrievalError
+        query = PaperQuery(999, "//sec[about(., information)]", "ieee", (1,))
+        with pytest.raises(RetrievalError):
+            figure_series(engines["ieee"], query, scope="bogus")
+
+    def test_rpl_depth_rows(self, engines):
+        rows = rpl_depth_rows(engines, k_probe={"ieee": 3, "wiki": 3})
+        assert len(rows) == len(PAPER_QUERIES)
+        for row in rows:
+            assert 0 <= row["fraction"] <= 1
+
+    def test_selfmanage_rows(self, engines):
+        workload = Workload.uniform([
+            ("a", "//sec[about(., information)]", 3)])
+        rows = selfmanage_rows(engines["ieee"], workload, [0, 10**6])
+        assert rows[0]["greedy_gain"] == 0
+        assert rows[1]["ilp_gain"] >= rows[1]["greedy_gain"] - 1e-9

@@ -1,0 +1,150 @@
+"""Tests for the command-line interface and the directory loader."""
+
+import pytest
+
+from repro.cli import main
+from repro.corpus import SyntheticIEEECorpus, Tokenizer
+from repro.corpus.loader import dump_collection, load_collection, node_to_xml
+from repro.errors import TrexError
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("corpus")
+    assert main(["corpus", "--kind", "ieee", "--docs", "6", "--seed", "5",
+                 "--out", str(path)]) == 0
+    return str(path)
+
+
+class TestLoader:
+    def test_dump_and_load_round_trip(self, tmp_path):
+        collection = SyntheticIEEECorpus(num_docs=3, seed=9).build()
+        directory = str(tmp_path / "dump")
+        written = dump_collection(collection, directory)
+        assert len(written) == 3
+        reloaded = load_collection(directory, tokenizer=Tokenizer())
+        assert len(reloaded) == 3
+        # same terms per document (positions may shift; counts must not)
+        for document in collection:
+            original = sorted(t.term for t in document.tokens)
+            again = sorted(t.term for t in reloaded.document(document.docid).tokens)
+            assert original == again
+
+    def test_structure_preserved(self, tmp_path):
+        collection = SyntheticIEEECorpus(num_docs=2, seed=9).build()
+        directory = str(tmp_path / "dump")
+        dump_collection(collection, directory)
+        reloaded = load_collection(directory)
+        for document in collection:
+            original_tags = [n.tag for n in document.elements()]
+            reloaded_tags = [n.tag for n in reloaded.document(document.docid).elements()]
+            assert original_tags == reloaded_tags
+
+    def test_load_missing_directory(self):
+        with pytest.raises(TrexError):
+            load_collection("/nonexistent/path")
+
+    def test_load_empty_directory(self, tmp_path):
+        with pytest.raises(TrexError):
+            load_collection(str(tmp_path))
+
+    def test_load_bad_xml_reports_file(self, tmp_path):
+        (tmp_path / "bad.xml").write_text("<a><b></a>")
+        with pytest.raises(TrexError, match="bad.xml"):
+            load_collection(str(tmp_path))
+
+    def test_node_to_xml_escapes_attributes(self):
+        from repro.corpus import parse_xml
+        node = parse_xml('<a t="x&amp;y"/>')
+        assert 't="x&amp;y"' in node_to_xml(node)
+
+
+class TestCli:
+    def test_corpus_generation(self, corpus_dir, tmp_path):
+        import os
+        files = [f for f in os.listdir(corpus_dir) if f.endswith(".xml")]
+        assert len(files) == 6
+
+    def test_info(self, corpus_dir, capsys):
+        assert main(["info", corpus_dir, "--alias", "ieee"]) == 0
+        out = capsys.readouterr().out
+        assert "Elements:" in out and "PostingLists:" in out
+
+    def test_translate(self, corpus_dir, capsys):
+        assert main(["translate", corpus_dir, "--alias", "ieee",
+                     "//article//sec[about(., information)]"]) == 0
+        out = capsys.readouterr().out
+        assert "target" in out and "terms: ['information']" in out
+
+    def test_query_all_methods(self, corpus_dir, capsys):
+        for method in ("era", "ta", "merge", "race"):
+            assert main(["query", corpus_dir, "--alias", "ieee",
+                         "--method", method, "--k", "3",
+                         "//sec[about(., information)]"]) == 0
+            out = capsys.readouterr().out
+            assert "answers=" in out
+
+    def test_query_flat_mode(self, corpus_dir, capsys):
+        assert main(["query", corpus_dir, "--alias", "ieee", "--flat",
+                     "//article[about(., xml)]//sec[about(., information)]"]) == 0
+        assert "cost=" in capsys.readouterr().out
+
+    def test_query_tag_summary(self, corpus_dir, capsys):
+        assert main(["query", corpus_dir, "--alias", "ieee", "--summary", "tag",
+                     "//sec[about(., information)]"]) == 0
+
+    def test_query_ak_summary(self, corpus_dir, capsys):
+        assert main(["query", corpus_dir, "--alias", "ieee", "--summary", "ak1",
+                     "//sec[about(., information)]"]) == 0
+
+    def test_bad_corpus_dir_returns_error(self, capsys):
+        assert main(["info", "/nonexistent"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_advise(self, corpus_dir, tmp_path, capsys):
+        workload = tmp_path / "workload.tsv"
+        workload.write_text(
+            "# id\tk\tfreq\tnexi\n"
+            "hot\t5\t0.7\t//sec[about(., information)]\n"
+            "cold\t5\t0.3\t//article[about(., ontologies)]\n")
+        assert main(["advise", corpus_dir, "--alias", "ieee",
+                     "--workload", str(workload), "--budget", "1000000",
+                     "--selector", "ilp", "--apply"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "achieved" in out
+
+    def test_advise_bad_workload_file(self, corpus_dir, tmp_path, capsys):
+        workload = tmp_path / "bad.tsv"
+        workload.write_text("only-one-field\n")
+        assert main(["advise", corpus_dir, "--workload", str(workload),
+                     "--budget", "100"]) == 1
+
+
+class TestCliExplain:
+    def test_explain(self, corpus_dir, capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["explain", corpus_dir, "--alias", "ieee", "--k", "5",
+                         "//sec[about(., information)]"]) == 0
+        out = capsys.readouterr().out
+        assert "method:" in out and "postings=" in out
+
+    def test_explain_with_comparison(self, corpus_dir, capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["explain", corpus_dir, "--alias", "ieee",
+                         "//sec[about(., information) and .//yr > 1990]"]) == 0
+        out = capsys.readouterr().out
+        assert "filters:" in out
+
+
+class TestCliRunOutput:
+    def test_run_file_written_and_parseable(self, corpus_dir, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        from repro.evaluation import read_run
+        run_path = tmp_path / "results.run"
+        assert cli_main(["query", corpus_dir, "--alias", "ieee", "--k", "3",
+                         "--run-output", str(run_path), "--topic", "270",
+                         "//sec[about(., information)]"]) == 0
+        capsys.readouterr()
+        with open(run_path, encoding="utf-8") as fh:
+            runs = read_run(fh)
+        assert "270" in runs and len(runs["270"]) == 3
