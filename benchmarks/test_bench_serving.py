@@ -1,0 +1,106 @@
+"""Serving throughput and tail latency — workers x result cache.
+
+Beyond the paper: the serving layer's scaling behavior.  A fixed mixed
+query workload is driven through :class:`QueryService` from 8 client
+threads at 1/4/8 workers, with the result cache on and off, reporting
+request throughput and p50/p99 latency from the service's own
+telemetry histograms.  Uses its own small engine rather than the
+shared session corpora: the service mutates engine state (segments
+warmed by traffic), which must not leak into other benchmarks.
+"""
+
+import threading
+import time
+
+from conftest import record_report
+
+from repro.bench import format_rows
+from repro.corpus import AliasMapping, SyntheticIEEECorpus
+from repro.retrieval import TrexEngine
+from repro.service import QueryService, ServiceConfig
+from repro.summary import IncomingSummary
+
+QUERIES = (
+    "//article//sec[about(., information retrieval)]",
+    "//sec[about(., algorithm complexity)]",
+    "//article[about(., xml database)]",
+)
+CLIENTS = 8
+PER_CLIENT = 25
+
+
+def build_engine():
+    collection = SyntheticIEEECorpus(num_docs=20, seed=53).build()
+    return TrexEngine(collection,
+                      IncomingSummary(collection,
+                                      alias=AliasMapping.inex_ieee()))
+
+
+def drive(service):
+    """8 synchronous clients, 200 requests total; returns elapsed secs."""
+    errors = []
+
+    def client(thread_id):
+        try:
+            for index in range(PER_CLIENT):
+                query = QUERIES[(thread_id + index) % len(QUERIES)]
+                service.search(query, k=5)
+        except Exception as exc:  # noqa: BLE001 — fail the bench below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(t,))
+               for t in range(CLIENTS)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert errors == []
+    return elapsed
+
+
+def serve_once(workers, cache_capacity):
+    config = ServiceConfig(workers=workers, queue_depth=256,
+                           cache_capacity=cache_capacity,
+                           autopilot_interval=None)
+    with QueryService(build_engine(), config) as service:
+        elapsed = drive(service)
+        stats = service.stats()
+    counters = stats["telemetry"]["counters"]
+    latency = stats["telemetry"]["histograms"]["search.latency_seconds"]
+    requests = counters["search.requests"]
+    return {
+        "workers": workers,
+        "cache": "on" if cache_capacity else "off",
+        "requests": requests,
+        "throughput_rps": round(requests / elapsed, 1),
+        "p50_ms": round(latency["p50"] * 1e3, 2),
+        "p99_ms": round(latency["p99"] * 1e3, 2),
+        "hit_rate": round(stats["cache"]["hit_rate"], 3),
+    }
+
+
+def test_serving_throughput_and_tail_latency(benchmark):
+    def run():
+        return [serve_once(workers, cache_capacity)
+                for workers in (1, 4, 8)
+                for cache_capacity in (0, 128)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report("Serving: throughput and tail latency "
+                  "(8 clients, 200 requests, workers x cache)",
+                  format_rows(rows))
+
+    for row in rows:
+        # no lost requests, and the histogram saw every computed answer
+        assert row["requests"] == CLIENTS * PER_CLIENT
+        assert row["p50_ms"] <= row["p99_ms"] + 1e-9
+    by_key = {(row["workers"], row["cache"]): row for row in rows}
+    # the cache converts repeats into hits...
+    for workers in (1, 4, 8):
+        assert by_key[(workers, "on")]["hit_rate"] > 0
+        assert by_key[(workers, "off")]["hit_rate"] == 0
+    # ...which can only help throughput at equal concurrency
+    assert by_key[(8, "on")]["throughput_rps"] >= \
+        0.8 * by_key[(8, "off")]["throughput_rps"]

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro translate show a NEXI query's (sids, terms) translation
     python -m repro query     evaluate a NEXI query
     python -m repro advise    run the self-managing index advisor
+    python -m repro serve     run the concurrent HTTP query service
 
 Corpora are directories of ``*.xml`` files; docids follow sorted
 filename order.  The ``--alias`` option selects the INEX alias mapping
@@ -166,6 +167,39 @@ def _cmd_advise(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import QueryService, ServiceConfig, make_server
+
+    engine = _make_engine(args)
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache_capacity=args.cache_size,
+        default_deadline=args.deadline,
+        autopilot_interval=None if args.no_autopilot else args.autopilot_interval,
+        autopilot_budget=args.autopilot_budget,
+        autopilot_selector=args.autopilot_selector,
+    )
+    with QueryService(engine, config) as service:
+        server = make_server(service, args.host, args.port,
+                             verbose=args.verbose)
+        host, port = server.server_address[:2]
+        print(f"serving {args.corpus} on http://{host}:{port} "
+              f"({config.workers} workers, cache={config.cache_capacity}, "
+              f"autopilot="
+              f"{'off' if args.no_autopilot else f'{args.autopilot_interval}s'})")
+        print("endpoints: /search /explain /ingest /stats /healthz "
+              "/autopilot/cycle  (Ctrl-C to stop)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\ndraining...")
+        finally:
+            server.shutdown()
+            server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,6 +262,30 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--apply", action="store_true",
                         help="materialize the plan and measure achieved cost")
     advise.set_defaults(func=_cmd_advise)
+
+    serve = sub.add_parser("serve", help="run the concurrent HTTP query service")
+    add_engine_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query worker threads")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission queue bound (reject when full)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="result-cache entries (0 disables caching)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="seconds a request may wait for a worker")
+    serve.add_argument("--autopilot-interval", type=float, default=30.0,
+                       help="seconds between self-managing index cycles")
+    serve.add_argument("--autopilot-budget", type=int, default=1 << 20,
+                       help="autopilot disk budget in bytes")
+    serve.add_argument("--autopilot-selector", choices=("greedy", "ilp"),
+                       default="greedy")
+    serve.add_argument("--no-autopilot", action="store_true",
+                       help="disable background index self-management")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -72,5 +72,33 @@ class WorkloadError(TrexError):
     """A workload definition is invalid (frequencies, duplicate ids, ...)."""
 
 
+class ServiceError(TrexError):
+    """A failure in the concurrent query-serving layer."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request because the queue is full."""
+
+    def __init__(self, queue_depth: int):
+        super().__init__(
+            f"service overloaded: admission queue is full ({queue_depth} pending)")
+        self.queue_depth = queue_depth
+
+
+class ServiceClosedError(ServiceError):
+    """A request arrived after the service began shutting down."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before a worker could start it."""
+
+    def __init__(self, waited: float, deadline: float):
+        super().__init__(
+            f"deadline exceeded: queued for {waited:.3f}s "
+            f"with a {deadline:.3f}s deadline")
+        self.waited = waited
+        self.deadline = deadline
+
+
 class OptimizationError(TrexError):
     """Index-selection optimization failed or was given bad inputs."""

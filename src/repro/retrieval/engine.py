@@ -23,6 +23,9 @@ follow common INEX practice and document the choice in DESIGN.md):
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_left, bisect_right
+
 from ..corpus.alias import AliasMapping
 from ..corpus.collection import Collection
 from ..corpus.document import Document
@@ -90,6 +93,11 @@ class TrexEngine:
         self.scorer = scorer
         self.support_weight = support_weight
         self.auto_materialize = auto_materialize
+        #: Monotonic data-version counter.  Bumped whenever the answers
+        #: the engine would give can change (document ingestion, scorer
+        #: rebuild, index reload) — result caches key their entries on
+        #: it to detect staleness.
+        self.epoch = 0
 
         with self.cost_model.muted():
             self.elements = build_elements_table(
@@ -188,6 +196,21 @@ class TrexEngine:
           query of Table 1 is one sid list + one term list) and what
           the benchmark harness uses.
         """
+        translated = self.translate(query, vague=vague)
+        return self.evaluate_translated(translated, k, method, mode=mode,
+                                        require_phrases=require_phrases)
+
+    def evaluate_translated(self, translated: TranslatedQuery,
+                            k: int | None = None, method: str = "auto", *,
+                            mode: str = "nexi",
+                            require_phrases: bool = False) -> ResultSet:
+        """Evaluate an already-translated query (see :meth:`evaluate`).
+
+        Splitting translation from retrieval lets callers translate once
+        and run several strategies over the same translation — the race
+        path below does exactly that, and the serving layer uses it to
+        run a race's TA and Merge legs on two executor workers.
+        """
         if method not in METHODS:
             raise RetrievalError(f"unknown method {method!r}; choose from {METHODS}")
         if mode not in ("nexi", "flat"):
@@ -197,12 +220,15 @@ class TrexEngine:
         if method == "race":
             # Paper §4: run TA and Merge in parallel, return the first
             # finisher.  Requires both index kinds to be available.
-            ta_result = self.evaluate(query, k, "ta", vague=vague, mode=mode)
-            merge_result = self.evaluate(query, k, "merge", vague=vague, mode=mode)
+            # The shared translation is reused by both legs.
+            ta_result = self.evaluate_translated(
+                translated, k, "ta", mode=mode, require_phrases=require_phrases)
+            merge_result = self.evaluate_translated(
+                translated, k, "merge", mode=mode,
+                require_phrases=require_phrases)
             outcome = race_strategies((ta_result.hits, ta_result.stats),
                                       (merge_result.hits, merge_result.stats))
             return ResultSet(hits=outcome.hits, stats=outcome.stats, k=k)
-        translated = self.translate(query, vague=vague)
         if method == "auto":
             method = self.choose_method(translated, k)
 
@@ -439,7 +465,6 @@ class TrexEngine:
 
     def _comparison_hits(self, comparison: TranslatedComparison) -> list[ScoredHit]:
         """Elements of the comparison's sids satisfying its value test."""
-        from bisect import bisect_left, bisect_right
         hits: list[ScoredHit] = []
         if not comparison.sids:
             return hits
@@ -494,6 +519,28 @@ class TrexEngine:
             return "ta"
         return "era"
 
+    def missing_segments(self, translated: TranslatedQuery,
+                         kinds=("rpl", "erpl"), *,
+                         mode: str = "nexi") -> list[tuple[str, str, frozenset[int]]]:
+        """``(kind, term, sids)`` triples the query needs but lacks.
+
+        The serving layer consults this before evaluation: an empty
+        list means every forced-method evaluation can proceed without
+        mutating the catalog, so the query may run under a read lock.
+        """
+        if mode == "flat":
+            sids = translated.flat_sids()
+            wanted = [(term, sids) for term in translated.flat_term_weights()]
+        else:
+            wanted = [(term, clause.sids) for clause in translated.clauses
+                      for term in clause.terms]
+        missing = []
+        for term, sids in wanted:
+            for kind in kinds:
+                if self.catalog.find_segment(kind, term, sids) is None:
+                    missing.append((kind, term, frozenset(sids)))
+        return missing
+
     # ------------------------------------------------------------------
     # Incremental maintenance
     # ------------------------------------------------------------------
@@ -529,6 +576,7 @@ class TrexEngine:
             for segment in list(self.catalog.segments()):
                 if segment.term in affected:
                     self.catalog.drop_segment(segment.segment_id)
+        self.epoch += 1
         return document
 
     def rebuild_scorer(self, scorer_factory=None) -> None:
@@ -545,6 +593,7 @@ class TrexEngine:
                 self.scorer = scorer_factory(stats)
             for segment in list(self.catalog.segments()):
                 self.catalog.drop_segment(segment.segment_id)
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     # Plan explanation
@@ -599,7 +648,6 @@ class TrexEngine:
         index tables are the expensive artifacts (paper §5.1's
         gigabytes).
         """
-        import os
         os.makedirs(directory, exist_ok=True)
         with self.cost_model.muted():
             self.elements.save(os.path.join(directory, "elements.tbl"))
@@ -608,11 +656,11 @@ class TrexEngine:
 
     def load_indexes(self, directory: str) -> None:
         """Replace this engine's index tables from a saved directory."""
-        import os
         with self.cost_model.muted():
             self.elements.load(os.path.join(directory, "elements.tbl"))
             self.postings.load(os.path.join(directory, "postings.tbl"))
             self.catalog.load(os.path.join(directory, "catalog"))
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, object]:

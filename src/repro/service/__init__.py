@@ -1,0 +1,31 @@
+"""repro.service — the concurrent, self-managing query-serving layer.
+
+Wraps a :class:`~repro.retrieval.engine.TrexEngine` in a
+production-shaped stack: bounded-executor admission control, an
+epoch-invalidated LRU result cache, reader-writer locking with
+per-worker cost isolation, telemetry, an online index autopilot, and a
+stdlib HTTP JSON API (``repro serve``).  See ``docs/service.md``.
+"""
+
+from .autopilot import Autopilot, AutopilotReport, WorkloadRecorder
+from .cache import ResultCache
+from .executor import BoundedExecutor
+from .locks import ReadWriteLock, WorkerCostModels
+from .server import QueryService, ServiceConfig, TrexHTTPHandler, make_server
+from .telemetry import LatencyHistogram, Telemetry
+
+__all__ = [
+    "Autopilot",
+    "AutopilotReport",
+    "BoundedExecutor",
+    "LatencyHistogram",
+    "QueryService",
+    "ReadWriteLock",
+    "ResultCache",
+    "ServiceConfig",
+    "Telemetry",
+    "TrexHTTPHandler",
+    "WorkerCostModels",
+    "WorkloadRecorder",
+    "make_server",
+]

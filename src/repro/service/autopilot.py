@@ -1,0 +1,291 @@
+"""The online self-managing loop: observe traffic, re-select indexes.
+
+The paper's §4 advisor is an offline batch step: given a workload and a
+disk budget, measure per-query costs, solve the selection problem,
+materialize the winners.  The autopilot turns that into a live control
+loop over served traffic:
+
+1. every answered query is recorded into a :class:`WorkloadRecorder`
+   (a frequency sketch over recent NEXI strings);
+2. periodically — or on demand — a cycle builds a
+   :class:`~repro.selfmanage.workload.Workload` from the hottest
+   queries and runs :class:`~repro.selfmanage.advisor.IndexAdvisor`
+   under the configured disk budget;
+3. the chosen query-scoped RPL/ERPL segments are materialized *online*:
+   the expensive entry computation runs under the read lock (concurrent
+   with query traffic), and only the catalog insert takes a brief write
+   lock; segments chosen by a previous cycle but dropped from the new
+   plan are removed the same way.
+
+Measurement (step 2) mutates the catalog with temporary segments, so it
+runs under the write lock; bounding the workload to the top-N hottest
+queries keeps that pause short.  Everything the cycle charges goes to a
+private scoped :class:`CostModel`, so serving-side cost accounting is
+never polluted by tuning work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import StorageError, TrexError
+from ..index.rpl import compute_rpl_entries
+from ..retrieval.engine import TrexEngine
+from ..selfmanage.advisor import IndexAdvisor
+from ..storage.cost import CostModel
+from ..selfmanage.workload import Workload, WorkloadQuery
+from .locks import ReadWriteLock
+
+__all__ = ["WorkloadRecorder", "Autopilot", "AutopilotReport"]
+
+
+class WorkloadRecorder:
+    """A thread-safe frequency sketch over served (query, k) pairs."""
+
+    def __init__(self, max_distinct: int = 512, default_k: int = 10):
+        self.max_distinct = max_distinct
+        self.default_k = default_k
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._ks: dict[str, int] = {}
+        self.total_recorded = 0
+
+    def record(self, nexi: str, k: int | None = None) -> None:
+        with self._lock:
+            self.total_recorded += 1
+            if nexi not in self._counts and len(self._counts) >= self.max_distinct:
+                return  # sketch full: keep counting the queries we track
+            self._counts[nexi] = self._counts.get(nexi, 0) + 1
+            # Remember the smallest k asked for — the most demanding
+            # top-k bound a stored RPL prefix must serve.
+            k = k if k is not None else self.default_k
+            known = self._ks.get(nexi)
+            self._ks[nexi] = k if known is None else min(known, k)
+
+    def build_workload(self, top: int = 8) -> Workload | None:
+        """A normalized workload of the *top* hottest queries, or None."""
+        with self._lock:
+            if not self._counts:
+                return None
+            hottest = sorted(self._counts.items(),
+                             key=lambda item: (-item[1], item[0]))[:top]
+            total = sum(count for _nexi, count in hottest)
+            queries = [
+                WorkloadQuery(f"q{index}", nexi, self._ks[nexi], count / total)
+                for index, (nexi, count) in enumerate(hottest)
+            ]
+        return Workload(queries, normalize=True)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "total_recorded": self.total_recorded,
+                "distinct_queries": len(self._counts),
+            }
+
+
+@dataclass
+class AutopilotReport:
+    """What one autopilot cycle decided and did."""
+
+    cycle: int
+    workload_size: int
+    plan: list[str]
+    expected_cost: float
+    baseline_cost: float
+    materialized: int = 0
+    dropped: int = 0
+    skipped: int = 0
+    materialized_bytes: int = 0
+    duration: float = 0.0
+    segments: list[str] = field(default_factory=list)
+
+
+class Autopilot:
+    """Background thread running advisor cycles against live traffic."""
+
+    def __init__(self, engine: TrexEngine, lock: ReadWriteLock, *,
+                 recorder: WorkloadRecorder | None = None,
+                 disk_budget: int = 1 << 20,
+                 selector: str = "greedy",
+                 interval: float | None = 30.0,
+                 top_queries: int = 8,
+                 min_observations: int = 8):
+        self.engine = engine
+        self.lock = lock
+        self.recorder = recorder if recorder is not None else WorkloadRecorder()
+        self.disk_budget = disk_budget
+        self.selector = selector
+        self.interval = interval
+        self.top_queries = top_queries
+        self.min_observations = min_observations
+        self.cycles = 0
+        self.last_report: AutopilotReport | None = None
+        self.last_error: str | None = None
+        #: segment_id -> (kind, term, scope) for segments this autopilot
+        #: created, so later cycles can retire the ones no longer chosen.
+        self._created: dict[int, tuple[str, str, frozenset[int]]] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._cycle_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.interval is None:
+            raise TrexError("autopilot has no interval; call run_cycle() instead")
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._loop,
+                                        name="trex-autopilot", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.run_cycle()
+            except TrexError as exc:
+                # A malformed recorded query or a selector failure must
+                # not kill the loop; surface it via /stats instead.
+                self.last_error = str(exc)
+
+    # ------------------------------------------------------------------
+    # One tuning cycle
+    # ------------------------------------------------------------------
+    def run_cycle(self, force: bool = False) -> AutopilotReport | None:
+        """Run one measure → select → apply cycle.
+
+        Returns ``None`` when there is not enough observed traffic yet
+        (unless *force* is true).  Thread-safe; concurrent calls are
+        serialized.
+        """
+        with self._cycle_lock:
+            return self._run_cycle_locked(force)
+
+    def _run_cycle_locked(self, force: bool) -> AutopilotReport | None:
+        if not force and self.recorder.total_recorded < self.min_observations:
+            return None
+        workload = self.recorder.build_workload(self.top_queries)
+        if workload is None:
+            return None
+        started = time.monotonic()
+        engine = self.engine
+        private = CostModel()
+        with engine.cost_model.scoped(private):
+            # Measurement materializes (and drops) temporary segments,
+            # so the whole recommend step is exclusive.
+            with self.lock.write():
+                advisor = IndexAdvisor(engine)
+                plan = advisor.recommend(workload, self.disk_budget,
+                                         method=self.selector)
+                expected = advisor.expected_cost(workload, plan)
+                baseline = advisor.baseline_cost(workload)
+
+            report = AutopilotReport(
+                cycle=self.cycles + 1,
+                workload_size=len(workload),
+                plan=plan.describe(),
+                expected_cost=expected,
+                baseline_cost=baseline,
+            )
+
+            # What the plan wants on disk: (kind, term, scope) triples.
+            wanted: list[tuple[str, str, frozenset[int]]] = []
+            with self.lock.read():
+                for choice in plan.choices:
+                    query = workload.query(choice.query_id)
+                    translated = engine.translate(query.nexi)
+                    for clause in translated.clauses:
+                        for term in clause.terms:
+                            wanted.append(
+                                (choice.kind, term, frozenset(clause.sids)))
+            wanted_keys = set(wanted)
+
+            # Retire our previously-created segments the plan dropped.
+            with self.lock.write():
+                for segment_id, key in list(self._created.items()):
+                    if key in wanted_keys:
+                        continue
+                    try:
+                        engine.catalog.drop_segment(segment_id)
+                        report.dropped += 1
+                    except StorageError:
+                        pass  # already gone (e.g. invalidated by ingestion)
+                    del self._created[segment_id]
+
+            # Materialize what is missing: compute concurrently with
+            # readers, insert under a brief write lock.
+            for kind, term, scope in wanted:
+                with self.lock.read():
+                    if self._query_scoped_exists(kind, term, scope):
+                        report.skipped += 1
+                        continue
+                    epoch = engine.epoch
+                    entries = compute_rpl_entries(
+                        engine.collection, engine.summary, term,
+                        engine.scorer, sids=scope)
+                with self.lock.write():
+                    if self._query_scoped_exists(kind, term, scope):
+                        report.skipped += 1
+                        continue
+                    if engine.epoch != epoch:
+                        # The collection changed under us; the entries
+                        # are stale.  The next cycle will retry.
+                        report.skipped += 1
+                        continue
+                    if kind == "erpl":
+                        segment = engine.catalog.add_erpl_segment(
+                            term, entries, scope=scope)
+                    else:
+                        segment = engine.catalog.add_rpl_segment(
+                            term, entries, scope=scope)
+                    self._created[segment.segment_id] = (kind, term, scope)
+                    report.materialized += 1
+                    report.materialized_bytes += segment.size_bytes
+                    report.segments.append(segment.describe())
+
+        report.duration = time.monotonic() - started
+        self.cycles += 1
+        self.last_report = report
+        self.last_error = None
+        return report
+
+    def _query_scoped_exists(self, kind: str, term: str,
+                             scope: frozenset[int]) -> bool:
+        segment = self.engine.catalog.find_segment(kind, term, scope)
+        return segment is not None and segment.scope is not None
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        report = self.last_report
+        return {
+            "running": self._thread is not None,
+            "interval": self.interval,
+            "disk_budget": self.disk_budget,
+            "selector": self.selector,
+            "cycles": self.cycles,
+            "recorder": self.recorder.snapshot(),
+            "created_segments": len(self._created),
+            "last_error": self.last_error,
+            "last_report": None if report is None else {
+                "cycle": report.cycle,
+                "workload_size": report.workload_size,
+                "materialized": report.materialized,
+                "dropped": report.dropped,
+                "skipped": report.skipped,
+                "materialized_bytes": report.materialized_bytes,
+                "expected_cost": round(report.expected_cost, 1),
+                "baseline_cost": round(report.baseline_cost, 1),
+                "duration": round(report.duration, 4),
+                "segments": report.segments,
+            },
+        }

@@ -1,0 +1,145 @@
+"""Concurrency primitives for the serving layer.
+
+Two pieces:
+
+* :class:`ReadWriteLock` — a write-preferring reader-writer lock.  Any
+  number of queries evaluate concurrently under the read side; document
+  ingestion, scorer rebuilds and catalog mutations take the write side
+  and therefore see (and leave) a quiescent engine.  Write preference
+  keeps ingestion from starving under a steady query stream.
+
+* :class:`WorkerCostModels` — one private :class:`CostModel` per worker
+  thread, created on demand.  Combined with
+  :meth:`CostModel.scoped <repro.storage.cost.CostModel.scoped>` this
+  gives each concurrent evaluation its own meters: the engine's tables
+  keep charging the model they captured at construction, but that model
+  routes each thread's charges to the thread's private instance, so
+  per-query simulated costs stay exact under concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from ..storage.cost import CostModel
+
+__all__ = ["ReadWriteLock", "WorkerCostModels"]
+
+
+class ReadWriteLock:
+    """A write-preferring reader-writer lock.
+
+    Readers share; a writer is exclusive against both readers and other
+    writers.  A waiting writer blocks *new* readers (write preference),
+    so ingestion latency is bounded by the in-flight queries only.
+    The lock is not reentrant on either side.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers < 0:
+                raise RuntimeError("release_read() without acquire_read()")
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write() without acquire_write()")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read(self):
+        """``with lock.read():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """``with lock.write():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, int | bool]:
+        with self._cond:
+            return {
+                "active_readers": self._active_readers,
+                "writer_active": self._writer_active,
+                "writers_waiting": self._writers_waiting,
+            }
+
+
+class WorkerCostModels:
+    """A lazily-grown pool of per-thread :class:`CostModel` instances."""
+
+    def __init__(self, factory=CostModel):
+        self._factory = factory
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        # A list, not a dict keyed by thread ident: idents are reused
+        # once a thread exits, and a dead worker's accounting must
+        # still show up in aggregate().
+        self._models: list[CostModel] = []
+
+    def current(self) -> CostModel:
+        """The calling thread's private model (created on first use)."""
+        model = getattr(self._local, "model", None)
+        if model is None:
+            model = self._factory()
+            self._local.model = model
+            with self._lock:
+                self._models.append(model)
+        return model
+
+    def all(self) -> list[CostModel]:
+        with self._lock:
+            return list(self._models)
+
+    def aggregate(self) -> dict[str, float | int]:
+        """Summed meters and counters across every worker."""
+        totals: dict[str, float | int] = {
+            "workers": 0, "base_cost": 0.0, "heap_cost": 0.0, "total_cost": 0.0}
+        counter_totals: dict[str, int] = {}
+        for model in self.all():
+            totals["workers"] += 1
+            totals["base_cost"] += model.base_cost
+            totals["heap_cost"] += model.heap_cost
+            totals["total_cost"] += model.total_cost
+            for name, value in model.counters.as_dict().items():
+                counter_totals[name] = counter_totals.get(name, 0) + value
+        totals["counters"] = counter_totals
+        return totals

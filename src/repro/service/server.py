@@ -1,0 +1,497 @@
+"""The query-serving facade and its stdlib HTTP JSON API.
+
+:class:`QueryService` wraps one :class:`TrexEngine` in the full serving
+stack: a bounded executor admits and runs queries on worker threads, a
+reader-writer lock lets any number of evaluations share the engine
+while ingestion is exclusive, per-worker scoped cost models keep
+simulated-cost accounting exact under concurrency, an epoch-stamped LRU
+cache answers repeats, and an autopilot re-selects redundant indexes
+from observed traffic.
+
+The engine runs with ``auto_materialize`` off while being served: query
+evaluation must never mutate the catalog from a read-locked context.
+Forced methods that lack their segments either warm them under the
+write lock (``materialize_on_demand``, the default) or fail with
+:class:`MissingIndexError`; ``method='auto'`` always succeeds, falling
+back to ERA until the autopilot (or warm-up) has materialized
+something better — which is exactly the paper's self-managing story
+playing out online.
+
+:class:`TrexHTTPHandler` exposes the facade over HTTP using only the
+standard library (``/search``, ``/explain``, ``/ingest``, ``/stats``,
+``/healthz``, ``/autopilot/cycle``); ``repro serve`` wires it to the
+CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import (
+    DeadlineExceededError,
+    MissingIndexError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    TrexError,
+)
+from ..retrieval.engine import METHODS, TrexEngine
+from ..retrieval.race import race as race_strategies
+from ..retrieval.result import ResultSet
+from .autopilot import Autopilot, WorkloadRecorder
+from .cache import ResultCache
+from .executor import BoundedExecutor
+from .locks import ReadWriteLock, WorkerCostModels
+from .telemetry import Telemetry
+
+__all__ = ["ServiceConfig", "QueryService", "TrexHTTPHandler", "make_server"]
+
+#: Index kinds each forced method needs before it can run read-only.
+_METHOD_KINDS = {
+    "ta": ("rpl",),
+    "ita": ("rpl",),
+    "merge": ("erpl",),
+    "race": ("rpl", "erpl"),
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs for :class:`QueryService` (see docs/service.md)."""
+
+    workers: int = 4
+    queue_depth: int = 64
+    cache_capacity: int = 256
+    #: Seconds a request may wait for a worker before being rejected
+    #: (None = wait indefinitely).
+    default_deadline: float | None = None
+    #: Warm missing universal segments for forced methods under the
+    #: write lock; when off, forced methods fail with MissingIndexError.
+    materialize_on_demand: bool = True
+    #: Seconds between autopilot cycles; None leaves the autopilot
+    #: manual (drive it with service.autopilot.run_cycle()).
+    autopilot_interval: float | None = None
+    autopilot_budget: int = 1 << 20
+    autopilot_selector: str = "greedy"
+    autopilot_top_queries: int = 8
+    autopilot_min_observations: int = 8
+    #: k recorded into the workload when a query asked for all answers.
+    default_k: int = 10
+
+
+class QueryService:
+    """A concurrent, self-managing serving layer over one engine."""
+
+    def __init__(self, engine: TrexEngine, config: ServiceConfig | None = None):
+        self.engine = engine
+        self.config = config if config is not None else ServiceConfig()
+        # Serving invariant: evaluation under the read lock must never
+        # mutate the catalog; materialization happens under the write
+        # lock (warm-up, autopilot) instead.
+        engine.auto_materialize = False
+        self.lock = ReadWriteLock()
+        self.worker_costs = WorkerCostModels()
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.telemetry = Telemetry()
+        self.executor = BoundedExecutor(self.config.workers,
+                                        self.config.queue_depth)
+        self.recorder = WorkloadRecorder(default_k=self.config.default_k)
+        self.autopilot = Autopilot(
+            engine, self.lock,
+            recorder=self.recorder,
+            disk_budget=self.config.autopilot_budget,
+            selector=self.config.autopilot_selector,
+            interval=self.config.autopilot_interval,
+            top_queries=self.config.autopilot_top_queries,
+            min_observations=self.config.autopilot_min_observations,
+        )
+        self._closed = False
+        self.started_at = time.time()
+        self.telemetry.register_gauge("queue_depth", self.executor.queue_depth)
+        self.telemetry.register_gauge("epoch", lambda: self.engine.epoch)
+        if self.config.autopilot_interval is not None:
+            self.autopilot.start()
+
+    # ------------------------------------------------------------------
+    # Serving entry points
+    # ------------------------------------------------------------------
+    def search(self, query: str, k: int | None = None, method: str = "auto",
+               *, mode: str = "nexi", use_cache: bool = True,
+               deadline: float | None = None) -> dict:
+        """Evaluate *query* on a worker; returns a JSON-ready payload.
+
+        Raises :class:`ServiceOverloadedError` when admission control
+        rejects the request and :class:`DeadlineExceededError` when it
+        expired waiting for a worker.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        self.telemetry.incr("search.requests")
+        key = (query, k, method, mode)
+        if use_cache:
+            payload = self.cache.get(key, self.engine.epoch)
+            if payload is not None:
+                self.telemetry.incr("search.cache_hits")
+                self.telemetry.incr(f"search.method.{payload['method']}")
+                self.recorder.record(query, k)
+                return dict(payload, cached=True)
+            self.telemetry.incr("search.cache_misses")
+        if deadline is None:
+            deadline = self.config.default_deadline
+        try:
+            future = self.executor.submit(
+                self._search_on_worker, query, k, method, mode, use_cache,
+                deadline=deadline)
+        except ServiceOverloadedError:
+            self.telemetry.incr("search.rejected")
+            raise
+        try:
+            return future.result()
+        except DeadlineExceededError:
+            self.telemetry.incr("search.deadline_exceeded")
+            raise
+        except TrexError:
+            self.telemetry.incr("search.errors")
+            raise
+
+    def _search_on_worker(self, query: str, k: int | None, method: str,
+                          mode: str, use_cache: bool) -> dict:
+        started = time.perf_counter()
+        engine = self.engine
+        worker_model = self.worker_costs.current()
+        kinds = _METHOD_KINDS.get(method)
+        with engine.cost_model.scoped(worker_model):
+            for attempt in range(3):
+                with self.lock.read():
+                    translated = engine.translate(query)
+                    missing = (engine.missing_segments(translated, kinds,
+                                                       mode=mode)
+                               if kinds else [])
+                    if not missing:
+                        epoch = engine.epoch
+                        if method == "race":
+                            result = self._race(translated, k, mode)
+                        else:
+                            result = engine.evaluate_translated(
+                                translated, k, method, mode=mode)
+                        payload = self._payload(query, k, method, mode,
+                                                result, epoch)
+                        break
+                if not self.config.materialize_on_demand:
+                    kind, term, _sids = missing[0]
+                    raise MissingIndexError(kind, term=term)
+                self._warm(missing)
+            else:
+                # Ingestion kept invalidating our freshly warmed
+                # segments; give up rather than loop forever.
+                raise ServiceError(
+                    f"could not stabilize indexes for {query!r} "
+                    f"(method {method!r}) after 3 attempts")
+        elapsed = time.perf_counter() - started
+        self.telemetry.incr("search.answered")
+        self.telemetry.incr(f"search.method.{payload['method']}")
+        self.telemetry.observe("search.latency_seconds", elapsed)
+        self.telemetry.observe(f"search.latency_seconds.{payload['method']}",
+                               elapsed)
+        self.telemetry.observe("search.simulated_cost", payload["cost"])
+        self.recorder.record(query, k)
+        if use_cache:
+            self.cache.put((query, k, method, mode), payload["epoch"], payload)
+        return dict(payload, cached=False)
+
+    def _warm(self, missing: list[tuple[str, str, frozenset[int]]]) -> None:
+        """Materialize universal segments for *missing* under the write
+        lock (shared across queries; TA/Merge skip within them)."""
+        engine = self.engine
+        with self.lock.write():
+            for kind, term, sids in missing:
+                if engine.catalog.find_segment(kind, term, sids) is not None:
+                    continue
+                if kind == "erpl":
+                    engine.materialize_erpl(term)
+                else:
+                    engine.materialize_rpl(term)
+                self.telemetry.incr("warmup.segments")
+
+    def _race(self, translated, k: int | None, mode: str) -> ResultSet:
+        """Run the race's TA and Merge legs on two executor workers.
+
+        The caller holds the read lock for the duration, which covers
+        the offloaded leg too — the leg itself must NOT re-acquire the
+        lock (a waiting writer would deadlock us).  If the pool is
+        saturated, or the leg has not started by the time our own leg
+        finishes, it is cancelled and run inline: a worker never blocks
+        on an unstarted task.
+        """
+        engine = self.engine
+
+        def leg(leg_method):
+            def run():
+                with engine.cost_model.scoped(self.worker_costs.current()):
+                    return engine.evaluate_translated(translated, k,
+                                                      leg_method, mode=mode)
+            return run
+
+        ta_leg, merge_leg = leg("ta"), leg("merge")
+        try:
+            future = self.executor.submit(merge_leg)
+        except ServiceError:
+            future = None
+        ta_result = ta_leg()
+        if future is None:
+            merge_result = merge_leg()
+        elif future.cancel():
+            self.telemetry.incr("race.inline_fallback")
+            merge_result = merge_leg()
+        else:
+            self.telemetry.incr("race.parallel_legs")
+            merge_result = future.result()
+        outcome = race_strategies((ta_result.hits, ta_result.stats),
+                                  (merge_result.hits, merge_result.stats))
+        return ResultSet(hits=outcome.hits, stats=outcome.stats, k=k)
+
+    def _payload(self, query: str, k: int | None, method: str, mode: str,
+                 result: ResultSet, epoch: int) -> dict:
+        summary = self.engine.summary
+        hits = []
+        for rank, hit in enumerate(result.hits, start=1):
+            hits.append({
+                "rank": rank,
+                "score": round(hit.score, 6),
+                "docid": hit.docid,
+                "sid": hit.sid,
+                "label": summary.label(hit.sid),
+                "start": hit.start_pos,
+                "end": hit.end_pos,
+            })
+        stats = result.stats
+        return {
+            "query": query,
+            "k": k,
+            "mode": mode,
+            "requested_method": method,
+            "method": stats.method,
+            "cost": round(stats.cost, 3),
+            "ideal_cost": round(stats.ideal_cost, 3),
+            "early_stop": stats.early_stop,
+            "epoch": epoch,
+            "total": len(hits),
+            "hits": hits,
+        }
+
+    # ------------------------------------------------------------------
+    def explain(self, query: str, k: int | None = None) -> dict:
+        with self.lock.read():
+            return self.engine.explain(query, k)
+
+    def ingest(self, xml: str, docid: int | None = None) -> dict:
+        """Add one XML document; exclusive against all queries."""
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        started = time.perf_counter()
+        with self.lock.write():
+            document = self.engine.add_document(xml, docid)
+            epoch = self.engine.epoch
+        self.telemetry.incr("ingest.documents")
+        self.telemetry.observe("ingest.latency_seconds",
+                               time.perf_counter() - started)
+        return {"docid": document.docid, "epoch": epoch}
+
+    def rebuild_scorer(self) -> dict:
+        """Refresh corpus statistics; exclusive against all queries."""
+        with self.lock.write():
+            self.engine.rebuild_scorer()
+            epoch = self.engine.epoch
+        self.telemetry.incr("ingest.scorer_rebuilds")
+        return {"epoch": epoch}
+
+    def stats(self) -> dict:
+        """One JSON-ready snapshot of every moving part."""
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "epoch": self.engine.epoch,
+            "closed": self._closed,
+            "telemetry": self.telemetry.snapshot(),
+            "cache": self.cache.snapshot(),
+            "executor": self.executor.snapshot(),
+            "lock": self.lock.snapshot(),
+            "worker_costs": self.worker_costs.aggregate(),
+            "autopilot": self.autopilot.snapshot(),
+            "engine": {
+                "documents": len(self.engine.collection),
+                "segments": len(list(self.engine.catalog.segments())),
+                "catalog_bytes": self.engine.catalog.total_bytes,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Graceful drain: stop admission, finish queued work, stop the
+        autopilot.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.autopilot is not None:
+            self.autopilot.stop()
+        self.executor.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+_ERROR_STATUS = (
+    (ServiceOverloadedError, 429),
+    (DeadlineExceededError, 504),
+    (ServiceClosedError, 503),
+    (MissingIndexError, 409),
+    (TrexError, 400),
+)
+
+
+class TrexHTTPHandler(BaseHTTPRequestHandler):
+    """JSON API over a :class:`QueryService` (set as ``server.service``)."""
+
+    server_version = "TReX/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers -------------------------------------------------------
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, exc: Exception) -> None:
+        for exc_type, status in _ERROR_STATUS:
+            if isinstance(exc, exc_type):
+                self._send_json(status, {"error": type(exc).__name__,
+                                         "detail": str(exc)})
+                return
+        raise exc
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- search parameter handling ------------------------------------
+    @staticmethod
+    def _search_args(params: dict) -> dict:
+        query = params.get("q") or params.get("query")
+        if not query:
+            raise TrexError("missing required parameter 'q'")
+        k = params.get("k")
+        method = params.get("method", "auto")
+        if method not in METHODS:
+            raise TrexError(f"unknown method {method!r}; choose from {METHODS}")
+        return {
+            "query": query,
+            "k": None if k in (None, "", "all") else int(k),
+            "method": method,
+            "mode": params.get("mode", "nexi"),
+            "use_cache": str(params.get("cache", "1")) not in ("0", "false"),
+        }
+
+    @staticmethod
+    def _flatten_qs(raw: dict[str, list[str]]) -> dict:
+        return {name: values[-1] for name, values in raw.items()}
+
+    # -- verbs ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — stdlib signature
+        parsed = urlparse(self.path)
+        params = self._flatten_qs(parse_qs(parsed.query))
+        try:
+            if parsed.path == "/healthz":
+                self._send_json(200, {"status": "ok",
+                                      "epoch": self.service.engine.epoch})
+            elif parsed.path == "/stats":
+                self._send_json(200, self.service.stats())
+            elif parsed.path == "/search":
+                args = self._search_args(params)
+                self._send_json(200, self.service.search(
+                    args["query"], args["k"], args["method"],
+                    mode=args["mode"], use_cache=args["use_cache"]))
+            elif parsed.path == "/explain":
+                query = params.get("q") or params.get("query")
+                if not query:
+                    raise TrexError("missing required parameter 'q'")
+                k = params.get("k")
+                self._send_json(200, self.service.explain(
+                    query, None if k in (None, "") else int(k)))
+            else:
+                self._send_json(404, {"error": "NotFound",
+                                      "detail": self.path})
+        except ValueError as exc:
+            self._send_json(400, {"error": "BadRequest", "detail": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — mapped to HTTP statuses
+            self._send_error_json(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib signature
+        parsed = urlparse(self.path)
+        body = self._read_body()
+        try:
+            if parsed.path == "/search":
+                params = json.loads(body.decode("utf-8") or "{}")
+                args = self._search_args(params)
+                self._send_json(200, self.service.search(
+                    args["query"], args["k"], args["method"],
+                    mode=args["mode"], use_cache=args["use_cache"]))
+            elif parsed.path == "/ingest":
+                content_type = (self.headers.get("Content-Type") or "").lower()
+                if "json" in content_type:
+                    data = json.loads(body.decode("utf-8"))
+                    xml = data.get("xml", "")
+                    docid = data.get("docid")
+                else:
+                    xml = body.decode("utf-8")
+                    docid = None
+                if not xml.strip():
+                    raise TrexError("empty ingest body")
+                self._send_json(200, self.service.ingest(xml, docid))
+            elif parsed.path == "/autopilot/cycle":
+                report = self.service.autopilot.run_cycle(force=True)
+                self._send_json(200, self.service.autopilot.snapshot()
+                                if report is None else
+                                dict(self.service.autopilot.snapshot(),
+                                     ran=True))
+            else:
+                self._send_json(404, {"error": "NotFound",
+                                      "detail": self.path})
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": "BadRequest", "detail": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — mapped to HTTP statuses
+            self._send_error_json(exc)
+
+
+def make_server(service: QueryService, host: str = "127.0.0.1",
+                port: int = 8080, *, verbose: bool = False) -> ThreadingHTTPServer:
+    """A ready-to-run threading HTTP server bound to *service*.
+
+    Each connection is handled on its own thread; handlers call the
+    facade, whose executor enforces the real concurrency and admission
+    limits.  Call ``serve_forever()`` to run, ``shutdown()`` to stop.
+    """
+    server = ThreadingHTTPServer((host, port), TrexHTTPHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server

@@ -1,0 +1,140 @@
+"""Serving-layer telemetry: counters, latency histograms, gauges.
+
+Everything is in-process and lock-protected; ``snapshot()`` produces a
+plain dict that the ``/stats`` endpoint serializes as JSON.  Latency is
+recorded into fixed geometric buckets, from which p50/p99 are read by
+linear interpolation within the winning bucket — the standard
+Prometheus-style estimate, accurate to a bucket width, with O(1) memory
+per histogram no matter how many observations arrive.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable
+
+__all__ = ["LatencyHistogram", "Telemetry"]
+
+
+def _geometric_bounds(lo: float, hi: float, per_decade: int = 5) -> tuple[float, ...]:
+    bounds = []
+    value = lo
+    factor = 10 ** (1.0 / per_decade)
+    while value < hi:
+        bounds.append(value)
+        value *= factor
+    bounds.append(hi)
+    return tuple(bounds)
+
+
+#: 100 µs .. 100 s, five buckets per decade — wide enough for both
+#: wall-clock seconds and simulated cost units.
+_DEFAULT_BOUNDS = _geometric_bounds(1e-4, 1e2)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram with quantile estimation."""
+
+    def __init__(self, bounds: tuple[float, ...] = _DEFAULT_BOUNDS):
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        self._counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Estimated *q*-quantile (0 < q <= 1); 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = (self.bounds[index] if index < len(self.bounds)
+                         else self.max)
+                fraction = (rank - seen) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            seen += bucket_count
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float | int]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "mean": round(self.mean, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "p50": round(self.quantile(0.50), 6),
+            "p90": round(self.quantile(0.90), 6),
+            "p99": round(self.quantile(0.99), 6),
+        }
+
+
+class Telemetry:
+    """Thread-safe named counters, histograms and gauge callbacks."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._gauges: dict[str, Callable[[], object]] = {}
+
+    # ------------------------------------------------------------------
+    def incr(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            histogram.observe(value)
+
+    def histogram(self, name: str) -> LatencyHistogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def register_gauge(self, name: str, read: Callable[[], object]) -> None:
+        """Register a callback sampled at snapshot time (queue depth &c)."""
+        with self._lock:
+            self._gauges[name] = read
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            histograms = {name: hist.snapshot()
+                          for name, hist in sorted(self._histograms.items())}
+            gauges = dict(self._gauges)
+        return {
+            "counters": counters,
+            "histograms": histograms,
+            "gauges": {name: read() for name, read in sorted(gauges.items())},
+        }

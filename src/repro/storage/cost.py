@@ -27,6 +27,7 @@ simply excluding the heap meter from the total.
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -92,6 +93,17 @@ class CostModel:
     :attr:`heap_cost` for heap maintenance.  ``total_cost`` is their sum
     (what the paper calls TA time); ``ideal_cost`` excludes the heap
     meter (the paper's ITA).
+
+    **Thread-scoped routing.**  Storage components (tables, B+-trees,
+    page caches) capture a reference to one cost model at construction,
+    which is wrong the moment two threads evaluate concurrently: their
+    charges would interleave on shared meters, and one thread's
+    ``muted()`` block would silently swallow another's charges.  The
+    :meth:`scoped` context manager fixes this without rewiring any
+    component: it routes *this* model's charges, for the current thread
+    only, to a private per-worker model.  Threads that never enter a
+    scope keep charging the model directly, so single-threaded code is
+    unaffected.
     """
 
     charge: type[Charge] = Charge
@@ -99,6 +111,33 @@ class CostModel:
     heap_cost: float = 0.0
     counters: CostCounters = field(default_factory=CostCounters)
     _muted: bool = False
+    _scoped: threading.local = field(default_factory=threading.local,
+                                     init=False, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # Thread-scoped delegation
+    # ------------------------------------------------------------------
+    def _active(self) -> "CostModel":
+        """The model charges on this thread should land on."""
+        model = getattr(self._scoped, "model", None)
+        return self if model is None else model
+
+    @contextmanager
+    def scoped(self, model: "CostModel"):
+        """Route this model's traffic on the current thread to *model*.
+
+        Every charging primitive, ``muted()`` block and meter read that
+        the current thread performs through ``self`` while inside the
+        block is served by *model* instead.  Other threads are
+        unaffected.  Scopes nest; the previous routing is restored on
+        exit.
+        """
+        previous = getattr(self._scoped, "model", None)
+        self._scoped.model = model if model is not self else None
+        try:
+            yield model
+        finally:
+            self._scoped.model = previous
 
     # ------------------------------------------------------------------
     # Muting (index construction is not part of query evaluation time)
@@ -106,6 +145,11 @@ class CostModel:
     @contextmanager
     def muted(self):
         """Suspend all charging within the block (nested blocks fine)."""
+        target = self._active()
+        if target is not self:
+            with target.muted():
+                yield target
+            return
         previous = self._muted
         self._muted = True
         try:
@@ -117,42 +161,63 @@ class CostModel:
     # Charging primitives
     # ------------------------------------------------------------------
     def seek(self, count: int = 1) -> None:
+        target = self._active()
+        if target is not self:
+            return target.seek(count)
         if self._muted:
             return
         self.counters.seeks += count
         self.base_cost += self.charge.SEEK * count
 
     def page_read(self, count: int = 1) -> None:
+        target = self._active()
+        if target is not self:
+            return target.page_read(count)
         if self._muted:
             return
         self.counters.page_reads += count
         self.base_cost += self.charge.PAGE_READ * count
 
     def page_hit(self, count: int = 1) -> None:
+        target = self._active()
+        if target is not self:
+            return target.page_hit(count)
         if self._muted:
             return
         self.counters.page_hits += count
         self.base_cost += self.charge.PAGE_HIT * count
 
     def tuple_read(self, count: int = 1) -> None:
+        target = self._active()
+        if target is not self:
+            return target.tuple_read(count)
         if self._muted:
             return
         self.counters.tuples_read += count
         self.base_cost += self.charge.TUPLE_READ * count
 
     def tuple_write(self, count: int = 1) -> None:
+        target = self._active()
+        if target is not self:
+            return target.tuple_write(count)
         if self._muted:
             return
         self.counters.tuples_written += count
         self.base_cost += self.charge.TUPLE_WRITE * count
 
     def compare(self, count: int = 1) -> None:
+        target = self._active()
+        if target is not self:
+            return target.compare(count)
         if self._muted:
             return
         self.counters.comparisons += count
         self.base_cost += self.charge.COMPARE * count
 
     def score_combine(self, count: int = 1) -> None:
+        target = self._active()
+        if target is not self:
+            return target.score_combine(count)
         if self._muted:
             return
         self.counters.score_combines += count
@@ -160,6 +225,9 @@ class CostModel:
 
     def sort(self, n: int) -> None:
         """Charge an ``n log n`` comparison sort of *n* elements."""
+        target = self._active()
+        if target is not self:
+            return target.sort(n)
         if self._muted or n <= 1:
             return
         self.counters.sort_elements += n
@@ -168,6 +236,9 @@ class CostModel:
     def heap_insert(self, heap_size: int) -> None:
         """Charge one heap insert (amortized O(1): sift-up on random input
         touches a constant number of levels in expectation)."""
+        target = self._active()
+        if target is not self:
+            return target.heap_insert(heap_size)
         if self._muted:
             return
         self.counters.heap_inserts += 1
@@ -176,6 +247,9 @@ class CostModel:
     def heap_remove(self, heap_size: int) -> None:
         """Charge one heap removal when the heap holds *heap_size* live
         entries (sift-down is a true O(log size) walk)."""
+        target = self._active()
+        if target is not self:
+            return target.heap_remove(heap_size)
         if self._muted:
             return
         self.counters.heap_removes += 1
@@ -187,25 +261,40 @@ class CostModel:
     @property
     def total_cost(self) -> float:
         """Simulated cost including heap maintenance (paper: TA)."""
+        target = self._active()
+        if target is not self:
+            return target.total_cost
         return self.base_cost + self.heap_cost
 
     @property
     def ideal_cost(self) -> float:
         """Simulated cost with heap maintenance suppressed (paper: ITA)."""
+        target = self._active()
+        if target is not self:
+            return target.ideal_cost
         return self.base_cost
 
     def snapshot(self) -> "CostSnapshot":
         """Capture the current meters, for differential measurements."""
+        target = self._active()
+        if target is not self:
+            return target.snapshot()
         return CostSnapshot(self.base_cost, self.heap_cost)
 
     def since(self, snap: "CostSnapshot") -> "CostSnapshot":
         """Return the cost accumulated since *snap* was taken."""
+        target = self._active()
+        if target is not self:
+            return target.since(snap)
         return CostSnapshot(
             self.base_cost - snap.base_cost,
             self.heap_cost - snap.heap_cost,
         )
 
     def reset(self) -> None:
+        target = self._active()
+        if target is not self:
+            return target.reset()
         self.base_cost = 0.0
         self.heap_cost = 0.0
         self.counters = CostCounters()

@@ -63,6 +63,19 @@ class TestRaceInEngine:
         assert ([(h.element_key(), round(h.score, 9)) for h in raced.hits]
                 == [(h.element_key(), round(h.score, 9)) for h in era.hits])
 
+    def test_race_translates_the_query_once(self, engine, monkeypatch):
+        calls = []
+        original = TrexEngine.translate
+
+        def counting(self, query, *args, **kwargs):
+            calls.append(query)
+            return original(self, query, *args, **kwargs)
+
+        monkeypatch.setattr(TrexEngine, "translate", counting)
+        engine.evaluate("//sec[about(., information retrieval)]",
+                        k=3, method="race", mode="flat")
+        assert len(calls) == 1  # both legs reuse the shared translation
+
     def test_race_never_worse_than_either(self, engine):
         for query in ("//sec[about(., code)]", "//article[about(., ontologies)]"):
             ta = engine.evaluate(query, k=3, method="ta", mode="flat")

@@ -106,6 +106,38 @@ class TestEnginePersistence:
         assert ([(h.element_key(), round(h.score, 9)) for h in result.hits]
                 == [(h.element_key(), round(h.score, 9)) for h in expected.hits])
 
+    def test_round_trip_after_incremental_add(self, tmp_path):
+        collection = SyntheticIEEECorpus(num_docs=4, seed=61).build()
+        summary = IncomingSummary(collection, alias=AliasMapping.inex_ieee())
+        engine = TrexEngine(collection, summary)
+        added = engine.add_document(
+            "<article><sec>information retrieval for xml corpora"
+            "</sec></article>")
+        query = "//sec[about(., information retrieval)]"
+        # Refresh corpus statistics so the segments saved below carry
+        # the same scores a fresh engine (whose scorer sees the post-add
+        # collection) would compute.
+        engine.rebuild_scorer()
+        engine.materialize_for_query(query)
+        expected = engine.evaluate(query, k=None, method="era")
+        assert added.docid in {hit.docid for hit in expected.hits}
+
+        engine.save_indexes(str(tmp_path / "idx"))
+
+        # The fresh engine shares the (mutated) collection and summary —
+        # persistence covers the index tables, which must reflect the
+        # incrementally added document.
+        fresh = TrexEngine(collection, summary)
+        fresh.load_indexes(str(tmp_path / "idx"))
+        fresh.auto_materialize = False
+        reference = [(h.element_key(), round(h.score, 9))
+                     for h in expected.hits]
+        for method in ("era", "ta", "merge", "ita"):
+            k = len(expected.hits) if method in ("ta", "ita") else None
+            result = fresh.evaluate(query, k=k, method=method)
+            assert [(h.element_key(), round(h.score, 9))
+                    for h in result.hits] == reference, method
+
     def test_save_is_not_charged(self, tmp_path):
         collection = SyntheticIEEECorpus(num_docs=3, seed=61).build()
         engine = TrexEngine(collection)

@@ -1,0 +1,113 @@
+"""Tests for the bounded executor: admission control, deadlines, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.service import BoundedExecutor
+
+
+class TestSubmission:
+    def test_runs_tasks_and_returns_results(self):
+        with BoundedExecutor(workers=2, queue_depth=16) as pool:
+            futures = [pool.submit(lambda x=x: x * x) for x in range(10)]
+            assert sorted(f.result(timeout=5) for f in futures) == \
+                sorted(x * x for x in range(10))
+
+    def test_exceptions_propagate_to_caller(self):
+        with BoundedExecutor(workers=1, queue_depth=4) as pool:
+            future = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(timeout=5)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedExecutor(workers=0)
+        with pytest.raises(ValueError):
+            BoundedExecutor(queue_depth=0)
+
+
+class TestAdmissionControl:
+    def test_rejects_when_queue_full(self):
+        release = threading.Event()
+        with BoundedExecutor(workers=1, queue_depth=2) as pool:
+            blocker = pool.submit(release.wait)  # occupies the worker
+            time.sleep(0.05)  # let the worker pick it up
+            pool.submit(lambda: None)
+            pool.submit(lambda: None)
+            with pytest.raises(ServiceOverloadedError):
+                pool.submit(lambda: None)
+            assert pool.rejected == 1
+            release.set()
+            blocker.result(timeout=5)
+
+    def test_recovers_after_drain(self):
+        release = threading.Event()
+        with BoundedExecutor(workers=1, queue_depth=1) as pool:
+            blocker = pool.submit(release.wait)
+            time.sleep(0.05)
+            filler = pool.submit(lambda: "later")
+            with pytest.raises(ServiceOverloadedError):
+                pool.submit(lambda: None)
+            release.set()
+            assert filler.result(timeout=5) == "later"
+            assert pool.submit(lambda: "again").result(timeout=5) == "again"
+            blocker.result(timeout=5)
+
+
+class TestDeadlines:
+    def test_expired_task_is_failed_not_run(self):
+        release = threading.Event()
+        ran = []
+        with BoundedExecutor(workers=1, queue_depth=4) as pool:
+            blocker = pool.submit(release.wait)
+            time.sleep(0.05)
+            doomed = pool.submit(lambda: ran.append(1), deadline=0.01)
+            time.sleep(0.1)  # let the deadline lapse while queued
+            release.set()
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=5)
+            blocker.result(timeout=5)
+            assert ran == []
+            assert pool.expired == 1
+
+    def test_fast_dequeue_beats_deadline(self):
+        with BoundedExecutor(workers=2, queue_depth=4) as pool:
+            future = pool.submit(lambda: "ok", deadline=5.0)
+            assert future.result(timeout=5) == "ok"
+
+
+class TestShutdown:
+    def test_graceful_drain_completes_queued_work(self):
+        results = []
+        pool = BoundedExecutor(workers=2, queue_depth=32)
+        for index in range(20):
+            pool.submit(lambda i=index: results.append(i))
+        pool.shutdown(wait=True)
+        assert sorted(results) == list(range(20))
+
+    def test_submit_after_shutdown_raises(self):
+        pool = BoundedExecutor(workers=1, queue_depth=4)
+        pool.shutdown(wait=True)
+        with pytest.raises(ServiceClosedError):
+            pool.submit(lambda: None)
+
+    def test_shutdown_idempotent(self):
+        pool = BoundedExecutor(workers=1, queue_depth=4)
+        pool.shutdown(wait=True)
+        pool.shutdown(wait=True)
+
+    def test_snapshot_counts(self):
+        with BoundedExecutor(workers=2, queue_depth=8) as pool:
+            for _ in range(5):
+                pool.submit(lambda: None).result(timeout=5)
+            snap = pool.snapshot()
+        assert snap["submitted"] == 5
+        assert snap["completed"] == 5
+        assert snap["workers"] == 2

@@ -1,0 +1,221 @@
+"""Tests for the reader-writer lock and per-worker cost isolation."""
+
+import threading
+import time
+
+from repro.service import ReadWriteLock, WorkerCostModels
+from repro.storage.cost import CostModel
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(3, timeout=5)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # all three readers in simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        writer_in = threading.Event()
+
+        def writer():
+            with lock.write():
+                writer_in.set()
+                time.sleep(0.1)
+                order.append("writer")
+
+        def reader():
+            writer_in.wait(timeout=5)
+            with lock.read():
+                order.append("reader")
+
+        tw = threading.Thread(target=writer)
+        tr = threading.Thread(target=reader)
+        tw.start()
+        tr.start()
+        tw.join(timeout=5)
+        tr.join(timeout=5)
+        assert order == ["writer", "reader"]
+
+    def test_writers_mutually_exclusive(self):
+        lock = ReadWriteLock()
+        active = []
+        overlap = []
+
+        def writer():
+            with lock.write():
+                active.append(1)
+                overlap.append(len(active) > 1)
+                time.sleep(0.02)
+                active.pop()
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(overlap)
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        reader_holding = threading.Event()
+        writer_waiting = threading.Event()
+
+        def first_reader():
+            with lock.read():
+                reader_holding.set()
+                writer_waiting.wait(timeout=5)
+                time.sleep(0.05)
+
+        def writer():
+            reader_holding.wait(timeout=5)
+            writer_waiting.set()  # set just before the blocking acquire
+            with lock.write():
+                order.append("writer")
+
+        def late_reader():
+            reader_holding.wait(timeout=5)
+            writer_waiting.wait(timeout=5)
+            time.sleep(0.02)  # ensure the writer is already queued
+            with lock.read():
+                order.append("late-reader")
+
+        threads = [threading.Thread(target=fn)
+                   for fn in (first_reader, writer, late_reader)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert order == ["writer", "late-reader"]
+
+    def test_snapshot(self):
+        lock = ReadWriteLock()
+        with lock.read():
+            snap = lock.snapshot()
+            assert snap["active_readers"] == 1
+            assert not snap["writer_active"]
+        with lock.write():
+            assert lock.snapshot()["writer_active"]
+
+
+class TestWorkerCostModels:
+    def test_each_thread_gets_its_own(self):
+        pool = WorkerCostModels()
+        seen = {}
+
+        def worker(name):
+            model = pool.current()
+            model.tuple_read(5)
+            seen[name] = model
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        models = list(seen.values())
+        assert len({id(m) for m in models}) == 3
+        assert all(m.counters.tuples_read == 5 for m in models)
+
+    def test_same_thread_reuses_model(self):
+        pool = WorkerCostModels()
+        assert pool.current() is pool.current()
+
+    def test_aggregate_sums_across_workers(self):
+        pool = WorkerCostModels()
+
+        def worker():
+            pool.current().page_read(2)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        totals = pool.aggregate()
+        assert totals["workers"] == 4
+        assert totals["counters"]["page_reads"] == 8
+        assert totals["base_cost"] > 0
+
+
+class TestScopedCostRouting:
+    """CostModel.scoped: the engine-side half of per-worker isolation."""
+
+    def test_charges_route_to_scoped_model(self):
+        shared = CostModel()
+        private = CostModel()
+        with shared.scoped(private):
+            shared.seek()
+            shared.tuple_read(3)
+        assert shared.counters.seeks == 0
+        assert private.counters.seeks == 1
+        assert private.counters.tuples_read == 3
+
+    def test_scope_is_per_thread(self):
+        shared = CostModel()
+        private = CostModel()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def other_thread():
+            entered.wait(timeout=5)
+            shared.compare()  # no scope on this thread: charges shared
+            release.set()
+
+        thread = threading.Thread(target=other_thread)
+        thread.start()
+        with shared.scoped(private):
+            entered.set()
+            release.wait(timeout=5)
+            shared.compare()  # scoped: charges private
+        thread.join(timeout=5)
+        assert shared.counters.comparisons == 1
+        assert private.counters.comparisons == 1
+
+    def test_muted_inside_scope_mutes_private_only(self):
+        shared = CostModel()
+        private = CostModel()
+        with shared.scoped(private):
+            with shared.muted():
+                shared.seek()
+            shared.seek()
+        assert private.counters.seeks == 1
+        assert shared.counters.seeks == 0
+        assert not shared._muted
+
+    def test_meters_read_through_scope(self):
+        shared = CostModel()
+        private = CostModel()
+        shared.page_read()  # unscoped charge on the shared meter
+        with shared.scoped(private):
+            shared.page_read()
+            assert shared.total_cost == private.total_cost
+            snap = shared.snapshot()
+            shared.page_read()
+            assert shared.since(snap).base_cost > 0
+        assert shared.counters.page_reads == 1
+        assert private.counters.page_reads == 2
+
+    def test_scopes_nest_and_restore(self):
+        shared = CostModel()
+        first = CostModel()
+        second = CostModel()
+        with shared.scoped(first):
+            with shared.scoped(second):
+                shared.seek()
+            shared.seek()
+        shared.seek()
+        assert second.counters.seeks == 1
+        assert first.counters.seeks == 1
+        assert shared.counters.seeks == 1

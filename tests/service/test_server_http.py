@@ -1,0 +1,186 @@
+"""Round-trip tests for the stdlib HTTP JSON API."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from urllib.parse import quote
+
+import pytest
+
+from repro.service import QueryService, ServiceConfig, make_server
+
+from tests.service.conftest import DOCS, build_engine
+
+QUERY = "//sec[about(., xml retrieval)]"
+
+
+@pytest.fixture()
+def server_url():
+    engine = build_engine(*DOCS)
+    config = ServiceConfig(workers=4, queue_depth=32, cache_capacity=64,
+                           autopilot_interval=None,
+                           autopilot_min_observations=1)
+    service = QueryService(engine, config)
+    server = make_server(service, port=0)  # OS-assigned free port
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    service.close()
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def post_json(url, payload, content_type="application/json"):
+    data = payload if isinstance(payload, bytes) else \
+        json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": content_type})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def error_json(exc: urllib.error.HTTPError):
+    return json.loads(exc.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server_url):
+        status, body = get_json(f"{server_url}/healthz")
+        assert status == 200
+        assert body == {"status": "ok", "epoch": 0}
+
+    def test_get_search(self, server_url):
+        status, body = get_json(
+            f"{server_url}/search?q={quote(QUERY)}&k=3&method=era")
+        assert status == 200
+        assert body["method"] == "era"
+        assert body["total"] >= 1
+        assert body["hits"][0]["rank"] == 1
+
+    def test_post_search(self, server_url):
+        status, body = post_json(f"{server_url}/search",
+                                 {"q": QUERY, "k": 2, "method": "merge"})
+        assert status == 200
+        assert body["method"] == "merge"
+        assert body["total"] <= 2
+
+    def test_search_k_all(self, server_url):
+        status, body = get_json(f"{server_url}/search?q={quote(QUERY)}&k=all")
+        assert status == 200
+        assert body["k"] is None
+
+    def test_search_cache_param(self, server_url):
+        get_json(f"{server_url}/search?q={quote(QUERY)}&k=3")
+        _, cached = get_json(f"{server_url}/search?q={quote(QUERY)}&k=3")
+        assert cached["cached"] is True
+        _, fresh = get_json(
+            f"{server_url}/search?q={quote(QUERY)}&k=3&cache=0")
+        assert fresh["cached"] is False
+
+    def test_explain(self, server_url):
+        status, body = get_json(f"{server_url}/explain?q={quote(QUERY)}&k=2")
+        assert status == 200
+        assert body["chosen_method"] in ("era", "ta", "merge", "ita")
+
+    def test_ingest_raw_xml_bumps_epoch(self, server_url):
+        status, body = post_json(
+            f"{server_url}/ingest",
+            b"<a><sec>fresh xml retrieval document</sec></a>",
+            content_type="application/xml")
+        assert status == 200
+        assert body["epoch"] == 1
+        _, health = get_json(f"{server_url}/healthz")
+        assert health["epoch"] == 1
+        _, result = get_json(f"{server_url}/search?q={quote(QUERY)}&k=all")
+        assert any(hit["docid"] == body["docid"] for hit in result["hits"])
+
+    def test_ingest_json_with_docid(self, server_url):
+        status, body = post_json(
+            f"{server_url}/ingest",
+            {"xml": "<a><sec>another xml doc</sec></a>", "docid": 77})
+        assert status == 200
+        assert body["docid"] == 77
+
+    def test_stats_counts_requests(self, server_url):
+        get_json(f"{server_url}/search?q={quote(QUERY)}&k=2")
+        status, stats = get_json(f"{server_url}/stats")
+        assert status == 200
+        assert stats["telemetry"]["counters"]["search.requests"] == 1
+        assert stats["executor"]["workers"] == 4
+        assert "p50" in stats["telemetry"]["histograms"]["search.latency_seconds"]
+
+    def test_autopilot_cycle_endpoint(self, server_url):
+        get_json(f"{server_url}/search?q={quote(QUERY)}&k=2")
+        status, body = post_json(f"{server_url}/autopilot/cycle", {})
+        assert status == 200
+        assert body["ran"] is True
+        assert body["cycles"] == 1
+        assert body["last_report"]["materialized"] >= 1
+
+
+class TestErrorMapping:
+    def test_missing_query_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            get_json(f"{server_url}/search")
+        assert info.value.code == 400
+        assert "q" in error_json(info.value)["detail"]
+
+    def test_unknown_method_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            get_json(f"{server_url}/search?q={quote(QUERY)}&method=bogus")
+        assert info.value.code == 400
+
+    def test_bad_k_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            get_json(f"{server_url}/search?q={quote(QUERY)}&k=banana")
+        assert info.value.code == 400
+
+    def test_malformed_json_body_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            post_json(f"{server_url}/search", b"{not json")
+        assert info.value.code == 400
+
+    def test_empty_ingest_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            post_json(f"{server_url}/ingest", b"   ",
+                      content_type="application/xml")
+        assert info.value.code == 400
+
+    def test_unknown_path_is_404(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            get_json(f"{server_url}/nope")
+        assert info.value.code == 404
+
+    def test_bad_nexi_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            get_json(f"{server_url}/search?q={quote('//sec[about(')}")
+        assert info.value.code == 400
+
+    def test_missing_index_is_409(self):
+        engine = build_engine(*DOCS)
+        config = ServiceConfig(workers=2, autopilot_interval=None,
+                               materialize_on_demand=False)
+        service = QueryService(engine, config)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            with pytest.raises(urllib.error.HTTPError) as info:
+                get_json(f"http://{host}:{port}/search"
+                         f"?q={quote(QUERY)}&k=2&method=ta")
+            assert info.value.code == 409
+            assert error_json(info.value)["error"] == "MissingIndexError"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.close()

@@ -1,0 +1,75 @@
+"""Tests for serving-layer telemetry."""
+
+from repro.service import LatencyHistogram, Telemetry
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot(self):
+        assert LatencyHistogram().snapshot() == {"count": 0}
+
+    def test_count_sum_min_max(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.01, 0.1):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert abs(snap["sum"] - 0.111) < 1e-9
+        assert snap["min"] == 0.001
+        assert snap["max"] == 0.1
+
+    def test_quantiles_are_ordered_and_bracketed(self):
+        hist = LatencyHistogram()
+        values = [0.001 * (i + 1) for i in range(100)]
+        for value in values:
+            hist.observe(value)
+        p50, p90, p99 = (hist.quantile(q) for q in (0.5, 0.9, 0.99))
+        assert p50 <= p90 <= p99
+        assert min(values) <= p50 <= max(values)
+        # p50 of a uniform 1..100ms spread sits near the middle,
+        # within a geometric bucket's width of it.
+        assert 0.02 <= p50 <= 0.09
+
+    def test_quantile_of_identical_values(self):
+        hist = LatencyHistogram()
+        for _ in range(50):
+            hist.observe(0.005)
+        assert abs(hist.quantile(0.5) - 0.005) < 1e-12
+        assert abs(hist.quantile(0.99) - 0.005) < 1e-12
+
+    def test_overflow_bucket(self):
+        hist = LatencyHistogram()
+        hist.observe(1e6)  # beyond the largest bound
+        assert hist.quantile(0.99) == 1e6
+
+
+class TestTelemetry:
+    def test_counters(self):
+        telemetry = Telemetry()
+        telemetry.incr("a")
+        telemetry.incr("a", 4)
+        assert telemetry.counter("a") == 5
+        assert telemetry.counter("missing") == 0
+
+    def test_histograms_created_on_demand(self):
+        telemetry = Telemetry()
+        telemetry.observe("latency", 0.02)
+        telemetry.observe("latency", 0.04)
+        assert telemetry.histogram("latency").count == 2
+        assert telemetry.histogram("other") is None
+
+    def test_gauges_sampled_at_snapshot(self):
+        telemetry = Telemetry()
+        depth = [3]
+        telemetry.register_gauge("queue_depth", lambda: depth[0])
+        assert telemetry.snapshot()["gauges"]["queue_depth"] == 3
+        depth[0] = 7
+        assert telemetry.snapshot()["gauges"]["queue_depth"] == 7
+
+    def test_snapshot_shape(self):
+        telemetry = Telemetry()
+        telemetry.incr("requests", 2)
+        telemetry.observe("latency", 0.01)
+        snap = telemetry.snapshot()
+        assert snap["counters"] == {"requests": 2}
+        assert snap["histograms"]["latency"]["count"] == 1
+        assert snap["gauges"] == {}
