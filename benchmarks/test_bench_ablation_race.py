@@ -28,6 +28,14 @@ def test_race_ablation(benchmark, engines):
             engine.materialize_for_query(paper_query.nexi,
                                          kinds=("rpl", "erpl"), scope=scope)
             for k in (5, max(paper_query.k_sweep)):
+                # Warm the block cache so the standalone runs and the
+                # race legs below see the same resident working set —
+                # cold first runs pay block reads + decodes the race's
+                # repeat legs would not.
+                engine.evaluate(paper_query.nexi, k=k, method="ta",
+                                mode="flat")
+                engine.evaluate(paper_query.nexi, k=k, method="merge",
+                                mode="flat")
                 ta = engine.evaluate(paper_query.nexi, k=k, method="ta",
                                      mode="flat")
                 merge = engine.evaluate(paper_query.nexi, k=k, method="merge",

@@ -1,0 +1,117 @@
+"""Ablation — block size and skip rate of the compressed access paths.
+
+Sweeps the entries-per-block knob across the TA and Merge read paths:
+small blocks skip at a finer grain (higher skip rate) but pay more
+per-block fixed costs; large blocks amortize decoding but drag more
+entries per open.  Results must not depend on the knob — every block
+size returns identical top-k answers.
+
+Also pins the strategy ordering ("who wins") for a small query set to
+``baseline_ordering.json``; CI runs this on the tiny corpus and fails
+when a storage change silently flips a winner.
+"""
+
+import json
+import os
+
+from conftest import record_report
+
+from repro.bench import format_rows
+from repro.corpus import AliasMapping, SyntheticIEEECorpus
+from repro.retrieval import TrexEngine
+from repro.summary import IncomingSummary
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "baseline_ordering.json")
+
+QUERY = "//article//sec[about(., introduction information retrieval)]"
+
+ORDERING_QUERIES = {
+    "sec-about-3-terms": "//article//sec[about(., introduction information "
+                         "retrieval)]",
+    "sec-about-1-term": "//article//sec[about(., code)]",
+    "article-about": "//article[about(., genetic algorithm)]",
+}
+
+
+def build_fixture():
+    collection = SyntheticIEEECorpus(num_docs=30, seed=59).build()
+    summary = IncomingSummary(collection, alias=AliasMapping.inex_ieee())
+    return collection, summary
+
+
+def make_engine(collection, summary, block_size):
+    engine = TrexEngine(collection, summary, block_size=block_size)
+    engine.materialize_for_query(QUERY, kinds=("rpl", "erpl"))
+    return engine
+
+
+def test_block_size_sweep(benchmark):
+    collection, summary = build_fixture()
+
+    def run():
+        rows = []
+        answers = {}
+        for block_size in (8, 32, 128, 512):
+            engine = make_engine(collection, summary, block_size)
+            ta = engine.evaluate(QUERY, k=5, method="ta", mode="flat")
+            merge = engine.evaluate(QUERY, k=5, method="merge", mode="flat")
+            stats = ta.stats
+            touched = stats.blocks_read + stats.blocks_skipped
+            rows.append({
+                "block_size": block_size,
+                "ta_cost": round(stats.cost, 1),
+                "merge_cost": round(merge.stats.cost, 1),
+                "blocks_read": stats.blocks_read,
+                "blocks_skipped": stats.blocks_skipped,
+                "skip_rate": round(stats.blocks_skipped / touched, 3)
+                if touched else 0.0,
+                "rpl_bytes": sum(s.size_bytes
+                                 for s in engine.catalog.segments()
+                                 if s.kind == "rpl"),
+            })
+            answers[block_size] = [
+                (h.element_key(), round(h.score, 9)) for h in ta.hits]
+        return rows, answers
+
+    rows, answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report("Ablation: block size vs skip rate (TA, k=5)",
+                  format_rows(rows))
+
+    # The knob must never change answers.
+    reference = answers[128]
+    for block_size, hits in answers.items():
+        assert hits == reference, f"block_size={block_size} changed top-k"
+
+    by_size = {row["block_size"]: row for row in rows}
+    # Finer blocks are opened (and skipped) in larger numbers...
+    assert by_size[8]["blocks_read"] > by_size[512]["blocks_read"]
+    # ...and skip at least as aggressively as coarse ones.
+    assert by_size[8]["skip_rate"] >= by_size[512]["skip_rate"]
+
+
+def compute_ordering():
+    collection, summary = build_fixture()
+    winners = {}
+    for name, query in ORDERING_QUERIES.items():
+        engine = TrexEngine(collection, summary)
+        engine.materialize_for_query(query, kinds=("rpl", "erpl"))
+        costs = {
+            method: engine.evaluate(query, k=5, method=method,
+                                    mode="flat").stats.cost
+            for method in ("era", "ta", "merge")
+        }
+        winners[name] = sorted(costs, key=costs.get)
+    return winners
+
+
+def test_strategy_ordering_matches_baseline():
+    """Who-wins regression gate: fail when a storage change flips the
+    cheapest-strategy ordering recorded in baseline_ordering.json."""
+    ordering = compute_ordering()
+    with open(BASELINE_PATH, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    assert ordering == baseline["ordering"], (
+        f"strategy ordering flipped: expected {baseline['ordering']}, "
+        f"got {ordering} — if intentional, regenerate "
+        f"benchmarks/baseline_ordering.json")

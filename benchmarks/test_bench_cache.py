@@ -12,7 +12,6 @@ from repro.bench import format_rows
 from repro.corpus import AliasMapping, SyntheticIEEECorpus
 from repro.retrieval import TrexEngine
 from repro.storage import CostModel, PageCache
-from repro.storage.table import Table
 from repro.summary import IncomingSummary
 
 QUERY = "//article//sec[about(., introduction information retrieval)]"
@@ -27,9 +26,7 @@ def test_cache_capacity_ablation(benchmark):
         # one shared pool across the engine's tables, as in BDB
         engine = TrexEngine(collection, summary, cost_model=cost_model)
         shared = PageCache(capacity=capacity, cost_model=cost_model)
-        for table in (engine.elements, engine.postings,
-                      engine.catalog.rpls, engine.catalog.erpls):
-            table.tree.use_cache(shared)
+        engine.use_page_cache(shared)
         engine.materialize_for_query(QUERY, kinds=("erpl",))
         shared.clear()
         first = engine.evaluate(QUERY, method="merge", mode="flat").stats.cost

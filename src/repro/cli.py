@@ -8,6 +8,7 @@ Subcommands::
     python -m repro query     evaluate a NEXI query
     python -m repro advise    run the self-managing index advisor
     python -m repro serve     run the concurrent HTTP query service
+    python -m repro stats     fetch /stats from a running server
 
 Corpora are directories of ``*.xml`` files; docids follow sorted
 filename order.  The ``--alias`` option selects the INEX alias mapping
@@ -25,6 +26,7 @@ from .corpus.loader import dump_collection, load_collection
 from .errors import TrexError
 from .retrieval.engine import METHODS, TrexEngine
 from .selfmanage.advisor import IndexAdvisor
+from .storage.blocks import DEFAULT_BLOCK_SIZE
 from .selfmanage.workload import Workload, WorkloadQuery
 from .summary.variants import AKIndex, IncomingSummary, TagSummary
 
@@ -48,7 +50,7 @@ def _make_engine(args) -> TrexEngine:
         summary = AKIndex(collection, k=int(args.summary[2:]), alias=alias)
     else:
         summary = IncomingSummary(collection, alias=alias)
-    return TrexEngine(collection, summary)
+    return TrexEngine(collection, summary, block_size=args.block_size)
 
 
 def _cmd_corpus(args) -> int:
@@ -200,6 +202,42 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = f"http://{args.host}:{args.port}/stats"
+    try:
+        with urlopen(url, timeout=args.timeout) as response:
+            stats = json.loads(response.read().decode("utf-8"))
+    except (URLError, OSError) as err:
+        print(f"error: cannot reach {url}: {err}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    engine = stats.get("engine", {})
+    print(f"uptime:    {stats.get('uptime_seconds', 0):.1f}s  "
+          f"epoch={stats.get('epoch')}")
+    print(f"engine:    {engine.get('documents')} documents, "
+          f"{engine.get('segments')} segments, "
+          f"{engine.get('catalog_bytes')} catalog bytes, "
+          f"block_size={engine.get('block_size')}")
+    cache = stats.get("block_cache", {})
+    print(f"block cache: {cache.get('resident')}/{cache.get('capacity')} "
+          f"resident, hits={cache.get('hits')} misses={cache.get('misses')} "
+          f"evictions={cache.get('evictions')} "
+          f"hit_rate={cache.get('hit_rate')}")
+    counters = stats.get("telemetry", {}).get("counters", {})
+    for name in ("blocks.read", "blocks.decoded", "blocks.skipped",
+                 "blocks.entries_decoded", "rows.skipped"):
+        print(f"{name:24s} {counters.get(name, 0)}")
+    result_cache = stats.get("cache", {})
+    print(f"result cache: {result_cache}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("corpus", help="directory of .xml files")
         p.add_argument("--alias", choices=sorted(_ALIASES), default="none")
         p.add_argument("--summary", choices=_SUMMARIES, default="incoming")
+        p.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE,
+                       help="entries per compressed index block "
+                            f"(default {DEFAULT_BLOCK_SIZE})")
 
     info = sub.add_parser("info", help="collection and index statistics")
     add_engine_args(info)
@@ -286,6 +327,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request")
     serve.set_defaults(func=_cmd_serve)
+
+    stats = sub.add_parser("stats", help="fetch /stats from a running server")
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=8080)
+    stats.add_argument("--timeout", type=float, default=5.0)
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw JSON snapshot")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 

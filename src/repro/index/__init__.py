@@ -1,25 +1,34 @@
 """Physical indexes: Elements, PostingLists, RPL/ERPL segments, catalog."""
 
-from .catalog import ERPLS_SCHEMA, IndexCatalog, IndexSegment, RPLS_SCHEMA
-from .elements import ELEMENTS_SCHEMA, build_elements_table
+from .catalog import IndexCatalog, IndexSegment
+from .elements import ELEMENTS_SCHEMA, BlockedElements, build_elements_table
 from .postings import (
     DEFAULT_FRAGMENT_SIZE,
     POSTING_LISTS_SCHEMA,
+    BlockedPostings,
     build_posting_lists_table,
 )
-from .rpl import RplEntry, compute_rpl_entries, term_positions_by_document
+from .rpl import (
+    RplEntry,
+    compute_rpl_entries,
+    erpl_block_codec,
+    rpl_block_codec,
+    term_positions_by_document,
+)
 
 __all__ = [
-    "ERPLS_SCHEMA",
     "IndexCatalog",
     "IndexSegment",
-    "RPLS_SCHEMA",
     "ELEMENTS_SCHEMA",
+    "BlockedElements",
     "build_elements_table",
     "DEFAULT_FRAGMENT_SIZE",
     "POSTING_LISTS_SCHEMA",
+    "BlockedPostings",
     "build_posting_lists_table",
     "RplEntry",
     "compute_rpl_entries",
+    "erpl_block_codec",
+    "rpl_block_codec",
     "term_positions_by_document",
 ]

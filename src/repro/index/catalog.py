@@ -9,62 +9,46 @@ registry the engine and the advisor share:
   term, with a *scope*: either universal (``None``: entries for every
   extent containing the term) or a specific sid set (a query-scoped,
   usually much smaller, redundant index);
-* segments own rows in the shared ``RPLs``/``ERPLs`` tables, keyed by
-  their segment id, and their byte footprint is tracked so the advisor
-  can enforce the disk budget ``d``;
+* each segment's entries are stored as a compressed
+  :class:`~repro.storage.blocks.BlockSequence` — delta+varint blocks of
+  ~128 entries with a resident skip directory of per-block headers —
+  and ``size_bytes`` is the **compressed** footprint, which is what the
+  advisor trades against the disk budget ``d``;
 * a lookup finds the best (smallest superset-scope) segment usable to
   answer a query over a given sid set — using a superset segment is
   correct but costs skipping, which is exactly the TA behaviour the
   paper observes on universal lists.
 
-Table layouts (cf. paper §2.2, fragmentation done row-per-entry):
+Block layouts (cf. paper §2.2, fragmentation done block-per-run):
 
-* ``RPLs(token, seg, ir, score, sid, docid, endpos, length)`` with key
-  ``(token, seg, ir)`` — ``ir`` is the descending-relevance rank, so a
-  prefix scan performs sorted access;
-* ``ERPLs(token, seg, sid, docid, endpos, score, length)`` with key
-  ``(token, seg, sid, docid, endpos)`` — per-(term, sid) ranges in
-  position order, so Merge can seek straight to a query's extents.
+* RPL blocks: key ``(ir)`` — the descending-relevance rank, so reading
+  blocks in order performs sorted access, and each header's
+  ``max_score`` bounds everything at or below that rank (block-max);
+* ERPL blocks: key ``(sid, docid, endpos)`` — per-(term, sid) ranges in
+  position order, so Merge leaps (via ``first_key``/``last_key``) to a
+  query's extents.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..errors import MissingIndexError, StorageError
-from ..index.rpl import RplEntry
-from ..storage.cost import CostModel
-from ..storage.table import Column, Schema, Table
-
-__all__ = ["IndexSegment", "IndexCatalog", "RPLS_SCHEMA", "ERPLS_SCHEMA"]
-
-RPLS_SCHEMA = Schema(
-    [
-        Column("token", "str"),
-        Column("seg", "uint"),
-        Column("ir", "uint"),
-        Column("score", "float"),
-        Column("sid", "uint"),
-        Column("docid", "uint"),
-        Column("endpos", "uint"),
-        Column("length", "uint"),
-    ],
-    key_length=3,
+from ..index.rpl import (
+    RplEntry,
+    erpl_block_codec,
+    erpl_block_entry,
+    rpl_block_codec,
+    rpl_block_entry,
+    rpl_entry_from_block,
 )
+from ..storage.blocks import DEFAULT_BLOCK_SIZE, BlockSequence
+from ..storage.cost import CostModel, GLOBAL_COST_MODEL
+from ..storage.pager import PageCache
 
-ERPLS_SCHEMA = Schema(
-    [
-        Column("token", "str"),
-        Column("seg", "uint"),
-        Column("sid", "uint"),
-        Column("docid", "uint"),
-        Column("endpos", "uint"),
-        Column("score", "float"),
-        Column("length", "uint"),
-    ],
-    key_length=5,
-)
+__all__ = ["IndexSegment", "IndexCatalog"]
 
 
 @dataclass(frozen=True)
@@ -95,13 +79,19 @@ class IndexSegment:
 
 
 class IndexCatalog:
-    """Registry plus storage for all RPL/ERPL segments."""
+    """Registry plus block storage for all RPL/ERPL segments."""
 
-    def __init__(self, cost_model: CostModel | None = None, btree_order: int = 64):
-        self.rpls = Table("RPLs", RPLS_SCHEMA, cost_model=cost_model,
-                          btree_order=btree_order)
-        self.erpls = Table("ERPLs", ERPLS_SCHEMA, cost_model=cost_model,
-                           btree_order=btree_order)
+    def __init__(self, cost_model: CostModel | None = None,
+                 btree_order: int = 64,
+                 block_size: int = DEFAULT_BLOCK_SIZE):
+        # btree_order is accepted for call-site compatibility with the
+        # row-store catalog; block storage has no tree fan-out to tune.
+        del btree_order
+        self.cost_model = (cost_model if cost_model is not None
+                           else GLOBAL_COST_MODEL)
+        self.block_size = block_size
+        self._cache = PageCache(cost_model=self.cost_model)
+        self._blocks: dict[int, BlockSequence] = {}
         self._segments: dict[int, IndexSegment] = {}
         self._next_segment_id = 1
 
@@ -113,38 +103,40 @@ class IndexCatalog:
         """Store *entries* (already in descending-score order) as an RPL."""
         segment_id = self._next_segment_id
         self._next_segment_id += 1
-        before = self.rpls.size_bytes
-        for rank, entry in enumerate(entries):
-            self.rpls.insert((term, segment_id, rank, entry.score, entry.sid,
-                              entry.docid, entry.endpos, entry.length))
+        sequence = BlockSequence.build(
+            (rpl_block_entry(rank, entry) for rank, entry in enumerate(entries)),
+            rpl_block_codec(), block_size=self.block_size,
+            cost_model=self.cost_model, cache=self._cache)
         segment = IndexSegment(
             segment_id=segment_id,
             kind="rpl",
             term=term,
             scope=None if scope is None else frozenset(scope),
             entry_count=len(entries),
-            size_bytes=self.rpls.size_bytes - before,
+            size_bytes=sequence.size_bytes,
         )
+        self._blocks[segment_id] = sequence
         self._segments[segment_id] = segment
         return segment
 
     def add_erpl_segment(self, term: str, entries: list[RplEntry],
                          scope: Iterable[int] | None = None) -> IndexSegment:
-        """Store *entries* as an ERPL (rows keyed by sid, then position)."""
+        """Store *entries* as an ERPL (blocks keyed by sid, then position)."""
         segment_id = self._next_segment_id
         self._next_segment_id += 1
-        before = self.erpls.size_bytes
-        for entry in entries:
-            self.erpls.insert((term, segment_id, entry.sid, entry.docid,
-                               entry.endpos, entry.score, entry.length))
+        ordered = sorted(erpl_block_entry(entry) for entry in entries)
+        sequence = BlockSequence.build(
+            ordered, erpl_block_codec(), block_size=self.block_size,
+            cost_model=self.cost_model, cache=self._cache)
         segment = IndexSegment(
             segment_id=segment_id,
             kind="erpl",
             term=term,
             scope=None if scope is None else frozenset(scope),
             entry_count=len(entries),
-            size_bytes=self.erpls.size_bytes - before,
+            size_bytes=sequence.size_bytes,
         )
+        self._blocks[segment_id] = sequence
         self._segments[segment_id] = segment
         return segment
 
@@ -194,16 +186,70 @@ class IndexCatalog:
         return segment
 
     # ------------------------------------------------------------------
+    # Block access
+    # ------------------------------------------------------------------
+    def blocks_for(self, segment: IndexSegment) -> BlockSequence:
+        """The block sequence holding *segment*'s entries."""
+        try:
+            return self._blocks[segment.segment_id]
+        except KeyError:
+            raise StorageError(
+                f"segment {segment.segment_id} has no block storage") from None
+
+    def segment_entries(self, segment: IndexSegment) -> list[RplEntry]:
+        """All of *segment*'s entries, uncharged (maintenance path).
+
+        RPL segments come back in rank (descending-score) order, ERPL
+        segments in sid-major position order.
+        """
+        sequence = self.blocks_for(segment)
+        if segment.kind == "rpl":
+            return [rpl_entry_from_block(row) for row in sequence.entries()]
+        return [RplEntry(score, sid, docid, endpos, length)
+                for sid, docid, endpos, score, length in sequence.entries()]
+
+    def erpl_probe(self, segment: IndexSegment, sid: int, docid: int,
+                   endpos: int) -> float | None:
+        """Random access into an ERPL: the element's score, or ``None``.
+
+        Charged as one positioning seek plus whatever block the skip
+        directory lands on — the paper's cited TA-with-random-accesses
+        pays this per probe.
+        """
+        sequence = self.blocks_for(segment)
+        self.cost_model.seek()
+        key = (sid, docid, endpos)
+        index = sequence.find_first_block_ge(key)
+        if index >= sequence.block_count:
+            return None
+        if sequence.headers[index].first_key > key:
+            return None
+        entries = sequence.read_block(index)
+        lo, hi = 0, len(entries)
+        steps = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            steps += 1
+            if entries[mid][:3] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if steps:
+            self.cost_model.compare(steps)
+        if lo < len(entries) and entries[lo][:3] == key:
+            self.cost_model.tuple_read()
+            return entries[lo][3]
+        return None
+
+    # ------------------------------------------------------------------
     # Removal
     # ------------------------------------------------------------------
     def drop_segment(self, segment_id: int) -> None:
-        """Delete a segment's rows and unregister it."""
-        segment = self.get_segment(segment_id)
-        table = self.rpls if segment.kind == "rpl" else self.erpls
-        keys = [tuple(row[: table.schema.key_length])
-                for row in table.scan_prefix((segment.term, segment_id))]
-        for key in keys:
-            table.delete(key)
+        """Delete a segment's blocks and unregister it."""
+        self.get_segment(segment_id)
+        sequence = self._blocks.pop(segment_id, None)
+        if sequence is not None:
+            sequence.invalidate()
         del self._segments[segment_id]
 
     # ------------------------------------------------------------------
@@ -217,15 +263,29 @@ class IndexCatalog:
         return [segment.describe() for segment in
                 sorted(self._segments.values(), key=lambda s: s.segment_id)]
 
+    def use_cache(self, cache: PageCache) -> None:
+        """Route every segment's block residency through *cache*."""
+        self._cache = cache
+        for sequence in self._blocks.values():
+            sequence.use_cache(cache)
+
+    def cache_stats(self) -> dict[str, int | float]:
+        """Residency statistics of the catalog's block cache."""
+        return {
+            "capacity": self._cache.capacity,
+            "resident": len(self._cache),
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "evictions": self._cache.evictions,
+            "hit_rate": round(self._cache.hit_rate, 4),
+        }
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, directory: str) -> None:
-        """Persist the RPLs/ERPLs tables and the segment metadata."""
-        import os
+        """Persist every segment's blocks and the segment metadata."""
         os.makedirs(directory, exist_ok=True)
-        self.rpls.save(os.path.join(directory, "rpls.tbl"))
-        self.erpls.save(os.path.join(directory, "erpls.tbl"))
         lines = [f"{self._next_segment_id}"]
         for segment in sorted(self._segments.values(), key=lambda s: s.segment_id):
             scope = ("*" if segment.scope is None
@@ -233,26 +293,31 @@ class IndexCatalog:
             lines.append("\t".join([
                 str(segment.segment_id), segment.kind, segment.term, scope,
                 str(segment.entry_count), str(segment.size_bytes)]))
+            self._blocks[segment.segment_id].save(
+                os.path.join(directory, f"seg{segment.segment_id}.blk"))
         with open(os.path.join(directory, "segments.tsv"), "w",
                   encoding="utf-8") as fh:
             fh.write("\n".join(lines) + "\n")
 
     def load(self, directory: str) -> None:
         """Replace this catalog's contents from a saved directory."""
-        import os
-        self.rpls.load(os.path.join(directory, "rpls.tbl"))
-        self.erpls.load(os.path.join(directory, "erpls.tbl"))
         with open(os.path.join(directory, "segments.tsv"), encoding="utf-8") as fh:
             lines = [line.rstrip("\n") for line in fh if line.strip()]
         if not lines:
             raise StorageError(f"{directory}/segments.tsv is empty")
         self._next_segment_id = int(lines[0])
         self._segments = {}
+        self._blocks = {}
         for line in lines[1:]:
             seg_id, kind, term, scope_text, entry_count, size_bytes = \
                 line.split("\t")
             scope = (None if scope_text == "*" else
                      frozenset(int(s) for s in scope_text.split(",") if s))
-            self._segments[int(seg_id)] = IndexSegment(
+            segment = IndexSegment(
                 segment_id=int(seg_id), kind=kind, term=term, scope=scope,
                 entry_count=int(entry_count), size_bytes=int(size_bytes))
+            codec = rpl_block_codec() if kind == "rpl" else erpl_block_codec()
+            self._segments[segment.segment_id] = segment
+            self._blocks[segment.segment_id] = BlockSequence.load(
+                os.path.join(directory, f"seg{segment.segment_id}.blk"),
+                codec, cost_model=self.cost_model, cache=self._cache)

@@ -9,12 +9,17 @@ and a seek to ``(SID, docid, pos)`` implements the ERA primitive
 
 from __future__ import annotations
 
+from collections import defaultdict
+
 from ..corpus.collection import Collection
+from ..storage.blocks import DEFAULT_BLOCK_SIZE, BlockSequence
 from ..storage.cost import CostModel
+from ..storage.pager import PageCache
+from ..storage.serialization import BlockCodec, UIntCodec
 from ..storage.table import Column, Schema, Table
 from ..summary.base import PartitionSummary
 
-__all__ = ["ELEMENTS_SCHEMA", "build_elements_table"]
+__all__ = ["ELEMENTS_SCHEMA", "BlockedElements", "build_elements_table"]
 
 ELEMENTS_SCHEMA = Schema(
     [
@@ -39,3 +44,57 @@ def build_elements_table(collection: Collection, summary: PartitionSummary,
             sid = summary.sid_of(docid, node.end_pos)
             table.insert((sid, docid, node.end_pos, node.length))
     return table
+
+
+class BlockedElements:
+    """Per-sid compressed block sequences over the Elements table.
+
+    The table stays the persistent, ingestable source of truth; this is
+    the read-optimized access path ERA's extent iterators probe.  One
+    sequence per sid keeps each extent's ``(docid, endpos)`` runs
+    delta-compressed, with the block headers acting as the skip
+    directory ``nextElementAfter`` consults before decoding anything.
+    """
+
+    def __init__(self, table: Table, cost_model: CostModel | None = None,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 cache: PageCache | None = None):
+        self.table = table
+        self.block_size = block_size
+        self.cost_model = (cost_model if cost_model is not None
+                           else table.cost_model)
+        self._cache = (cache if cache is not None
+                       else PageCache(cost_model=self.cost_model))
+        self._sequences: dict[int, BlockSequence] = {}
+        self.rebuild()
+
+    @staticmethod
+    def _codec() -> BlockCodec:
+        return BlockCodec(key_width=2, payload_codecs=(UIntCodec(),))
+
+    def rebuild(self) -> None:
+        """(Re)build all per-sid sequences (maintenance path)."""
+        for old in self._sequences.values():
+            old.invalidate()
+        grouped: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
+        for sid, docid, endpos, length in self.table.scan():
+            grouped[sid].append((docid, endpos, length))
+        self._sequences = {
+            sid: BlockSequence.build(rows, self._codec(),
+                                     block_size=self.block_size,
+                                     cost_model=self.cost_model,
+                                     cache=self._cache)
+            for sid, rows in grouped.items()}
+
+    def sequence(self, sid: int) -> BlockSequence | None:
+        return self._sequences.get(sid)
+
+    def use_cache(self, cache: PageCache) -> None:
+        self._cache = cache
+        for sequence in self._sequences.values():
+            sequence.use_cache(cache)
+
+    @property
+    def size_bytes(self) -> int:
+        """Compressed footprint across all extents."""
+        return sum(seq.size_bytes for seq in self._sequences.values())

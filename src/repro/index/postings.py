@@ -16,10 +16,14 @@ from collections import defaultdict
 
 from ..corpus.collection import Collection
 from ..corpus.document import M_POS
+from ..storage.blocks import BlockSequence
 from ..storage.cost import CostModel
+from ..storage.pager import PageCache
+from ..storage.serialization import BlockCodec
 from ..storage.table import Column, Schema, Table
 
-__all__ = ["POSTING_LISTS_SCHEMA", "build_posting_lists_table", "DEFAULT_FRAGMENT_SIZE"]
+__all__ = ["POSTING_LISTS_SCHEMA", "BlockedPostings",
+           "build_posting_lists_table", "DEFAULT_FRAGMENT_SIZE"]
 
 DEFAULT_FRAGMENT_SIZE = 64
 
@@ -70,6 +74,68 @@ def _write_term_fragments(table: Table, term: str,
         fragment = with_sentinel[start: start + fragment_size]
         first_docid, first_offset = fragment[0]
         table.insert((term, first_docid, first_offset, list(fragment)))
+
+
+class BlockedPostings:
+    """Per-term compressed block sequences over the PostingLists table.
+
+    The table stays the persistent, ingestable source of truth; this is
+    the read-optimized access path.  Each block mirrors one fragment
+    row — same boundaries, same ``m-pos`` sentinel — so the physical
+    granularity the fragment-size knob controls survives compression,
+    but positions are delta+varint packed and block headers form a
+    resident skip directory.
+    """
+
+    def __init__(self, table: Table, cost_model: CostModel | None = None,
+                 cache: PageCache | None = None):
+        self.table = table
+        self.cost_model = (cost_model if cost_model is not None
+                           else table.cost_model)
+        self._cache = (cache if cache is not None
+                       else PageCache(cost_model=self.cost_model))
+        self._sequences: dict[str, BlockSequence] = {}
+        self.rebuild()
+
+    @staticmethod
+    def _codec() -> BlockCodec:
+        return BlockCodec(key_width=2)
+
+    def rebuild(self, terms: set[str] | None = None) -> None:
+        """(Re)build block sequences from the table (maintenance path)."""
+        if terms is None:
+            grouped: dict[str, list[list[tuple[int, int]]]] = defaultdict(list)
+            for row in self.table.scan():
+                grouped[row[0]].append([tuple(pair) for pair in row[3]])
+            self._sequences = {
+                term: BlockSequence.build_grouped(
+                    fragments, self._codec(),
+                    cost_model=self.cost_model, cache=self._cache)
+                for term, fragments in grouped.items()}
+            return
+        for term in terms:
+            old = self._sequences.pop(term, None)
+            if old is not None:
+                old.invalidate()
+            fragments = [[tuple(pair) for pair in row[3]]
+                         for row in self.table.scan_prefix((term,))]
+            if fragments:
+                self._sequences[term] = BlockSequence.build_grouped(
+                    fragments, self._codec(),
+                    cost_model=self.cost_model, cache=self._cache)
+
+    def sequence(self, term: str) -> BlockSequence | None:
+        return self._sequences.get(term)
+
+    def use_cache(self, cache: PageCache) -> None:
+        self._cache = cache
+        for sequence in self._sequences.values():
+            sequence.use_cache(cache)
+
+    @property
+    def size_bytes(self) -> int:
+        """Compressed footprint across all terms."""
+        return sum(seq.size_bytes for seq in self._sequences.values())
 
 
 def extend_posting_lists(table: Table, document,

@@ -21,9 +21,20 @@ from collections.abc import Collection as AbstractCollection
 from ..corpus.collection import Collection
 from ..corpus.document import Document, XMLNode
 from ..scoring.scorers import ElementScorer
+from ..storage.serialization import BlockCodec, FloatCodec, UIntCodec
 from ..summary.base import PartitionSummary
 
-__all__ = ["RplEntry", "compute_rpl_entries", "term_positions_by_document"]
+__all__ = [
+    "RplEntry",
+    "compute_rpl_entries",
+    "term_positions_by_document",
+    "rpl_block_codec",
+    "erpl_block_codec",
+    "rpl_block_entry",
+    "erpl_block_entry",
+    "rpl_entry_from_block",
+    "erpl_entry_from_block",
+]
 
 
 class RplEntry(tuple):
@@ -66,6 +77,50 @@ class RplEntry(tuple):
 
     def element_key(self) -> tuple[int, int]:
         return (self[2], self[3])
+
+
+def rpl_block_codec() -> BlockCodec:
+    """Block layout for RPL segments: key ``(ir,)`` — the descending-
+    relevance rank, so block order *is* sorted access — and payload
+    ``(score, sid, docid, endpos, length)``."""
+    return BlockCodec(
+        key_width=1,
+        payload_codecs=(FloatCodec(), UIntCodec(), UIntCodec(),
+                        UIntCodec(), UIntCodec()),
+        score_index=1,
+    )
+
+
+def erpl_block_codec() -> BlockCodec:
+    """Block layout for ERPL segments: key ``(sid, docid, endpos)`` —
+    sid-major position order, so Merge seeks by key — and payload
+    ``(score, length)``."""
+    return BlockCodec(
+        key_width=3,
+        payload_codecs=(FloatCodec(), UIntCodec()),
+        score_index=3,
+    )
+
+
+def rpl_block_entry(rank: int, entry: RplEntry) -> tuple:
+    """An RPL entry as the flat block tuple ``(ir, score, sid, ...)``."""
+    return (rank, entry.score, entry.sid, entry.docid,
+            entry.endpos, entry.length)
+
+
+def erpl_block_entry(entry: RplEntry) -> tuple:
+    """An ERPL entry as the flat block tuple ``(sid, docid, endpos, ...)``."""
+    return (entry.sid, entry.docid, entry.endpos, entry.score, entry.length)
+
+
+def rpl_entry_from_block(row: tuple) -> RplEntry:
+    _ir, score, sid, docid, endpos, length = row
+    return RplEntry(score, sid, docid, endpos, length)
+
+
+def erpl_entry_from_block(row: tuple) -> RplEntry:
+    sid, docid, endpos, score, length = row
+    return RplEntry(score, sid, docid, endpos, length)
 
 
 def term_positions_by_document(document: Document, term: str) -> list[int]:

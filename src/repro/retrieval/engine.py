@@ -33,8 +33,12 @@ from ..corpus.tokenizer import Tokenizer
 from ..corpus.xmlparser import XMLParser
 from ..errors import MissingIndexError, RetrievalError
 from ..index.catalog import IndexCatalog, IndexSegment
-from ..index.elements import build_elements_table
-from ..index.postings import build_posting_lists_table, extend_posting_lists
+from ..index.elements import BlockedElements, build_elements_table
+from ..index.postings import (
+    BlockedPostings,
+    build_posting_lists_table,
+    extend_posting_lists,
+)
 from ..index.rpl import compute_rpl_entries
 from ..nexi.ast import (
     AboutClause,
@@ -53,7 +57,9 @@ from ..nexi.translate import (
 from ..scoring.combine import ScoredHit
 from ..scoring.scorers import BM25Scorer, ElementScorer
 from ..scoring.stats import ScoringStats
+from ..storage.blocks import DEFAULT_BLOCK_SIZE
 from ..storage.cost import CostModel
+from ..storage.pager import PageCache
 from ..summary.base import PartitionSummary
 from ..summary.variants import IncomingSummary
 from .era import era_retrieve
@@ -80,7 +86,8 @@ class TrexEngine:
                  support_weight: float = 0.5,
                  auto_materialize: bool = True,
                  fragment_size: int = 64,
-                 btree_order: int = 64):
+                 btree_order: int = 64,
+                 block_size: int = DEFAULT_BLOCK_SIZE):
         self.collection = collection
         self.cost_model = cost_model if cost_model is not None else CostModel()
         if summary is None:
@@ -99,6 +106,7 @@ class TrexEngine:
         #: it to detect staleness.
         self.epoch = 0
 
+        self.block_size = block_size
         with self.cost_model.muted():
             self.elements = build_elements_table(
                 collection, summary, cost_model=self.cost_model,
@@ -107,7 +115,17 @@ class TrexEngine:
                 collection, cost_model=self.cost_model,
                 fragment_size=fragment_size, btree_order=btree_order)
             self.catalog = IndexCatalog(cost_model=self.cost_model,
-                                        btree_order=btree_order)
+                                        btree_order=btree_order,
+                                        block_size=block_size)
+            # Block-compressed access paths over the base tables.  The
+            # tables stay the ingestion-side source of truth; queries
+            # read these block sequences (skip directory resident,
+            # payloads decoded per block).
+            self.blocked_elements = BlockedElements(
+                self.elements, cost_model=self.cost_model,
+                block_size=block_size)
+            self.blocked_postings = BlockedPostings(
+                self.postings, cost_model=self.cost_model)
 
     # ------------------------------------------------------------------
     # Materialization of redundant indexes
@@ -313,7 +331,7 @@ class TrexEngine:
             return [], EvaluationStats(method=method)
         weights = dict(clause.term_weights)
         if method == "era":
-            return era_retrieve(self.elements, self.postings,
+            return era_retrieve(self.blocked_elements, self.blocked_postings,
                                 sorted(clause.sids), list(clause.terms),
                                 self.scorer, self.cost_model, weights)
         if method in ("ta", "ita"):
@@ -573,6 +591,8 @@ class TrexEngine:
                 self.elements.insert((sid, document.docid, node.end_pos,
                                       node.length))
             affected = extend_posting_lists(self.postings, document)
+            self.blocked_elements.rebuild()
+            self.blocked_postings.rebuild(terms=affected)
             for segment in list(self.catalog.segments()):
                 if segment.term in affected:
                     self.catalog.drop_segment(segment.segment_id)
@@ -660,7 +680,25 @@ class TrexEngine:
             self.elements.load(os.path.join(directory, "elements.tbl"))
             self.postings.load(os.path.join(directory, "postings.tbl"))
             self.catalog.load(os.path.join(directory, "catalog"))
+            self.blocked_elements.rebuild()
+            self.blocked_postings.rebuild()
         self.epoch += 1
+
+    # ------------------------------------------------------------------
+    # Buffer-pool management
+    # ------------------------------------------------------------------
+    def use_page_cache(self, cache: PageCache) -> None:
+        """Route every index structure through one shared buffer pool.
+
+        Covers the Elements and PostingLists B+-trees, both blocked
+        access paths, and every RPL/ERPL block sequence in the catalog
+        — the single-cache configuration BerkeleyDB runs in the paper.
+        """
+        self.elements.tree.use_cache(cache)
+        self.postings.tree.use_cache(cache)
+        self.blocked_elements.use_cache(cache)
+        self.blocked_postings.use_cache(cache)
+        self.catalog.use_cache(cache)
 
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, object]:

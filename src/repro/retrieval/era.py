@@ -119,6 +119,7 @@ def era_retrieve(elements_table: Table, postings_table: Table,
     stats = EvaluationStats(method="era", cost=spent.total_cost,
                             ideal_cost=spent.ideal_cost,
                             candidates=len(hits))
+    stats.record_block_io(spent)
     return hits, stats
 
 

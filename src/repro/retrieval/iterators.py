@@ -1,17 +1,28 @@
 """Index iterators: the access paths of the three retrieval strategies.
 
-* :class:`ExtentIterator` — elements of one sid from the Elements table,
-  in (docid, endpos) order, with the ERA primitives ``first_element``
-  and ``next_element_after`` (paper §3.2);
-* :class:`PostingIterator` — positions of one term from the fragmented
-  PostingLists table, ending at the ``m-pos`` sentinel;
+* :class:`ExtentIterator` — elements of one sid in (docid, endpos)
+  order, with the ERA primitives ``first_element`` and
+  ``next_element_after`` (paper §3.2);
+* :class:`PostingIterator` — positions of one term, ending at the
+  ``m-pos`` sentinel;
 * :class:`RplIterator` — sorted (descending-score) access over one RPL
   segment, skipping entries whose sid is outside the query (paper §3.3);
-  skipped rows are still read and therefore still cost, which is the
-  mechanism behind TA losing to Merge on wide-scope lists;
+  skipped entries are still decoded and therefore still cost, which is
+  the mechanism behind TA losing to Merge on wide-scope lists;
 * :class:`ErplIterator` — position-ordered stream over the ERPL ranges
   of one (term, sid set), implemented as a k-way merge over the per-sid
-  ranges (ERPL rows are keyed sid-major, paper §2.2).
+  ranges (ERPL entries are keyed sid-major, paper §2.2).
+
+Each iterator runs over either the row-store tables (a plain
+:class:`~repro.storage.table.Table`) or the block-oriented access paths
+(:class:`~repro.index.elements.BlockedElements`,
+:class:`~repro.index.postings.BlockedPostings`, and the catalog's
+block sequences).  The blocked paths are *batched*: a block is decoded
+only when its resident header says it can matter — ``next_element_after``
+and the per-sid ERPL streams leap over blocks whose ``last_key``
+precedes the probe (``skip_to``), and the RPL path prunes undecoded
+tail blocks whose block-max score cannot reach a threshold
+(``skip_until_score_below``).
 """
 
 from __future__ import annotations
@@ -66,27 +77,27 @@ DUMMY_ELEMENT = ElementSpan(sid=0, docid=M_POS[0], endpos=M_POS[1], length=0)
 
 
 class ExtentIterator:
-    """Iterates the extent of one sid in document/position order."""
+    """Iterates the extent of one sid in document/position order.
 
-    def __init__(self, elements_table: Table, sid: int):
-        self._table = elements_table
+    Accepts either the Elements :class:`Table` (row-at-a-time seeks) or
+    a :class:`~repro.index.elements.BlockedElements` access path, where
+    each probe bisects the resident skip directory and decodes at most
+    one block.
+    """
+
+    def __init__(self, elements, sid: int):
         self.sid = sid
+        if isinstance(elements, Table):
+            self._table = elements
+            self._seq = None
+            self._model = None
+        else:
+            self._table = None
+            self._seq = elements.sequence(sid)
+            self._model = elements.cost_model
+            self._block = 0
 
-    def first_element(self) -> ElementSpan:
-        """The first element of the extent, or the dummy when empty."""
-        cursor = self._table.seek((self.sid,))
-        return self._from_cursor(cursor)
-
-    def next_element_after(self, position: Position) -> ElementSpan:
-        """The extent element with the lowest end position > *position*.
-
-        Implemented as a search over the Elements index, exactly as the
-        paper describes.  Returns the dummy element when exhausted.
-        """
-        docid, offset = position
-        cursor = self._table.seek((self.sid, docid, offset + 1))
-        return self._from_cursor(cursor)
-
+    # -- row-store path ------------------------------------------------
     def _from_cursor(self, cursor) -> ElementSpan:
         if not cursor.valid:
             return DUMMY_ELEMENT
@@ -96,41 +107,131 @@ class ExtentIterator:
         row = cursor.value
         return ElementSpan(sid=row[0], docid=row[1], endpos=row[2], length=row[3])
 
+    # -- shared API ----------------------------------------------------
+    def first_element(self) -> ElementSpan:
+        """The first element of the extent, or the dummy when empty."""
+        if self._table is not None:
+            cursor = self._table.seek((self.sid,))
+            return self._from_cursor(cursor)
+        self._model.seek()
+        if self._seq is None or self._seq.block_count == 0:
+            return DUMMY_ELEMENT
+        self._block = 0
+        docid, endpos, length = self._seq.read_block(0)[0]
+        return ElementSpan(sid=self.sid, docid=docid, endpos=endpos,
+                           length=length)
+
+    def next_element_after(self, position: Position) -> ElementSpan:
+        """The extent element with the lowest end position > *position*.
+
+        Implemented as a search over the Elements index, exactly as the
+        paper describes.  Returns the dummy element when exhausted.  On
+        the blocked path the search bisects the skip directory first,
+        so blocks ending before *position* are never decoded.
+        """
+        if self._table is not None:
+            docid, offset = position
+            cursor = self._table.seek((self.sid, docid, offset + 1))
+            return self._from_cursor(cursor)
+        return self.skip_to(position)
+
+    def skip_to(self, position: Position) -> ElementSpan:
+        """Blocked-path probe: leap the skip directory, decode one block."""
+        docid, offset = position
+        key = (docid, offset + 1)
+        self._model.seek()
+        seq = self._seq
+        if seq is None or seq.block_count == 0:
+            return DUMMY_ELEMENT
+        start = self._block
+        if start > 0 and key <= seq.headers[start - 1].last_key:
+            start = 0  # non-monotone probe: restart the directory search
+        index = seq.find_first_block_ge(key, start=start)
+        if index >= seq.block_count:
+            self._block = seq.block_count - 1
+            return DUMMY_ELEMENT
+        self._block = index
+        entries = seq.read_block(index)
+        lo, hi = 0, len(entries)
+        steps = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            steps += 1
+            if entries[mid][:2] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if steps:
+            self._model.compare(steps)
+        docid, endpos, length = entries[lo]
+        return ElementSpan(sid=self.sid, docid=docid, endpos=endpos,
+                           length=length)
+
     def scan(self):
         """All elements of the extent, in order (used by tests/examples)."""
-        for row in self._table.scan_prefix((self.sid,)):
-            yield ElementSpan(sid=row[0], docid=row[1], endpos=row[2], length=row[3])
+        if self._table is not None:
+            for row in self._table.scan_prefix((self.sid,)):
+                yield ElementSpan(sid=row[0], docid=row[1], endpos=row[2],
+                                  length=row[3])
+            return
+        if self._seq is None:
+            return
+        for docid, endpos, length in self._seq.entries():
+            yield ElementSpan(sid=self.sid, docid=docid, endpos=endpos,
+                              length=length)
 
 
 class PostingIterator:
-    """Iterates the positions of one term; yields ``m-pos`` at the end."""
+    """Iterates the positions of one term; yields ``m-pos`` at the end.
 
-    def __init__(self, postings_table: Table, term: str):
-        self._table = postings_table
+    Accepts either the PostingLists :class:`Table` or a
+    :class:`~repro.index.postings.BlockedPostings` access path, where
+    whole fragments are decoded as single compressed blocks.
+    """
+
+    def __init__(self, postings, term: str):
         self.term = term
-        self._cursor = postings_table.seek((term,))
         self._fragment: list[Position] = []
         self._index = 0
         self._exhausted = False
+        if isinstance(postings, Table):
+            self._cursor = postings.seek((term,))
+            self._seq = None
+        else:
+            self._cursor = None
+            self._seq = postings.sequence(term)
+            self._block = 0
+            postings.cost_model.seek()
 
     def next_position(self) -> Position:
         """The next position, or ``m-pos`` forever once exhausted."""
         if self._exhausted:
             return M_POS
         while self._index >= len(self._fragment):
-            if not self._cursor.valid or self._cursor.key[0] != self.term:
-                # Term absent from the corpus: behave as an empty list.
+            if not self._load_fragment():
                 self._exhausted = True
                 return M_POS
-            row = self._cursor.value
-            self._fragment = [tuple(pair) for pair in row[3]]
             self._index = 0
-            self._cursor.advance()
         position = self._fragment[self._index]
         self._index += 1
         if position == M_POS:
             self._exhausted = True
         return position
+
+    def _load_fragment(self) -> bool:
+        if self._cursor is not None:
+            if not self._cursor.valid or self._cursor.key[0] != self.term:
+                # Term absent from the corpus: behave as an empty list.
+                return False
+            row = self._cursor.value
+            self._fragment = [tuple(pair) for pair in row[3]]
+            self._cursor.advance()
+            return True
+        if self._seq is None or self._block >= self._seq.block_count:
+            return False
+        self._fragment = self._seq.read_block(self._block)
+        self._block += 1
+        return True
 
     @property
     def exhausted(self) -> bool:
@@ -143,8 +244,14 @@ class RplIterator:
 
     ``next_entry()`` returns entries in descending score order whose sid
     belongs to *sids*, or ``None`` at exhaustion.  ``depth`` counts every
-    row read (including skipped ones) and ``last_read_score`` tracks the
-    score of the most recent row — the value TA's threshold uses.
+    entry decoded (including skipped ones) and ``last_read_score`` tracks
+    the score of the most recent entry — the value TA's threshold uses.
+
+    The segment is stored as compressed blocks: :meth:`next_block`
+    decodes one block at a time, :attr:`upper_bound` tightens to the
+    next undecoded block's header ``max_score`` at block boundaries (the
+    block-max bound), and :meth:`skip_until_score_below` prunes the
+    undecoded tail once no remaining block can matter.
     """
 
     def __init__(self, catalog: IndexCatalog, segment: IndexSegment,
@@ -152,7 +259,12 @@ class RplIterator:
         self._segment = segment
         self.term = segment.term
         self._sids = set(sids)
-        self._rows = catalog.rpls.scan_prefix((segment.term, segment.segment_id))
+        self._seq = catalog.blocks_for(segment)
+        self._model = catalog.cost_model
+        self._block = 0
+        self._entries: list[tuple] = []
+        self._index = 0
+        self._seeked = False
         self.depth = 0
         self.skipped = 0
         self.last_read_score = float("inf")
@@ -162,35 +274,87 @@ class RplIterator:
     def length(self) -> int:
         return self._segment.entry_count
 
+    def next_block(self) -> list[tuple] | None:
+        """Decode the next block of raw ``(ir, score, sid, ...)`` rows."""
+        if self._block >= self._seq.block_count:
+            return None
+        if not self._seeked:
+            # Positioning at the head of the list is the one random I/O
+            # sorted access pays, matching the row-store scan's seek.
+            self._model.seek()
+            self._seeked = True
+        entries = self._seq.read_block(self._block)
+        self._block += 1
+        return entries
+
     def next_entry(self) -> RplEntry | None:
-        for row in self._rows:
+        while True:
+            if self._index >= len(self._entries):
+                block = self.next_block()
+                if block is None:
+                    self.exhausted = True
+                    self.last_read_score = 0.0
+                    return None
+                self._entries = block
+                self._index = 0
+            row = self._entries[self._index]
+            self._index += 1
             self.depth += 1
-            score, sid = row[3], row[4]
+            score, sid = row[1], row[2]
             self.last_read_score = score
             if sid not in self._sids:
                 self.skipped += 1
                 continue
-            return RplEntry(score, sid, row[5], row[6], row[7])
-        self.exhausted = True
-        self.last_read_score = 0.0
-        return None
+            return RplEntry(score, sid, row[3], row[4], row[5])
+
+    def skip_until_score_below(self, threshold: float) -> int:
+        """Prune undecoded tail blocks that block-max rules out.
+
+        Sound because the list is score-descending: if the next
+        undecoded block's ``max_score`` is below *threshold*, so is
+        every entry after it.  Returns the number of blocks skipped;
+        the skip directory is resident, so pruning is free except for
+        the counter.
+        """
+        count = self._seq.block_count
+        if self._block >= count:
+            return 0
+        if self._seq.headers[self._block].max_score >= threshold:
+            return 0
+        skipped = count - self._block
+        self._model.block_skip(skipped)
+        self._block = count
+        if self._index >= len(self._entries):
+            # Nothing decoded remains either: the list is finished.
+            self.exhausted = True
+            self.last_read_score = 0.0
+        return skipped
 
     @property
     def upper_bound(self) -> float:
-        """Best possible score of any entry not yet returned."""
+        """Best possible score of any entry not yet returned.
+
+        Within a block this is the classic last-read score; at a block
+        boundary the next header's ``max_score`` is a tighter sound
+        bound (block-max), letting TA stop without decoding the block.
+        """
         if self.exhausted:
             return 0.0
-        if self.last_read_score == float("inf"):
-            return float("inf")
+        if self._index < len(self._entries):
+            return self.last_read_score
+        if self._block < self._seq.block_count:
+            bound = self._seq.headers[self._block].max_score
+            return min(bound, self.last_read_score)
         return self.last_read_score
 
 
 class ErplIterator:
     """Position-ordered stream over the ERPL ranges of (term, sids).
 
-    One underlying range scan per sid (each begins with a seek), merged
-    by (docid, endpos) with a small in-memory heap — the standard way to
-    read a sid-major table in position order.
+    One underlying block stream per sid (each begins with a seek and a
+    skip-directory search that leaps straight to the sid's first block),
+    merged by (docid, endpos) with a small in-memory heap — the standard
+    way to read a sid-major layout in position order.
     """
 
     def __init__(self, catalog: IndexCatalog, segment: IndexSegment,
@@ -200,19 +364,20 @@ class ErplIterator:
         self.rows_read = 0
         self._heap: list[tuple[Position, int, RplEntry]] = []
         self._streams = []
+        sequence = catalog.blocks_for(segment)
         for stream_id, sid in enumerate(sorted(sids)):
-            rows = catalog.erpls.scan_prefix((segment.term, segment.segment_id, sid))
-            self._streams.append(rows)
+            stream = _ErplSidStream(sequence, sid, catalog.cost_model)
+            self._streams.append(stream)
             self._push_from(stream_id)
 
     def _push_from(self, stream_id: int) -> None:
-        try:
-            row = next(self._streams[stream_id])
-        except StopIteration:
+        row = self._streams[stream_id].next_row()
+        if row is None:
             return
         self.rows_read += 1
-        entry = RplEntry(row[5], row[2], row[3], row[4], row[6])
-        heapq.heappush(self._heap, ((row[3], row[4]), stream_id, entry))
+        sid, docid, endpos, score, length = row
+        entry = RplEntry(score, sid, docid, endpos, length)
+        heapq.heappush(self._heap, ((docid, endpos), stream_id, entry))
 
     @property
     def current(self) -> RplEntry | None:
@@ -236,3 +401,65 @@ class ErplIterator:
     @property
     def exhausted(self) -> bool:
         return not self._heap
+
+
+class _ErplSidStream:
+    """Sequential reader over one sid's range of an ERPL block sequence."""
+
+    def __init__(self, sequence, sid: int, cost_model):
+        self.sid = sid
+        self._seq = sequence
+        self._model = cost_model
+        self._entries: list[tuple] = []
+        self._index = 0
+        self._done = sequence.block_count == 0
+        self._model.seek()
+        if self._done:
+            self._block = 0
+            return
+        # Leap the skip directory to the first block that can hold the sid.
+        self._block = sequence.find_first_block_ge((sid, 0, 0))
+        self._first_block = True
+
+    def next_row(self) -> tuple | None:
+        while True:
+            if self._done:
+                return None
+            if self._index < len(self._entries):
+                row = self._entries[self._index]
+                if row[0] == self.sid:
+                    self._index += 1
+                    return row
+                if row[0] > self.sid:
+                    self._done = True
+                    return None
+                self._index += 1
+                continue
+            if self._block >= self._seq.block_count:
+                self._done = True
+                return None
+            header = self._seq.headers[self._block]
+            if header.first_key[0] > self.sid:
+                self._done = True
+                return None
+            entries = self._seq.read_block(self._block)
+            self._block += 1
+            start = 0
+            if self._first_block:
+                # Bisect past smaller-sid entries sharing the block.
+                self._first_block = False
+                key = (self.sid, 0, 0)
+                lo, hi = 0, len(entries)
+                steps = 0
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    steps += 1
+                    if entries[mid][:3] < key:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if steps:
+                    self._model.compare(steps)
+                start = lo
+            self._entries = entries
+            self._index = start

@@ -75,6 +75,7 @@ def merge_retrieve(catalog: IndexCatalog,
     stats = EvaluationStats(method="merge", cost=spent.total_cost,
                             ideal_cost=spent.ideal_cost,
                             candidates=len(hits))
+    stats.record_block_io(spent)
     for iterator in iterators:
         stats.list_depths[iterator.term] = iterator.rows_read
         stats.list_lengths[iterator.term] = iterator.rows_read

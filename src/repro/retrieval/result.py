@@ -38,6 +38,21 @@ class EvaluationStats:
     early_stop: bool = False
     #: Random-access probes performed (TA-RA only).
     random_accesses: int = 0
+    #: Compressed blocks fetched from storage (block-cache misses).
+    blocks_read: int = 0
+    #: Blocks decompressed (each charged once per fetch).
+    blocks_decoded: int = 0
+    #: Blocks pruned via resident headers without being decoded.
+    blocks_skipped: int = 0
+    #: Entries decoded across all blocks (the batched TUPLE_READ analogue).
+    entries_decoded: int = 0
+
+    def record_block_io(self, spent) -> None:
+        """Copy block-level counters from a cost-snapshot difference."""
+        self.blocks_read = spent.blocks_read
+        self.blocks_decoded = spent.blocks_decoded
+        self.blocks_skipped = spent.blocks_skipped
+        self.entries_decoded = spent.entries_decoded
 
     def read_entire_lists(self) -> bool:
         """Did the run consume every sorted list to the end? (paper §5.2)"""
@@ -53,6 +68,10 @@ class EvaluationStats:
         self.rows_skipped += other.rows_skipped
         self.candidates += other.candidates
         self.early_stop = self.early_stop or other.early_stop
+        self.blocks_read += other.blocks_read
+        self.blocks_decoded += other.blocks_decoded
+        self.blocks_skipped += other.blocks_skipped
+        self.entries_decoded += other.entries_decoded
         for term, depth in other.list_depths.items():
             self.list_depths[term] = self.list_depths.get(term, 0) + depth
         for term, length in other.list_lengths.items():

@@ -137,6 +137,13 @@ def ta_retrieve(catalog: IndexCatalog,
                 early_stop = True
                 break
 
+    if early_stop:
+        # Block-max pruning: the stop rule already proved no unread
+        # entry can matter, so every undecoded tail block is skipped
+        # outright — the skip directory made them free.
+        for iterator in iterators.values():
+            iterator.skip_until_score_below(float("inf"))
+
     hits = [ScoredHit(score=score, docid=key[0], end_pos=key[1],
                       sid=candidates[key].sid, length=candidates[key].length)
             for score, key in heap.items()]
@@ -147,6 +154,7 @@ def ta_retrieve(catalog: IndexCatalog,
                             ideal_cost=spent.ideal_cost,
                             candidates=len(candidates),
                             early_stop=early_stop)
+    stats.record_block_io(spent)
     for term, iterator in iterators.items():
         stats.list_depths[term] = iterator.depth
         stats.list_lengths[term] = iterator.length

@@ -32,11 +32,8 @@ __all__ = ["ta_ra_retrieve"]
 def _random_access(catalog: IndexCatalog, segment: IndexSegment,
                    sid: int, docid: int, endpos: int) -> float:
     """Probe one (term, element) score from the ERPL; 0 when absent."""
-    row = catalog.erpls.get((segment.term, segment.segment_id, sid,
-                             docid, endpos))
-    if row is None:
-        return 0.0
-    return row[5]
+    score = catalog.erpl_probe(segment, sid, docid, endpos)
+    return 0.0 if score is None else score
 
 
 def ta_ra_retrieve(catalog: IndexCatalog,
@@ -114,6 +111,7 @@ def ta_ra_retrieve(catalog: IndexCatalog,
                             ideal_cost=spent.ideal_cost,
                             candidates=len(resolved),
                             early_stop=early_stop)
+    stats.record_block_io(spent)
     for term, iterator in iterators.items():
         stats.list_depths[term] = iterator.depth
         stats.list_lengths[term] = iterator.length

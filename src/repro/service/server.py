@@ -198,6 +198,14 @@ class QueryService:
         self.telemetry.observe(f"search.latency_seconds.{payload['method']}",
                                elapsed)
         self.telemetry.observe("search.simulated_cost", payload["cost"])
+        # Block-level I/O counters (§3.3's skipped-rows-still-cost and
+        # the block-max pruning that now offsets it) per query.
+        self.telemetry.incr("blocks.read", payload["blocks_read"])
+        self.telemetry.incr("blocks.decoded", payload["blocks_decoded"])
+        self.telemetry.incr("blocks.skipped", payload["blocks_skipped"])
+        self.telemetry.incr("blocks.entries_decoded",
+                            payload["entries_decoded"])
+        self.telemetry.incr("rows.skipped", payload["rows_skipped"])
         self.recorder.record(query, k)
         if use_cache:
             self.cache.put((query, k, method, mode), payload["epoch"], payload)
@@ -278,6 +286,11 @@ class QueryService:
             "cost": round(stats.cost, 3),
             "ideal_cost": round(stats.ideal_cost, 3),
             "early_stop": stats.early_stop,
+            "rows_skipped": stats.rows_skipped,
+            "blocks_read": stats.blocks_read,
+            "blocks_decoded": stats.blocks_decoded,
+            "blocks_skipped": stats.blocks_skipped,
+            "entries_decoded": stats.entries_decoded,
             "epoch": epoch,
             "total": len(hits),
             "hits": hits,
@@ -325,7 +338,9 @@ class QueryService:
                 "documents": len(self.engine.collection),
                 "segments": len(list(self.engine.catalog.segments())),
                 "catalog_bytes": self.engine.catalog.total_bytes,
+                "block_size": self.engine.block_size,
             },
+            "block_cache": self.engine.catalog.cache_stats(),
         }
 
     # ------------------------------------------------------------------

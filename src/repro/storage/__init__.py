@@ -4,6 +4,7 @@ This package replaces the BerkeleyDB layer of the original TReX
 implementation.  See DESIGN.md §2 for the substitution rationale.
 """
 
+from .blocks import BlockSequence, DEFAULT_BLOCK_SIZE
 from .btree import BPlusTree, Cursor
 from .cost import (
     Charge,
@@ -15,6 +16,8 @@ from .cost import (
 )
 from .pager import PageCache, PageIdAllocator
 from .serialization import (
+    BlockCodec,
+    BlockHeader,
     BoolCodec,
     Codec,
     FloatCodec,
@@ -28,6 +31,10 @@ from .serialization import (
 from .table import Column, Schema, Table, column_codec
 
 __all__ = [
+    "BlockCodec",
+    "BlockHeader",
+    "BlockSequence",
+    "DEFAULT_BLOCK_SIZE",
     "BPlusTree",
     "Cursor",
     "Charge",

@@ -1,0 +1,255 @@
+"""Block sequences: the compressed, skip-indexed segment representation.
+
+A :class:`BlockSequence` stores a sorted run of entries as a list of
+delta+varint compressed blocks (:class:`~repro.storage.serialization.
+BlockCodec`) plus a *resident skip directory* — the per-block
+:class:`~repro.storage.serialization.BlockHeader` list.  Readers consult
+headers for free (they live in memory, like the paper's BerkeleyDB
+internal pages), pay ``block_read`` + ``block_decode`` only for blocks
+they actually open, and record a ``block_skip`` for every block the
+directory let them leap over.
+
+Decoded blocks are memoized per sequence; whether a re-visit is charged
+is decided by the shared :class:`~repro.storage.pager.PageCache`, so a
+block evicted from the simulated buffer pool costs a fresh block read
+even though Python still holds the decoded entries.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from ..errors import CodecError, StorageError
+from .cost import CostModel, GLOBAL_COST_MODEL
+from .pager import PageCache
+from .serialization import BlockCodec, BlockHeader, _read_uvarint, _write_uvarint
+
+__all__ = ["BlockSequence", "DEFAULT_BLOCK_SIZE"]
+
+#: Entries per block; ~128 balances decode amortization against skip
+#: granularity, the usual choice in block-compressed inverted files.
+DEFAULT_BLOCK_SIZE = 128
+
+_MAGIC = b"TRXB\x01"
+_FLOAT = struct.Struct(">d")
+
+#: Block page ids live far above any B+-tree node id so that sharing a
+#: PageCache between trees and block sequences never aliases.
+_BLOCK_PAGE_BASE = 1 << 40
+_next_block_page = _BLOCK_PAGE_BASE
+
+
+def _allocate_block_pages(count: int) -> int:
+    global _next_block_page
+    base = _next_block_page
+    _next_block_page += count
+    return base
+
+
+def _header_size(header: BlockHeader) -> int:
+    out = bytearray()
+    for component in header.first_key:
+        _write_uvarint(out, component)
+    for component in header.last_key:
+        _write_uvarint(out, component)
+    _write_uvarint(out, header.count)
+    _write_uvarint(out, header.byte_len)
+    return len(out) + _FLOAT.size
+
+
+class BlockSequence:
+    """A sorted entry run stored as compressed blocks + skip directory."""
+
+    def __init__(self, codec: BlockCodec,
+                 headers: list[BlockHeader] | None = None,
+                 payloads: list[bytes] | None = None,
+                 cost_model: CostModel | None = None,
+                 cache: PageCache | None = None):
+        self.codec = codec
+        self.headers: list[BlockHeader] = headers or []
+        self._payloads: list[bytes] = payloads or []
+        if len(self.headers) != len(self._payloads):
+            raise StorageError("block headers and payloads out of step")
+        self.cost_model = (cost_model if cost_model is not None
+                           else GLOBAL_COST_MODEL)
+        self._cache = (cache if cache is not None
+                       else PageCache(cost_model=self.cost_model))
+        self._decoded: dict[int, list[tuple]] = {}
+        self._page_base = _allocate_block_pages(max(len(self.headers), 1))
+        self._header_bytes = sum(_header_size(h) for h in self.headers)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, entries, codec: BlockCodec,
+              block_size: int = DEFAULT_BLOCK_SIZE,
+              cost_model: CostModel | None = None,
+              cache: PageCache | None = None) -> "BlockSequence":
+        """Pack sorted *entries* into blocks of ``block_size`` entries."""
+        if block_size < 1:
+            raise StorageError("block size must be >= 1")
+        entries = list(entries)
+        headers: list[BlockHeader] = []
+        payloads: list[bytes] = []
+        for start in range(0, len(entries), block_size):
+            header, payload = codec.encode_block(entries[start:start + block_size])
+            headers.append(header)
+            payloads.append(payload)
+        return cls(codec, headers, payloads, cost_model=cost_model, cache=cache)
+
+    @classmethod
+    def build_grouped(cls, groups, codec: BlockCodec,
+                      cost_model: CostModel | None = None,
+                      cache: PageCache | None = None) -> "BlockSequence":
+        """Pack each run in *groups* as one block (caller-chosen bounds).
+
+        Used where block boundaries must mirror an existing physical
+        unit — e.g. one block per posting-list fragment.
+        """
+        headers: list[BlockHeader] = []
+        payloads: list[bytes] = []
+        for group in groups:
+            header, payload = codec.encode_block(list(group))
+            headers.append(header)
+            payloads.append(payload)
+        return cls(codec, headers, payloads, cost_model=cost_model, cache=cache)
+
+    # ------------------------------------------------------------------
+    @property
+    def block_count(self) -> int:
+        return len(self.headers)
+
+    @property
+    def entry_count(self) -> int:
+        return sum(header.count for header in self.headers)
+
+    @property
+    def size_bytes(self) -> int:
+        """Compressed footprint: payload bytes + resident skip directory."""
+        return sum(header.byte_len for header in self.headers) + self._header_bytes
+
+    def use_cache(self, cache: PageCache) -> None:
+        """Route block residency through a (possibly shared) cache."""
+        self._cache = cache
+
+    def invalidate(self) -> None:
+        """Drop this sequence's blocks from the simulated buffer pool."""
+        for index in range(len(self.headers)):
+            self._cache.invalidate(self._page_base + index)
+
+    # ------------------------------------------------------------------
+    # Charged access paths
+    # ------------------------------------------------------------------
+    def read_block(self, index: int) -> list[tuple]:
+        """Open block *index*: charged via the page cache + decode meter."""
+        header = self.headers[index]
+        hit = self._cache.touch_block(self._page_base + index)
+        if not hit:
+            self.cost_model.block_decode(header.count)
+        entries = self._decoded.get(index)
+        if entries is None:
+            entries = self.codec.decode_block(self._payloads[index], header.count)
+            self._decoded[index] = entries
+        return entries
+
+    def find_first_block_ge(self, key: tuple, start: int = 0) -> int:
+        """Smallest block index ≥ *start* whose ``last_key`` ≥ *key*.
+
+        Returns ``block_count`` when every block ends before *key*.
+        The bisection over resident headers is charged as comparisons;
+        blocks leapt over are recorded as skips.
+        """
+        lo, hi = start, len(self.headers)
+        steps = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            steps += 1
+            if self.headers[mid].last_key < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if steps:
+            self.cost_model.compare(steps)
+        if lo > start:
+            self.cost_model.block_skip(lo - start)
+        return lo
+
+    # ------------------------------------------------------------------
+    # Uncharged access (construction, tests, persistence)
+    # ------------------------------------------------------------------
+    def entries(self) -> list[tuple]:
+        """Decode every block without charging (maintenance path)."""
+        result: list[tuple] = []
+        for index, header in enumerate(self.headers):
+            entries = self._decoded.get(index)
+            if entries is None:
+                entries = self.codec.decode_block(self._payloads[index],
+                                                  header.count)
+                self._decoded[index] = entries
+            result.extend(entries)
+        return result
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        out = bytearray(_MAGIC)
+        _write_uvarint(out, self.codec.key_width)
+        _write_uvarint(out, len(self.headers))
+        for header, payload in zip(self.headers, self._payloads):
+            for component in header.first_key:
+                _write_uvarint(out, component)
+            for component in header.last_key:
+                _write_uvarint(out, component)
+            out.extend(_FLOAT.pack(header.max_score))
+            _write_uvarint(out, header.count)
+            _write_uvarint(out, header.byte_len)
+            out.extend(payload)
+        with open(path, "wb") as fh:
+            fh.write(bytes(out))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike, codec: BlockCodec,
+             cost_model: CostModel | None = None,
+             cache: PageCache | None = None) -> "BlockSequence":
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if not data.startswith(_MAGIC):
+            raise StorageError(f"{path}: not a block-sequence file")
+        offset = len(_MAGIC)
+        try:
+            key_width, offset = _read_uvarint(data, offset)
+            if key_width != codec.key_width:
+                raise StorageError(
+                    f"{path}: key width {key_width} != codec {codec.key_width}")
+            block_count, offset = _read_uvarint(data, offset)
+            headers: list[BlockHeader] = []
+            payloads: list[bytes] = []
+            for _ in range(block_count):
+                first = []
+                for _ in range(key_width):
+                    component, offset = _read_uvarint(data, offset)
+                    first.append(component)
+                last = []
+                for _ in range(key_width):
+                    component, offset = _read_uvarint(data, offset)
+                    last.append(component)
+                end = offset + _FLOAT.size
+                if end > len(data):
+                    raise CodecError("truncated block header")
+                max_score = _FLOAT.unpack_from(data, offset)[0]
+                offset = end
+                count, offset = _read_uvarint(data, offset)
+                byte_len, offset = _read_uvarint(data, offset)
+                end = offset + byte_len
+                if end > len(data):
+                    raise CodecError("truncated block payload")
+                headers.append(BlockHeader(tuple(first), tuple(last),
+                                           max_score, count, byte_len))
+                payloads.append(data[offset:end])
+                offset = end
+        except CodecError as err:
+            raise StorageError(f"{path}: corrupt block file: {err}") from err
+        if offset != len(data):
+            raise StorageError(f"{path}: trailing bytes in block file")
+        return cls(codec, headers, payloads, cost_model=cost_model, cache=cache)

@@ -53,6 +53,16 @@ class Charge:
     HEAP_STEP = 1.6
     #: Evaluating the score-combination function once.
     SCORE_COMBINE = 0.2
+    #: Fetching one compressed block that was not cached (a short
+    #: sequential read; cheaper than a cold B+-tree page because blocks
+    #: are packed back to back).
+    BLOCK_READ = 6.0
+    #: Fixed cost of decompressing one block (header checks, buffer setup).
+    BLOCK_DECODE = 1.0
+    #: Amortized per-entry cost of delta+varint decoding within a block —
+    #: over an order of magnitude below TUPLE_READ, which is the whole
+    #: point of batched decoding.
+    ENTRY_DECODE = 0.05
 
 
 @dataclass
@@ -69,6 +79,10 @@ class CostCounters:
     heap_removes: int = 0
     sort_elements: int = 0
     score_combines: int = 0
+    blocks_read: int = 0
+    blocks_decoded: int = 0
+    blocks_skipped: int = 0
+    entries_decoded: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -82,6 +96,10 @@ class CostCounters:
             "heap_removes": self.heap_removes,
             "sort_elements": self.sort_elements,
             "score_combines": self.score_combines,
+            "blocks_read": self.blocks_read,
+            "blocks_decoded": self.blocks_decoded,
+            "blocks_skipped": self.blocks_skipped,
+            "entries_decoded": self.entries_decoded,
         }
 
 
@@ -223,6 +241,42 @@ class CostModel:
         self.counters.score_combines += count
         self.base_cost += self.charge.SCORE_COMBINE * count
 
+    def block_read(self, count: int = 1) -> None:
+        """Charge fetching *count* compressed blocks from storage."""
+        target = self._active()
+        if target is not self:
+            return target.block_read(count)
+        if self._muted:
+            return
+        self.counters.blocks_read += count
+        self.base_cost += self.charge.BLOCK_READ * count
+
+    def block_decode(self, entries: int) -> None:
+        """Charge decompressing one block holding *entries* entries."""
+        target = self._active()
+        if target is not self:
+            return target.block_decode(entries)
+        if self._muted:
+            return
+        self.counters.blocks_decoded += 1
+        self.counters.entries_decoded += entries
+        self.base_cost += (self.charge.BLOCK_DECODE
+                           + self.charge.ENTRY_DECODE * entries)
+
+    def block_skip(self, count: int = 1) -> None:
+        """Record *count* blocks pruned via their resident headers.
+
+        Skipping is the free path — the skip directory is in memory, so
+        no cost accrues; the counter makes the §3.3 skip economics
+        observable in telemetry.
+        """
+        target = self._active()
+        if target is not self:
+            return target.block_skip(count)
+        if self._muted:
+            return
+        self.counters.blocks_skipped += count
+
     def sort(self, n: int) -> None:
         """Charge an ``n log n`` comparison sort of *n* elements."""
         target = self._active()
@@ -279,7 +333,11 @@ class CostModel:
         target = self._active()
         if target is not self:
             return target.snapshot()
-        return CostSnapshot(self.base_cost, self.heap_cost)
+        return CostSnapshot(self.base_cost, self.heap_cost,
+                            self.counters.blocks_read,
+                            self.counters.blocks_decoded,
+                            self.counters.blocks_skipped,
+                            self.counters.entries_decoded)
 
     def since(self, snap: "CostSnapshot") -> "CostSnapshot":
         """Return the cost accumulated since *snap* was taken."""
@@ -289,6 +347,10 @@ class CostModel:
         return CostSnapshot(
             self.base_cost - snap.base_cost,
             self.heap_cost - snap.heap_cost,
+            self.counters.blocks_read - snap.blocks_read,
+            self.counters.blocks_decoded - snap.blocks_decoded,
+            self.counters.blocks_skipped - snap.blocks_skipped,
+            self.counters.entries_decoded - snap.entries_decoded,
         )
 
     def reset(self) -> None:
@@ -306,6 +368,10 @@ class CostSnapshot:
 
     base_cost: float
     heap_cost: float
+    blocks_read: int = 0
+    blocks_decoded: int = 0
+    blocks_skipped: int = 0
+    entries_decoded: int = 0
 
     @property
     def total_cost(self) -> float:
@@ -337,5 +403,8 @@ def free_cost_model() -> CostModel:
         SORT_STEP = 0.0
         HEAP_STEP = 0.0
         SCORE_COMBINE = 0.0
+        BLOCK_READ = 0.0
+        BLOCK_DECODE = 0.0
+        ENTRY_DECODE = 0.0
 
     return CostModel(charge=_FreeCharge)

@@ -54,6 +54,26 @@ class PageCache:
             self.evictions += 1
         return False
 
+    def touch_block(self, page_id: int) -> bool:
+        """Record an access to a compressed block; True on a cache hit.
+
+        Same LRU bookkeeping as :meth:`touch`, but a miss is charged as
+        a ``block_read`` — blocks are packed back to back, so a cold
+        fetch is a short sequential read, not a full page fault.
+        """
+        if page_id in self._resident:
+            self._resident.move_to_end(page_id)
+            self.hits += 1
+            self.cost_model.page_hit()
+            return True
+        self.misses += 1
+        self.cost_model.block_read()
+        self._resident[page_id] = None
+        if len(self._resident) > self.capacity:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+        return False
+
     def invalidate(self, page_id: int) -> None:
         """Drop *page_id* from the cache (page was freed or rewritten)."""
         self._resident.pop(page_id, None)

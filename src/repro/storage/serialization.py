@@ -16,6 +16,7 @@ delimiting format in the spirit of what a storage engine would use.
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from ..errors import CodecError
@@ -29,6 +30,8 @@ __all__ = [
     "BoolCodec",
     "ListCodec",
     "TupleCodec",
+    "BlockHeader",
+    "BlockCodec",
     "encoded_size",
 ]
 
@@ -207,6 +210,149 @@ class TupleCodec(Codec):
             item, offset = codec.decode_from(data, offset)
             items.append(item)
         return tuple(items), offset
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Resident metadata for one compressed block of entries.
+
+    A sequence of headers *is* the skip directory: ``first_key`` /
+    ``last_key`` let position-driven readers (ERA, Merge) leap over
+    blocks that cannot contain the probe, and ``max_score`` lets
+    score-driven readers (TA family) prune blocks whose best entry
+    cannot beat the current heap threshold.
+    """
+
+    first_key: tuple[int, ...]
+    last_key: tuple[int, ...]
+    max_score: float
+    count: int
+    byte_len: int
+
+
+class BlockCodec(Codec):
+    """Packs a run of sorted flat tuples into one compressed block.
+
+    Entries are tuples whose first ``key_width`` components are
+    non-negative ints, lexicographically non-decreasing across the run;
+    the remaining components are payload fields encoded by
+    ``payload_codecs``.  Keys are delta-compressed: entry 0 is stored
+    absolutely, each later entry stores the index ``d`` of its first
+    key component that differs from its predecessor, the (positive)
+    delta at ``d``, and components after ``d`` absolutely — the classic
+    prefix-delta scheme for composite keys under varints.
+
+    ``score_index`` names the entry component whose maximum becomes the
+    block header's ``max_score`` (``None`` → 0.0, for score-free blocks
+    such as posting fragments).
+    """
+
+    def __init__(self, key_width: int,
+                 payload_codecs: Sequence[Codec] = (),
+                 score_index: int | None = None):
+        if key_width < 1:
+            raise CodecError("key_width must be >= 1")
+        self.key_width = key_width
+        self.payload_codecs = tuple(payload_codecs)
+        self.score_index = score_index
+        self._width = key_width + len(self.payload_codecs)
+
+    # ------------------------------------------------------------------
+    def encode_block(self, entries: Sequence[tuple]) -> tuple[BlockHeader, bytes]:
+        """Encode *entries* → ``(header, payload_bytes)``."""
+        if not entries:
+            raise CodecError("cannot encode an empty block")
+        out = bytearray()
+        kw = self.key_width
+        previous: tuple[int, ...] | None = None
+        max_score = 0.0
+        for entry in entries:
+            if len(entry) != self._width:
+                raise CodecError(
+                    f"expected entry of {self._width} fields, got {entry!r}")
+            key = tuple(entry[:kw])
+            for component in key:
+                if not isinstance(component, int) or component < 0:
+                    raise CodecError(
+                        f"block keys must be non-negative ints, got {key!r}")
+            if previous is None:
+                for component in key:
+                    _write_uvarint(out, component)
+            else:
+                if key < previous:
+                    raise CodecError(
+                        f"block entries out of order: {key!r} after {previous!r}")
+                if kw == 1:
+                    # Single-component keys need no diverge index: the
+                    # (non-negative) delta alone is unambiguous.
+                    _write_uvarint(out, key[0] - previous[0])
+                else:
+                    diverge = kw
+                    for index in range(kw):
+                        if key[index] != previous[index]:
+                            diverge = index
+                            break
+                    _write_uvarint(out, diverge)
+                    if diverge < kw:
+                        _write_uvarint(out, key[diverge] - previous[diverge])
+                        for component in key[diverge + 1:]:
+                            _write_uvarint(out, component)
+            previous = key
+            for codec, value in zip(self.payload_codecs, entry[kw:]):
+                codec.encode_into(out, value)
+            if self.score_index is not None:
+                score = float(entry[self.score_index])
+                if score > max_score:
+                    max_score = score
+        header = BlockHeader(
+            first_key=tuple(entries[0][:kw]),
+            last_key=tuple(entries[-1][:kw]),
+            max_score=max_score,
+            count=len(entries),
+            byte_len=len(out),
+        )
+        return header, bytes(out)
+
+    def decode_block(self, data: bytes, count: int) -> list[tuple]:
+        """Decode *count* entries from one block payload."""
+        kw = self.key_width
+        offset = 0
+        entries: list[tuple] = []
+        previous: tuple[int, ...] | None = None
+        for _ in range(count):
+            if previous is None:
+                key_parts = []
+                for _ in range(kw):
+                    component, offset = _read_uvarint(data, offset)
+                    key_parts.append(component)
+                key = tuple(key_parts)
+            elif kw == 1:
+                delta, offset = _read_uvarint(data, offset)
+                key = (previous[0] + delta,)
+            else:
+                diverge, offset = _read_uvarint(data, offset)
+                if diverge > kw:
+                    raise CodecError(f"corrupt block: diverge index {diverge}")
+                if diverge == kw:
+                    key = previous
+                else:
+                    delta, offset = _read_uvarint(data, offset)
+                    key_parts = list(previous[:diverge])
+                    key_parts.append(previous[diverge] + delta)
+                    for _ in range(diverge + 1, kw):
+                        component, offset = _read_uvarint(data, offset)
+                        key_parts.append(component)
+                    key = tuple(key_parts)
+            previous = key
+            payload = []
+            for codec in self.payload_codecs:
+                value, offset = codec.decode_from(data, offset)
+                payload.append(value)
+            entries.append(key + tuple(payload))
+        if offset != len(data):
+            raise CodecError(
+                f"{len(data) - offset} trailing bytes after block decode")
+        return entries
 
 
 def encoded_size(codec: Codec, values: Iterable[Any]) -> int:

@@ -184,15 +184,17 @@ class TestCatalog:
     def test_rpl_rows_in_rank_order(self):
         catalog = IndexCatalog(cost_model=free_cost_model())
         segment = catalog.add_rpl_segment("xml", self.entries())
-        rows = list(catalog.rpls.scan_prefix(("xml", segment.segment_id)))
-        assert [r[2] for r in rows] == [0, 1, 2]
-        assert [r[3] for r in rows] == [3.0, 2.0, 1.0]
+        entries = catalog.segment_entries(segment)
+        assert [e.score for e in entries] == [3.0, 2.0, 1.0]
+        sequence = catalog.blocks_for(segment)
+        ranks = [row[0] for row in sequence.entries()]
+        assert ranks == [0, 1, 2]
 
     def test_erpl_rows_grouped_by_sid_then_position(self):
         catalog = IndexCatalog(cost_model=free_cost_model())
         segment = catalog.add_erpl_segment("xml", self.entries())
-        rows = list(catalog.erpls.scan_prefix(("xml", segment.segment_id)))
-        keys = [(r[2], r[3], r[4]) for r in rows]
+        sequence = catalog.blocks_for(segment)
+        keys = [row[:3] for row in sequence.entries()]
         assert keys == sorted(keys)
 
     def test_drop_segment_frees_rows_and_bytes(self):
@@ -202,8 +204,9 @@ class TestCatalog:
         assert catalog.total_bytes == segment.size_bytes + other.size_bytes
         catalog.drop_segment(segment.segment_id)
         assert catalog.total_bytes == other.size_bytes
-        assert list(catalog.rpls.scan_prefix(("xml",))) == []
-        assert len(list(catalog.rpls.scan_prefix(("db",)))) == 3
+        with pytest.raises(StorageError):
+            catalog.blocks_for(segment)
+        assert len(catalog.segment_entries(other)) == 3
 
     def test_drop_unknown_segment(self):
         catalog = IndexCatalog(cost_model=free_cost_model())

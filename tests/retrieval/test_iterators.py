@@ -149,7 +149,8 @@ class TestRplIterator:
     def test_upper_bound_tracks_last_read(self):
         catalog, rpl, _ = _catalog_with_entries()
         iterator = RplIterator(catalog, rpl, sids={1, 2, 3})
-        assert iterator.upper_bound == float("inf")
+        # Before any read the bound is the first block's block-max.
+        assert iterator.upper_bound == 5.0
         iterator.next_entry()
         assert iterator.upper_bound == 5.0
         while iterator.next_entry() is not None:

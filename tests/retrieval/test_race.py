@@ -49,6 +49,11 @@ class TestRaceInEngine:
 
     def test_race_matches_individual_winner(self, engine):
         query = "//sec[about(., information retrieval)]"
+        # Warm the block cache first so all three measurements below see
+        # the same resident working set (cold first runs would make the
+        # race legs cheaper than the standalone ones).
+        engine.evaluate(query, k=5, method="ta", mode="flat")
+        engine.evaluate(query, k=5, method="merge", mode="flat")
         ta = engine.evaluate(query, k=5, method="ta", mode="flat")
         merge = engine.evaluate(query, k=5, method="merge", mode="flat")
         raced = engine.evaluate(query, k=5, method="race", mode="flat")

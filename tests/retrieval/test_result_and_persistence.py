@@ -76,7 +76,10 @@ class TestCatalogPersistence:
         assert found_a is not None and found_a.scope == frozenset({1, 2})
         found_b = fresh.find_segment("erpl", "db", {99})
         assert found_b is not None and found_b.is_universal
-        assert list(fresh.rpls.scan()) == list(catalog.rpls.scan())
+        assert (fresh.segment_entries(found_a)
+                == catalog.segment_entries(seg_a))
+        assert (fresh.segment_entries(found_b)
+                == catalog.segment_entries(seg_b))
 
     def test_segment_ids_continue_after_load(self, tmp_path):
         catalog = IndexCatalog(cost_model=free_cost_model())

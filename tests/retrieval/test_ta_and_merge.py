@@ -27,7 +27,7 @@ class TestTaBehaviour:
 
     def test_early_stop_on_skewed_scores(self):
         catalog, rpl, _ = skewed_catalog(n=500)
-        model = catalog.rpls.cost_model
+        model = catalog.cost_model
         hits, stats = ta_retrieve(catalog, {"xml": rpl}, {1}, 1, model)
         assert len(hits) == 1
         assert hits[0].score == pytest.approx(100.0)
@@ -36,14 +36,14 @@ class TestTaBehaviour:
 
     def test_exhaustive_when_k_large(self):
         catalog, rpl, _ = skewed_catalog(n=100)
-        model = catalog.rpls.cost_model
+        model = catalog.cost_model
         hits, stats = ta_retrieve(catalog, {"xml": rpl}, {1}, 100, model)
         assert len(hits) == 100
         assert stats.read_entire_lists()
 
     def test_skipping_costs_but_filters(self):
         catalog, rpl, _ = skewed_catalog(n=100, sids=(1, 2))
-        model = catalog.rpls.cost_model
+        model = catalog.cost_model
         hits, stats = ta_retrieve(catalog, {"xml": rpl}, {1}, 100, model)
         assert all(h.sid == 1 for h in hits)
         assert stats.rows_skipped == 50
@@ -69,7 +69,7 @@ class TestTaBehaviour:
     def test_uncorrelated_lists_force_deep_reads(self):
         """§5.2: sum aggregation over uncorrelated lists reads deep."""
         catalog, segments = self._two_term_uncorrelated_catalog()
-        model = catalog.rpls.cost_model
+        model = catalog.cost_model
         _, stats = ta_retrieve(catalog, segments, {1}, 10, model)
         for term, depth in stats.list_depths.items():
             # far deeper than the k=10 a correlated ordering would need
@@ -80,7 +80,7 @@ class TestTaBehaviour:
         shrink as k grows, so TA's heap overhead falls with k."""
         def heap_removes(k):
             catalog, segments = self._two_term_uncorrelated_catalog()
-            model = catalog.rpls.cost_model
+            model = catalog.cost_model
             model.reset()
             ta_retrieve(catalog, segments, {1}, k, model)
             return model.counters.heap_removes
@@ -89,7 +89,7 @@ class TestTaBehaviour:
 
     def test_ideal_cost_excludes_heap(self):
         catalog, rpl, _ = skewed_catalog(n=100)
-        model = catalog.rpls.cost_model
+        model = catalog.cost_model
         _, stats = ta_retrieve(catalog, {"xml": rpl}, {1}, 10, model)
         assert stats.ideal_cost < stats.cost
 
@@ -100,7 +100,7 @@ class TestTaBehaviour:
         seg_a = catalog.add_rpl_segment("alpha", a)
         seg_b = catalog.add_rpl_segment("beta", b)
         hits, _ = ta_retrieve(catalog, {"alpha": seg_a, "beta": seg_b}, {1},
-                              3, catalog.rpls.cost_model)
+                              3, catalog.cost_model)
         by_key = {h.element_key(): h.score for h in hits}
         assert by_key[(0, 10)] == pytest.approx(5.0)  # appears in both lists
         assert by_key[(0, 30)] == pytest.approx(1.0)
@@ -110,7 +110,7 @@ class TestTaBehaviour:
         catalog = IndexCatalog(cost_model=CostModel())
         seg = catalog.add_rpl_segment("xml", [RplEntry(2.0, 1, 0, 10, 5)])
         hits, _ = ta_retrieve(catalog, {"xml": seg}, {1}, 1,
-                              catalog.rpls.cost_model,
+                              catalog.cost_model,
                               term_weights={"xml": 2.0})
         assert hits[0].score == pytest.approx(4.0)
 
@@ -123,7 +123,7 @@ class TestMergeBehaviour:
         seg_a = catalog.add_erpl_segment("alpha", a)
         seg_b = catalog.add_erpl_segment("beta", b)
         hits, stats = merge_retrieve(catalog, {"alpha": seg_a, "beta": seg_b},
-                                     {1}, catalog.erpls.cost_model)
+                                     {1}, catalog.cost_model)
         by_key = {h.element_key(): h.score for h in hits}
         assert by_key[(0, 10)] == pytest.approx(5.0)
         assert by_key[(1, 10)] == pytest.approx(1.0)
@@ -132,26 +132,26 @@ class TestMergeBehaviour:
     def test_merge_sorted_output(self):
         catalog, _, erpl = skewed_catalog(n=50)
         hits, _ = merge_retrieve(catalog, {"xml": erpl}, {1},
-                                 catalog.erpls.cost_model)
+                                 catalog.cost_model)
         scores = [h.score for h in hits]
         assert scores == sorted(scores, reverse=True)
 
     def test_merge_reads_only_requested_sids(self):
         catalog, _, erpl = skewed_catalog(n=100, sids=(1, 2))
         hits, stats = merge_retrieve(catalog, {"xml": erpl}, {1},
-                                     catalog.erpls.cost_model)
+                                     catalog.cost_model)
         assert len(hits) == 50
         assert stats.list_depths["xml"] == 50  # half the entries never read
 
     def test_merge_empty_sids(self):
         catalog, _, erpl = skewed_catalog()
         hits, _ = merge_retrieve(catalog, {"xml": erpl}, set(),
-                                 catalog.erpls.cost_model)
+                                 catalog.cost_model)
         assert hits == []
 
     def test_merge_charges_final_sort(self):
         catalog, _, erpl = skewed_catalog(n=64)
-        model = catalog.erpls.cost_model
+        model = catalog.cost_model
         model.reset()
         merge_retrieve(catalog, {"xml": erpl}, {1}, model)
         assert model.counters.sort_elements > 0

@@ -120,6 +120,58 @@ class TestComposites:
         assert encoded_size(codec, [0, 127, 128]) == 1 + 1 + 2
 
 
+class TestHardening:
+    """Truncation and extreme-value cases for every codec."""
+
+    def test_zigzag_negative_extremes(self):
+        codec = IntCodec()
+        for value in [-1, -2, -(2**31), -(2**62), 2**62, -(2**63 - 1)]:
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_zigzag_interleaving(self):
+        # Zig-zag maps 0,-1,1,-2,2,... to 0,1,2,3,4,... so small
+        # magnitudes stay one byte regardless of sign.
+        codec = IntCodec()
+        assert len(codec.encode(-1)) == 1
+        assert len(codec.encode(-64)) == 1
+        assert len(codec.encode(-65)) == 2
+
+    def test_64_bit_uvarints(self):
+        codec = UIntCodec()
+        for value in [2**63 - 1, 2**63, 2**64 - 1]:
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_uvarint_shift_guard(self):
+        # Ten continuation bytes exceed the 64-bit-plus-slack guard.
+        with pytest.raises(CodecError):
+            UIntCodec().decode(b"\xff" * 11 + b"\x01")
+
+    def test_truncated_string(self):
+        codec = StringCodec()
+        encoded = codec.encode("hello world")
+        with pytest.raises(CodecError):
+            codec.decode(encoded[:-3])
+
+    def test_truncated_list_mid_element(self):
+        codec = ListCodec(TupleCodec([UIntCodec(), FloatCodec()]))
+        encoded = codec.encode([(1, 2.0), (3, 4.0)])
+        with pytest.raises(CodecError):
+            codec.decode(encoded[:-4])
+
+    def test_empty_composites(self):
+        assert ListCodec(UIntCodec()).decode(
+            ListCodec(UIntCodec()).encode([])) == []
+        codec = ListCodec(ListCodec(FloatCodec()))
+        assert codec.decode(codec.encode([[], [1.0], []])) == [[], [1.0], []]
+        empty_tuple = TupleCodec([])
+        assert empty_tuple.decode(empty_tuple.encode(())) == ()
+
+    def test_empty_buffer(self):
+        for codec in (UIntCodec(), IntCodec(), FloatCodec(), StringCodec()):
+            with pytest.raises(CodecError):
+                codec.decode(b"")
+
+
 class TestPropertyRoundTrips:
     @given(st.integers(min_value=0, max_value=2**63))
     @settings(max_examples=200, deadline=None)
