@@ -7,11 +7,26 @@ emits the reproduced artifacts alongside pytest-benchmark's timing
 table (and ``bench_output.txt`` captures both).
 """
 
+import random
+
 import pytest
 
 from repro.bench import bench_engine
 
 _REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture(autouse=True)
+def _seed_rngs():
+    """Reseed the global RNG before every benchmark.
+
+    The corpus generators take explicit seeds, but anything that falls
+    back to the module-level ``random`` (workload generators, sampling
+    helpers) must not depend on test execution order — a reordered or
+    deselected run has to produce the same numbers.
+    """
+    random.seed(0x7E5)
+    yield
 
 
 def record_report(title: str, text: str) -> None:

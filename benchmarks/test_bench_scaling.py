@@ -51,3 +51,71 @@ def test_strategy_scaling(benchmark):
     # Merge stays an order of magnitude under ERA at every scale.
     for row in rows:
         assert row["merge"] < row["era"] / 5
+
+
+# ----------------------------------------------------------------------
+# Shard-count sweep: cost vs N, answers pinned to the oracle and the
+# per-N cost profile pinned to a committed baseline.
+# ----------------------------------------------------------------------
+
+import json
+import os
+
+from repro.shard import ShardedEngine
+
+SHARDS_BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                                    "baseline_shards.json")
+SHARD_QUERY = "//article//sec[about(., introduction information retrieval)]"
+SHARD_COUNTS = (1, 2, 4)
+SHARD_K = 10
+
+
+def shard_fixture():
+    collection = SyntheticIEEECorpus(num_docs=24, seed=77).build()
+    alias = AliasMapping.inex_ieee()
+    return collection, alias
+
+
+def compute_shard_sweep():
+    collection, alias = shard_fixture()
+    oracle = TrexEngine(collection,
+                        IncomingSummary(collection, alias=alias))
+    want = [(hit.element_key(), round(hit.score, 9))
+            for hit in oracle.evaluate(SHARD_QUERY, k=SHARD_K, method="era",
+                                       mode="flat").hits]
+    rows = []
+    for num_shards in SHARD_COUNTS:
+        engine = ShardedEngine(collection, num_shards, alias=alias)
+        result = engine.evaluate(SHARD_QUERY, k=SHARD_K, method="ta",
+                                 mode="flat")
+        got = [(hit.element_key(), round(hit.score, 9))
+               for hit in result.hits]
+        assert got == want, f"golden divergence at {num_shards} shards"
+        stats = result.stats
+        rows.append({
+            "shards": num_shards,
+            "cost": round(stats.cost, 1),
+            "entries_decoded": stats.entries_decoded,
+            "shards_pruned": stats.shards_pruned,
+        })
+    return rows
+
+
+def test_shard_count_sweep(benchmark):
+    rows = benchmark.pedantic(compute_shard_sweep, rounds=1, iterations=1)
+    record_report("Sharding: distributed TA cost vs shard count "
+                  f"(k={SHARD_K})", format_rows(rows))
+    with open(SHARDS_BASELINE_PATH, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    assert rows == baseline["sweep"], (
+        f"shard sweep drifted: expected {baseline['sweep']}, got {rows} — "
+        "if intentional, regenerate benchmarks/baseline_shards.json "
+        "(python benchmarks/test_bench_scaling.py)")
+
+
+if __name__ == "__main__":
+    # Regenerate the committed baseline after an intentional change.
+    with open(SHARDS_BASELINE_PATH, "w", encoding="utf-8") as fh:
+        json.dump({"sweep": compute_shard_sweep()}, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {SHARDS_BASELINE_PATH}")

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro translate show a NEXI query's (sids, terms) translation
     python -m repro query     evaluate a NEXI query
     python -m repro advise    run the self-managing index advisor
+    python -m repro shard     build / inspect partitioned (sharded) indexes
     python -m repro serve     run the concurrent HTTP query service
     python -m repro stats     fetch /stats from a running server
 
@@ -169,8 +170,59 @@ def _cmd_advise(args) -> int:
     return 0
 
 
+def _make_sharded_engine(args):
+    from .shard import ShardedEngine
+
+    collection = load_collection(args.corpus)
+    alias = _ALIASES[args.alias]()
+    return ShardedEngine(collection, args.shards, policy=args.policy,
+                         alias=alias, block_size=args.block_size)
+
+
+def _print_shard_rows(rows) -> None:
+    documents = [row["documents"] for row in rows]
+    mean = sum(documents) / len(documents) if documents else 0.0
+    print(f"{'shard':>5} {'documents':>9} {'elements':>9} {'segments':>8} "
+          f"{'catalog B':>10} {'probes':>7} {'pruned':>7} {'timeouts':>8}")
+    for row in rows:
+        print(f"{row['shard']:>5} {row['documents']:>9} "
+              f"{row['elements_rows']:>9} {row['segments']:>8} "
+              f"{row['catalog_bytes']:>10} {row['probes']:>7} "
+              f"{row['pruned']:>7} {row['timeouts']:>8}")
+    if documents and mean:
+        skew = max(documents) / mean
+        print(f"balance: {len(documents)} shards, "
+              f"{min(documents)}-{max(documents)} docs "
+              f"(max/mean skew {skew:.2f})")
+
+
+def _cmd_shard_build(args) -> int:
+    engine = _make_sharded_engine(args)
+    for shard in engine.shards:
+        terms = {row[0] for row in shard.engine.postings.scan()}
+        for term in sorted(terms):
+            shard.engine.materialize_rpl(term)
+    engine.save_indexes(args.out)
+    print(f"partitioned {len(engine.collection)} documents into "
+          f"{engine.num_shards} shards ({args.policy}) -> {args.out}")
+    _print_shard_rows(engine.shard_snapshot())
+    return 0
+
+
+def _cmd_shard_stats(args) -> int:
+    engine = _make_sharded_engine(args)
+    if args.indexes:
+        engine.load_indexes(args.indexes)
+    info = engine.describe()
+    print(f"collection: {info['collection']}")
+    print(f"partition:  {info['partition']}")
+    _print_shard_rows(engine.shard_snapshot())
+    return 0
+
+
 def _cmd_serve(args) -> int:
-    from .service import QueryService, ServiceConfig, make_server
+    from .service import (QueryService, ServiceConfig, make_server,
+                          serve_until_shutdown)
 
     engine = _make_engine(args)
     config = ServiceConfig(
@@ -181,24 +233,26 @@ def _cmd_serve(args) -> int:
         autopilot_interval=None if args.no_autopilot else args.autopilot_interval,
         autopilot_budget=args.autopilot_budget,
         autopilot_selector=args.autopilot_selector,
+        shards=args.shards,
+        shard_policy=args.shard_policy,
+        shard_deadline=args.shard_deadline,
+        fail_soft=not args.no_fail_soft,
     )
     with QueryService(engine, config) as service:
         server = make_server(service, args.host, args.port,
                              verbose=args.verbose)
         host, port = server.server_address[:2]
+        sharding = (f", {args.shards} shards ({args.shard_policy})"
+                    if args.shards > 1 else "")
         print(f"serving {args.corpus} on http://{host}:{port} "
               f"({config.workers} workers, cache={config.cache_capacity}, "
               f"autopilot="
-              f"{'off' if args.no_autopilot else f'{args.autopilot_interval}s'})")
+              f"{'off' if args.no_autopilot else f'{args.autopilot_interval}s'}"
+              f"{sharding})")
         print("endpoints: /search /explain /ingest /stats /healthz "
-              "/autopilot/cycle  (Ctrl-C to stop)")
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            print("\ndraining...")
-        finally:
-            server.shutdown()
-            server.server_close()
+              "/autopilot/cycle  (Ctrl-C or SIGTERM to stop)")
+        serve_until_shutdown(server, service)
+        print("drained; bye")
     return 0
 
 
@@ -235,6 +289,14 @@ def _cmd_stats(args) -> int:
         print(f"{name:24s} {counters.get(name, 0)}")
     result_cache = stats.get("cache", {})
     print(f"result cache: {result_cache}")
+    shards = stats.get("shards")
+    if shards:
+        print(f"shards ({len(shards)}):")
+        for row in shards:
+            print(f"  shard {row.get('shard')}: {row.get('documents')} docs, "
+                  f"{row.get('segments')} segments, "
+                  f"epoch={row.get('epoch')}, probes={row.get('probes')} "
+                  f"pruned={row.get('pruned')} timeouts={row.get('timeouts')}")
     return 0
 
 
@@ -304,6 +366,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="materialize the plan and measure achieved cost")
     advise.set_defaults(func=_cmd_advise)
 
+    shard = sub.add_parser("shard",
+                           help="build / inspect partitioned indexes")
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    def add_shard_args(p):
+        p.add_argument("corpus", help="directory of .xml files")
+        p.add_argument("--shards", type=int, default=4,
+                       help="number of document shards")
+        p.add_argument("--policy", choices=("hash", "range"), default="hash",
+                       help="document-to-shard routing policy")
+        p.add_argument("--alias", choices=sorted(_ALIASES), default="none")
+        p.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+
+    shard_build = shard_sub.add_parser(
+        "build", help="partition a corpus and save per-shard indexes")
+    add_shard_args(shard_build)
+    shard_build.add_argument("--out", required=True,
+                             help="output directory (one shard{i}/ each)")
+    shard_build.set_defaults(func=_cmd_shard_build)
+
+    shard_stats = shard_sub.add_parser(
+        "stats", help="per-shard statistics and balance")
+    add_shard_args(shard_stats)
+    shard_stats.add_argument("--indexes", default=None,
+                             help="load previously saved per-shard indexes")
+    shard_stats.set_defaults(func=_cmd_shard_stats)
+
     serve = sub.add_parser("serve", help="run the concurrent HTTP query service")
     add_engine_args(serve)
     serve.add_argument("--host", default="127.0.0.1")
@@ -324,6 +413,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default="greedy")
     serve.add_argument("--no-autopilot", action="store_true",
                        help="disable background index self-management")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="partition the engine into N document shards")
+    serve.add_argument("--shard-policy", choices=("hash", "range"),
+                       default="hash")
+    serve.add_argument("--shard-deadline", type=float, default=None,
+                       help="seconds each shard may spend per query")
+    serve.add_argument("--no-fail-soft", action="store_true",
+                       help="shard timeouts become 504s instead of "
+                            "degraded partial results")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request")
     serve.set_defaults(func=_cmd_serve)

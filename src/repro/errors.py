@@ -102,3 +102,19 @@ class DeadlineExceededError(ServiceError):
 
 class OptimizationError(TrexError):
     """Index-selection optimization failed or was given bad inputs."""
+
+
+class ShardError(TrexError):
+    """A failure in the partitioned (sharded) engine layer."""
+
+
+class ShardTimeoutError(ShardError):
+    """A shard exceeded its per-shard deadline and fail-soft was off."""
+
+    def __init__(self, shard_index: int, elapsed: float, deadline: float):
+        super().__init__(
+            f"shard {shard_index} exceeded its deadline: "
+            f"ran {elapsed:.3f}s against a {deadline:.3f}s budget")
+        self.shard_index = shard_index
+        self.elapsed = elapsed
+        self.deadline = deadline

@@ -67,7 +67,7 @@ from .iterators import ExtentIterator
 from .merge import merge_retrieve
 from .race import race as race_strategies
 from .result import EvaluationStats, ResultSet
-from .ta import ta_retrieve
+from .ta import DEFAULT_BATCH_SIZE, ta_retrieve
 
 __all__ = ["TrexEngine", "METHODS"]
 
@@ -87,7 +87,8 @@ class TrexEngine:
                  auto_materialize: bool = True,
                  fragment_size: int = 64,
                  btree_order: int = 64,
-                 block_size: int = DEFAULT_BLOCK_SIZE):
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 ta_batch_size: int = DEFAULT_BATCH_SIZE):
         self.collection = collection
         self.cost_model = cost_model if cost_model is not None else CostModel()
         if summary is None:
@@ -100,6 +101,8 @@ class TrexEngine:
         self.scorer = scorer
         self.support_weight = support_weight
         self.auto_materialize = auto_materialize
+        #: Sorted accesses between TA stopping-condition checks.
+        self.ta_batch_size = ta_batch_size
         #: Monotonic data-version counter.  Bumped whenever the answers
         #: the engine would give can change (document ingestion, scorer
         #: rebuild, index reload) — result caches key their entries on
@@ -305,19 +308,25 @@ class TrexEngine:
                 return True
         return False
 
-    def _evaluate_flat(self, translated: TranslatedQuery, method: str,
-                       k: int | None) -> ResultSet:
-        sids = translated.flat_sids()
+    def flat_clause(self, translated: TranslatedQuery) -> TranslatedClause:
+        """The paper's §2.2 single retrieval task for *translated*: one
+        clause over the union of all clause sids and merged term
+        weights.  Exposed so coordinators (the sharded engine) can set
+        up flat-mode sessions without re-deriving the union."""
         weights = translated.flat_term_weights()
-        flat_clause = TranslatedClause(
+        return TranslatedClause(
             step_index=len(translated.query.steps) - 1,
             pattern=translated.target_pattern,
-            sids=sids,
+            sids=translated.flat_sids(),
             term_weights=tuple(sorted(weights.items())),
             excluded_terms=(),
             is_target=True,
         )
-        hits, stats = self._evaluate_clause(flat_clause, method, k)
+
+    def _evaluate_flat(self, translated: TranslatedQuery, method: str,
+                       k: int | None) -> ResultSet:
+        hits, stats = self._evaluate_clause(self.flat_clause(translated),
+                                            method, k)
         if method == "ita":
             stats.method = "ita"
             stats.cost = stats.ideal_cost
@@ -335,22 +344,25 @@ class TrexEngine:
                                 sorted(clause.sids), list(clause.terms),
                                 self.scorer, self.cost_model, weights)
         if method in ("ta", "ita"):
-            segments = self._segments_for(clause, "rpl")
+            segments = self.segments_for(clause, "rpl")
             effective_k = k if k is not None else max(
                 1, sum(s.entry_count for s in segments.values()))
             hits, stats = ta_retrieve(self.catalog, segments, clause.sids,
-                                      effective_k, self.cost_model, weights)
+                                      effective_k, self.cost_model, weights,
+                                      batch_size=self.ta_batch_size)
             if method == "ita":
                 stats.method = "ita"
             return hits, stats
         if method == "merge":
-            segments = self._segments_for(clause, "erpl")
+            segments = self.segments_for(clause, "erpl")
             return merge_retrieve(self.catalog, segments, clause.sids,
                                   self.cost_model, weights)
         raise RetrievalError(f"unknown method {method!r}")
 
-    def _segments_for(self, clause: TranslatedClause,
-                      kind: str) -> dict[str, IndexSegment]:
+    def segments_for(self, clause: TranslatedClause,
+                     kind: str) -> dict[str, IndexSegment]:
+        """Resolve one segment per clause term (materializing universal
+        lists on demand unless ``auto_materialize`` is off)."""
         segments: dict[str, IndexSegment] = {}
         for term in clause.terms:
             segment = self.catalog.find_segment(kind, term, clause.sids)
@@ -558,6 +570,28 @@ class TrexEngine:
                 if self.catalog.find_segment(kind, term, sids) is None:
                     missing.append((kind, term, frozenset(sids)))
         return missing
+
+    def warm_segments(self, missing) -> int:
+        """Materialize a universal segment for each ``(kind, term, ...)``
+        entry of *missing* (as produced by :meth:`missing_segments`)
+        that is still absent.  Returns the number of segments created.
+
+        The serving layer calls this under its write lock before
+        retrying a forced-method evaluation that reported missing
+        indexes.
+        """
+        created = 0
+        for item in missing:
+            kind, term = item[0], item[1]
+            sids = item[2] if len(item) > 2 and item[2] is not None else ()
+            if self.catalog.find_segment(kind, term, sids) is not None:
+                continue
+            if kind == "rpl":
+                self.materialize_rpl(term)
+            else:
+                self.materialize_erpl(term)
+            created += 1
+        return created
 
     # ------------------------------------------------------------------
     # Incremental maintenance

@@ -46,6 +46,16 @@ class EvaluationStats:
     blocks_skipped: int = 0
     #: Entries decoded across all blocks (the batched TUPLE_READ analogue).
     entries_decoded: int = 0
+    #: Shards that actually evaluated work for this query (sharded runs).
+    shards_probed: int = 0
+    #: Shards terminated early by the distributed-TA coordinator.
+    shards_pruned: int = 0
+    #: Shards dropped because they exceeded the per-shard deadline.
+    shards_timed_out: int = 0
+    #: True when a fail-soft run returned partial results (shard timeout).
+    degraded: bool = False
+    #: Per-shard breakdown (one dict per shard, coordinator runs only).
+    shard_stats: list[dict] = field(default_factory=list)
 
     def record_block_io(self, spent) -> None:
         """Copy block-level counters from a cost-snapshot difference."""
@@ -72,6 +82,11 @@ class EvaluationStats:
         self.blocks_decoded += other.blocks_decoded
         self.blocks_skipped += other.blocks_skipped
         self.entries_decoded += other.entries_decoded
+        self.shards_probed += other.shards_probed
+        self.shards_pruned += other.shards_pruned
+        self.shards_timed_out += other.shards_timed_out
+        self.degraded = self.degraded or other.degraded
+        self.shard_stats.extend(other.shard_stats)
         for term, depth in other.list_depths.items():
             self.list_depths[term] = self.list_depths.get(term, 0) + depth
         for term, length in other.list_lengths.items():

@@ -21,6 +21,13 @@ accesses are assumed): stop once (a) the k-th worst score reaches the
 threshold ``Σ_j w_j · high_j``, (b) no pending candidate's best score
 can overtake it, and (c) every member of the current top-k is fully
 resolved, so reported scores equal the true aggregate scores.
+
+The loop is packaged as a resumable :class:`TaSession` so a coordinator
+can interleave several lists-in-progress: ``ta_retrieve`` simply runs
+one session to completion, while the sharded scatter-gather engine
+(:mod:`repro.shard.engine`) advances one session per shard batch by
+batch and abandons a session once the global top-k floor dominates the
+shard's remaining upper bound (distributed TA).
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ from .heap import TopKHeap
 from .iterators import RplIterator
 from .result import EvaluationStats
 
-__all__ = ["ta_retrieve", "DEFAULT_BATCH_SIZE"]
+__all__ = ["TaSession", "ta_retrieve", "DEFAULT_BATCH_SIZE"]
 
 #: Sorted accesses between evaluations of the stopping condition
 #: (TopX-style batching; checking every row would itself dominate).
@@ -47,6 +54,163 @@ class _Candidate:
     seen: set[str] = field(default_factory=set)
     sid: int = 0
     length: int = 0
+
+
+class TaSession:
+    """One TA run, advanced batch by batch.
+
+    ``step()`` performs sorted accesses until the next stopping-condition
+    check (one batch) and reports whether the session is still live.
+    ``finalize()`` applies the tail block skips and returns the sorted
+    hits.  A coordinator that decides the session can no longer matter
+    calls ``prune()`` instead, which abandons the run and discards its
+    candidates (the remaining blocks are counted as skipped).
+    """
+
+    def __init__(self,
+                 catalog: IndexCatalog,
+                 segments: dict[str, IndexSegment],
+                 sids: frozenset[int] | set[int],
+                 k: int,
+                 cost_model: CostModel,
+                 term_weights: dict[str, float] | None = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        if k < 1:
+            raise ValueError("TA requires k >= 1")
+        self.k = k
+        self.cost_model = cost_model
+        self.batch_size = batch_size
+        self.weights = {term: 1.0 for term in segments}
+        if term_weights:
+            self.weights.update({t: w for t, w in term_weights.items()
+                                 if t in self.weights})
+        self.iterators = {term: RplIterator(catalog, segment, sids)
+                          for term, segment in segments.items()}
+        self.candidates: dict[tuple[int, int], _Candidate] = {}
+        self.heap = TopKHeap(k, cost_model)
+        self.early_stop = False
+        self.pruned = False
+        self.finished = False
+        self._accesses_since_check = 0
+
+    # -- bounds ---------------------------------------------------------
+    def threshold(self) -> float:
+        """Σ_j w_j · high_j — bound on any element not yet seen."""
+        return sum(self.weights[t] * it.upper_bound
+                   for t, it in self.iterators.items())
+
+    def best_of(self, candidate: _Candidate) -> float:
+        bonus = sum(self.weights[t] * self.iterators[t].upper_bound
+                    for t in self.iterators if t not in candidate.seen)
+        return candidate.worst + bonus
+
+    def upper_bound(self) -> float:
+        """Bound on the final score of *any* element this session could
+        still deliver: the unseen-element threshold or the best possible
+        completion of a seen candidate, whichever is larger."""
+        bound = self.threshold()
+        for candidate in self.candidates.values():
+            self.cost_model.compare()
+            best = self.best_of(candidate)
+            if best > bound:
+                bound = best
+        return bound
+
+    def _should_stop(self) -> bool:
+        heap, candidates, k = self.heap, self.candidates, self.k
+        if len(heap) < min(k, max(len(candidates), 1)):
+            return False
+        floor = heap.min_score()
+        if floor == float("-inf"):
+            return False
+        current_threshold = self.threshold()
+        self.cost_model.compare()
+        if floor < current_threshold:
+            return False
+        in_heap = heap.keys()
+        # (b) no pending candidate can overtake; (c) top-k fully resolved.
+        for key, candidate in candidates.items():
+            self.cost_model.compare()
+            best = self.best_of(candidate)
+            if key in in_heap:
+                if best > candidate.worst + 1e-12:
+                    return False  # unresolved top-k member
+            elif best > floor + 1e-12:
+                return False
+        return True
+
+    # -- advancement ----------------------------------------------------
+    def step(self) -> bool:
+        """Advance one batch; return False once the session has ended."""
+        if self.finished:
+            return False
+        while True:
+            progressed = False
+            for term, iterator in self.iterators.items():
+                if iterator.exhausted:
+                    continue
+                entry = iterator.next_entry()
+                if entry is None:
+                    continue
+                progressed = True
+                key = entry.element_key()
+                candidate = self.candidates.get(key)
+                if candidate is None:
+                    candidate = self.candidates[key] = _Candidate(
+                        sid=entry.sid, length=entry.length)
+                candidate.worst += self.weights[term] * entry.score
+                candidate.seen.add(term)
+                self.cost_model.score_combine()
+                self.heap.offer(candidate.worst, key)
+                self._accesses_since_check += 1
+
+            if not progressed:
+                self.finished = True
+                return False  # every list exhausted: exact by construction
+            if self._accesses_since_check >= self.batch_size:
+                self._accesses_since_check = 0
+                if self._should_stop():
+                    self.early_stop = True
+                    self.finished = True
+                    return False
+                return True
+
+    def run(self) -> None:
+        while self.step():
+            pass
+
+    def prune(self) -> None:
+        """Abandon the session: its results can no longer reach the
+        global top-k, so skip every undecoded tail block and discard
+        the candidate set."""
+        self.pruned = True
+        self.finished = True
+        for iterator in self.iterators.values():
+            iterator.skip_until_score_below(float("inf"))
+
+    # -- results --------------------------------------------------------
+    def finalize(self) -> list[ScoredHit]:
+        if self.early_stop:
+            # Block-max pruning: the stop rule already proved no unread
+            # entry can matter, so every undecoded tail block is skipped
+            # outright — the skip directory made them free.
+            for iterator in self.iterators.values():
+                iterator.skip_until_score_below(float("inf"))
+        hits = [ScoredHit(score=score, docid=key[0], end_pos=key[1],
+                          sid=self.candidates[key].sid,
+                          length=self.candidates[key].length)
+                for score, key in self.heap.items()]
+        hits.sort(key=lambda h: (-h.score, h.docid, h.end_pos))
+        return hits
+
+    def stats_into(self, stats: EvaluationStats) -> None:
+        """Accumulate per-list depth/length/skip counters into *stats*."""
+        for term, iterator in self.iterators.items():
+            stats.list_depths[term] = (stats.list_depths.get(term, 0)
+                                       + iterator.depth)
+            stats.list_lengths[term] = (stats.list_lengths.get(term, 0)
+                                        + iterator.length)
+            stats.rows_skipped += iterator.skipped
 
 
 def ta_retrieve(catalog: IndexCatalog,
@@ -65,98 +229,17 @@ def ta_retrieve(catalog: IndexCatalog,
         For each query term, the RPL segment to perform sorted access
         on (resolved by the caller through the catalog).
     """
-    if k < 1:
-        raise ValueError("TA requires k >= 1")
-    weights = {term: 1.0 for term in segments}
-    if term_weights:
-        weights.update({t: w for t, w in term_weights.items() if t in weights})
-
     snapshot = cost_model.snapshot()
-    iterators = {term: RplIterator(catalog, segment, sids)
-                 for term, segment in segments.items()}
-    candidates: dict[tuple[int, int], _Candidate] = {}
-    heap = TopKHeap(k, cost_model)
-    early_stop = False
-    accesses_since_check = 0
-
-    def threshold() -> float:
-        return sum(weights[t] * it.upper_bound for t, it in iterators.items())
-
-    def best_of(candidate: _Candidate) -> float:
-        bonus = sum(weights[t] * iterators[t].upper_bound
-                    for t in iterators if t not in candidate.seen)
-        return candidate.worst + bonus
-
-    def should_stop() -> bool:
-        if len(heap) < min(k, max(len(candidates), 1)):
-            return False
-        floor = heap.min_score()
-        if floor == float("-inf"):
-            return False
-        current_threshold = threshold()
-        cost_model.compare()
-        if floor < current_threshold:
-            return False
-        in_heap = heap.keys()
-        # (b) no pending candidate can overtake; (c) top-k fully resolved.
-        for key, candidate in candidates.items():
-            cost_model.compare()
-            best = best_of(candidate)
-            if key in in_heap:
-                if best > candidate.worst + 1e-12:
-                    return False  # unresolved top-k member
-            elif best > floor + 1e-12:
-                return False
-        return True
-
-    while True:
-        progressed = False
-        for term, iterator in iterators.items():
-            if iterator.exhausted:
-                continue
-            entry = iterator.next_entry()
-            if entry is None:
-                continue
-            progressed = True
-            key = entry.element_key()
-            candidate = candidates.get(key)
-            if candidate is None:
-                candidate = candidates[key] = _Candidate(sid=entry.sid,
-                                                         length=entry.length)
-            candidate.worst += weights[term] * entry.score
-            candidate.seen.add(term)
-            cost_model.score_combine()
-            heap.offer(candidate.worst, key)
-            accesses_since_check += 1
-
-        if not progressed:
-            break  # every list exhausted: exact answer by construction
-        if accesses_since_check >= batch_size:
-            accesses_since_check = 0
-            if should_stop():
-                early_stop = True
-                break
-
-    if early_stop:
-        # Block-max pruning: the stop rule already proved no unread
-        # entry can matter, so every undecoded tail block is skipped
-        # outright — the skip directory made them free.
-        for iterator in iterators.values():
-            iterator.skip_until_score_below(float("inf"))
-
-    hits = [ScoredHit(score=score, docid=key[0], end_pos=key[1],
-                      sid=candidates[key].sid, length=candidates[key].length)
-            for score, key in heap.items()]
-    hits.sort(key=lambda h: (-h.score, h.docid, h.end_pos))
+    session = TaSession(catalog, segments, sids, k, cost_model,
+                        term_weights, batch_size)
+    session.run()
+    hits = session.finalize()
 
     spent = cost_model.since(snapshot)
     stats = EvaluationStats(method="ta", cost=spent.total_cost,
                             ideal_cost=spent.ideal_cost,
-                            candidates=len(candidates),
-                            early_stop=early_stop)
+                            candidates=len(session.candidates),
+                            early_stop=session.early_stop)
     stats.record_block_io(spent)
-    for term, iterator in iterators.items():
-        stats.list_depths[term] = iterator.depth
-        stats.list_lengths[term] = iterator.length
-        stats.rows_skipped += iterator.skipped
+    session.stats_into(stats)
     return hits, stats

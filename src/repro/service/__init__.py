@@ -11,7 +11,14 @@ from .autopilot import Autopilot, AutopilotReport, WorkloadRecorder
 from .cache import ResultCache
 from .executor import BoundedExecutor
 from .locks import ReadWriteLock, WorkerCostModels
-from .server import QueryService, ServiceConfig, TrexHTTPHandler, make_server
+from .server import (
+    QueryService,
+    ServiceConfig,
+    TrexHTTPHandler,
+    install_shutdown_handlers,
+    make_server,
+    serve_until_shutdown,
+)
 from .telemetry import LatencyHistogram, Telemetry
 
 __all__ = [
@@ -27,5 +34,7 @@ __all__ = [
     "TrexHTTPHandler",
     "WorkerCostModels",
     "WorkloadRecorder",
+    "install_shutdown_handlers",
     "make_server",
+    "serve_until_shutdown",
 ]

@@ -127,6 +127,9 @@ class Autopilot:
         #: segment_id -> (kind, term, scope) for segments this autopilot
         #: created, so later cycles can retire the ones no longer chosen.
         self._created: dict[int, tuple[str, str, frozenset[int]]] = {}
+        #: (shard_index, segment_id) -> (shard, kind, term, scope) for
+        #: segments created on a sharded engine's shard catalogs.
+        self._created_sharded: dict[tuple[int, int], tuple] = {}
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._cycle_lock = threading.Lock()
@@ -179,6 +182,8 @@ class Autopilot:
             return None
         started = time.monotonic()
         engine = self.engine
+        if hasattr(engine, "shards"):
+            return self._run_sharded_cycle(workload, started)
         private = CostModel()
         with engine.cost_model.scoped(private):
             # Measurement materializes (and drops) temporary segments,
@@ -259,6 +264,86 @@ class Autopilot:
         self.last_error = None
         return report
 
+    def _run_sharded_cycle(self, workload: Workload,
+                           started: float) -> AutopilotReport:
+        """The sharded variant: one global knapsack, per-shard apply.
+
+        Measurement, retirement and materialization all run under one
+        write lock — per-shard measurement mutates N catalogs, so the
+        read-compute/write-insert split the monolithic path uses would
+        buy little here and cost a per-shard epoch dance.  The workload
+        is bounded to the top-N queries, keeping the pause short.
+        """
+        from ..shard.advisor import ShardedIndexAdvisor, split_shard_query_id
+
+        engine = self.engine
+        private = CostModel()
+        with engine.cost_model.scoped(private):
+            with self.lock.write():
+                advisor = ShardedIndexAdvisor(engine)
+                plan = advisor.recommend(workload, self.disk_budget,
+                                         method=self.selector)
+                report = AutopilotReport(
+                    cycle=self.cycles + 1,
+                    workload_size=len(workload),
+                    plan=plan.describe(),
+                    expected_cost=advisor.expected_cost(workload, plan),
+                    baseline_cost=advisor.baseline_cost(workload),
+                )
+
+                # What the plan wants: (shard, kind, term, scope) keys.
+                wanted: set[tuple] = set()
+                for choice in plan.choices:
+                    shard_index, query_id = split_shard_query_id(
+                        choice.query_id)
+                    shard_engine = engine.shards[shard_index].engine
+                    translated = shard_engine.translate(
+                        workload.query(query_id).nexi)
+                    for clause in translated.clauses:
+                        for term in clause.terms:
+                            wanted.add((shard_index, choice.kind, term,
+                                        frozenset(clause.sids)))
+
+                # Retire previously-created segments the plan dropped.
+                for (shard_index, segment_id), key in list(
+                        self._created_sharded.items()):
+                    if key in wanted:
+                        continue
+                    catalog = engine.shards[shard_index].engine.catalog
+                    try:
+                        catalog.drop_segment(segment_id)
+                        report.dropped += 1
+                    except StorageError:
+                        pass  # already gone (e.g. dropped by ingestion)
+                    del self._created_sharded[(shard_index, segment_id)]
+
+                # Materialize what is missing, shard by shard.
+                for shard_index, kind, term, scope in sorted(
+                        wanted, key=lambda w: (w[0], w[1], w[2],
+                                               sorted(w[3]))):
+                    shard_engine = engine.shards[shard_index].engine
+                    existing = shard_engine.catalog.find_segment(
+                        kind, term, scope)
+                    if existing is not None and existing.scope is not None:
+                        report.skipped += 1
+                        continue
+                    if kind == "erpl":
+                        segment = shard_engine.materialize_erpl(term, scope)
+                    else:
+                        segment = shard_engine.materialize_rpl(term, scope)
+                    self._created_sharded[(shard_index, segment.segment_id)] = (
+                        shard_index, kind, term, scope)
+                    report.materialized += 1
+                    report.materialized_bytes += segment.size_bytes
+                    report.segments.append(
+                        f"shard{shard_index}:{segment.describe()}")
+
+        report.duration = time.monotonic() - started
+        self.cycles += 1
+        self.last_report = report
+        self.last_error = None
+        return report
+
     def _query_scoped_exists(self, kind: str, term: str,
                              scope: frozenset[int]) -> bool:
         segment = self.engine.catalog.find_segment(kind, term, scope)
@@ -274,7 +359,8 @@ class Autopilot:
             "selector": self.selector,
             "cycles": self.cycles,
             "recorder": self.recorder.snapshot(),
-            "created_segments": len(self._created),
+            "created_segments": (len(self._created)
+                                 + len(self._created_sharded)),
             "last_error": self.last_error,
             "last_report": None if report is None else {
                 "cycle": report.cycle,

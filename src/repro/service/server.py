@@ -26,6 +26,8 @@ CLI.
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -37,18 +39,21 @@ from ..errors import (
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
+    ShardTimeoutError,
     TrexError,
 )
 from ..retrieval.engine import METHODS, TrexEngine
 from ..retrieval.race import race as race_strategies
 from ..retrieval.result import ResultSet
+from ..shard.engine import ShardedEngine
 from .autopilot import Autopilot, WorkloadRecorder
 from .cache import ResultCache
 from .executor import BoundedExecutor
 from .locks import ReadWriteLock, WorkerCostModels
 from .telemetry import Telemetry
 
-__all__ = ["ServiceConfig", "QueryService", "TrexHTTPHandler", "make_server"]
+__all__ = ["ServiceConfig", "QueryService", "TrexHTTPHandler", "make_server",
+           "install_shutdown_handlers", "serve_until_shutdown"]
 
 #: Index kinds each forced method needs before it can run read-only.
 _METHOD_KINDS = {
@@ -81,14 +86,30 @@ class ServiceConfig:
     autopilot_min_observations: int = 8
     #: k recorded into the workload when a query asked for all answers.
     default_k: int = 10
+    #: Partition the engine into this many shards (1 = monolithic).
+    #: An engine that is already a ShardedEngine is used as-is.
+    shards: int = 1
+    shard_policy: str = "hash"
+    #: Per-shard wall-clock budget in seconds (None = unbounded).
+    shard_deadline: float | None = None
+    #: On shard timeout, return partial results tagged ``degraded``
+    #: (HTTP 200) instead of failing the query with a 504.
+    fail_soft: bool = True
 
 
 class QueryService:
     """A concurrent, self-managing serving layer over one engine."""
 
-    def __init__(self, engine: TrexEngine, config: ServiceConfig | None = None):
-        self.engine = engine
+    def __init__(self, engine: TrexEngine | ShardedEngine,
+                 config: ServiceConfig | None = None):
         self.config = config if config is not None else ServiceConfig()
+        if self.config.shards > 1 and not isinstance(engine, ShardedEngine):
+            engine = ShardedEngine.from_engine(
+                engine, self.config.shards,
+                policy=self.config.shard_policy,
+                shard_deadline=self.config.shard_deadline,
+                fail_soft=self.config.fail_soft)
+        self.engine = engine
         # Serving invariant: evaluation under the read lock must never
         # mutate the catalog; materialization happens under the write
         # lock (warm-up, autopilot) instead.
@@ -182,7 +203,7 @@ class QueryService:
                                                 result, epoch)
                         break
                 if not self.config.materialize_on_demand:
-                    kind, term, _sids = missing[0]
+                    kind, term = missing[0][0], missing[0][1]
                     raise MissingIndexError(kind, term=term)
                 self._warm(missing)
             else:
@@ -206,24 +227,27 @@ class QueryService:
         self.telemetry.incr("blocks.entries_decoded",
                             payload["entries_decoded"])
         self.telemetry.incr("rows.skipped", payload["rows_skipped"])
+        if payload["degraded"]:
+            self.telemetry.incr("search.degraded")
+        shards = payload.get("shards")
+        if shards is not None:
+            self.telemetry.incr("shards.probed", shards["probed"])
+            self.telemetry.incr("shards.pruned", shards["pruned"])
+            self.telemetry.incr("shards.timed_out", shards["timed_out"])
         self.recorder.record(query, k)
         if use_cache:
             self.cache.put((query, k, method, mode), payload["epoch"], payload)
         return dict(payload, cached=False)
 
-    def _warm(self, missing: list[tuple[str, str, frozenset[int]]]) -> None:
+    def _warm(self, missing) -> None:
         """Materialize universal segments for *missing* under the write
-        lock (shared across queries; TA/Merge skip within them)."""
-        engine = self.engine
+        lock (shared across queries; TA/Merge skip within them).  For a
+        sharded engine each entry carries its shard index and warms only
+        the shard that lacks the segment."""
         with self.lock.write():
-            for kind, term, sids in missing:
-                if engine.catalog.find_segment(kind, term, sids) is not None:
-                    continue
-                if kind == "erpl":
-                    engine.materialize_erpl(term)
-                else:
-                    engine.materialize_rpl(term)
-                self.telemetry.incr("warmup.segments")
+            created = self.engine.warm_segments(missing)
+        if created:
+            self.telemetry.incr("warmup.segments", created)
 
     def _race(self, translated, k: int | None, mode: str) -> ResultSet:
         """Run the race's TA and Merge legs on two executor workers.
@@ -263,7 +287,7 @@ class QueryService:
         return ResultSet(hits=outcome.hits, stats=outcome.stats, k=k)
 
     def _payload(self, query: str, k: int | None, method: str, mode: str,
-                 result: ResultSet, epoch: int) -> dict:
+                 result: ResultSet, epoch) -> dict:
         summary = self.engine.summary
         hits = []
         for rank, hit in enumerate(result.hits, start=1):
@@ -277,7 +301,7 @@ class QueryService:
                 "end": hit.end_pos,
             })
         stats = result.stats
-        return {
+        payload = {
             "query": query,
             "k": k,
             "mode": mode,
@@ -291,10 +315,19 @@ class QueryService:
             "blocks_decoded": stats.blocks_decoded,
             "blocks_skipped": stats.blocks_skipped,
             "entries_decoded": stats.entries_decoded,
+            "degraded": stats.degraded,
             "epoch": epoch,
             "total": len(hits),
             "hits": hits,
         }
+        if stats.shard_stats or stats.shards_probed:
+            payload["shards"] = {
+                "probed": stats.shards_probed,
+                "pruned": stats.shards_pruned,
+                "timed_out": stats.shards_timed_out,
+                "per_shard": stats.shard_stats,
+            }
+        return payload
 
     # ------------------------------------------------------------------
     def explain(self, query: str, k: int | None = None) -> dict:
@@ -324,9 +357,10 @@ class QueryService:
 
     def stats(self) -> dict:
         """One JSON-ready snapshot of every moving part."""
-        return {
+        engine = self.engine
+        snapshot = {
             "uptime_seconds": round(time.time() - self.started_at, 3),
-            "epoch": self.engine.epoch,
+            "epoch": engine.epoch,
             "closed": self._closed,
             "telemetry": self.telemetry.snapshot(),
             "cache": self.cache.snapshot(),
@@ -334,14 +368,27 @@ class QueryService:
             "lock": self.lock.snapshot(),
             "worker_costs": self.worker_costs.aggregate(),
             "autopilot": self.autopilot.snapshot(),
-            "engine": {
-                "documents": len(self.engine.collection),
-                "segments": len(list(self.engine.catalog.segments())),
-                "catalog_bytes": self.engine.catalog.total_bytes,
-                "block_size": self.engine.block_size,
-            },
-            "block_cache": self.engine.catalog.cache_stats(),
         }
+        if isinstance(engine, ShardedEngine):
+            snapshot["engine"] = {
+                "documents": len(engine.collection),
+                "segments": engine.segment_count(),
+                "catalog_bytes": engine.catalog_bytes,
+                "block_size": engine.block_size,
+                "num_shards": engine.num_shards,
+                "policy": engine.partitioner.name,
+            }
+            snapshot["block_cache"] = engine.cache_stats()
+            snapshot["shards"] = engine.shard_snapshot()
+        else:
+            snapshot["engine"] = {
+                "documents": len(engine.collection),
+                "segments": len(list(engine.catalog.segments())),
+                "catalog_bytes": engine.catalog.total_bytes,
+                "block_size": engine.block_size,
+            }
+            snapshot["block_cache"] = engine.catalog.cache_stats()
+        return snapshot
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -367,6 +414,7 @@ class QueryService:
 _ERROR_STATUS = (
     (ServiceOverloadedError, 429),
     (DeadlineExceededError, 504),
+    (ShardTimeoutError, 504),
     (ServiceClosedError, 503),
     (MissingIndexError, 409),
     (TrexError, 400),
@@ -510,3 +558,53 @@ def make_server(service: QueryService, host: str = "127.0.0.1",
     server.service = service  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     return server
+
+
+def install_shutdown_handlers(server: ThreadingHTTPServer,
+                              service: QueryService | None = None, *,
+                              signals=(signal.SIGINT, signal.SIGTERM)):
+    """Install SIGINT/SIGTERM handlers for a graceful drain.
+
+    On signal, the HTTP server is shut down from a helper thread —
+    ``BaseServer.shutdown`` blocks until ``serve_forever`` exits, so
+    calling it on the thread that is *running* ``serve_forever`` (the
+    main thread receives signals) would deadlock — and the service then
+    drains its bounded executor, letting in-flight requests finish
+    instead of dying mid-request.  The drain thread is non-daemon so
+    the process stays alive until queued work completes.
+
+    Returns the installed handler so tests can invoke it directly.
+    Signals can only be bound from the main thread; elsewhere this is
+    a no-op that still returns the handler.
+    """
+    def handler(signum, frame):  # noqa: ARG001 — stdlib signature
+        def drain():
+            server.shutdown()
+            if service is not None:
+                service.close()
+        threading.Thread(target=drain, name="trex-graceful-shutdown",
+                         daemon=False).start()
+
+    for signum in signals:
+        try:
+            signal.signal(signum, handler)
+        except ValueError:
+            pass  # not the main thread: the caller owns signal routing
+    return handler
+
+
+def serve_until_shutdown(server: ThreadingHTTPServer,
+                         service: QueryService, *,
+                         install_signals: bool = True) -> None:
+    """Run ``serve_forever`` until a signal (or KeyboardInterrupt)
+    triggers the graceful drain, then close the listening socket."""
+    if install_signals:
+        install_shutdown_handlers(server, service)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()

@@ -1,0 +1,36 @@
+"""repro.shard — partitioned indexes with scatter-gather top-k.
+
+A :class:`ShardedEngine` splits one collection into N document shards
+(each a full :class:`~repro.retrieval.engine.TrexEngine` with its own
+summary, tables and segment catalog), coordinates retrieval with
+distributed-TA early termination and per-shard deadlines, and exposes
+the same surface the serving layer consumes.  The
+:class:`ShardedIndexAdvisor` splits one disk budget across shards by
+measured per-shard workload gain.  See ``docs/sharding.md``.
+"""
+
+from .advisor import ShardedAppliedPlan, ShardedIndexAdvisor, split_shard_query_id
+from .engine import Shard, ShardedEngine, ShardedTranslation
+from .partition import (
+    POLICIES,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    make_partitioner,
+    partition_collection,
+)
+
+__all__ = [
+    "POLICIES",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "Shard",
+    "ShardedAppliedPlan",
+    "ShardedEngine",
+    "ShardedIndexAdvisor",
+    "ShardedTranslation",
+    "make_partitioner",
+    "partition_collection",
+    "split_shard_query_id",
+]

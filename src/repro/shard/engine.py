@@ -1,0 +1,617 @@
+"""ShardedEngine: scatter-gather top-k retrieval over partitioned indexes.
+
+Each shard is a full :class:`~repro.retrieval.engine.TrexEngine` over
+its sub-collection — its own summary, Elements/PostingLists tables and
+RPL/ERPL catalog — while scoring state is shared: every shard uses the
+*global* corpus statistics, so a given element receives exactly the
+score it would in a single monolithic engine.  That is what makes the
+golden invariant hold: the sharded top-k is byte-identical to the
+single-engine ERA oracle at every k.
+
+Retrieval is scatter-gather.  For forced ERA/Merge (and nexi-mode)
+evaluation every shard runs its clause locally and the coordinator
+merges the disjoint rankings.  For flat-mode TA with a finite k the
+coordinator runs **distributed TA**: one resumable
+:class:`~repro.retrieval.ta.TaSession` per shard, advanced batch by
+batch round-robin, while a global floor — the k-th largest lower-bound
+score across every shard's candidates — is compared against each
+shard's remaining upper bound ``B_s = max(threshold_s, max best(c))``.
+Once ``floor > B_s`` (strictly, so cross-shard ties survive) no element
+shard *s* could still deliver can enter the global top-k, and the shard
+is terminated early with its undecoded tail blocks counted as skipped.
+See ``docs/sharding.md`` for the soundness argument.
+
+Per-shard deadlines bound scatter latency: a shard that exceeds
+``shard_deadline`` either aborts the query (``ShardTimeoutError``) or,
+under ``fail_soft``, is dropped and the partial result is tagged
+``degraded`` — the serving layer maps that to HTTP 200, not 5xx.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..corpus.alias import AliasMapping
+from ..corpus.collection import Collection
+from ..corpus.document import Document
+from ..corpus.tokenizer import Tokenizer
+from ..corpus.xmlparser import XMLParser
+from ..errors import RetrievalError, ShardTimeoutError
+from ..nexi.ast import NexiQuery
+from ..nexi.parser import parse_nexi
+from ..nexi.translate import TranslatedQuery
+from ..retrieval.engine import METHODS, TrexEngine
+from ..retrieval.race import race as race_strategies
+from ..retrieval.result import EvaluationStats, ResultSet
+from ..retrieval.ta import DEFAULT_BATCH_SIZE, TaSession
+from ..scoring.combine import ScoredHit
+from ..scoring.scorers import BM25Scorer
+from ..scoring.stats import ScoringStats
+from ..storage.blocks import DEFAULT_BLOCK_SIZE
+from ..storage.cost import CostModel
+from ..storage.pager import PageCache
+from ..summary.variants import IncomingSummary
+from .partition import make_partitioner, partition_collection
+
+__all__ = ["Shard", "ShardedTranslation", "ShardedEngine"]
+
+
+@dataclass
+class Shard:
+    """One partition: its engine plus cumulative serving counters."""
+
+    index: int
+    engine: TrexEngine
+    probes: int = 0    # queries this shard evaluated work for
+    pruned: int = 0    # early terminations by the coordinator
+    timeouts: int = 0  # deadline misses
+
+
+@dataclass(frozen=True)
+class ShardedTranslation:
+    """One query translated against the global and every shard summary."""
+
+    source: TranslatedQuery
+    per_shard: tuple[TranslatedQuery, ...]
+
+    @property
+    def query(self) -> NexiQuery:
+        return self.source.query
+
+
+@dataclass
+class _ShardRun:
+    """Coordinator-side bookkeeping for one shard's TA session."""
+
+    shard: Shard
+    session: TaSession
+    cost: float = 0.0
+    ideal_cost: float = 0.0
+    entries_decoded: int = 0
+    elapsed: float = 0.0
+    pruned: bool = False
+    timed_out: bool = False
+
+    def account(self, spent, seconds: float) -> None:
+        self.cost += spent.total_cost
+        self.ideal_cost += spent.ideal_cost
+        self.entries_decoded += spent.entries_decoded
+        self.elapsed += seconds
+
+
+class ShardedEngine:
+    """Coordinator over N shard-local :class:`TrexEngine` instances.
+
+    Implements the same evaluation surface the serving layer consumes
+    (``translate`` / ``evaluate_translated`` / ``missing_segments`` /
+    ``warm_segments`` / ``add_document`` / ``epoch``), so a
+    :class:`~repro.service.server.QueryService` can hold either engine
+    kind.  ``epoch`` is a *tuple* of per-shard epochs: ingesting into
+    one shard changes only that component, which is exactly what the
+    result cache needs to invalidate per shard.
+    """
+
+    def __init__(self, collection: Collection, num_shards: int, *,
+                 policy: str = "hash",
+                 alias: AliasMapping | None = None,
+                 summary_factory=None,
+                 tokenizer: Tokenizer | None = None,
+                 scorer=None,
+                 cost_model: CostModel | None = None,
+                 support_weight: float = 0.5,
+                 auto_materialize: bool = True,
+                 fragment_size: int = 64,
+                 btree_order: int = 64,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 shard_deadline: float | None = None,
+                 fail_soft: bool = True,
+                 ta_batch_size: int = DEFAULT_BATCH_SIZE):
+        self.collection = collection
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        self.partitioner = make_partitioner(policy, num_shards, collection)
+        self.shard_deadline = shard_deadline
+        self.fail_soft = fail_soft
+        self.ta_batch_size = ta_batch_size
+        self.block_size = block_size
+        self.support_weight = support_weight
+        self._auto_materialize = auto_materialize
+        self._counter_lock = threading.Lock()
+
+        if summary_factory is None:
+            resolved_alias = alias if alias is not None else AliasMapping.identity()
+            summary_factory = lambda c: IncomingSummary(c, alias=resolved_alias)
+        self._summary_factory = summary_factory
+        #: Global summary — used to relabel shard-local hits with
+        #: collection-wide sids (labels in payloads, explain output).
+        self.summary = summary_factory(collection)
+
+        # One scorer over GLOBAL statistics, shared by every shard: the
+        # prerequisite for byte-identical scores across shard counts.
+        if scorer is None:
+            scorer = BM25Scorer(ScoringStats.from_collection(collection))
+        self.scorer = scorer
+
+        self.shards: list[Shard] = []
+        for index, sub in enumerate(
+                partition_collection(collection, self.partitioner)):
+            engine = TrexEngine(
+                sub, summary_factory(sub),
+                scorer=self.scorer, tokenizer=self.tokenizer,
+                cost_model=self.cost_model,
+                support_weight=support_weight,
+                auto_materialize=auto_materialize,
+                fragment_size=fragment_size, btree_order=btree_order,
+                block_size=block_size, ta_batch_size=ta_batch_size)
+            self.shards.append(Shard(index=index, engine=engine))
+
+    @classmethod
+    def from_engine(cls, engine: TrexEngine, num_shards: int, *,
+                    policy: str = "hash",
+                    shard_deadline: float | None = None,
+                    fail_soft: bool = True) -> "ShardedEngine":
+        """Re-partition an existing engine's collection.
+
+        Reuses the engine's tokenizer, scorer, cost model and summary
+        alias (shard summaries default to incoming summaries; build a
+        ShardedEngine directly with ``summary_factory`` for other
+        summary variants).
+        """
+        return cls(engine.collection, num_shards, policy=policy,
+                   alias=getattr(engine.summary, "alias", None),
+                   tokenizer=engine.tokenizer, scorer=engine.scorer,
+                   cost_model=engine.cost_model,
+                   support_weight=engine.support_weight,
+                   auto_materialize=engine.auto_materialize,
+                   block_size=engine.block_size,
+                   shard_deadline=shard_deadline, fail_soft=fail_soft)
+
+    # ------------------------------------------------------------------
+    # Engine-surface properties
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def epoch(self) -> tuple[int, ...]:
+        """Per-shard data-version vector (see class docstring)."""
+        return tuple(shard.engine.epoch for shard in self.shards)
+
+    @property
+    def auto_materialize(self) -> bool:
+        return self._auto_materialize
+
+    @auto_materialize.setter
+    def auto_materialize(self, value: bool) -> None:
+        self._auto_materialize = value
+        for shard in self.shards:
+            shard.engine.auto_materialize = value
+
+    @property
+    def catalog_bytes(self) -> int:
+        return sum(shard.engine.catalog.total_bytes for shard in self.shards)
+
+    def segment_count(self) -> int:
+        return sum(len(list(shard.engine.catalog.segments()))
+                   for shard in self.shards)
+
+    def cache_stats(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for shard in self.shards:
+            for key, value in shard.engine.catalog.cache_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def use_page_cache(self, cache: PageCache) -> None:
+        for shard in self.shards:
+            shard.engine.use_page_cache(cache)
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+    def translate(self, query: str | NexiQuery, *,
+                  vague: bool = True) -> ShardedTranslation:
+        if isinstance(query, str):
+            query = parse_nexi(query)
+        source = None
+        per_shard = []
+        with self.cost_model.muted():
+            from ..nexi.translate import translate_query
+            source = translate_query(query, self.summary, self.tokenizer,
+                                     vague=vague)
+        for shard in self.shards:
+            per_shard.append(shard.engine.translate(query, vague=vague))
+        return ShardedTranslation(source=source, per_shard=tuple(per_shard))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, query: str | NexiQuery, k: int | None = None,
+                 method: str = "auto", *, vague: bool = True,
+                 mode: str = "nexi", require_phrases: bool = False) -> ResultSet:
+        translated = self.translate(query, vague=vague)
+        return self.evaluate_translated(translated, k, method, mode=mode,
+                                        require_phrases=require_phrases)
+
+    def evaluate_translated(self, translated: ShardedTranslation,
+                            k: int | None = None, method: str = "auto", *,
+                            mode: str = "nexi",
+                            require_phrases: bool = False) -> ResultSet:
+        if method not in METHODS:
+            raise RetrievalError(
+                f"unknown method {method!r}; choose from {METHODS}")
+        if mode not in ("nexi", "flat"):
+            raise RetrievalError(
+                f"unknown mode {mode!r}; choose 'nexi' or 'flat'")
+        if k is not None and k < 1:
+            raise RetrievalError(f"k must be at least 1 or None, got {k}")
+        if method == "race":
+            ta_result = self.evaluate_translated(
+                translated, k, "ta", mode=mode,
+                require_phrases=require_phrases)
+            merge_result = self.evaluate_translated(
+                translated, k, "merge", mode=mode,
+                require_phrases=require_phrases)
+            outcome = race_strategies((ta_result.hits, ta_result.stats),
+                                      (merge_result.hits, merge_result.stats))
+            return ResultSet(hits=outcome.hits, stats=outcome.stats, k=k)
+        if method == "auto":
+            method = self.choose_method(translated, k)
+        if method in ("ta", "ita") and k is not None and mode == "flat":
+            return self._scatter_gather_ta(translated, k, method)
+        return self._scatter_gather_full(translated, k, method, mode,
+                                         require_phrases)
+
+    # -- full per-shard evaluation (ERA / Merge / nexi mode) ------------
+    def _scatter_gather_full(self, translated: ShardedTranslation,
+                             k: int | None, method: str, mode: str,
+                             require_phrases: bool) -> ResultSet:
+        total = EvaluationStats(method=method)
+        hits: list[ScoredHit] = []
+        for shard, local in zip(self.shards, translated.per_shard):
+            started = time.perf_counter()
+            result = shard.engine.evaluate_translated(
+                local, k, method, mode=mode, require_phrases=require_phrases)
+            elapsed = time.perf_counter() - started
+            if (self.shard_deadline is not None
+                    and elapsed > self.shard_deadline):
+                self._note_timeout(shard, elapsed)
+                total.shards_timed_out += 1
+                total.degraded = True
+                total.shard_stats.append(self._shard_row(
+                    shard, cost=result.stats.cost, hits=0, elapsed=elapsed,
+                    entries_decoded=result.stats.entries_decoded,
+                    timed_out=True))
+                continue
+            with self._counter_lock:
+                shard.probes += 1
+            total.merge_with(result.stats)
+            total.shard_stats.append(self._shard_row(
+                shard, cost=result.stats.cost, hits=len(result.hits),
+                elapsed=elapsed,
+                entries_decoded=result.stats.entries_decoded))
+            hits.extend(self._relabel(result.hits))
+        total.shards_probed = len(self.shards) - total.shards_timed_out
+        self.cost_model.sort(len(hits))
+        hits.sort(key=lambda h: (-h.score, h.docid, h.end_pos))
+        if k is not None:
+            hits = hits[:k]
+        if method == "ita":
+            total.cost = total.ideal_cost
+        return ResultSet(hits=hits, stats=total, k=k)
+
+    # -- distributed TA (flat mode, finite k) ---------------------------
+    def _scatter_gather_ta(self, translated: ShardedTranslation, k: int,
+                           method: str) -> ResultSet:
+        overall = self.cost_model.snapshot()
+        runs: list[_ShardRun] = []
+        empty_rows = []
+        for shard, local in zip(self.shards, translated.per_shard):
+            clause = shard.engine.flat_clause(local)
+            if not clause.sids or not clause.terms:
+                empty_rows.append(self._shard_row(shard, cost=0.0, hits=0,
+                                                  elapsed=0.0,
+                                                  entries_decoded=0))
+                continue
+            segments = shard.engine.segments_for(clause, "rpl")
+            session = TaSession(shard.engine.catalog, segments, clause.sids,
+                                k, self.cost_model,
+                                dict(clause.term_weights),
+                                batch_size=self.ta_batch_size)
+            runs.append(_ShardRun(shard=shard, session=session))
+            with self._counter_lock:
+                shard.probes += 1
+
+        active = list(runs)
+        while active:
+            floor = self._global_floor(runs, k)
+            survivors: list[_ShardRun] = []
+            for run in active:
+                snapshot = self.cost_model.snapshot()
+                started = time.perf_counter()
+                if (floor > float("-inf")
+                        and floor > run.session.upper_bound()):
+                    # No element this shard could still deliver can make
+                    # the global top-k: terminate it early.
+                    run.session.prune()
+                    run.pruned = True
+                    with self._counter_lock:
+                        run.shard.pruned += 1
+                    run.account(self.cost_model.since(snapshot),
+                                time.perf_counter() - started)
+                    continue
+                alive = run.session.step()
+                run.account(self.cost_model.since(snapshot),
+                            time.perf_counter() - started)
+                if (self.shard_deadline is not None
+                        and run.elapsed > self.shard_deadline):
+                    self._note_timeout(run.shard, run.elapsed)
+                    run.timed_out = True
+                    run.session.prune()
+                    continue
+                if alive:
+                    survivors.append(run)
+            active = survivors
+
+        hits: list[ScoredHit] = []
+        total = EvaluationStats(method="ita" if method == "ita" else "ta")
+        for run in runs:
+            if not (run.pruned or run.timed_out):
+                hits.extend(self._relabel(run.session.finalize()))
+            run.session.stats_into(total)
+            total.candidates += len(run.session.candidates)
+            total.early_stop = (total.early_stop or run.session.early_stop
+                                or run.pruned)
+            total.shard_stats.append(self._shard_row(
+                run.shard, cost=run.cost, hits=None, elapsed=run.elapsed,
+                entries_decoded=run.entries_decoded,
+                pruned=run.pruned, timed_out=run.timed_out,
+                early_stop=run.session.early_stop,
+                depth=sum(it.depth for it in run.session.iterators.values())))
+        total.shard_stats.extend(empty_rows)
+        total.shards_probed = len(runs)
+        total.shards_pruned = sum(1 for run in runs if run.pruned)
+        total.shards_timed_out = sum(1 for run in runs if run.timed_out)
+        total.degraded = total.shards_timed_out > 0
+
+        self.cost_model.sort(len(hits))
+        hits.sort(key=lambda h: (-h.score, h.docid, h.end_pos))
+        hits = hits[:k]
+
+        spent = self.cost_model.since(overall)
+        total.cost = spent.ideal_cost if method == "ita" else spent.total_cost
+        total.ideal_cost = spent.ideal_cost
+        total.record_block_io(spent)
+        return ResultSet(hits=hits, stats=total, k=k)
+
+    def _global_floor(self, runs: list[_ShardRun], k: int) -> float:
+        """k-th largest lower-bound (worst) score across every shard's
+        current candidates — a sound lower bound on the true global
+        k-th-best score (each heap entry is a real element whose final
+        score is at least its worst score)."""
+        worst_scores: list[float] = []
+        for run in runs:
+            worst_scores.extend(score for score, _key in run.session.heap.items())
+        self.cost_model.compare(max(len(worst_scores), 1))
+        if len(worst_scores) < k:
+            return float("-inf")
+        worst_scores.sort(reverse=True)
+        return worst_scores[k - 1]
+
+    def _note_timeout(self, shard: Shard, elapsed: float) -> None:
+        with self._counter_lock:
+            shard.timeouts += 1
+        if not self.fail_soft:
+            raise ShardTimeoutError(shard.index, elapsed, self.shard_deadline)
+
+    def _relabel(self, hits: list[ScoredHit]) -> list[ScoredHit]:
+        """Re-key shard-local hits with global-summary sids."""
+        return [ScoredHit(hit.score, hit.docid, hit.end_pos,
+                          sid=self.summary.sid_of(hit.docid, hit.end_pos),
+                          length=hit.length)
+                for hit in hits]
+
+    def _shard_row(self, shard: Shard, *, cost: float, hits, elapsed: float,
+                   entries_decoded: int, pruned: bool = False,
+                   timed_out: bool = False, early_stop: bool = False,
+                   depth: int | None = None) -> dict:
+        row = {
+            "shard": shard.index,
+            "cost": round(cost, 3),
+            "entries_decoded": entries_decoded,
+            "elapsed": round(elapsed, 6),
+            "pruned": pruned,
+            "timed_out": timed_out,
+        }
+        if hits is not None:
+            row["hits"] = hits
+        if early_stop:
+            row["early_stop"] = True
+        if depth is not None:
+            row["depth"] = depth
+        return row
+
+    # ------------------------------------------------------------------
+    # Strategy selection and serving-layer surface
+    # ------------------------------------------------------------------
+    def choose_method(self, translated: ShardedTranslation,
+                      k: int | None) -> str:
+        if self._auto_materialize:
+            have_rpl = have_erpl = True
+        else:
+            have_rpl = not self.missing_segments(translated, ("rpl",))
+            have_erpl = not self.missing_segments(translated, ("erpl",))
+        if k is not None and k <= 10 and have_rpl:
+            return "ta"
+        if have_erpl:
+            return "merge"
+        if have_rpl:
+            return "ta"
+        return "era"
+
+    def missing_segments(self, translated: ShardedTranslation,
+                         kinds=("rpl", "erpl"), *, mode: str = "nexi"
+                         ) -> list[tuple[str, str, frozenset[int], int]]:
+        """Missing ``(kind, term, sids, shard_index)`` quadruples across
+        every shard (sids are shard-summary-local)."""
+        missing = []
+        for shard, local in zip(self.shards, translated.per_shard):
+            for kind, term, sids in shard.engine.missing_segments(
+                    local, kinds, mode=mode):
+                missing.append((kind, term, sids, shard.index))
+        return missing
+
+    def warm_segments(self, missing) -> int:
+        created = 0
+        for item in missing:
+            kind, term = item[0], item[1]
+            sids = item[2] if len(item) > 2 else None
+            shard_index = item[3] if len(item) > 3 else None
+            if shard_index is not None:
+                # sids in a quadruple are local to the owning shard.
+                created += self.shards[shard_index].engine.warm_segments(
+                    [(kind, term, sids)])
+            else:
+                # No owner recorded: warm the term everywhere (sids from
+                # an unknown summary cannot be trusted across shards).
+                for shard in self.shards:
+                    created += shard.engine.warm_segments([(kind, term)])
+        return created
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def add_document(self, source: str | Document,
+                     docid: int | None = None) -> Document:
+        """Parse (if needed), register globally, and route to one shard.
+
+        Only the owning shard's tables and epoch change — every other
+        shard's epoch component stays put, so cached results scoped to
+        untouched shards stay valid under a per-shard-epoch cache key.
+        """
+        if isinstance(source, str):
+            parser = XMLParser(self.tokenizer)
+            next_id = docid if docid is not None else (
+                max(self.collection.docids, default=-1) + 1)
+            document = parser.parse(source, next_id)
+        else:
+            document = source
+        with self.cost_model.muted():
+            self.collection.add(document)
+            self.summary.extend(document)
+        shard = self.shards[self.partitioner.shard_of(document.docid)]
+        shard.engine.add_document(document)
+        return document
+
+    def rebuild_scorer(self, scorer_factory=None) -> None:
+        """Refresh *global* corpus statistics and reset every shard."""
+        with self.cost_model.muted():
+            stats = ScoringStats.from_collection(self.collection)
+            if scorer_factory is None:
+                self.scorer = BM25Scorer(stats)
+            else:
+                self.scorer = scorer_factory(stats)
+            for shard in self.shards:
+                engine = shard.engine
+                engine.scorer = self.scorer
+                for segment in list(engine.catalog.segments()):
+                    engine.catalog.drop_segment(segment.segment_id)
+                engine.epoch += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(self, query: str | NexiQuery, k: int | None = None, *,
+                vague: bool = True) -> dict:
+        with self.cost_model.muted():
+            translated = self.translate(query, vague=vague)
+            return {
+                "query": str(translated.query),
+                "target_pattern": str(translated.source.target_pattern),
+                "num_sids": translated.source.num_sids,
+                "num_terms": translated.source.num_terms,
+                "partition": self.partitioner.describe(),
+                "chosen_method": self.choose_method(translated, k),
+                "shards": [
+                    {
+                        "shard": shard.index,
+                        "documents": len(shard.engine.collection),
+                        "num_sids": local.num_sids,
+                        "num_terms": local.num_terms,
+                        "local_method": shard.engine.choose_method(local, k),
+                    }
+                    for shard, local in zip(self.shards,
+                                            translated.per_shard)
+                ],
+            }
+
+    def shard_snapshot(self) -> list[dict]:
+        """Per-shard telemetry rows for ``/stats`` and ``repro stats``."""
+        rows = []
+        for shard in self.shards:
+            engine = shard.engine
+            with self._counter_lock:
+                probes, pruned, timeouts = (shard.probes, shard.pruned,
+                                            shard.timeouts)
+            rows.append({
+                "shard": shard.index,
+                "documents": len(engine.collection),
+                "elements_rows": len(engine.elements),
+                "segments": len(list(engine.catalog.segments())),
+                "catalog_bytes": engine.catalog.total_bytes,
+                "epoch": engine.epoch,
+                "probes": probes,
+                "pruned": pruned,
+                "timeouts": timeouts,
+            })
+        return rows
+
+    # ------------------------------------------------------------------
+    # Index persistence (per-shard subdirectories)
+    # ------------------------------------------------------------------
+    def save_indexes(self, directory: str) -> None:
+        """Persist every shard's index tables under ``shard{i}/``."""
+        os.makedirs(directory, exist_ok=True)
+        for shard in self.shards:
+            shard.engine.save_indexes(
+                os.path.join(directory, f"shard{shard.index}"))
+
+    def load_indexes(self, directory: str) -> None:
+        """Replace every shard's index tables from a saved directory."""
+        for shard in self.shards:
+            shard.engine.load_indexes(
+                os.path.join(directory, f"shard{shard.index}"))
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "collection": self.collection.describe(),
+            "partition": self.partitioner.describe(),
+            "fail_soft": self.fail_soft,
+            "shard_deadline": self.shard_deadline,
+            "catalog_bytes": self.catalog_bytes,
+            "shards": self.shard_snapshot(),
+        }

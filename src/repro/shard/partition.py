@@ -1,0 +1,139 @@
+"""Partitioning policies: splitting a collection into document shards.
+
+Shards partition by *document* — never by element — because every
+combination rule in the engine (term-score summation, containment
+support, comparison satisfaction) relates positions within one
+document.  Keeping documents whole means each shard's clause evaluation
+is exact for the documents it owns, and the coordinator only has to
+merge disjoint per-shard rankings.
+
+Two policies are provided, mirroring the usual distributed-IR choices:
+
+* ``hash`` — docid modulo N.  Stateless and stable under growth: a new
+  document routes to the same shard no matter when it arrives.
+* ``range`` — contiguous docid ranges balanced over the docids present
+  at build time.  Keeps temporally-clustered documents together (good
+  locality for range-heavy workloads); documents ingested past the last
+  boundary route to the final shard.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..corpus.collection import Collection
+from ..errors import ShardError
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "make_partitioner",
+    "partition_collection",
+    "POLICIES",
+]
+
+POLICIES = ("hash", "range")
+
+
+class Partitioner:
+    """Deterministic docid → shard-index mapping."""
+
+    name = "base"
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ShardError(f"need at least one shard, got {num_shards}")
+        self.num_shards = num_shards
+
+    def shard_of(self, docid: int) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, object]:
+        return {"policy": self.name, "num_shards": self.num_shards}
+
+
+class HashPartitioner(Partitioner):
+    """docid modulo N — stateless, stable under ingestion."""
+
+    name = "hash"
+
+    def shard_of(self, docid: int) -> int:
+        return docid % self.num_shards
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous docid ranges split at build-time boundaries.
+
+    ``boundaries`` holds ``num_shards - 1`` ascending docids; shard
+    ``i`` owns docids in ``[boundaries[i-1], boundaries[i])`` (the
+    first shard is open below, the last open above, so any future
+    docid still routes somewhere).
+    """
+
+    name = "range"
+
+    def __init__(self, num_shards: int, boundaries: list[int]):
+        super().__init__(num_shards)
+        if len(boundaries) != num_shards - 1:
+            raise ShardError(
+                f"range policy over {num_shards} shards needs "
+                f"{num_shards - 1} boundaries, got {len(boundaries)}")
+        if list(boundaries) != sorted(boundaries):
+            raise ShardError("range boundaries must be ascending")
+        self.boundaries = list(boundaries)
+
+    @classmethod
+    def for_collection(cls, collection: Collection,
+                       num_shards: int) -> "RangePartitioner":
+        """Boundaries that spread the current docids evenly."""
+        docids = sorted(collection.docids)
+        boundaries = []
+        for index in range(1, num_shards):
+            cut = (index * len(docids)) // num_shards
+            if docids:
+                boundary = docids[min(cut, len(docids) - 1)]
+            else:
+                boundary = index
+            # Keep boundaries strictly ascending even for tiny corpora.
+            if boundaries and boundary <= boundaries[-1]:
+                boundary = boundaries[-1] + 1
+            boundaries.append(boundary)
+        return cls(num_shards, boundaries)
+
+    def shard_of(self, docid: int) -> int:
+        return bisect_right(self.boundaries, docid)
+
+    def describe(self) -> dict[str, object]:
+        info = super().describe()
+        info["boundaries"] = list(self.boundaries)
+        return info
+
+
+def make_partitioner(policy: str, num_shards: int,
+                     collection: Collection | None = None) -> Partitioner:
+    if policy == "hash":
+        return HashPartitioner(num_shards)
+    if policy == "range":
+        if collection is None:
+            raise ShardError("range partitioning needs a collection "
+                             "to compute boundaries from")
+        return RangePartitioner.for_collection(collection, num_shards)
+    raise ShardError(f"unknown partition policy {policy!r}; "
+                     f"choose from {POLICIES}")
+
+
+def partition_collection(collection: Collection,
+                         partitioner: Partitioner) -> list[Collection]:
+    """Split *collection* into one sub-collection per shard.
+
+    Documents are routed in ascending docid order so shard contents are
+    deterministic regardless of the source collection's insert order.
+    An empty shard is a valid (empty) collection.
+    """
+    shards = [Collection(name=f"{collection.name}/shard{i}")
+              for i in range(partitioner.num_shards)]
+    for docid in sorted(collection.docids):
+        document = collection.document(docid)
+        shards[partitioner.shard_of(docid)].add(document)
+    return shards

@@ -1,0 +1,76 @@
+"""NEXI parser error paths: malformed queries must raise the typed
+:class:`NexiSyntaxError` (a :class:`TrexError`), never a bare
+ValueError/IndexError, and must report where parsing failed."""
+
+import pytest
+
+from repro.errors import NexiSyntaxError, TrexError
+from repro.nexi.parser import parse_nexi
+
+
+class TestUnbalancedBrackets:
+    def test_missing_closing_bracket(self):
+        with pytest.raises(NexiSyntaxError) as excinfo:
+            parse_nexi("//sec[about(., xml)")
+        assert "]" in str(excinfo.value)
+        assert excinfo.value.position == 19
+
+    def test_missing_closing_paren(self):
+        with pytest.raises(NexiSyntaxError):
+            parse_nexi("//sec[about(., xml]")
+
+    def test_stray_double_bracket(self):
+        with pytest.raises(NexiSyntaxError):
+            parse_nexi("//sec[[about(., xml)]]")
+
+
+class TestEmptyAbout:
+    def test_about_without_keywords(self):
+        with pytest.raises(NexiSyntaxError) as excinfo:
+            parse_nexi("//sec[about(., )]")
+        assert "keyword" in str(excinfo.value)
+        assert excinfo.value.position == 15
+
+    def test_about_without_path(self):
+        with pytest.raises(NexiSyntaxError) as excinfo:
+            parse_nexi("//sec[about(, xml)]")
+        assert excinfo.value.position is not None
+
+    def test_empty_query_string(self):
+        with pytest.raises(NexiSyntaxError) as excinfo:
+            parse_nexi("")
+        assert "empty" in str(excinfo.value)
+
+
+class TestBadComparisonOperator:
+    def test_unknown_operator(self):
+        with pytest.raises(NexiSyntaxError) as excinfo:
+            parse_nexi("//article[.//yr ~ 2000]")
+        assert "comparison operator" in str(excinfo.value)
+        assert excinfo.value.position == 16
+
+    def test_operator_without_value(self):
+        with pytest.raises(NexiSyntaxError):
+            parse_nexi("//article[.//yr > ]")
+
+
+class TestErrorTyping:
+    CASES = (
+        "//sec[about(., xml)",
+        "//sec[about(., )]",
+        "//article[.//yr ~ 2000]",
+    )
+
+    @pytest.mark.parametrize("query", CASES)
+    def test_errors_are_trex_errors(self, query):
+        with pytest.raises(TrexError):
+            parse_nexi(query)
+
+    @pytest.mark.parametrize("query", CASES)
+    def test_errors_are_not_bare_builtins(self, query):
+        try:
+            parse_nexi(query)
+        except NexiSyntaxError:
+            pass  # the typed error callers can catch
+        # Any other exception type (ValueError, IndexError, ...)
+        # propagates and fails the test.

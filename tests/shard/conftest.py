@@ -1,0 +1,50 @@
+"""Shared fixtures for the partitioned-engine tests."""
+
+import pytest
+
+from repro.corpus import (AliasMapping, Collection, SyntheticIEEECorpus,
+                          Tokenizer, parse_document)
+from repro.retrieval import TrexEngine
+from repro.summary import IncomingSummary
+
+
+@pytest.fixture(scope="session")
+def ieee_collection():
+    return SyntheticIEEECorpus(num_docs=16, seed=77).build()
+
+
+@pytest.fixture(scope="session")
+def ieee_alias():
+    return AliasMapping.inex_ieee()
+
+
+@pytest.fixture(scope="session")
+def oracle(ieee_collection, ieee_alias):
+    """The single-engine ERA oracle the golden invariant compares to."""
+    return TrexEngine(ieee_collection,
+                      IncomingSummary(ieee_collection, alias=ieee_alias))
+
+
+@pytest.fixture(scope="session")
+def skew_tokenizer():
+    return Tokenizer(stopwords=())
+
+
+@pytest.fixture(scope="session")
+def skewed_collection(skew_tokenizer):
+    """32 documents with 8 'hot' ones, so a range partition puts all the
+    high scores on shard 0 and the coordinator can prune the others."""
+    docs = []
+    for docid in range(32):
+        if docid < 8:
+            body = "<article><sec>xml xml xml retrieval retrieval</sec></article>"
+        else:
+            filler = " ".join(f"w{docid}n{i}" for i in range(20 + docid))
+            body = f"<article><sec>xml {filler} retrieval</sec></article>"
+        docs.append(parse_document(body, docid, skew_tokenizer))
+    return Collection.from_documents(docs, name="skewed")
+
+
+def hit_keys(hits):
+    """The byte-identity projection: (element identity, score)."""
+    return [(hit.element_key(), round(hit.score, 9)) for hit in hits]

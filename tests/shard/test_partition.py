@@ -1,0 +1,84 @@
+"""Partitioner policies: routing, determinism, edge cases."""
+
+import pytest
+
+from repro.errors import ShardError, TrexError
+from repro.shard import (POLICIES, HashPartitioner, RangePartitioner,
+                         make_partitioner, partition_collection)
+
+
+class TestHashPartitioner:
+    def test_routes_by_modulo(self):
+        part = HashPartitioner(4)
+        assert [part.shard_of(d) for d in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_single_shard_takes_everything(self):
+        part = HashPartitioner(1)
+        assert {part.shard_of(d) for d in range(100)} == {0}
+
+    def test_rejects_nonpositive_shard_counts(self):
+        for bad in (0, -1):
+            with pytest.raises(ShardError):
+                HashPartitioner(bad)
+
+    def test_shard_error_is_a_trex_error(self):
+        with pytest.raises(TrexError):
+            HashPartitioner(0)
+
+
+class TestRangePartitioner:
+    def test_boundaries_split_docid_space(self):
+        part = RangePartitioner(3, boundaries=[10, 20])
+        assert part.shard_of(0) == 0
+        assert part.shard_of(9) == 0
+        assert part.shard_of(10) == 1
+        assert part.shard_of(19) == 1
+        assert part.shard_of(20) == 2
+        assert part.shard_of(10_000) == 2
+
+    def test_for_collection_balances(self, ieee_collection):
+        part = RangePartitioner.for_collection(ieee_collection, 4)
+        counts = [0, 0, 0, 0]
+        for docid in ieee_collection.docids:
+            counts[part.shard_of(docid)] += 1
+        assert sum(counts) == len(ieee_collection)
+        assert max(counts) - min(counts) <= 1
+
+    def test_for_collection_is_deterministic(self, ieee_collection):
+        a = RangePartitioner.for_collection(ieee_collection, 3)
+        b = RangePartitioner.for_collection(ieee_collection, 3)
+        assert a.boundaries == b.boundaries
+
+
+class TestMakePartitioner:
+    def test_known_policies(self, ieee_collection):
+        assert set(POLICIES) == {"hash", "range"}
+        assert isinstance(make_partitioner("hash", 2), HashPartitioner)
+        assert isinstance(
+            make_partitioner("range", 2, ieee_collection), RangePartitioner)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ShardError):
+            make_partitioner("round-robin", 2)
+
+
+class TestPartitionCollection:
+    def test_document_partition_is_exact(self, ieee_collection):
+        shards = partition_collection(ieee_collection, HashPartitioner(3))
+        assert len(shards) == 3
+        seen = []
+        for sub in shards:
+            seen.extend(sub.docids)
+        assert sorted(seen) == sorted(ieee_collection.docids)
+
+    def test_empty_shards_allowed(self, ieee_collection):
+        # More shards than documents: the tail shards are simply empty.
+        shards = partition_collection(
+            ieee_collection, HashPartitioner(len(ieee_collection) + 5))
+        assert len(shards) == len(ieee_collection) + 5
+        assert sum(len(sub) for sub in shards) == len(ieee_collection)
+        assert any(len(sub) == 0 for sub in shards)
+
+    def test_shard_names_mention_parent(self, ieee_collection):
+        shards = partition_collection(ieee_collection, HashPartitioner(2))
+        assert all("shard" in sub.name for sub in shards)

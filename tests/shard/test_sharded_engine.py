@@ -1,0 +1,198 @@
+"""ShardedEngine behavior beyond the golden invariant: ingestion
+routing, per-shard epochs, deadlines/fail-soft, segment warm-up,
+persistence and introspection."""
+
+import pytest
+
+from repro.corpus import AliasMapping, Collection, Tokenizer, parse_document
+from repro.errors import RetrievalError, ShardError, ShardTimeoutError
+from repro.retrieval import TrexEngine
+from repro.shard import ShardedEngine
+from repro.summary import IncomingSummary
+
+from tests.shard.conftest import hit_keys
+
+QUERY = "//sec[about(., xml retrieval)]"
+
+DOCS = (
+    "<article><sec>xml retrieval systems</sec></article>",
+    "<article><sec>xml databases and storage</sec></article>",
+    "<article><sec>retrieval models ranking</sec></article>",
+    "<article><sec>storage engines btree pages</sec></article>",
+    "<article><sec>xml query evaluation</sec></article>",
+    "<article><sec>retrieval evaluation campaigns</sec></article>",
+)
+
+
+@pytest.fixture()
+def tokenizer():
+    return Tokenizer(stopwords=())
+
+
+@pytest.fixture()
+def collection(tokenizer):
+    return Collection.from_documents(
+        parse_document(text, docid, tokenizer=tokenizer)
+        for docid, text in enumerate(DOCS))
+
+
+@pytest.fixture()
+def engine(collection, tokenizer):
+    return ShardedEngine(collection, 3, tokenizer=tokenizer)
+
+
+class TestConstruction:
+    def test_documents_route_by_policy(self, engine):
+        for shard in engine.shards:
+            for docid in shard.engine.collection.docids:
+                assert engine.partitioner.shard_of(docid) == shard.index
+
+    def test_from_engine_preserves_answers(self, collection, tokenizer):
+        mono = TrexEngine(collection, IncomingSummary(collection),
+                          tokenizer=tokenizer)
+        want = hit_keys(mono.evaluate(QUERY, k=5, method="era").hits)
+        sharded = ShardedEngine.from_engine(mono, 2)
+        assert hit_keys(sharded.evaluate(QUERY, k=5, method="era").hits) == want
+
+    def test_rejects_bad_shard_count(self, collection, tokenizer):
+        with pytest.raises(ShardError):
+            ShardedEngine(collection, 0, tokenizer=tokenizer)
+
+    def test_rejects_bad_method_and_k(self, engine):
+        with pytest.raises(RetrievalError):
+            engine.evaluate(QUERY, method="quantum")
+        with pytest.raises(RetrievalError):
+            engine.evaluate(QUERY, k=0)
+
+
+class TestEpochsAndIngestion:
+    def test_epoch_is_a_per_shard_tuple(self, engine):
+        assert engine.epoch == (0, 0, 0)
+
+    def test_ingest_bumps_only_owning_shard(self, engine, tokenizer):
+        before = engine.epoch
+        document = engine.add_document(
+            "<article><sec>xml sharding experiments</sec></article>")
+        after = engine.epoch
+        owner = engine.partitioner.shard_of(document.docid)
+        assert after != before
+        changed = [i for i in range(engine.num_shards)
+                   if after[i] != before[i]]
+        assert changed == [owner]
+
+    def test_ingested_document_is_searchable(self, engine):
+        engine.add_document(
+            "<article><sec>xml retrieval xml retrieval xml</sec></article>")
+        engine.rebuild_scorer()
+        hits = engine.evaluate(QUERY, k=3, method="era").hits
+        assert hits
+        assert hits[0].docid == len(DOCS)  # the new, very relevant doc
+
+    def test_ingest_stays_golden(self, engine, collection, tokenizer):
+        new_doc = "<article><sec>xml retrieval benchmarks</sec></article>"
+        engine.add_document(new_doc)
+        engine.rebuild_scorer()
+
+        texts = DOCS + (new_doc,)
+        fresh = Collection.from_documents(
+            parse_document(text, docid, tokenizer=tokenizer)
+            for docid, text in enumerate(texts))
+        mono = TrexEngine(fresh, IncomingSummary(fresh), tokenizer=tokenizer)
+        want = hit_keys(mono.evaluate(QUERY, k=10, method="era").hits)
+        assert hit_keys(engine.evaluate(QUERY, k=10, method="era").hits) == want
+
+    def test_rebuild_scorer_bumps_every_shard(self, engine):
+        before = engine.epoch
+        engine.rebuild_scorer()
+        assert all(b > a for a, b in zip(before, engine.epoch))
+
+
+class TestDeadlines:
+    def test_timeout_fail_soft_degrades(self, collection, tokenizer):
+        engine = ShardedEngine(collection, 3, tokenizer=tokenizer,
+                               shard_deadline=0.0, fail_soft=True)
+        result = engine.evaluate(QUERY, k=5, method="era")
+        assert result.stats.degraded
+        assert result.stats.shards_timed_out == 3
+        assert result.hits == []
+
+    def test_timeout_fail_hard_raises(self, collection, tokenizer):
+        engine = ShardedEngine(collection, 3, tokenizer=tokenizer,
+                               shard_deadline=0.0, fail_soft=False)
+        with pytest.raises(ShardTimeoutError) as excinfo:
+            engine.evaluate(QUERY, k=5, method="era")
+        assert excinfo.value.deadline == 0.0
+
+    def test_no_deadline_never_degrades(self, engine):
+        result = engine.evaluate(QUERY, k=5, method="era")
+        assert not result.stats.degraded
+        assert result.stats.shards_timed_out == 0
+
+
+class TestSegments:
+    def test_missing_segments_carry_shard_index(self, engine):
+        engine.auto_materialize = False
+        translated = engine.translate(QUERY)
+        missing = engine.missing_segments(translated, ("rpl",))
+        assert missing
+        for kind, term, sids, shard_index in missing:
+            assert kind == "rpl"
+            assert 0 <= shard_index < engine.num_shards
+
+    def test_warm_segments_clears_missing(self, engine):
+        engine.auto_materialize = False
+        translated = engine.translate(QUERY)
+        missing = engine.missing_segments(translated, ("rpl",))
+        created = engine.warm_segments(missing)
+        assert created > 0
+        assert engine.missing_segments(translated, ("rpl",)) == []
+
+    def test_segment_count_aggregates_shards(self, engine):
+        engine.auto_materialize = False
+        translated = engine.translate(QUERY)
+        engine.warm_segments(engine.missing_segments(translated, ("rpl",)))
+        assert engine.segment_count() == sum(
+            len(list(shard.engine.catalog.segments()))
+            for shard in engine.shards)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, engine, collection, tokenizer,
+                                  tmp_path):
+        engine.auto_materialize = False
+        translated = engine.translate(QUERY)
+        engine.warm_segments(engine.missing_segments(translated, ("rpl",)))
+        want = hit_keys(engine.evaluate(QUERY, k=5, method="ta",
+                                        mode="flat").hits)
+        engine.save_indexes(str(tmp_path))
+
+        fresh = ShardedEngine(collection, 3, tokenizer=tokenizer)
+        fresh.auto_materialize = False
+        fresh.load_indexes(str(tmp_path))
+        ft = fresh.translate(QUERY)
+        assert fresh.missing_segments(ft, ("rpl",)) == []
+        assert hit_keys(fresh.evaluate(QUERY, k=5, method="ta",
+                                       mode="flat").hits) == want
+
+
+class TestIntrospection:
+    def test_explain_reports_partition_and_local_methods(self, engine):
+        plan = engine.explain(QUERY, k=5)
+        assert plan["partition"]["num_shards"] == 3
+        assert len(plan["shards"]) == 3
+        for row in plan["shards"]:
+            assert row["local_method"] in ("era", "ta", "merge")
+
+    def test_shard_snapshot_counts_probes(self, engine):
+        engine.evaluate(QUERY, k=5, method="era")
+        rows = engine.shard_snapshot()
+        assert len(rows) == 3
+        assert sum(row["probes"] for row in rows) == 3
+        assert sum(row["documents"] for row in rows) == len(DOCS)
+
+    def test_describe_is_json_shaped(self, engine):
+        import json
+
+        info = engine.describe()
+        assert json.dumps(info)
+        assert info["partition"]["policy"] == "hash"
