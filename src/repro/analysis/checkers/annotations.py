@@ -1,0 +1,62 @@
+"""TRX701 — annotation completeness.
+
+The strict-typing gate runs mypy ``--strict`` in CI, but mypy is not
+available in every environment this repo runs in.  TRX701 is the local
+floor: every function (including nested ones and ``__init__``) must
+annotate its return type and every parameter except ``self``/``cls``.
+``*args``/``**kwargs`` count like any other parameter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Module, Rule
+
+__all__ = ["AnnotationChecker"]
+
+_IMPLICIT_FIRST = {"self", "cls"}
+
+
+class AnnotationChecker:
+    name = "annotations"
+    rules = (
+        Rule("TRX701", "functions must annotate their return type and all "
+                       "parameters (self/cls excepted)"),
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.returns is None:
+                yield Finding(
+                    "TRX701", module.path, node.lineno, node.col_offset + 1,
+                    f"function {node.name!r} is missing a return "
+                    f"annotation")
+            args = node.args
+            positional = args.posonlyargs + args.args
+            for index, arg in enumerate(positional):
+                if index == 0 and arg.arg in _IMPLICIT_FIRST:
+                    continue
+                if arg.annotation is None:
+                    yield Finding(
+                        "TRX701", module.path, arg.lineno,
+                        arg.col_offset + 1,
+                        f"parameter {arg.arg!r} of {node.name!r} is "
+                        f"missing an annotation")
+            for arg in args.kwonlyargs:
+                if arg.annotation is None:
+                    yield Finding(
+                        "TRX701", module.path, arg.lineno,
+                        arg.col_offset + 1,
+                        f"parameter {arg.arg!r} of {node.name!r} is "
+                        f"missing an annotation")
+            for arg in (args.vararg, args.kwarg):
+                if arg is not None and arg.annotation is None:
+                    yield Finding(
+                        "TRX701", module.path, arg.lineno,
+                        arg.col_offset + 1,
+                        f"parameter {arg.arg!r} of {node.name!r} is "
+                        f"missing an annotation")

@@ -1,0 +1,114 @@
+"""TRX201/TRX202 — every block decode on a query path must be charged.
+
+The block-oriented access paths (PR 2) route all query-time block reads
+through :meth:`BlockSequence.read_block` / ``find_first_block_ge`` so
+the active :class:`CostModel` sees every decode.  Two escape hatches
+undermine that accounting:
+
+* ``BlockSequence.entries()`` / ``catalog.segment_entries`` /
+  ``decode_block`` decode whole sequences without charging — legitimate
+  for offline maintenance (index builds, persistence), a silent cost
+  leak anywhere on a query path.  TRX201 flags those calls in the
+  query-facing packages unless they are lexically inside a
+  ``with <cost_model>.muted():`` block (the documented "deliberately
+  uncharged" marker).
+* Reaching into ``BlockSequence`` privates (``._payloads``,
+  ``._decoded``) bypasses both charging *and* the compressed
+  representation; only ``repro.storage.blocks`` itself may touch them
+  (TRX202).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Module, Rule
+from . import attr_chain, terminal_attr
+
+__all__ = ["CostChargingChecker"]
+
+_SCOPES = ("repro.retrieval", "repro.index", "repro.storage")
+#: Modules that own the uncharged primitives and may use them freely.
+_OWNER_MODULES = ("repro.storage.blocks", "repro.storage.serialization")
+_UNCHARGED_CALLS = {"entries", "segment_entries", "decode_block"}
+_PRIVATE_BLOCK_ATTRS = {"_payloads", "_decoded"}
+
+
+def _is_muted_with(statement: ast.With | ast.AsyncWith) -> bool:
+    for item in statement.items:
+        expr = item.context_expr
+        if (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "muted"):
+            return True
+    return False
+
+
+class CostChargingChecker:
+    name = "cost-charging"
+    rules = (
+        Rule("TRX201", "uncharged block decodes (entries()/segment_entries/"
+                       "decode_block) are banned on query paths unless "
+                       "inside a CostModel.muted() scope"),
+        Rule("TRX202", "BlockSequence private internals (_payloads/_decoded) "
+                       "may only be touched by repro.storage.blocks"),
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not module.in_package(*_SCOPES):
+            return
+        owner = module.in_package(*_OWNER_MODULES)
+        yield from self._walk(module, module.tree.body, muted=False,
+                              owner=owner)
+
+    def _walk(self, module: Module, body: list[ast.stmt], *,
+              muted: bool, owner: bool) -> Iterator[Finding]:
+        for statement in body:
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                inner_muted = muted or _is_muted_with(statement)
+                for item in statement.items:
+                    yield from self._scan_expr(module, item.context_expr,
+                                               muted=muted, owner=owner)
+                yield from self._walk(module, statement.body,
+                                      muted=inner_muted, owner=owner)
+                continue
+            for node in ast.iter_child_nodes(statement):
+                if isinstance(node, ast.expr):
+                    yield from self._scan_expr(module, node,
+                                               muted=muted, owner=owner)
+            for field in ("body", "orelse", "finalbody"):
+                blocks = getattr(statement, field, None)
+                if blocks:
+                    yield from self._walk(module, blocks,
+                                          muted=muted, owner=owner)
+            for handler in getattr(statement, "handlers", []) or []:
+                yield from self._walk(module, handler.body,
+                                      muted=muted, owner=owner)
+
+    def _scan_expr(self, module: Module, expr: ast.expr, *,
+                   muted: bool, owner: bool) -> Iterator[Finding]:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) and not muted and not owner:
+                callee = terminal_attr(node.func)
+                if callee in _UNCHARGED_CALLS:
+                    yield Finding(
+                        "TRX201", module.path, node.lineno,
+                        node.col_offset + 1,
+                        f"uncharged block decode via {callee}(); route "
+                        f"through read_block()/find_first_block_ge() or "
+                        f"wrap in a CostModel.muted() scope")
+            if isinstance(node, ast.Attribute) and not owner:
+                if node.attr in _PRIVATE_BLOCK_ATTRS:
+                    chain = attr_chain(node)
+                    # Only flag access through another object
+                    # (x._payloads), not a module's own self attribute
+                    # named identically — self access outside blocks.py
+                    # would be a different class's private anyway, but
+                    # keep the rule honest and flag those too.
+                    if len(chain) >= 2:
+                        yield Finding(
+                            "TRX202", module.path, node.lineno,
+                            node.col_offset + 1,
+                            f"access to BlockSequence private "
+                            f"{node.attr!r} outside repro.storage.blocks")

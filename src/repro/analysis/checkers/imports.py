@@ -1,0 +1,96 @@
+"""TRX601 — unused imports.
+
+A pure-stdlib stand-in for ruff's F401 so the local gate (where ruff is
+not installed) still catches dead imports.  An imported name counts as
+used when it appears as a loaded ``Name``/attribute root anywhere in
+the module, is re-exported via ``__all__``, or occurs as a token inside
+a string constant (docstring references, ``typing`` forward
+references).  ``from x import *`` and ``__future__`` imports are
+skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..core import Finding, Module, Rule
+
+__all__ = ["UnusedImportChecker"]
+
+
+def _bound_names(tree: ast.Module) -> list[tuple[str, int, int, str]]:
+    """``(local name, line, col, imported thing)`` per import binding."""
+    bound: list[tuple[str, int, int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                bound.append((local, node.lineno, node.col_offset + 1,
+                              alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                bound.append((local, node.lineno, node.col_offset + 1,
+                              alias.name))
+    return bound
+
+
+def _used_names(tree: ast.Module) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                used.add(root.id)
+    return used
+
+
+def _exported_names(tree: ast.Module) -> set[str]:
+    exported: set[str] = set()
+    for node in tree.body:
+        if (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets)
+                and isinstance(node.value, (ast.List, ast.Tuple))):
+            for element in node.value.elts:
+                if (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    exported.add(element.value)
+    return exported
+
+
+def _string_tokens(tree: ast.Module) -> set[str]:
+    tokens: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            tokens.update(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", node.value))
+    return tokens
+
+
+class UnusedImportChecker:
+    name = "unused-imports"
+    rules = (
+        Rule("TRX601", "imported names must be used, re-exported via "
+                       "__all__, or referenced in annotations"),
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        used = _used_names(module.tree)
+        exported = _exported_names(module.tree)
+        tokens = _string_tokens(module.tree)
+        for local, line, col, imported in _bound_names(module.tree):
+            if local in used or local in exported or local in tokens:
+                continue
+            yield Finding(
+                "TRX601", module.path, line, col,
+                f"{imported!r} imported as {local!r} but never used")

@@ -1,0 +1,196 @@
+"""TRX101/TRX102 — lock discipline in the serving and shard layers.
+
+Classes declare which mutex guards which attributes::
+
+    class Autopilot:
+        __guarded_by__ = {"_cycle_lock": ("cycles", "last_report")}
+
+The checker then requires every write to a guarded attribute (plain
+attribute assignment, augmented assignment, or a subscript store on the
+attribute) to happen
+
+* inside ``with self.<lock>:`` (or ``with <x>.<lock>:``) for a plain
+  mutex, or ``with <x>.<lock>.write():`` for a reader-writer lock, or
+* inside a function whose name ends in ``_locked`` (the repo-wide
+  convention for "caller holds the lock"), or
+* inside ``__init__``/``__post_init__``/``__new__`` (construction is
+  single-threaded), or
+* inside a function decorated with ``mutates_engine_state`` (the
+  runtime sanitizer enforces the writer-side contract instead).
+
+A guarded write that is lexically under the *read* side of an RW lock
+(``with <x>.<lock>.read():``) is its own rule, TRX102 — that is the
+"mutating the engine under a read lock" bug class the serving
+invariants forbid.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Module, Rule
+from . import terminal_attr
+
+__all__ = ["LockDisciplineChecker"]
+
+_EXEMPT_FUNCTIONS = {"__init__", "__post_init__", "__new__", "__del__"}
+_EXEMPT_DECORATORS = {"mutates_engine_state"}
+_SCOPES = ("repro.service", "repro.shard")
+
+
+def _guarded_declarations(tree: ast.Module) -> dict[str, str]:
+    """Module-wide ``attribute name -> guarding lock attribute`` map."""
+    guarded: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for statement in node.body:
+            if not isinstance(statement, ast.Assign):
+                continue
+            if not any(isinstance(target, ast.Name)
+                       and target.id == "__guarded_by__"
+                       for target in statement.targets):
+                continue
+            if not isinstance(statement.value, ast.Dict):
+                continue
+            for key, value in zip(statement.value.keys,
+                                  statement.value.values):
+                if not (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    continue
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    for element in value.elts:
+                        if (isinstance(element, ast.Constant)
+                                and isinstance(element.value, str)):
+                            guarded[element.value] = key.value
+    return guarded
+
+
+def _with_guards(item: ast.withitem) -> tuple[str, str] | None:
+    """``(lock attribute, side)`` for one with-item, if lock-shaped.
+
+    ``with self._lock:`` -> ``("_lock", "plain")``;
+    ``with self.lock.write():`` -> ``("lock", "write")``;
+    ``with self.lock.read():`` -> ``("lock", "read")``.
+    """
+    expr = item.context_expr
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        side = expr.func.attr
+        if side in ("write", "read"):
+            lock = terminal_attr(expr.func.value)
+            if lock is not None:
+                return lock, side
+        return None
+    lock = terminal_attr(expr)
+    if lock is not None:
+        return lock, "plain"
+    return None
+
+
+def _written_attrs(statement: ast.stmt) -> list[tuple[str, int, int]]:
+    """Guardable attribute names written by one statement."""
+    targets: list[ast.expr] = []
+    if isinstance(statement, ast.Assign):
+        targets = list(statement.targets)
+    elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+        targets = [statement.target]
+    written: list[tuple[str, int, int]] = []
+    stack = targets
+    while stack:
+        target = stack.pop()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            stack.extend(target.elts)
+        elif isinstance(target, ast.Attribute):
+            written.append((target.attr, target.lineno, target.col_offset))
+        elif isinstance(target, ast.Subscript):
+            attr = terminal_attr(target.value)
+            if attr is not None and isinstance(target.value, ast.Attribute):
+                written.append((attr, target.lineno, target.col_offset))
+    return written
+
+
+class LockDisciplineChecker:
+    name = "lock-discipline"
+    rules = (
+        Rule("TRX101", "writes to __guarded_by__ attributes must hold the "
+                       "declared lock (or run in a *_locked function)"),
+        Rule("TRX102", "guarded attributes must not be written under the "
+                       "read side of an RW lock"),
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not module.in_package(*_SCOPES):
+            return
+        guarded = _guarded_declarations(module.tree)
+        if not guarded:
+            return
+        yield from self._walk(module, module.tree.body, guarded,
+                              active=(), exempt=False)
+
+    def _walk(self, module: Module, body: list[ast.stmt],
+              guarded: dict[str, str], active: tuple[tuple[str, str], ...],
+              exempt: bool) -> Iterator[Finding]:
+        for statement in body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._walk(
+                    module, statement.body, guarded, active,
+                    exempt=self._exempt_function(statement))
+                continue
+            if isinstance(statement, ast.ClassDef):
+                yield from self._walk(module, statement.body, guarded,
+                                      active, exempt=False)
+                continue
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                entered = tuple(
+                    guard for guard in map(_with_guards, statement.items)
+                    if guard is not None)
+                yield from self._walk(module, statement.body, guarded,
+                                      active + entered, exempt)
+                continue
+            if not exempt:
+                yield from self._check_statement(module, statement,
+                                                 guarded, active)
+            # Compound statements (if/for/try/...) need their blocks
+            # walked with the same guard context.
+            for field in ("body", "orelse", "finalbody"):
+                blocks = getattr(statement, field, None)
+                if blocks:
+                    yield from self._walk(module, blocks, guarded,
+                                          active, exempt)
+            for handler in getattr(statement, "handlers", []) or []:
+                yield from self._walk(module, handler.body, guarded,
+                                      active, exempt)
+
+    def _exempt_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        if node.name in _EXEMPT_FUNCTIONS or node.name.endswith("_locked"):
+            return True
+        for decorator in node.decorator_list:
+            name = terminal_attr(decorator if not isinstance(decorator, ast.Call)
+                                 else decorator.func)
+            if name in _EXEMPT_DECORATORS:
+                return True
+        return False
+
+    def _check_statement(self, module: Module, statement: ast.stmt,
+                         guarded: dict[str, str],
+                         active: tuple[tuple[str, str], ...]) -> Iterator[Finding]:
+        if not isinstance(statement, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            return
+        for attr, line, col in _written_attrs(statement):
+            lock = guarded.get(attr)
+            if lock is None:
+                continue
+            sides = {side for name, side in active if name == lock}
+            if "plain" in sides or "write" in sides:
+                continue
+            if "read" in sides:
+                yield Finding(
+                    "TRX102", module.path, line, col + 1,
+                    f"write to {attr!r} under the read side of "
+                    f"{lock!r}; mutations need the writer side")
+            else:
+                yield Finding(
+                    "TRX101", module.path, line, col + 1,
+                    f"write to {attr!r} without holding {lock!r} "
+                    f"(declared in __guarded_by__)")

@@ -42,7 +42,7 @@ _ALIASES = {
 _SUMMARIES = ("incoming", "tag", "ak1", "ak2")
 
 
-def _make_engine(args) -> TrexEngine:
+def _make_engine(args: argparse.Namespace) -> TrexEngine:
     collection = load_collection(args.corpus)
     alias = _ALIASES[args.alias]()
     if args.summary == "tag":
@@ -54,7 +54,7 @@ def _make_engine(args) -> TrexEngine:
     return TrexEngine(collection, summary, block_size=args.block_size)
 
 
-def _cmd_corpus(args) -> int:
+def _cmd_corpus(args: argparse.Namespace) -> int:
     if args.kind == "ieee":
         collection = SyntheticIEEECorpus(num_docs=args.docs, seed=args.seed).build()
     else:
@@ -65,7 +65,7 @@ def _cmd_corpus(args) -> int:
     return 0
 
 
-def _cmd_info(args) -> int:
+def _cmd_info(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     info = engine.describe()
     print(f"collection: {info['collection']}")
@@ -79,7 +79,7 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _cmd_translate(args) -> int:
+def _cmd_translate(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     translated = engine.translate(args.nexi, vague=not args.strict)
     print(f"query: {translated.query}")
@@ -96,7 +96,7 @@ def _cmd_translate(args) -> int:
     return 0
 
 
-def _cmd_query(args) -> int:
+def _cmd_query(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     result = engine.evaluate(args.nexi, k=args.k, method=args.method,
                              vague=not args.strict,
@@ -131,7 +131,7 @@ def _parse_workload_file(path: str) -> Workload:
     return Workload(queries, normalize=True)
 
 
-def _cmd_explain(args) -> int:
+def _cmd_explain(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     plan = engine.explain(args.nexi, k=args.k)
     print(f"query:   {plan['query']}")
@@ -153,7 +153,7 @@ def _cmd_explain(args) -> int:
     return 0
 
 
-def _cmd_advise(args) -> int:
+def _cmd_advise(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     workload = _parse_workload_file(args.workload)
     advisor = IndexAdvisor(engine)
@@ -170,7 +170,7 @@ def _cmd_advise(args) -> int:
     return 0
 
 
-def _make_sharded_engine(args):
+def _make_sharded_engine(args: argparse.Namespace) -> "ShardedEngine":
     from .shard import ShardedEngine
 
     collection = load_collection(args.corpus)
@@ -179,7 +179,7 @@ def _make_sharded_engine(args):
                          alias=alias, block_size=args.block_size)
 
 
-def _print_shard_rows(rows) -> None:
+def _print_shard_rows(rows: list[dict]) -> None:
     documents = [row["documents"] for row in rows]
     mean = sum(documents) / len(documents) if documents else 0.0
     print(f"{'shard':>5} {'documents':>9} {'elements':>9} {'segments':>8} "
@@ -196,7 +196,7 @@ def _print_shard_rows(rows) -> None:
               f"(max/mean skew {skew:.2f})")
 
 
-def _cmd_shard_build(args) -> int:
+def _cmd_shard_build(args: argparse.Namespace) -> int:
     engine = _make_sharded_engine(args)
     for shard in engine.shards:
         terms = {row[0] for row in shard.engine.postings.scan()}
@@ -209,7 +209,7 @@ def _cmd_shard_build(args) -> int:
     return 0
 
 
-def _cmd_shard_stats(args) -> int:
+def _cmd_shard_stats(args: argparse.Namespace) -> int:
     engine = _make_sharded_engine(args)
     if args.indexes:
         engine.load_indexes(args.indexes)
@@ -220,7 +220,7 @@ def _cmd_shard_stats(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
+def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import (QueryService, ServiceConfig, make_server,
                           serve_until_shutdown)
 
@@ -256,7 +256,7 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_stats(args) -> int:
+def _cmd_stats(args: argparse.Namespace) -> int:
     import json
     from urllib.error import URLError
     from urllib.request import urlopen
@@ -300,6 +300,18 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.__main__ import main as analysis_main
+
+    argv = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    argv += ["--format", args.format]
+    return analysis_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -314,7 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--out", required=True, help="output directory")
     corpus.set_defaults(func=_cmd_corpus)
 
-    def add_engine_args(p):
+    def add_engine_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("corpus", help="directory of .xml files")
         p.add_argument("--alias", choices=sorted(_ALIASES), default="none")
         p.add_argument("--summary", choices=_SUMMARIES, default="incoming")
@@ -370,7 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="build / inspect partitioned indexes")
     shard_sub = shard.add_subparsers(dest="shard_command", required=True)
 
-    def add_shard_args(p):
+    def add_shard_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("corpus", help="directory of .xml files")
         p.add_argument("--shards", type=int, default=4,
                        help="number of document shards")
@@ -433,6 +445,16 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="print the raw JSON snapshot")
     stats.set_defaults(func=_cmd_stats)
+
+    analyze = sub.add_parser(
+        "analyze", help="run the invariant lint suite (docs/analysis.md)")
+    analyze.add_argument("paths", nargs="*", default=["src/repro"],
+                         help="files or directories (default: src/repro)")
+    analyze.add_argument("--select", default=None,
+                         help="comma-separated rule ids or prefixes")
+    analyze.add_argument("--format", choices=("text", "json"), default="text")
+    analyze.add_argument("--list-rules", action="store_true")
+    analyze.set_defaults(func=_cmd_analyze)
     return parser
 
 

@@ -19,7 +19,7 @@ __all__ = ["AliasMapping"]
 class AliasMapping:
     """Maps tag labels to canonical labels; identity for unmapped tags."""
 
-    def __init__(self, mapping: Mapping[str, str] | None = None, name: str = "custom"):
+    def __init__(self, mapping: Mapping[str, str] | None = None, name: str = "custom") -> None:
         self._mapping = dict(mapping or {})
         self.name = name
         for synonym, canonical in self._mapping.items():

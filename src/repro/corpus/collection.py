@@ -64,7 +64,7 @@ class CollectionStats:
 class Collection:
     """An ordered set of documents with unique docids."""
 
-    def __init__(self, name: str = "collection"):
+    def __init__(self, name: str = "collection") -> None:
         self.name = name
         self._documents: dict[int, Document] = {}
         self._stats = CollectionStats()

@@ -45,7 +45,7 @@ class XMLNode:
 
     __slots__ = ("tag", "attributes", "children", "parent", "start_pos", "end_pos")
 
-    def __init__(self, tag: str, attributes: dict[str, str] | None = None):
+    def __init__(self, tag: str, attributes: dict[str, str] | None = None) -> None:
         self.tag = tag
         self.attributes: dict[str, str] = attributes or {}
         self.children: list[XMLNode] = []

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .alias import AliasMapping
 from .collection import Collection
@@ -131,7 +131,7 @@ class ZipfVocabulary:
     """A background vocabulary sampled with Zipf(s) probabilities."""
 
     def __init__(self, size: int = 2000, exponent: float = 1.1,
-                 prefix: str = "w"):
+                 prefix: str = "w") -> None:
         if size < 1:
             raise ValueError("vocabulary size must be positive")
         self.size = size
@@ -168,7 +168,7 @@ class _TextBuilder:
     """Generates the token content of one text-bearing element."""
 
     def __init__(self, rng: random.Random, vocabulary: ZipfVocabulary,
-                 topics: tuple[TopicSpec, ...], alias: AliasMapping):
+                 topics: tuple[TopicSpec, ...], alias: AliasMapping) -> None:
         self.rng = rng
         self.vocabulary = vocabulary
         self.topics = topics
@@ -196,7 +196,7 @@ class SyntheticIEEECorpus:
                  topics: tuple[TopicSpec, ...] = IEEE_TOPICS,
                  sections_range: tuple[int, int] = (3, 7),
                  paragraphs_range: tuple[int, int] = (2, 5),
-                 subsection_probability: float = 0.5):
+                 subsection_probability: float = 0.5) -> None:
         self.num_docs = num_docs
         self.seed = seed
         self.vocabulary = vocabulary or ZipfVocabulary()
@@ -261,7 +261,7 @@ class SyntheticWikipediaCorpus:
                  topics: tuple[TopicSpec, ...] = WIKI_TOPICS,
                  sections_range: tuple[int, int] = (2, 6),
                  paragraphs_range: tuple[int, int] = (1, 4),
-                 figure_probability: float = 0.45):
+                 figure_probability: float = 0.45) -> None:
         self.num_docs = num_docs
         self.seed = seed
         self.vocabulary = vocabulary or ZipfVocabulary(prefix="v")

@@ -13,7 +13,7 @@ import os
 
 from ..errors import TrexError
 from .collection import Collection
-from .document import Document, XMLNode
+from .document import XMLNode
 from .tokenizer import Tokenizer
 from .xmlparser import XMLParser
 

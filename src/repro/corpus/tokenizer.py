@@ -76,7 +76,7 @@ class Tokenizer:
     """
 
     def __init__(self, stopwords: Iterable[str] | None = None, *,
-                 stem: bool = False, min_length: int = 1):
+                 stem: bool = False, min_length: int = 1) -> None:
         self.stopwords = frozenset(DEFAULT_STOPWORDS if stopwords is None else stopwords)
         self.stem = stem
         self.min_length = min_length

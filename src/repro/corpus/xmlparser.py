@@ -43,7 +43,7 @@ _NAME_CHARS = _NAME_START | set("0123456789.-")
 class _Scanner:
     """Character scanner with line/column tracking."""
 
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self.text = text
         self.pos = 0
         self.line = 1
@@ -136,7 +136,7 @@ def _decode_entities(text: str, scanner: _Scanner) -> str:
 class XMLParser:
     """Parses XML text into positional :class:`Document` objects."""
 
-    def __init__(self, tokenizer: Tokenizer | None = None):
+    def __init__(self, tokenizer: Tokenizer | None = None) -> None:
         self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
 
     def parse(self, text: str, docid: int = 0) -> Document:

@@ -27,7 +27,7 @@ class SchemaError(StorageError):
 class XMLParseError(TrexError):
     """The positional XML parser rejected its input."""
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
         location = ""
         if line is not None:
             location = f" at line {line}" + (f", column {column}" if column is not None else "")
@@ -39,7 +39,7 @@ class XMLParseError(TrexError):
 class NexiSyntaxError(TrexError):
     """A NEXI query string could not be parsed."""
 
-    def __init__(self, message: str, position: int | None = None):
+    def __init__(self, message: str, position: int | None = None) -> None:
         suffix = f" (at offset {position})" if position is not None else ""
         super().__init__(f"{message}{suffix}")
         self.position = position
@@ -56,7 +56,7 @@ class RetrievalError(TrexError):
 class MissingIndexError(RetrievalError):
     """A retrieval strategy requires an index that is not materialized."""
 
-    def __init__(self, kind: str, term: str | None = None, sid: int | None = None):
+    def __init__(self, kind: str, term: str | None = None, sid: int | None = None) -> None:
         detail = kind
         if term is not None:
             detail += f" for term {term!r}"
@@ -76,10 +76,52 @@ class ServiceError(TrexError):
     """A failure in the concurrent query-serving layer."""
 
 
+class LockUsageError(ServiceError):
+    """A concurrency primitive was used outside its protocol (e.g. a
+    release without a matching acquire)."""
+
+
+class SanitizerError(TrexError):
+    """Base class for failures reported by the runtime sanitizer
+    (``REPRO_SANITIZE=1``); see :mod:`repro.sanitizer`."""
+
+
+class LockOrderViolation(SanitizerError):
+    """Two locks were acquired in opposite orders on different paths —
+    a latent deadlock."""
+
+    def __init__(self, first: str, second: str, prior_site: str, site: str) -> None:
+        super().__init__(
+            f"lock-order inversion: {second!r} acquired while holding "
+            f"{first!r} at {site}, but the opposite order was recorded "
+            f"at {prior_site}")
+        self.first = first
+        self.second = second
+        self.prior_site = prior_site
+        self.site = site
+
+
+class UnguardedMutationError(SanitizerError):
+    """Engine state registered as lock-guarded was mutated by a thread
+    that does not hold the writer side of the guarding RW lock."""
+
+
+class UnknownStatKeyError(SanitizerError):
+    """A telemetry key was emitted that is not declared in the central
+    stats registry (:mod:`repro.service.registry`)."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(
+            f"unregistered telemetry {kind} key {name!r}; declare it in "
+            f"repro.service.registry")
+        self.kind = kind
+        self.name = name
+
+
 class ServiceOverloadedError(ServiceError):
     """Admission control rejected a request because the queue is full."""
 
-    def __init__(self, queue_depth: int):
+    def __init__(self, queue_depth: int) -> None:
         super().__init__(
             f"service overloaded: admission queue is full ({queue_depth} pending)")
         self.queue_depth = queue_depth
@@ -92,7 +134,7 @@ class ServiceClosedError(ServiceError):
 class DeadlineExceededError(ServiceError):
     """A request's deadline expired before a worker could start it."""
 
-    def __init__(self, waited: float, deadline: float):
+    def __init__(self, waited: float, deadline: float) -> None:
         super().__init__(
             f"deadline exceeded: queued for {waited:.3f}s "
             f"with a {deadline:.3f}s deadline")
@@ -104,6 +146,11 @@ class OptimizationError(TrexError):
     """Index-selection optimization failed or was given bad inputs."""
 
 
+class AnalysisError(TrexError):
+    """The static-analysis tool (:mod:`repro.analysis`) was misused or
+    hit an unreadable input."""
+
+
 class ShardError(TrexError):
     """A failure in the partitioned (sharded) engine layer."""
 
@@ -111,7 +158,7 @@ class ShardError(TrexError):
 class ShardTimeoutError(ShardError):
     """A shard exceeded its per-shard deadline and fail-soft was off."""
 
-    def __init__(self, shard_index: int, elapsed: float, deadline: float):
+    def __init__(self, shard_index: int, elapsed: float, deadline: float) -> None:
         super().__init__(
             f"shard {shard_index} exceeded its deadline: "
             f"ran {elapsed:.3f}s against a {deadline:.3f}s budget")

@@ -29,7 +29,7 @@ class RunEntry(tuple):
     __slots__ = ()
 
     def __new__(cls, topic_id: str, docid: int, endpos: int, rank: int,
-                score: float, tag: str):
+                score: float, tag: str) -> "RunEntry":
         return super().__new__(cls, (topic_id, docid, endpos, rank, score, tag))
 
     topic_id = property(lambda self: self[0])

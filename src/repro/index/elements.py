@@ -58,7 +58,7 @@ class BlockedElements:
 
     def __init__(self, table: Table, cost_model: CostModel | None = None,
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 cache: PageCache | None = None):
+                 cache: PageCache | None = None) -> None:
         self.table = table
         self.block_size = block_size
         self.cost_model = (cost_model if cost_model is not None

@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import defaultdict
 
 from ..corpus.collection import Collection
-from ..corpus.document import M_POS
+from ..corpus.document import M_POS, Document
 from ..storage.blocks import BlockSequence
 from ..storage.cost import CostModel
 from ..storage.pager import PageCache
@@ -88,7 +88,7 @@ class BlockedPostings:
     """
 
     def __init__(self, table: Table, cost_model: CostModel | None = None,
-                 cache: PageCache | None = None):
+                 cache: PageCache | None = None) -> None:
         self.table = table
         self.cost_model = (cost_model if cost_model is not None
                            else table.cost_model)
@@ -138,7 +138,7 @@ class BlockedPostings:
         return sum(seq.size_bytes for seq in self._sequences.values())
 
 
-def extend_posting_lists(table: Table, document,
+def extend_posting_lists(table: Table, document: Document,
                          fragment_size: int = DEFAULT_FRAGMENT_SIZE) -> set[str]:
     """Fold a new document's positions into an existing PostingLists table.
 

@@ -48,7 +48,8 @@ class RplEntry(tuple):
 
     __slots__ = ()
 
-    def __new__(cls, score: float, sid: int, docid: int, endpos: int, length: int):
+    def __new__(cls, score: float, sid: int, docid: int, endpos: int,
+                length: int) -> "RplEntry":
         return super().__new__(cls, (float(score), sid, docid, endpos, length))
 
     @property

@@ -33,7 +33,7 @@ _NAME_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ012345678
 
 
 class _Parser:
-    def __init__(self, source: str):
+    def __init__(self, source: str) -> None:
         self.source = source
         self.pos = 0
 

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import os
 from bisect import bisect_left, bisect_right
+from typing import Callable
 
+from .. import sanitizer
 from ..corpus.alias import AliasMapping
 from ..corpus.collection import Collection
 from ..corpus.document import Document
@@ -88,7 +90,7 @@ class TrexEngine:
                  fragment_size: int = 64,
                  btree_order: int = 64,
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 ta_batch_size: int = DEFAULT_BATCH_SIZE):
+                 ta_batch_size: int = DEFAULT_BATCH_SIZE) -> None:
         self.collection = collection
         self.cost_model = cost_model if cost_model is not None else CostModel()
         if summary is None:
@@ -133,21 +135,22 @@ class TrexEngine:
     # ------------------------------------------------------------------
     # Materialization of redundant indexes
     # ------------------------------------------------------------------
-    def materialize_rpl(self, term: str, sids=None) -> IndexSegment:
+    def materialize_rpl(self, term: str, sids: frozenset[int] | None = None) -> IndexSegment:
         """Materialize an RPL segment for *term* (universal when sids=None)."""
         with self.cost_model.muted():
             entries = compute_rpl_entries(self.collection, self.summary, term,
                                           self.scorer, sids=sids)
             return self.catalog.add_rpl_segment(term, entries, scope=sids)
 
-    def materialize_erpl(self, term: str, sids=None) -> IndexSegment:
+    def materialize_erpl(self, term: str, sids: frozenset[int] | None = None) -> IndexSegment:
         """Materialize an ERPL segment for *term* (universal when sids=None)."""
         with self.cost_model.muted():
             entries = compute_rpl_entries(self.collection, self.summary, term,
                                           self.scorer, sids=sids)
             return self.catalog.add_erpl_segment(term, entries, scope=sids)
 
-    def materialize_for_query(self, query, kinds=("rpl", "erpl"), *,
+    def materialize_for_query(self, query: str | NexiQuery,
+                              kinds: tuple[str, ...] = ("rpl", "erpl"), *,
                               scope: str = "universal") -> list[IndexSegment]:
         """Materialize every missing segment the query's clauses need.
 
@@ -163,7 +166,7 @@ class TrexEngine:
         translated = self.translate(query)
         created: list[IndexSegment] = []
 
-        def ensure(term: str, sids, kind: str) -> None:
+        def ensure(term: str, sids: frozenset[int], kind: str) -> None:
             if self.catalog.find_segment(kind, term, sids) is not None:
                 return
             stored_scope = None if scope == "universal" else sids
@@ -295,7 +298,7 @@ class TrexEngine:
                 kept.append(hit)
         return kept
 
-    def _contains_phrase(self, document, hit: ScoredHit,
+    def _contains_phrase(self, document: Document, hit: ScoredHit,
                          phrase: tuple[str, ...]) -> bool:
         tokens = document.tokens_in_span(hit.start_pos, hit.end_pos)
         by_position = {t.position: t.term for t in tokens}
@@ -388,7 +391,7 @@ class TrexEngine:
         candidates: dict[tuple[int, int], ScoredHit] = {}
         satisfied: dict[tuple[int, int], set[int]] = {}
 
-        def note(key, clause_index):
+        def note(key: tuple[int, int], clause_index: int) -> None:
             satisfied.setdefault(key, set()).add(clause_index)
 
         for index, (clause, hits) in enumerate(zip(clauses, clause_hits)):
@@ -550,7 +553,7 @@ class TrexEngine:
         return "era"
 
     def missing_segments(self, translated: TranslatedQuery,
-                         kinds=("rpl", "erpl"), *,
+                         kinds: tuple[str, ...] = ("rpl", "erpl"), *,
                          mode: str = "nexi") -> list[tuple[str, str, frozenset[int]]]:
         """``(kind, term, sids)`` triples the query needs but lacks.
 
@@ -571,7 +574,8 @@ class TrexEngine:
                     missing.append((kind, term, frozenset(sids)))
         return missing
 
-    def warm_segments(self, missing) -> int:
+    @sanitizer.mutates_engine_state
+    def warm_segments(self, missing: list[tuple]) -> int:
         """Materialize a universal segment for each ``(kind, term, ...)``
         entry of *missing* (as produced by :meth:`missing_segments`)
         that is still absent.  Returns the number of segments created.
@@ -596,6 +600,7 @@ class TrexEngine:
     # ------------------------------------------------------------------
     # Incremental maintenance
     # ------------------------------------------------------------------
+    @sanitizer.mutates_engine_state
     def add_document(self, source: str | Document, docid: int | None = None) -> Document:
         """Add one document to the live engine.
 
@@ -633,7 +638,8 @@ class TrexEngine:
         self.epoch += 1
         return document
 
-    def rebuild_scorer(self, scorer_factory=None) -> None:
+    @sanitizer.mutates_engine_state
+    def rebuild_scorer(self, scorer_factory: Callable[[ScoringStats], ElementScorer] | None = None) -> None:
         """Refresh corpus statistics and drop every stored segment.
 
         ``scorer_factory`` receives the fresh :class:`ScoringStats` and
@@ -708,6 +714,7 @@ class TrexEngine:
             self.postings.save(os.path.join(directory, "postings.tbl"))
             self.catalog.save(os.path.join(directory, "catalog"))
 
+    @sanitizer.mutates_engine_state
     def load_indexes(self, directory: str) -> None:
         """Replace this engine's index tables from a saved directory."""
         with self.cost_model.muted():
@@ -748,7 +755,7 @@ class TrexEngine:
         }
 
 
-def _about_indices_for_step(clauses, step) -> dict[int, int]:
+def _about_indices_for_step(clauses: list[TranslatedClause], step: int) -> dict[int, int]:
     """Map the i-th about clause of *step*'s predicate (in AST order) to
     its translated-clause index.  Translation enumerates about clauses
     in AST order, so positions line up."""
@@ -763,7 +770,8 @@ def _about_indices_for_step(clauses, step) -> dict[int, int]:
 
 def _predicate_satisfied(predicate: Predicate, about_ids: dict[int, int],
                          comp_ids: list[int], satisfied: set[int],
-                         comparison_ok, _counters=None) -> bool:
+                         comparison_ok: Callable[[int], bool],
+                         _counters: dict | None = None) -> bool:
     """Evaluate the predicate's boolean structure for one candidate.
 
     About-clause atoms consult the recorded *satisfied* clause indices;

@@ -23,7 +23,7 @@ from ..scoring.combine import ScoredHit
 from ..scoring.scorers import ElementScorer
 from ..storage.cost import CostModel
 from ..storage.table import Table
-from .iterators import DUMMY_ELEMENT, ElementSpan, ExtentIterator, PostingIterator
+from .iterators import ElementSpan, ExtentIterator, PostingIterator
 from .result import EvaluationStats
 
 __all__ = ["era_raw", "era_retrieve", "era_scored_entries"]

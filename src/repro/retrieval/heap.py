@@ -18,7 +18,7 @@ as ``k`` grows, matching the paper's cost-versus-k curves.
 from __future__ import annotations
 
 import heapq
-from typing import Any
+from typing import Any, Callable
 
 from ..storage.cost import CostModel
 
@@ -31,7 +31,7 @@ class _Reversed:
 
     __slots__ = ("value",)
 
-    def __init__(self, value: Any):
+    def __init__(self, value: Any) -> None:
         self.value = value
 
     def __lt__(self, other: "_Reversed") -> bool:
@@ -54,7 +54,8 @@ class TopKHeap:
     discards entries that no longer reflect the payload's best score.
     """
 
-    def __init__(self, k: int, cost_model: CostModel, prefer=None):
+    def __init__(self, k: int, cost_model: CostModel,
+                 prefer: Callable[[object, object], bool] | None = None) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         self.k = k

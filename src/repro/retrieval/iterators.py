@@ -29,10 +29,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Iterator
 
 from ..corpus.document import M_POS
 from ..index.catalog import IndexCatalog, IndexSegment
 from ..index.rpl import RplEntry
+from ..storage.blocks import BlockSequence
+from ..storage.cost import CostModel
 from ..storage.table import Table
 
 __all__ = ["ElementSpan", "DUMMY_ELEMENT", "ExtentIterator", "PostingIterator",
@@ -85,7 +88,7 @@ class ExtentIterator:
     one block.
     """
 
-    def __init__(self, elements, sid: int):
+    def __init__(self, elements: object, sid: int) -> None:
         self.sid = sid
         if isinstance(elements, Table):
             self._table = elements
@@ -98,7 +101,7 @@ class ExtentIterator:
             self._block = 0
 
     # -- row-store path ------------------------------------------------
-    def _from_cursor(self, cursor) -> ElementSpan:
+    def _from_cursor(self, cursor: object) -> ElementSpan:
         if not cursor.valid:
             return DUMMY_ELEMENT
         key = cursor.key
@@ -167,7 +170,7 @@ class ExtentIterator:
         return ElementSpan(sid=self.sid, docid=docid, endpos=endpos,
                            length=length)
 
-    def scan(self):
+    def scan(self) -> Iterator[ElementSpan]:
         """All elements of the extent, in order (used by tests/examples)."""
         if self._table is not None:
             for row in self._table.scan_prefix((self.sid,)):
@@ -176,9 +179,13 @@ class ExtentIterator:
             return
         if self._seq is None:
             return
-        for docid, endpos, length in self._seq.entries():
-            yield ElementSpan(sid=self.sid, docid=docid, endpos=endpos,
-                              length=length)
+        # Block-by-block through the charged read path: a full scan
+        # must cost exactly what decoding every block costs — the
+        # uncharged entries() bulk decode is for offline maintenance.
+        for index in range(self._seq.block_count):
+            for docid, endpos, length in self._seq.read_block(index):
+                yield ElementSpan(sid=self.sid, docid=docid, endpos=endpos,
+                                  length=length)
 
 
 class PostingIterator:
@@ -189,7 +196,7 @@ class PostingIterator:
     whole fragments are decoded as single compressed blocks.
     """
 
-    def __init__(self, postings, term: str):
+    def __init__(self, postings: object, term: str) -> None:
         self.term = term
         self._fragment: list[Position] = []
         self._index = 0
@@ -255,7 +262,7 @@ class RplIterator:
     """
 
     def __init__(self, catalog: IndexCatalog, segment: IndexSegment,
-                 sids: frozenset[int] | set[int]):
+                 sids: frozenset[int] | set[int]) -> None:
         self._segment = segment
         self.term = segment.term
         self._sids = set(sids)
@@ -358,7 +365,7 @@ class ErplIterator:
     """
 
     def __init__(self, catalog: IndexCatalog, segment: IndexSegment,
-                 sids: frozenset[int] | set[int]):
+                 sids: frozenset[int] | set[int]) -> None:
         self._segment = segment
         self.term = segment.term
         self.rows_read = 0
@@ -406,7 +413,8 @@ class ErplIterator:
 class _ErplSidStream:
     """Sequential reader over one sid's range of an ERPL block sequence."""
 
-    def __init__(self, sequence, sid: int, cost_model):
+    def __init__(self, sequence: BlockSequence, sid: int,
+                 cost_model: CostModel) -> None:
         self.sid = sid
         self._seq = sequence
         self._model = cost_model

@@ -11,6 +11,7 @@ depth explicitly).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..scoring.combine import ScoredHit
 
@@ -57,7 +58,7 @@ class EvaluationStats:
     #: Per-shard breakdown (one dict per shard, coordinator runs only).
     shard_stats: list[dict] = field(default_factory=list)
 
-    def record_block_io(self, spent) -> None:
+    def record_block_io(self, spent: object) -> None:
         """Copy block-level counters from a cost-snapshot difference."""
         self.blocks_read = spent.blocks_read
         self.blocks_decoded = spent.blocks_decoded
@@ -104,10 +105,10 @@ class ResultSet:
     def __len__(self) -> int:
         return len(self.hits)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ScoredHit]:
         return iter(self.hits)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int) -> ScoredHit:
         return self.hits[index]
 
     def top(self, k: int) -> list[ScoredHit]:

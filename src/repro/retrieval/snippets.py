@@ -20,7 +20,7 @@ class Snippet:
     __slots__ = ("words", "matches", "leading_gap", "trailing_gap")
 
     def __init__(self, words: list[str], matches: set[int],
-                 leading_gap: bool, trailing_gap: bool):
+                 leading_gap: bool, trailing_gap: bool) -> None:
         self.words = words
         self.matches = matches  # indices into words
         self.leading_gap = leading_gap

@@ -1,0 +1,252 @@
+"""Runtime concurrency sanitizer (TSan-lite) for the serving layer.
+
+Activated by the environment variable ``REPRO_SANITIZE=1`` (or
+programmatically via :func:`enable` / the :func:`enabled` context
+manager), this module instruments the repo's locks so that the existing
+service/shard stress tests double as a race detector:
+
+* **lock-order tracking** — every sanitized lock acquisition records a
+  ``held -> acquired`` edge in a process-wide graph.  Acquiring two
+  locks in opposite orders on two code paths is a latent deadlock even
+  when the schedules never actually collide; the sanitizer raises
+  :class:`~repro.errors.LockOrderViolation` the moment the second
+  ordering is observed, with both acquisition sites in the message.
+
+* **guarded-mutation checking** — :func:`guard_engine` registers an
+  engine as protected by a reader-writer lock; methods decorated with
+  :func:`mutates_engine_state` then refuse to run unless the calling
+  thread holds the writer side.  Reads under the read lock and
+  standalone (unregistered) engines are unaffected.
+
+When the sanitizer is inactive every hook is a cheap early-out, so
+production-mode behaviour and cost accounting are untouched.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import traceback
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator, TypeVar
+from weakref import WeakKeyDictionary
+
+from .errors import LockOrderViolation, UnguardedMutationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .service.locks import ReadWriteLock
+
+__all__ = [
+    "is_active",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "make_lock",
+    "SanitizedLock",
+    "note_acquired",
+    "note_released",
+    "guard_engine",
+    "engine_guard_for",
+    "mutates_engine_state",
+]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+_active: bool = os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false")
+
+#: Serializes mutations of the acquisition graph.
+_graph_lock = threading.Lock()
+#: (held_lock_id, acquired_lock_id) -> (held_name, acquired_name, site).
+_edges: dict[tuple[int, int], tuple[str, str, str]] = {}
+#: Per-thread stack of currently held sanitized locks: (id, name).
+_held = threading.local()
+
+#: Engines registered as guarded by a reader-writer lock.
+_guards: WeakKeyDictionary = WeakKeyDictionary()
+_guards_lock = threading.Lock()
+
+
+def is_active() -> bool:
+    """Whether sanitizer instrumentation is currently on."""
+    return _active
+
+
+def enable() -> None:
+    """Turn the sanitizer on (equivalent to ``REPRO_SANITIZE=1``)."""
+    global _active
+    _active = True
+
+
+def disable() -> None:
+    global _active
+    _active = False
+
+
+@contextmanager
+def enabled() -> Iterator[None]:
+    """Run a block with the sanitizer on; restores the prior state."""
+    global _active
+    previous = _active
+    _active = True
+    try:
+        yield
+    finally:
+        _active = previous
+
+
+def reset() -> None:
+    """Drop all recorded edges and guards (test isolation)."""
+    with _graph_lock:
+        _edges.clear()
+    with _guards_lock:
+        _guards.clear()
+
+
+# ----------------------------------------------------------------------
+# Lock-order graph
+# ----------------------------------------------------------------------
+def _call_site() -> str:
+    """A compact ``file:line`` for the frame that touched the lock."""
+    for frame in reversed(traceback.extract_stack(limit=8)[:-2]):
+        filename = frame.filename.replace(os.sep, "/")
+        if "/repro/sanitizer" in filename:
+            continue
+        return f"{filename.rsplit('/src/', 1)[-1]}:{frame.lineno}"
+    return "<unknown>"
+
+
+def _held_stack() -> list[tuple[int, str]]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = _held.stack = []
+    return stack
+
+
+def note_acquired(lock: object, name: str) -> None:
+    """Record that the current thread now holds *lock*.
+
+    Raises :class:`LockOrderViolation` if some other path acquired the
+    same two locks in the opposite order.
+    """
+    if not _active:
+        return
+    stack = _held_stack()
+    lock_id = id(lock)
+    site = _call_site()
+    with _graph_lock:
+        for held_id, held_name in stack:
+            if held_id == lock_id:
+                continue  # re-entrant hold of the same node
+            reverse = _edges.get((lock_id, held_id))
+            if reverse is not None:
+                raise LockOrderViolation(held_name, name,
+                                         prior_site=reverse[2], site=site)
+            _edges.setdefault((held_id, lock_id), (held_name, name, site))
+    stack.append((lock_id, name))
+
+
+def note_released(lock: object) -> None:
+    """Record that the current thread no longer holds *lock*."""
+    if not _active:
+        return
+    stack = _held_stack()
+    lock_id = id(lock)
+    for index in range(len(stack) - 1, -1, -1):
+        if stack[index][0] == lock_id:
+            del stack[index]
+            return
+
+
+class SanitizedLock:
+    """A ``threading.Lock`` that reports to the lock-order graph.
+
+    API-compatible with the subset of :class:`threading.Lock` the repo
+    uses (``acquire``/``release``/``locked`` and the context-manager
+    protocol).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            note_acquired(self, self.name)
+        return got
+
+    def release(self) -> None:
+        note_released(self)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"SanitizedLock({self.name!r})"
+
+
+def make_lock(name: str) -> "threading.Lock | SanitizedLock":
+    """A mutex for *name*: plain when inactive, sanitized when active.
+
+    The decision is taken at construction time, so long-lived objects
+    built before :func:`enable` keep plain locks — run the stress suite
+    with ``REPRO_SANITIZE=1`` in the environment to instrument
+    everything from the start.
+    """
+    if _active:
+        return SanitizedLock(name)
+    return threading.Lock()
+
+
+# ----------------------------------------------------------------------
+# Guarded-mutation checking
+# ----------------------------------------------------------------------
+def guard_engine(engine: object, lock: "ReadWriteLock") -> None:
+    """Register *engine* as guarded by *lock*'s writer side.
+
+    After registration, any :func:`mutates_engine_state` method of the
+    engine called by a thread that does not hold the write side raises
+    :class:`UnguardedMutationError` (sanitizer active only).
+    """
+    if not _active:
+        return
+    with _guards_lock:
+        _guards[engine] = lock
+
+
+def engine_guard_for(engine: object) -> "ReadWriteLock | None":
+    with _guards_lock:
+        return _guards.get(engine)
+
+
+def mutates_engine_state(method: _F) -> _F:
+    """Mark a method as mutating lock-guarded engine state.
+
+    Contract (enforced at runtime when the sanitizer is active, and
+    assumed by the TRX101 static checker): when the object is served —
+    i.e. registered via :func:`guard_engine` — the method must only run
+    under the writer side of the guarding RW lock.  Standalone use
+    (tests, offline builds) is unrestricted.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self: object, *args: Any, **kwargs: Any) -> Any:
+        if _active:
+            lock = engine_guard_for(self)
+            if lock is not None and not lock.write_held_by_current_thread():
+                raise UnguardedMutationError(
+                    f"{type(self).__name__}.{method.__name__} mutates "
+                    f"engine state but the calling thread does not hold "
+                    f"the writer side of the guarding RW lock")
+        return method(self, *args, **kwargs)
+
+    return wrapper  # type: ignore[return-value]

@@ -17,11 +17,12 @@ practice of ancestor score propagation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 __all__ = ["sum_scores", "ClauseCombiner", "ScoredHit"]
 
 
-def sum_scores(per_term_scores) -> float:
+def sum_scores(per_term_scores: Iterable[float]) -> float:
     """The monotone aggregation used by TA and Merge (plain sum)."""
     return float(sum(per_term_scores))
 
@@ -61,7 +62,7 @@ class ClauseCombiner:
         1 weighs ancestors equally).
     """
 
-    def __init__(self, support_weight: float = 0.5):
+    def __init__(self, support_weight: float = 0.5) -> None:
         if support_weight < 0:
             raise ValueError("support_weight must be non-negative")
         self.support_weight = support_weight

@@ -28,7 +28,7 @@ __all__ = ["ElementScorer", "BM25Scorer", "TfIdfScorer", "LMImpactScorer"]
 class ElementScorer:
     """Interface: per-term element scores from (tf, element length)."""
 
-    def __init__(self, stats: ScoringStats):
+    def __init__(self, stats: ScoringStats) -> None:
         self.stats = stats
 
     def score(self, term: str, tf: int, element_length: int) -> float:
@@ -54,7 +54,7 @@ class BM25Scorer(ElementScorer):
     with the robust idf variant that never goes negative.
     """
 
-    def __init__(self, stats: ScoringStats, k1: float = 1.2, b: float = 0.75):
+    def __init__(self, stats: ScoringStats, k1: float = 1.2, b: float = 0.75) -> None:
         super().__init__(stats)
         if k1 < 0 or not 0 <= b <= 1:
             raise ValueError("BM25 requires k1 >= 0 and 0 <= b <= 1")
@@ -96,7 +96,7 @@ class LMImpactScorer(ElementScorer):
     the standard impact-index simplification.)
     """
 
-    def __init__(self, stats: ScoringStats, mu: float = 200.0):
+    def __init__(self, stats: ScoringStats, mu: float = 200.0) -> None:
         super().__init__(stats)
         if mu <= 0:
             raise ValueError("Dirichlet mu must be positive")

@@ -46,7 +46,7 @@ class IndexAdvisor:
         "ilp": IlpIndexSelector,
     }
 
-    def __init__(self, engine: TrexEngine):
+    def __init__(self, engine: TrexEngine) -> None:
         self.engine = engine
         self._costs_cache: dict[int, dict[str, QueryCosts]] = {}
 

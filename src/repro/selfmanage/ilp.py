@@ -30,7 +30,7 @@ class IlpIndexSelector:
 
     name = "ilp"
 
-    def __init__(self, max_nodes: int = 2_000_000):
+    def __init__(self, max_nodes: int = 2_000_000) -> None:
         self.max_nodes = max_nodes
 
     def select(self, costs: dict[str, QueryCosts], disk_budget: int) -> SelectionPlan:

@@ -23,7 +23,7 @@ class IndexChoice:
     gain: float  # f_i * Δ(Q_i), the weighted time saving
     size: int  # bytes of the index
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in ("erpl", "rpl"):
             raise OptimizationError(f"unknown index kind {self.kind!r}")
         if self.gain < 0 or self.size < 0:

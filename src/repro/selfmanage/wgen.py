@@ -35,7 +35,7 @@ class WorkloadGenerator:
     """
 
     def __init__(self, collection: Collection, seed: int = 0,
-                 zipf_exponent: float = 1.0):
+                 zipf_exponent: float = 1.0) -> None:
         self.collection = collection
         self.seed = seed
         self.zipf_exponent = zipf_exponent
@@ -53,8 +53,9 @@ class WorkloadGenerator:
         ranked = sorted(frequency.items(), key=lambda kv: (-kv[1], kv[0]))
         return [term for term, _ in ranked[:top]]
 
-    def generate(self, num_queries: int, *, k_choices=(5, 10, 50),
-                 terms_per_query=(1, 3)) -> Workload:
+    def generate(self, num_queries: int, *,
+                 k_choices: tuple[int, ...] = (5, 10, 50),
+                 terms_per_query: tuple[int, int] = (1, 3)) -> Workload:
         """A workload of *num_queries* single-clause NEXI queries."""
         if num_queries < 1:
             raise WorkloadError("num_queries must be positive")

@@ -26,7 +26,7 @@ class WorkloadQuery:
     k: int
     frequency: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.nexi.strip():
             raise WorkloadError(f"query {self.query_id!r} has an empty NEXI string")
         if self.k < 1:
@@ -39,7 +39,7 @@ class WorkloadQuery:
 class Workload:
     """An immutable list of workload queries with frequencies summing to 1."""
 
-    def __init__(self, queries: Sequence[WorkloadQuery], *, normalize: bool = False):
+    def __init__(self, queries: Sequence[WorkloadQuery], *, normalize: bool = False) -> None:
         if not queries:
             raise WorkloadError("a workload must contain at least one query")
         ids = [q.query_id for q in queries]

@@ -30,6 +30,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from .. import sanitizer
 from ..errors import StorageError, TrexError
 from ..index.rpl import compute_rpl_entries
 from ..retrieval.engine import TrexEngine
@@ -44,10 +45,12 @@ __all__ = ["WorkloadRecorder", "Autopilot", "AutopilotReport"]
 class WorkloadRecorder:
     """A thread-safe frequency sketch over served (query, k) pairs."""
 
-    def __init__(self, max_distinct: int = 512, default_k: int = 10):
+    __guarded_by__ = {"_lock": ("_counts", "_ks", "total_recorded")}
+
+    def __init__(self, max_distinct: int = 512, default_k: int = 10) -> None:
         self.max_distinct = max_distinct
         self.default_k = default_k
-        self._lock = threading.Lock()
+        self._lock = sanitizer.make_lock("workload-recorder")
         self._counts: dict[str, int] = {}
         self._ks: dict[str, int] = {}
         self.total_recorded = 0
@@ -106,13 +109,18 @@ class AutopilotReport:
 class Autopilot:
     """Background thread running advisor cycles against live traffic."""
 
+    __guarded_by__ = {
+        "_cycle_lock": ("cycles", "last_report", "last_error",
+                        "_created", "_created_sharded", "_thread"),
+    }
+
     def __init__(self, engine: TrexEngine, lock: ReadWriteLock, *,
                  recorder: WorkloadRecorder | None = None,
                  disk_budget: int = 1 << 20,
                  selector: str = "greedy",
                  interval: float | None = 30.0,
                  top_queries: int = 8,
-                 min_observations: int = 8):
+                 min_observations: int = 8) -> None:
         self.engine = engine
         self.lock = lock
         self.recorder = recorder if recorder is not None else WorkloadRecorder()
@@ -132,7 +140,7 @@ class Autopilot:
         self._created_sharded: dict[tuple[int, int], tuple] = {}
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
-        self._cycle_lock = threading.Lock()
+        self._cycle_lock = sanitizer.make_lock("autopilot-cycle")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -140,17 +148,24 @@ class Autopilot:
     def start(self) -> None:
         if self.interval is None:
             raise TrexError("autopilot has no interval; call run_cycle() instead")
-        if self._thread is not None:
-            return
-        self._thread = threading.Thread(target=self._loop,
-                                        name="trex-autopilot", daemon=True)
-        self._thread.start()
+        with self._cycle_lock:
+            if self._thread is not None:
+                return
+            thread = threading.Thread(target=self._loop,
+                                      name="trex-autopilot", daemon=True)
+            self._thread = thread
+        thread.start()
 
     def stop(self) -> None:
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join()
+        # Take the thread handle under the lock but join outside it:
+        # the loop thread may be blocked on _cycle_lock inside
+        # run_cycle(), and joining while holding it would deadlock.
+        with self._cycle_lock:
+            thread = self._thread
             self._thread = None
+        if thread is not None:
+            thread.join()
 
     def _loop(self) -> None:
         while not self._stop.wait(self.interval):
@@ -159,7 +174,8 @@ class Autopilot:
             except TrexError as exc:
                 # A malformed recorded query or a selector failure must
                 # not kill the loop; surface it via /stats instead.
-                self.last_error = str(exc)
+                with self._cycle_lock:
+                    self.last_error = str(exc)
 
     # ------------------------------------------------------------------
     # One tuning cycle
@@ -183,7 +199,7 @@ class Autopilot:
         started = time.monotonic()
         engine = self.engine
         if hasattr(engine, "shards"):
-            return self._run_sharded_cycle(workload, started)
+            return self._run_sharded_cycle_locked(workload, started)
         private = CostModel()
         with engine.cost_model.scoped(private):
             # Measurement materializes (and drops) temporary segments,
@@ -264,8 +280,8 @@ class Autopilot:
         self.last_error = None
         return report
 
-    def _run_sharded_cycle(self, workload: Workload,
-                           started: float) -> AutopilotReport:
+    def _run_sharded_cycle_locked(self, workload: Workload,
+                                  started: float) -> AutopilotReport:
         """The sharded variant: one global knapsack, per-shard apply.
 
         Measurement, retirement and materialization all run under one

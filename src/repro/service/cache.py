@@ -17,10 +17,11 @@ is O(1) at write time (nothing to do) and O(1) at read time.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
+
+from .. import sanitizer
 
 __all__ = ["ResultCache", "CacheKey", "Epoch"]
 
@@ -47,12 +48,17 @@ class ResultCache:
     just a configuration value.
     """
 
-    def __init__(self, capacity: int = 256):
+    __guarded_by__ = {
+        "_lock": ("_entries", "hits", "misses", "evictions",
+                  "invalidations"),
+    }
+
+    def __init__(self, capacity: int = 256) -> None:
         if capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = sanitizer.make_lock("result-cache")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -122,14 +128,18 @@ class ResultCache:
         return self.hits / total if total else 0.0
 
     def snapshot(self) -> dict[str, float | int]:
+        # One consistent read: hits/misses taken outside the lock could
+        # disagree with each other (and with size) mid-request.
         with self._lock:
-            size = len(self._entries)
-        return {
-            "size": size,
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "hit_rate": round(self.hit_rate, 4),
-        }
+            hits = self.hits
+            misses = self.misses
+            total = hits + misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": hits,
+                "misses": misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": round(hits / total, 4) if total else 0.0,
+            }

@@ -28,6 +28,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from .. import sanitizer
 from ..errors import DeadlineExceededError, ServiceClosedError, ServiceOverloadedError
 
 __all__ = ["BoundedExecutor"]
@@ -36,9 +37,9 @@ __all__ = ["BoundedExecutor"]
 @dataclass
 class _Task:
     fn: Callable[..., Any]
-    args: tuple
-    kwargs: dict
-    future: Future
+    args: tuple[Any, ...]
+    kwargs: dict[str, Any]
+    future: Future[Any]
     enqueued_at: float
     deadline: float | None  # seconds of allowed queue wait, None = no limit
 
@@ -58,17 +59,22 @@ _SENTINEL = object()
 class BoundedExecutor:
     """Fixed workers, bounded queue, reject-when-full."""
 
+    __guarded_by__ = {
+        "_lock": ("_shutdown", "submitted", "rejected", "expired",
+                  "completed"),
+    }
+
     def __init__(self, workers: int = 4, queue_depth: int = 64, *,
-                 name: str = "trex-worker"):
+                 name: str = "trex-worker") -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         self.workers = workers
         self.max_queue_depth = queue_depth
-        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._queue: queue.Queue[Any] = queue.Queue(maxsize=queue_depth)
         self._shutdown = False
-        self._lock = threading.Lock()
+        self._lock = sanitizer.make_lock("bounded-executor")
         self.submitted = 0
         self.rejected = 0
         self.expired = 0
@@ -81,15 +87,15 @@ class BoundedExecutor:
             thread.start()
 
     # ------------------------------------------------------------------
-    def submit(self, fn: Callable[..., Any], /, *args,
-               deadline: float | None = None, **kwargs) -> Future:
+    def submit(self, fn: Callable[..., Any], /, *args: Any,
+               deadline: float | None = None, **kwargs: Any) -> Future[Any]:
         """Enqueue ``fn(*args, **kwargs)``; never blocks.
 
         Raises :class:`ServiceOverloadedError` when the queue is full
         and :class:`ServiceClosedError` after shutdown began.
         *deadline* bounds the seconds the task may wait for a worker.
         """
-        future: Future = Future()
+        future: Future[Any] = Future()
         task = _Task(fn, args, kwargs, future, time.monotonic(), deadline)
         with self._lock:
             if self._shutdown:
@@ -116,6 +122,10 @@ class BoundedExecutor:
                 continue  # cancelled while queued
             try:
                 result = task.fn(*task.args, **task.kwargs)
+            # The worker boundary must forward *everything* to the
+            # Future — including ShardTimeoutError — or the caller
+            # hangs; nothing is swallowed, so the policy is satisfied.
+            # repro: allow[TRX501] worker boundary forwards to Future
             except BaseException as exc:  # noqa: BLE001 — report to the caller
                 task.future.set_exception(exc)
             else:
@@ -151,7 +161,7 @@ class BoundedExecutor:
     def __enter__(self) -> "BoundedExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown(wait=True)
 
     # ------------------------------------------------------------------

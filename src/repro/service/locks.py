@@ -15,13 +15,21 @@ Two pieces:
   keep charging the model they captured at construction, but that model
   routes each thread's charges to the thread's private instance, so
   per-query simulated costs stay exact under concurrency.
+
+Both cooperate with :mod:`repro.sanitizer`: when ``REPRO_SANITIZE=1``
+the RW lock reports its acquisitions to the lock-order graph, and
+``write_held_by_current_thread()`` lets the ``@mutates_engine_state``
+contract be enforced at runtime.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from typing import Callable, Iterator
 
+from .. import sanitizer
+from ..errors import LockUsageError
 from ..storage.cost import CostModel
 
 __all__ = ["ReadWriteLock", "WorkerCostModels"]
@@ -36,11 +44,18 @@ class ReadWriteLock:
     The lock is not reentrant on either side.
     """
 
-    def __init__(self):
+    __guarded_by__ = {
+        "_cond": ("_active_readers", "_writer_active", "_writers_waiting",
+                  "_writer_thread"),
+    }
+
+    def __init__(self, name: str = "engine-rwlock") -> None:
+        self.name = name
         self._cond = threading.Condition()
         self._active_readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._writer_thread: int | None = None
 
     # ------------------------------------------------------------------
     def acquire_read(self) -> None:
@@ -48,14 +63,17 @@ class ReadWriteLock:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._active_readers += 1
+        sanitizer.note_acquired(self, f"{self.name}.read")
 
     def release_read(self) -> None:
         with self._cond:
+            if self._active_readers <= 0:
+                raise LockUsageError(
+                    f"{self.name}: release_read() without acquire_read()")
             self._active_readers -= 1
-            if self._active_readers < 0:
-                raise RuntimeError("release_read() without acquire_read()")
             if self._active_readers == 0:
                 self._cond.notify_all()
+        sanitizer.note_released(self)
 
     def acquire_write(self) -> None:
         with self._cond:
@@ -66,17 +84,28 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+            self._writer_thread = threading.get_ident()
+        sanitizer.note_acquired(self, f"{self.name}.write")
 
     def release_write(self) -> None:
         with self._cond:
             if not self._writer_active:
-                raise RuntimeError("release_write() without acquire_write()")
+                raise LockUsageError(
+                    f"{self.name}: release_write() without acquire_write()")
             self._writer_active = False
+            self._writer_thread = None
             self._cond.notify_all()
+        sanitizer.note_released(self)
+
+    def write_held_by_current_thread(self) -> bool:
+        """Is the calling thread the current writer?"""
+        with self._cond:
+            return (self._writer_active
+                    and self._writer_thread == threading.get_ident())
 
     # ------------------------------------------------------------------
     @contextmanager
-    def read(self):
+    def read(self) -> Iterator["ReadWriteLock"]:
         """``with lock.read():`` — shared access."""
         self.acquire_read()
         try:
@@ -85,7 +114,7 @@ class ReadWriteLock:
             self.release_read()
 
     @contextmanager
-    def write(self):
+    def write(self) -> Iterator["ReadWriteLock"]:
         """``with lock.write():`` — exclusive access."""
         self.acquire_write()
         try:
@@ -106,10 +135,12 @@ class ReadWriteLock:
 class WorkerCostModels:
     """A lazily-grown pool of per-thread :class:`CostModel` instances."""
 
-    def __init__(self, factory=CostModel):
+    __guarded_by__ = {"_lock": ("_models",)}
+
+    def __init__(self, factory: Callable[[], CostModel] = CostModel) -> None:
         self._factory = factory
         self._local = threading.local()
-        self._lock = threading.Lock()
+        self._lock = sanitizer.make_lock("worker-cost-models")
         # A list, not a dict keyed by thread ident: idents are reused
         # once a thread exits, and a dead worker's accounting must
         # still show up in aggregate().
@@ -117,7 +148,7 @@ class WorkerCostModels:
 
     def current(self) -> CostModel:
         """The calling thread's private model (created on first use)."""
-        model = getattr(self._local, "model", None)
+        model: CostModel | None = getattr(self._local, "model", None)
         if model is None:
             model = self._factory()
             self._local.model = model
@@ -129,17 +160,24 @@ class WorkerCostModels:
         with self._lock:
             return list(self._models)
 
-    def aggregate(self) -> dict[str, float | int]:
+    def aggregate(self) -> dict[str, object]:
         """Summed meters and counters across every worker."""
-        totals: dict[str, float | int] = {
-            "workers": 0, "base_cost": 0.0, "heap_cost": 0.0, "total_cost": 0.0}
+        workers = 0
+        base_cost = 0.0
+        heap_cost = 0.0
+        total_cost = 0.0
         counter_totals: dict[str, int] = {}
         for model in self.all():
-            totals["workers"] += 1
-            totals["base_cost"] += model.base_cost
-            totals["heap_cost"] += model.heap_cost
-            totals["total_cost"] += model.total_cost
+            workers += 1
+            base_cost += model.base_cost
+            heap_cost += model.heap_cost
+            total_cost += model.total_cost
             for name, value in model.counters.as_dict().items():
                 counter_totals[name] = counter_totals.get(name, 0) + value
-        totals["counters"] = counter_totals
-        return totals
+        return {
+            "workers": workers,
+            "base_cost": base_cost,
+            "heap_cost": heap_cost,
+            "total_cost": total_cost,
+            "counters": counter_totals,
+        }

@@ -30,9 +30,11 @@ import signal
 import threading
 import time
 from dataclasses import dataclass
+from typing import Any, Callable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from .. import sanitizer
 from ..errors import (
     DeadlineExceededError,
     MissingIndexError,
@@ -42,6 +44,7 @@ from ..errors import (
     ShardTimeoutError,
     TrexError,
 )
+from ..nexi.translate import TranslatedQuery
 from ..retrieval.engine import METHODS, TrexEngine
 from ..retrieval.race import race as race_strategies
 from ..retrieval.result import ResultSet
@@ -101,7 +104,7 @@ class QueryService:
     """A concurrent, self-managing serving layer over one engine."""
 
     def __init__(self, engine: TrexEngine | ShardedEngine,
-                 config: ServiceConfig | None = None):
+                 config: ServiceConfig | None = None) -> None:
         self.config = config if config is not None else ServiceConfig()
         if self.config.shards > 1 and not isinstance(engine, ShardedEngine):
             engine = ShardedEngine.from_engine(
@@ -130,8 +133,11 @@ class QueryService:
             top_queries=self.config.autopilot_top_queries,
             min_observations=self.config.autopilot_min_observations,
         )
-        self._closed = False
+        self._closed = threading.Event()
         self.started_at = time.time()
+        # Let the runtime sanitizer enforce that engine mutators run
+        # under this service's write lock (REPRO_SANITIZE=1 only).
+        sanitizer.guard_engine(engine, self.lock)
         self.telemetry.register_gauge("queue_depth", self.executor.queue_depth)
         self.telemetry.register_gauge("epoch", lambda: self.engine.epoch)
         if self.config.autopilot_interval is not None:
@@ -149,7 +155,7 @@ class QueryService:
         rejects the request and :class:`DeadlineExceededError` when it
         expired waiting for a worker.
         """
-        if self._closed:
+        if self._closed.is_set():
             raise ServiceClosedError("service is closed")
         self.telemetry.incr("search.requests")
         key = (query, k, method, mode)
@@ -239,7 +245,7 @@ class QueryService:
             self.cache.put((query, k, method, mode), payload["epoch"], payload)
         return dict(payload, cached=False)
 
-    def _warm(self, missing) -> None:
+    def _warm(self, missing: list[tuple]) -> None:
         """Materialize universal segments for *missing* under the write
         lock (shared across queries; TA/Merge skip within them).  For a
         sharded engine each entry carries its shard index and warms only
@@ -249,7 +255,8 @@ class QueryService:
         if created:
             self.telemetry.incr("warmup.segments", created)
 
-    def _race(self, translated, k: int | None, mode: str) -> ResultSet:
+    def _race(self, translated: TranslatedQuery, k: int | None,
+              mode: str) -> ResultSet:
         """Run the race's TA and Merge legs on two executor workers.
 
         The caller holds the read lock for the duration, which covers
@@ -261,8 +268,8 @@ class QueryService:
         """
         engine = self.engine
 
-        def leg(leg_method):
-            def run():
+        def leg(leg_method: str) -> Callable[[], ResultSet]:
+            def run() -> ResultSet:
                 with engine.cost_model.scoped(self.worker_costs.current()):
                     return engine.evaluate_translated(translated, k,
                                                       leg_method, mode=mode)
@@ -287,7 +294,7 @@ class QueryService:
         return ResultSet(hits=outcome.hits, stats=outcome.stats, k=k)
 
     def _payload(self, query: str, k: int | None, method: str, mode: str,
-                 result: ResultSet, epoch) -> dict:
+                 result: ResultSet, epoch: Any) -> dict:
         summary = self.engine.summary
         hits = []
         for rank, hit in enumerate(result.hits, start=1):
@@ -336,7 +343,7 @@ class QueryService:
 
     def ingest(self, xml: str, docid: int | None = None) -> dict:
         """Add one XML document; exclusive against all queries."""
-        if self._closed:
+        if self._closed.is_set():
             raise ServiceClosedError("service is closed")
         started = time.perf_counter()
         with self.lock.write():
@@ -361,7 +368,7 @@ class QueryService:
         snapshot = {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "epoch": engine.epoch,
-            "closed": self._closed,
+            "closed": self._closed.is_set(),
             "telemetry": self.telemetry.snapshot(),
             "cache": self.cache.snapshot(),
             "executor": self.executor.snapshot(),
@@ -393,10 +400,11 @@ class QueryService:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Graceful drain: stop admission, finish queued work, stop the
-        autopilot.  Idempotent."""
-        if self._closed:
+        autopilot.  Idempotent; an Event (not a plain bool) gives the
+        flag cross-thread visibility guarantees."""
+        if self._closed.is_set():
             return
-        self._closed = True
+        self._closed.set()
         if self.autopilot is not None:
             self.autopilot.stop()
         self.executor.shutdown(wait=True)
@@ -404,7 +412,7 @@ class QueryService:
     def __enter__(self) -> "QueryService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -452,7 +460,7 @@ class TrexHTTPHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         return self.rfile.read(length) if length else b""
 
-    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002 — stdlib signature
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
@@ -505,6 +513,9 @@ class TrexHTTPHandler(BaseHTTPRequestHandler):
                                       "detail": self.path})
         except ValueError as exc:
             self._send_json(400, {"error": "BadRequest", "detail": str(exc)})
+        # The HTTP boundary maps every TrexError (ShardTimeoutError
+        # included) to a status code; nothing is swallowed.
+        # repro: allow[TRX501] HTTP boundary maps exceptions to statuses
         except Exception as exc:  # noqa: BLE001 — mapped to HTTP statuses
             self._send_error_json(exc)
 
@@ -541,6 +552,7 @@ class TrexHTTPHandler(BaseHTTPRequestHandler):
                                       "detail": self.path})
         except (ValueError, json.JSONDecodeError) as exc:
             self._send_json(400, {"error": "BadRequest", "detail": str(exc)})
+        # repro: allow[TRX501] HTTP boundary maps exceptions to statuses
         except Exception as exc:  # noqa: BLE001 — mapped to HTTP statuses
             self._send_error_json(exc)
 
@@ -560,9 +572,11 @@ def make_server(service: QueryService, host: str = "127.0.0.1",
     return server
 
 
-def install_shutdown_handlers(server: ThreadingHTTPServer,
-                              service: QueryService | None = None, *,
-                              signals=(signal.SIGINT, signal.SIGTERM)):
+def install_shutdown_handlers(
+        server: ThreadingHTTPServer,
+        service: QueryService | None = None, *,
+        signals: tuple[signal.Signals, ...] = (signal.SIGINT, signal.SIGTERM),
+) -> Callable[[int, Any], None]:
     """Install SIGINT/SIGTERM handlers for a graceful drain.
 
     On signal, the HTTP server is shut down from a helper thread —
@@ -577,8 +591,8 @@ def install_shutdown_handlers(server: ThreadingHTTPServer,
     Signals can only be bound from the main thread; elsewhere this is
     a no-op that still returns the handler.
     """
-    def handler(signum, frame):  # noqa: ARG001 — stdlib signature
-        def drain():
+    def handler(signum: int, frame: Any) -> None:  # noqa: ARG001 — stdlib signature
+        def drain() -> None:
             server.shutdown()
             if service is not None:
                 service.close()

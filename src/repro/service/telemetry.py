@@ -6,19 +6,29 @@ recorded into fixed geometric buckets, from which p50/p99 are read by
 linear interpolation within the winning bucket — the standard
 Prometheus-style estimate, accurate to a bucket width, with O(1) memory
 per histogram no matter how many observations arrive.
+
+Stat names are declared centrally in :mod:`repro.service.registry`; in
+sanitize mode (``REPRO_SANITIZE=1``) every ``incr``/``observe``/
+``register_gauge`` call validates its key against that registry and an
+unknown name raises :class:`~repro.errors.UnknownStatKeyError`, so a
+typo'd counter fails a stress run instead of silently flatlining a
+dashboard.
 """
 
 from __future__ import annotations
 
-import threading
 from bisect import bisect_left
 from typing import Callable
+
+from .. import sanitizer
+from ..errors import UnknownStatKeyError
+from . import registry
 
 __all__ = ["LatencyHistogram", "Telemetry"]
 
 
 def _geometric_bounds(lo: float, hi: float, per_decade: int = 5) -> tuple[float, ...]:
-    bounds = []
+    bounds: list[float] = []
     value = lo
     factor = 10 ** (1.0 / per_decade)
     while value < hi:
@@ -36,7 +46,7 @@ _DEFAULT_BOUNDS = _geometric_bounds(1e-4, 1e2)
 class LatencyHistogram:
     """Fixed-bucket histogram with quantile estimation."""
 
-    def __init__(self, bounds: tuple[float, ...] = _DEFAULT_BOUNDS):
+    def __init__(self, bounds: tuple[float, ...] = _DEFAULT_BOUNDS) -> None:
         self.bounds = bounds
         self._counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
         self.count = 0
@@ -93,16 +103,25 @@ class LatencyHistogram:
 
 
 class Telemetry:
-    """Thread-safe named counters, histograms and gauge callbacks."""
+    """Thread-safe named counters, histograms and gauge callbacks.
 
-    def __init__(self):
-        self._lock = threading.Lock()
+    ``strict`` (default: sanitize mode) validates every stat name
+    against :mod:`repro.service.registry`.
+    """
+
+    __guarded_by__ = {"_lock": ("_counters", "_histograms", "_gauges")}
+
+    def __init__(self, strict: bool | None = None) -> None:
+        self._lock = sanitizer.make_lock("telemetry")
+        self._strict = sanitizer.is_active() if strict is None else strict
         self._counters: dict[str, int] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
         self._gauges: dict[str, Callable[[], object]] = {}
 
     # ------------------------------------------------------------------
     def incr(self, name: str, delta: int = 1) -> None:
+        if self._strict and not registry.is_registered_counter(name):
+            raise UnknownStatKeyError("counter", name)
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + delta
 
@@ -111,6 +130,8 @@ class Telemetry:
             return self._counters.get(name, 0)
 
     def observe(self, name: str, value: float) -> None:
+        if self._strict and not registry.is_registered_histogram(name):
+            raise UnknownStatKeyError("histogram", name)
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
@@ -123,6 +144,8 @@ class Telemetry:
 
     def register_gauge(self, name: str, read: Callable[[], object]) -> None:
         """Register a callback sampled at snapshot time (queue depth &c)."""
+        if self._strict and not registry.is_registered_gauge(name):
+            raise UnknownStatKeyError("gauge", name)
         with self._lock:
             self._gauges[name] = read
 

@@ -81,7 +81,7 @@ class ShardedIndexAdvisor:
         "ilp": IlpIndexSelector,
     }
 
-    def __init__(self, engine: ShardedEngine):
+    def __init__(self, engine: ShardedEngine) -> None:
         self.engine = engine
         self._costs_cache: dict[int, dict[str, QueryCosts]] = {}
 

@@ -30,10 +30,11 @@ under ``fail_soft``, is dropped and the partial result is tagged
 from __future__ import annotations
 
 import os
-import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any, Callable
 
+from .. import sanitizer
 from ..corpus.alias import AliasMapping
 from ..corpus.collection import Collection
 from ..corpus.document import Document
@@ -61,13 +62,20 @@ __all__ = ["Shard", "ShardedTranslation", "ShardedEngine"]
 
 @dataclass
 class Shard:
-    """One partition: its engine plus cumulative serving counters."""
+    """One partition: its engine plus cumulative serving counters.
+
+    The counters are mutated by the coordinator under its
+    ``_counter_lock`` (declared here because the attributes live on
+    this class; the lock lives on :class:`ShardedEngine`).
+    """
 
     index: int
     engine: TrexEngine
     probes: int = 0    # queries this shard evaluated work for
     pruned: int = 0    # early terminations by the coordinator
     timeouts: int = 0  # deadline misses
+
+    __guarded_by__ = {"_counter_lock": ("probes", "pruned", "timeouts")}
 
 
 @dataclass(frozen=True)
@@ -95,7 +103,7 @@ class _ShardRun:
     pruned: bool = False
     timed_out: bool = False
 
-    def account(self, spent, seconds: float) -> None:
+    def account(self, spent: Any, seconds: float) -> None:
         self.cost += spent.total_cost
         self.ideal_cost += spent.ideal_cost
         self.entries_decoded += spent.entries_decoded
@@ -117,9 +125,9 @@ class ShardedEngine:
     def __init__(self, collection: Collection, num_shards: int, *,
                  policy: str = "hash",
                  alias: AliasMapping | None = None,
-                 summary_factory=None,
+                 summary_factory: Callable[[Collection], Any] | None = None,
                  tokenizer: Tokenizer | None = None,
-                 scorer=None,
+                 scorer: Any = None,
                  cost_model: CostModel | None = None,
                  support_weight: float = 0.5,
                  auto_materialize: bool = True,
@@ -128,7 +136,7 @@ class ShardedEngine:
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  shard_deadline: float | None = None,
                  fail_soft: bool = True,
-                 ta_batch_size: int = DEFAULT_BATCH_SIZE):
+                 ta_batch_size: int = DEFAULT_BATCH_SIZE) -> None:
         self.collection = collection
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
@@ -139,7 +147,7 @@ class ShardedEngine:
         self.block_size = block_size
         self.support_weight = support_weight
         self._auto_materialize = auto_materialize
-        self._counter_lock = threading.Lock()
+        self._counter_lock = sanitizer.make_lock("shard-counters")
 
         if summary_factory is None:
             resolved_alias = alias if alias is not None else AliasMapping.identity()
@@ -358,6 +366,9 @@ class ShardedEngine:
                     # No element this shard could still deliver can make
                     # the global top-k: terminate it early.
                     run.session.prune()
+                    # _ShardRun.pruned is coordinator-local bookkeeping,
+                    # not the Shard counter of the same name.
+                    # repro: allow[TRX101] name collision with Shard.pruned
                     run.pruned = True
                     with self._counter_lock:
                         run.shard.pruned += 1
@@ -435,7 +446,8 @@ class ShardedEngine:
                           length=hit.length)
                 for hit in hits]
 
-    def _shard_row(self, shard: Shard, *, cost: float, hits, elapsed: float,
+    def _shard_row(self, shard: Shard, *, cost: float, hits: int | None,
+                   elapsed: float,
                    entries_decoded: int, pruned: bool = False,
                    timed_out: bool = False, early_stop: bool = False,
                    depth: int | None = None) -> dict:
@@ -474,18 +486,20 @@ class ShardedEngine:
         return "era"
 
     def missing_segments(self, translated: ShardedTranslation,
-                         kinds=("rpl", "erpl"), *, mode: str = "nexi"
+                         kinds: tuple[str, ...] = ("rpl", "erpl"), *,
+                         mode: str = "nexi"
                          ) -> list[tuple[str, str, frozenset[int], int]]:
         """Missing ``(kind, term, sids, shard_index)`` quadruples across
         every shard (sids are shard-summary-local)."""
-        missing = []
+        missing: list[tuple[str, str, frozenset[int], int]] = []
         for shard, local in zip(self.shards, translated.per_shard):
             for kind, term, sids in shard.engine.missing_segments(
                     local, kinds, mode=mode):
                 missing.append((kind, term, sids, shard.index))
         return missing
 
-    def warm_segments(self, missing) -> int:
+    @sanitizer.mutates_engine_state
+    def warm_segments(self, missing: list[tuple]) -> int:
         created = 0
         for item in missing:
             kind, term = item[0], item[1]
@@ -505,6 +519,7 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     # Incremental maintenance
     # ------------------------------------------------------------------
+    @sanitizer.mutates_engine_state
     def add_document(self, source: str | Document,
                      docid: int | None = None) -> Document:
         """Parse (if needed), register globally, and route to one shard.
@@ -527,7 +542,9 @@ class ShardedEngine:
         shard.engine.add_document(document)
         return document
 
-    def rebuild_scorer(self, scorer_factory=None) -> None:
+    @sanitizer.mutates_engine_state
+    def rebuild_scorer(self, scorer_factory: Callable[[ScoringStats], Any]
+                       | None = None) -> None:
         """Refresh *global* corpus statistics and reset every shard."""
         with self.cost_model.muted():
             stats = ScoringStats.from_collection(self.collection)
@@ -600,6 +617,7 @@ class ShardedEngine:
             shard.engine.save_indexes(
                 os.path.join(directory, f"shard{shard.index}"))
 
+    @sanitizer.mutates_engine_state
     def load_indexes(self, directory: str) -> None:
         """Replace every shard's index tables from a saved directory."""
         for shard in self.shards:

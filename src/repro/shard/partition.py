@@ -41,7 +41,7 @@ class Partitioner:
 
     name = "base"
 
-    def __init__(self, num_shards: int):
+    def __init__(self, num_shards: int) -> None:
         if num_shards < 1:
             raise ShardError(f"need at least one shard, got {num_shards}")
         self.num_shards = num_shards
@@ -73,7 +73,7 @@ class RangePartitioner(Partitioner):
 
     name = "range"
 
-    def __init__(self, num_shards: int, boundaries: list[int]):
+    def __init__(self, num_shards: int, boundaries: list[int]) -> None:
         super().__init__(num_shards)
         if len(boundaries) != num_shards - 1:
             raise ShardError(

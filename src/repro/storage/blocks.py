@@ -65,7 +65,7 @@ class BlockSequence:
                  headers: list[BlockHeader] | None = None,
                  payloads: list[bytes] | None = None,
                  cost_model: CostModel | None = None,
-                 cache: PageCache | None = None):
+                 cache: PageCache | None = None) -> None:
         self.codec = codec
         self.headers: list[BlockHeader] = headers or []
         self._payloads: list[bytes] = payloads or []
@@ -81,7 +81,7 @@ class BlockSequence:
 
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, entries, codec: BlockCodec,
+    def build(cls, entries: list, codec: BlockCodec,
               block_size: int = DEFAULT_BLOCK_SIZE,
               cost_model: CostModel | None = None,
               cache: PageCache | None = None) -> "BlockSequence":
@@ -98,7 +98,7 @@ class BlockSequence:
         return cls(codec, headers, payloads, cost_model=cost_model, cache=cache)
 
     @classmethod
-    def build_grouped(cls, groups, codec: BlockCodec,
+    def build_grouped(cls, groups: list, codec: BlockCodec,
                       cost_model: CostModel | None = None,
                       cache: PageCache | None = None) -> "BlockSequence":
         """Pack each run in *groups* as one block (caller-chosen bounds).

@@ -35,7 +35,7 @@ class _Node:
 
     __slots__ = ("page_id", "is_leaf", "keys", "values", "children", "next_leaf", "prev_leaf")
 
-    def __init__(self, page_id: int, is_leaf: bool):
+    def __init__(self, page_id: int, is_leaf: bool) -> None:
         self.page_id = page_id
         self.is_leaf = is_leaf
         self.keys: list[Any] = []
@@ -107,7 +107,7 @@ class BPlusTree:
     """
 
     def __init__(self, order: int = 64, cache: PageCache | None = None,
-                 cost_model: CostModel | None = None):
+                 cost_model: CostModel | None = None) -> None:
         if order < 4:
             raise StorageError("B+-tree order must be at least 4")
         self.order = order
@@ -486,7 +486,7 @@ class Cursor:
 
     __slots__ = ("_tree", "_leaf", "_idx")
 
-    def __init__(self, tree: BPlusTree, leaf: _Node, idx: int):
+    def __init__(self, tree: BPlusTree, leaf: _Node, idx: int) -> None:
         self._tree = tree
         self._leaf: _Node | None = leaf
         self._idx = idx

@@ -30,6 +30,7 @@ import math
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 class Charge:
@@ -141,7 +142,7 @@ class CostModel:
         return self if model is None else model
 
     @contextmanager
-    def scoped(self, model: "CostModel"):
+    def scoped(self, model: "CostModel") -> Iterator["CostModel"]:
         """Route this model's traffic on the current thread to *model*.
 
         Every charging primitive, ``muted()`` block and meter read that
@@ -161,7 +162,7 @@ class CostModel:
     # Muting (index construction is not part of query evaluation time)
     # ------------------------------------------------------------------
     @contextmanager
-    def muted(self):
+    def muted(self) -> Iterator["CostModel"]:
         """Suspend all charging within the block (nested blocks fine)."""
         target = self._active()
         if target is not self:

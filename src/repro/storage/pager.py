@@ -29,7 +29,7 @@ class PageCache:
     accordingly on every touch.
     """
 
-    def __init__(self, capacity: int = 4096, cost_model: CostModel | None = None):
+    def __init__(self, capacity: int = 4096, cost_model: CostModel | None = None) -> None:
         if capacity < 1:
             raise ValueError("page cache capacity must be >= 1")
         self.capacity = capacity

@@ -172,7 +172,7 @@ class BoolCodec(Codec):
 class ListCodec(Codec):
     """Count-prefixed homogeneous list of an inner codec."""
 
-    def __init__(self, inner: Codec):
+    def __init__(self, inner: Codec) -> None:
         self.inner = inner
 
     def encode_into(self, out: bytearray, value: Any) -> None:
@@ -194,7 +194,7 @@ class ListCodec(Codec):
 class TupleCodec(Codec):
     """Fixed sequence of heterogeneous fields."""
 
-    def __init__(self, fields: Sequence[Codec]):
+    def __init__(self, fields: Sequence[Codec]) -> None:
         self.fields = tuple(fields)
 
     def encode_into(self, out: bytearray, value: Any) -> None:
@@ -249,7 +249,7 @@ class BlockCodec(Codec):
 
     def __init__(self, key_width: int,
                  payload_codecs: Sequence[Codec] = (),
-                 score_index: int | None = None):
+                 score_index: int | None = None) -> None:
         if key_width < 1:
             raise CodecError("key_width must be >= 1")
         self.key_width = key_width

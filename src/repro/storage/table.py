@@ -96,7 +96,7 @@ class Column:
 class Schema:
     """Column list plus the length of the primary-key prefix."""
 
-    def __init__(self, columns: Sequence[Column], key_length: int):
+    def __init__(self, columns: Sequence[Column], key_length: int) -> None:
         if not 1 <= key_length <= len(columns):
             raise SchemaError("key_length must cover a non-empty column prefix")
         names = [c.name for c in columns]
@@ -152,7 +152,7 @@ class Table:
     def __init__(self, name: str, schema: Schema, *,
                  cost_model: CostModel | None = None,
                  cache: PageCache | None = None,
-                 btree_order: int = 64):
+                 btree_order: int = 64) -> None:
         self.name = name
         self.schema = schema
         self.cost_model = cost_model if cost_model is not None else GLOBAL_COST_MODEL

@@ -27,7 +27,7 @@ from typing import Hashable, Iterator
 
 from ..corpus.alias import AliasMapping
 from ..corpus.collection import Collection
-from ..corpus.document import XMLNode
+from ..corpus.document import Document, XMLNode
 from ..errors import SummaryError
 
 __all__ = ["PartitionSummary", "ExtentInfo"]
@@ -40,7 +40,7 @@ class ExtentInfo:
 
     __slots__ = ("sid", "label", "size", "paths")
 
-    def __init__(self, sid: int, label: str):
+    def __init__(self, sid: int, label: str) -> None:
         self.sid = sid
         self.label = label
         self.size = 0
@@ -61,7 +61,7 @@ class PartitionSummary:
     name = "partition"
 
     def __init__(self, collection: Collection,
-                 alias: AliasMapping | None = None):
+                 alias: AliasMapping | None = None) -> None:
         self.collection = collection
         self.alias = alias if alias is not None else AliasMapping.identity()
         self._key_to_sid: dict[Hashable, int] = {}
@@ -84,7 +84,7 @@ class PartitionSummary:
         for document in self.collection:
             self._walk(document.docid, document.root, ())
 
-    def extend(self, document) -> None:
+    def extend(self, document: Document) -> None:
         """Incorporate a newly added document into the partition.
 
         Works for every path-determined summary (the group key of an

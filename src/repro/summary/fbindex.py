@@ -22,6 +22,7 @@ from typing import Hashable
 
 from ..corpus.alias import AliasMapping
 from ..corpus.collection import Collection
+from ..corpus.document import Document, XMLNode
 from ..errors import SummaryError
 from .base import ExtentInfo, PartitionSummary
 
@@ -34,14 +35,14 @@ class FBIndex(PartitionSummary):
     name = "f&b"
 
     def __init__(self, collection: Collection, alias: AliasMapping | None = None,
-                 max_rounds: int = 1000):
+                 max_rounds: int = 1000) -> None:
         self.max_rounds = max_rounds
         super().__init__(collection, alias)
 
-    def group_key(self, path) -> Hashable:  # pragma: no cover - never called
+    def group_key(self, path: tuple[str, ...]) -> Hashable:  # pragma: no cover - never called
         raise SummaryError("the F&B partition is not a function of the path")
 
-    def extend(self, document) -> None:
+    def extend(self, document: Document) -> None:
         raise SummaryError(
             "the F&B index is a global-refinement summary; adding a "
             "document can re-split existing extents — rebuild it instead")
@@ -55,7 +56,7 @@ class FBIndex(PartitionSummary):
         children: list[list[int]] = []
         keys: list[tuple[int, int]] = []  # (docid, end_pos)
 
-        def walk(docid: int, node, parent_index: int,
+        def walk(docid: int, node: XMLNode, parent_index: int,
                  parent_path: tuple[str, ...]) -> None:
             index = len(labels)
             label = self.alias.canonical(node.tag)

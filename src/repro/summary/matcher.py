@@ -52,7 +52,7 @@ class PathPattern:
             out.append(step.label)
         return "".join(out)
 
-    def canonicalized(self, alias) -> "PathPattern":
+    def canonicalized(self, alias: AliasMapping) -> "PathPattern":
         """Apply an alias mapping to every label test (vague matching)."""
         return PathPattern(tuple(
             PathStep(s.axis, s.label if s.label == WILDCARD else alias.canonical(s.label))

@@ -56,7 +56,7 @@ class AKIndex(PartitionSummary):
     name = "a(k)"
 
     def __init__(self, collection: Collection, k: int,
-                 alias: AliasMapping | None = None):
+                 alias: AliasMapping | None = None) -> None:
         if k < 0:
             raise ValueError("A(k) requires k >= 0")
         self.k = k

@@ -1,0 +1,8 @@
+# repro: module[repro.fixture_annotations_bad]
+def add(a, b):
+    return a + b
+
+
+class Thing:
+    def __init__(self, size):
+        self.size = size

@@ -1,0 +1,23 @@
+# repro: module[repro.index.fixture_det_bad]
+"""Fixture: wall-clock, unseeded randomness and set-order iteration."""
+
+import random
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def make_rng() -> object:
+    return random.Random()
+
+
+def first() -> int:
+    for value in {3, 1, 2}:
+        return value
+    return 0

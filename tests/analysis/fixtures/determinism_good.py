@@ -1,0 +1,14 @@
+# repro: module[repro.index.fixture_det_good]
+"""Fixture: seeded randomness and ordered iteration are fine."""
+
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def first(values: set) -> int:
+    for value in sorted(values):
+        return value
+    return 0

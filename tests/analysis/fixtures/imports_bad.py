@@ -1,0 +1,7 @@
+# repro: module[repro.fixture_imports_bad]
+import json
+import os
+
+
+def cwd() -> str:
+    return os.getcwd()

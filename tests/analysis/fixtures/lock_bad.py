@@ -1,0 +1,17 @@
+# repro: module[repro.service.fixture_lock_bad]
+"""Fixture: guarded writes without (or under the wrong side of) the lock."""
+
+
+class Server:
+    __guarded_by__ = {"_lock": ("requests",), "rwlock": ("epoch",)}
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.epoch = 0
+
+    def handle(self) -> None:
+        self.requests += 1
+
+    def bump_epoch_under_read(self) -> None:
+        with self.rwlock.read():
+            self.epoch += 1

@@ -1,0 +1,27 @@
+# repro: module[repro.service.fixture_lock_good]
+"""Fixture: every guarded write follows one of the sanctioned shapes."""
+
+from repro.sanitizer import mutates_engine_state
+
+
+class Server:
+    __guarded_by__ = {"_lock": ("requests",), "rwlock": ("epoch",)}
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.epoch = 0
+
+    def handle(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def bump_epoch(self) -> None:
+        with self.rwlock.write():
+            self.epoch += 1
+
+    def _bump_epoch_locked(self) -> None:
+        self.epoch += 1
+
+    @mutates_engine_state
+    def rebuild(self) -> None:
+        self.epoch += 1

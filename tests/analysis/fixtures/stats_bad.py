@@ -1,0 +1,10 @@
+# repro: module[repro.service.fixture_stats_bad]
+"""Fixture: typo'd, unregistered and computed telemetry keys."""
+
+
+def emit(telemetry: object, method: str) -> None:
+    telemetry.incr("search.requets")
+    telemetry.observe("search.latency", 0.1)
+    telemetry.incr(f"weird.{method}")
+    key = "search.requests"
+    telemetry.incr(key)

@@ -1,0 +1,9 @@
+# repro: module[repro.service.fixture_stats_good]
+"""Fixture: registered keys and registered dynamic prefixes pass."""
+
+
+def emit(telemetry: object, method: str) -> None:
+    telemetry.incr("search.requests")
+    telemetry.observe("search.latency_seconds", 0.1)
+    telemetry.incr(f"search.method.{method}")
+    telemetry.register_gauge("queue_depth", lambda: 0)

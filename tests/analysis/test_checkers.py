@@ -1,0 +1,139 @@
+"""Each lint rule fires on its bad fixture at exact lines, and stays
+quiet on the good fixture."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import RULES, run_analysis
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings(name: str, select: list[str] | None = None) -> list[tuple[str, int]]:
+    path = FIXTURES / name
+    return [(finding.rule, finding.line)
+            for finding in run_analysis([str(path)], select=select)]
+
+
+# ----------------------------------------------------------------------
+# TRX1xx — lock discipline
+# ----------------------------------------------------------------------
+def test_lock_discipline_flags_unguarded_and_read_side_writes() -> None:
+    assert findings("lock_bad.py", select=["TRX1"]) == [
+        ("TRX101", 13),   # self.requests += 1 without self._lock
+        ("TRX102", 17),   # self.epoch += 1 under rwlock.read()
+    ]
+
+
+def test_lock_discipline_accepts_sanctioned_shapes() -> None:
+    assert findings("lock_good.py", select=["TRX1"]) == []
+
+
+# ----------------------------------------------------------------------
+# TRX2xx — cost charging
+# ----------------------------------------------------------------------
+def test_cost_charging_flags_uncharged_decodes_and_private_pokes() -> None:
+    assert findings("cost_bad.py", select=["TRX2"]) == [
+        ("TRX201", 6),    # seq.entries()
+        ("TRX201", 7),    # catalog.segment_entries(...)
+        ("TRX202", 8),    # seq._payloads
+    ]
+
+
+def test_cost_charging_accepts_read_block_and_muted() -> None:
+    assert findings("cost_good.py", select=["TRX2"]) == []
+
+
+# ----------------------------------------------------------------------
+# TRX3xx — determinism
+# ----------------------------------------------------------------------
+def test_determinism_flags_clock_randomness_and_set_iteration() -> None:
+    assert findings("determinism_bad.py", select=["TRX3"]) == [
+        ("TRX301", 9),    # time.time()
+        ("TRX302", 13),   # random.random()
+        ("TRX302", 17),   # random.Random() without a seed
+        ("TRX303", 21),   # for value in {3, 1, 2}
+    ]
+
+
+def test_determinism_accepts_seeded_and_sorted() -> None:
+    assert findings("determinism_good.py", select=["TRX3"]) == []
+
+
+# ----------------------------------------------------------------------
+# TRX4xx — stats registry
+# ----------------------------------------------------------------------
+def test_stats_registry_flags_unknown_and_computed_keys() -> None:
+    assert findings("stats_bad.py", select=["TRX4"]) == [
+        ("TRX401", 6),    # typo'd counter literal
+        ("TRX401", 7),    # unregistered histogram literal
+        ("TRX402", 8),    # f-string on an unregistered prefix
+        ("TRX402", 10),   # computed (Name) key
+    ]
+
+
+def test_stats_registry_accepts_registered_keys_and_prefixes() -> None:
+    assert findings("stats_good.py", select=["TRX4"]) == []
+
+
+# ----------------------------------------------------------------------
+# TRX5xx — exception policy
+# ----------------------------------------------------------------------
+def test_exception_policy_flags_broad_and_bare_handlers() -> None:
+    assert findings("exceptions_bad.py", select=["TRX5"]) == [
+        ("TRX501", 8),    # except Exception
+        ("TRX502", 15),   # bare except
+    ]
+
+
+def test_pragmas_suppress_at_line_and_file_granularity() -> None:
+    # allow-file[TRX502] waives the bare except; the line pragma waives
+    # the first `except Exception`; the unannotated one still fires.
+    assert findings("pragmas.py", select=["TRX5"]) == [
+        ("TRX501", 24),
+    ]
+
+
+# ----------------------------------------------------------------------
+# TRX6xx / TRX7xx — imports and annotations
+# ----------------------------------------------------------------------
+def test_unused_import_flags_only_the_dead_binding() -> None:
+    assert findings("imports_bad.py", select=["TRX6"]) == [
+        ("TRX601", 2),    # import json
+    ]
+
+
+def test_annotation_gaps_are_reported_per_site() -> None:
+    assert findings("annotations_bad.py", select=["TRX7"]) == [
+        ("TRX701", 2),    # add: missing return annotation
+        ("TRX701", 2),    # add: parameter a
+        ("TRX701", 2),    # add: parameter b
+        ("TRX701", 7),    # __init__: missing return annotation
+        ("TRX701", 7),    # __init__: parameter size
+    ]
+
+
+# ----------------------------------------------------------------------
+# Driver mechanics
+# ----------------------------------------------------------------------
+def test_every_registered_rule_has_a_fixture_covering_it() -> None:
+    covered: set[str] = set()
+    for fixture in sorted(FIXTURES.glob("*.py")):
+        covered.update(rule for rule, _ in findings(fixture.name))
+    # pragmas.py proves suppression for TRX501/TRX502; the remaining
+    # rules must each fire at least once across the bad fixtures.
+    assert covered == set(RULES)
+
+
+def test_unknown_selector_is_a_usage_error() -> None:
+    with pytest.raises(AnalysisError):
+        run_analysis([str(FIXTURES / "lock_bad.py")], select=["TRX999"])
+
+
+def test_missing_path_is_a_usage_error() -> None:
+    with pytest.raises(AnalysisError):
+        run_analysis([str(FIXTURES / "does_not_exist.py")])

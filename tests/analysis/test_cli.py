@@ -1,0 +1,50 @@
+"""Exit codes and output formats of ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_clean_input_exits_zero(capsys: pytest.CaptureFixture) -> None:
+    assert main([str(FIXTURES / "lock_good.py")]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_locations(capsys: pytest.CaptureFixture) -> None:
+    assert main([str(FIXTURES / "lock_bad.py"), "--select", "TRX1"]) == 1
+    out = capsys.readouterr().out
+    assert "lock_bad.py:13:" in out and "TRX101" in out
+    assert "lock_bad.py:17:" in out and "TRX102" in out
+
+
+def test_json_format_is_machine_readable(capsys: pytest.CaptureFixture) -> None:
+    assert main([str(FIXTURES / "cost_bad.py"), "--select", "TRX2",
+                 "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [(entry["rule"], entry["line"]) for entry in payload] == [
+        ("TRX201", 6), ("TRX201", 7), ("TRX202", 8)]
+
+
+def test_unknown_selector_exits_two(capsys: pytest.CaptureFixture) -> None:
+    assert main([str(FIXTURES / "lock_bad.py"), "--select", "TRX999"]) == 2
+    assert "unknown rule selector" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(capsys: pytest.CaptureFixture) -> None:
+    assert main(["no/such/path.py"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_list_rules_names_every_rule(capsys: pytest.CaptureFixture) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("TRX101", "TRX201", "TRX301", "TRX401", "TRX501",
+                    "TRX601", "TRX701"):
+        assert rule_id in out

@@ -1,0 +1,161 @@
+"""Runtime lock-order sanitizer (TSan-lite) behaviour.
+
+The key regression here: a deliberately inverted lock-acquisition order
+must raise :class:`LockOrderViolation` even though no schedule actually
+deadlocks — the graph catches the *potential*.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+import pytest
+
+from repro import sanitizer
+from repro.errors import (LockOrderViolation, UnguardedMutationError,
+                          UnknownStatKeyError)
+from repro.service.locks import ReadWriteLock
+from repro.service.telemetry import Telemetry
+
+
+@pytest.fixture
+def clean_sanitizer() -> Iterator[None]:
+    prior = sanitizer.is_active()
+    sanitizer.reset()
+    yield
+    sanitizer.reset()
+    if prior:
+        sanitizer.enable()
+    else:
+        sanitizer.disable()
+
+
+# ----------------------------------------------------------------------
+# Lock-order graph
+# ----------------------------------------------------------------------
+def test_inverted_lock_order_raises(clean_sanitizer: None) -> None:
+    with sanitizer.enabled():
+        lock_a = sanitizer.make_lock("a")
+        lock_b = sanitizer.make_lock("b")
+        # Path one establishes the order a -> b.
+        with lock_a:
+            with lock_b:
+                pass
+        # Path two deliberately inverts it: b -> a must be refused.
+        with lock_b:
+            with pytest.raises(LockOrderViolation) as info:
+                lock_a.acquire()
+        message = str(info.value)
+        assert "a" in message and "b" in message
+
+
+def test_consistent_order_never_raises(clean_sanitizer: None) -> None:
+    with sanitizer.enabled():
+        lock_a = sanitizer.make_lock("a")
+        lock_b = sanitizer.make_lock("b")
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+
+
+def test_rwlock_inversion_is_caught_across_threads(clean_sanitizer: None) -> None:
+    """The ReadWriteLock reports to the same graph: opposite write-side
+    orders on two different threads are a latent deadlock."""
+    with sanitizer.enabled():
+        lock_a = ReadWriteLock("engine-a")
+        lock_b = ReadWriteLock("engine-b")
+
+        def forward() -> None:
+            with lock_a.write():
+                with lock_b.write():
+                    pass
+
+        thread = threading.Thread(target=forward)
+        thread.start()
+        thread.join()
+
+        with lock_b.write():
+            with pytest.raises(LockOrderViolation):
+                lock_a.acquire_write()
+            lock_a.release_write()  # acquire completed before the check
+
+
+def test_inactive_sanitizer_is_a_no_op(clean_sanitizer: None) -> None:
+    sanitizer.disable()
+    lock_a = sanitizer.make_lock("a")
+    lock_b = sanitizer.make_lock("b")
+    assert isinstance(lock_a, type(threading.Lock()))
+    with lock_a, lock_b:
+        pass
+    with lock_b, lock_a:  # inversion, but nobody is watching
+        pass
+
+
+def test_make_lock_is_sanitized_when_active(clean_sanitizer: None) -> None:
+    with sanitizer.enabled():
+        lock = sanitizer.make_lock("telemetry")
+        assert isinstance(lock, sanitizer.SanitizedLock)
+        assert lock.acquire()
+        assert lock.locked()
+        lock.release()
+        assert not lock.locked()
+
+
+# ----------------------------------------------------------------------
+# Guarded-mutation checking
+# ----------------------------------------------------------------------
+class _Engine:
+    def __init__(self) -> None:
+        self.epoch = 0
+
+    @sanitizer.mutates_engine_state
+    def ingest(self) -> None:
+        self.epoch += 1
+
+
+def test_guarded_mutation_requires_the_write_side(clean_sanitizer: None) -> None:
+    with sanitizer.enabled():
+        engine = _Engine()
+        lock = ReadWriteLock("guard-test")
+        sanitizer.guard_engine(engine, lock)
+        with pytest.raises(UnguardedMutationError):
+            engine.ingest()
+        with lock.read():
+            with pytest.raises(UnguardedMutationError):
+                engine.ingest()
+        with lock.write():
+            engine.ingest()
+        assert engine.epoch == 1
+
+
+def test_unregistered_engine_is_unrestricted(clean_sanitizer: None) -> None:
+    with sanitizer.enabled():
+        engine = _Engine()
+        engine.ingest()
+        assert engine.epoch == 1
+
+
+# ----------------------------------------------------------------------
+# Strict telemetry keys
+# ----------------------------------------------------------------------
+def test_strict_telemetry_rejects_unknown_keys() -> None:
+    telemetry = Telemetry(strict=True)
+    with pytest.raises(UnknownStatKeyError):
+        telemetry.incr("search.requets")
+    with pytest.raises(UnknownStatKeyError):
+        telemetry.observe("search.latency", 0.1)
+    with pytest.raises(UnknownStatKeyError):
+        telemetry.register_gauge("bogus", lambda: 0)
+    telemetry.incr("search.requests")
+    telemetry.incr("search.method.rpl")          # registered prefix
+    telemetry.observe("search.latency_seconds", 0.1)
+    telemetry.register_gauge("queue_depth", lambda: 0)
+    assert telemetry.counter("search.requests") == 1
+
+
+def test_lenient_telemetry_accepts_anything() -> None:
+    telemetry = Telemetry(strict=False)
+    telemetry.incr("anything.goes")
+    assert telemetry.counter("anything.goes") == 1

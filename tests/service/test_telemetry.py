@@ -44,21 +44,21 @@ class TestLatencyHistogram:
 
 class TestTelemetry:
     def test_counters(self):
-        telemetry = Telemetry()
+        telemetry = Telemetry(strict=False)
         telemetry.incr("a")
         telemetry.incr("a", 4)
         assert telemetry.counter("a") == 5
         assert telemetry.counter("missing") == 0
 
     def test_histograms_created_on_demand(self):
-        telemetry = Telemetry()
+        telemetry = Telemetry(strict=False)
         telemetry.observe("latency", 0.02)
         telemetry.observe("latency", 0.04)
         assert telemetry.histogram("latency").count == 2
         assert telemetry.histogram("other") is None
 
     def test_gauges_sampled_at_snapshot(self):
-        telemetry = Telemetry()
+        telemetry = Telemetry(strict=False)
         depth = [3]
         telemetry.register_gauge("queue_depth", lambda: depth[0])
         assert telemetry.snapshot()["gauges"]["queue_depth"] == 3
@@ -66,7 +66,7 @@ class TestTelemetry:
         assert telemetry.snapshot()["gauges"]["queue_depth"] == 7
 
     def test_snapshot_shape(self):
-        telemetry = Telemetry()
+        telemetry = Telemetry(strict=False)
         telemetry.incr("requests", 2)
         telemetry.observe("latency", 0.01)
         snap = telemetry.snapshot()

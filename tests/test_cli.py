@@ -1,5 +1,7 @@
 """Tests for the command-line interface and the directory loader."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -148,3 +150,22 @@ class TestCliRunOutput:
         with open(run_path, encoding="utf-8") as fh:
             runs = read_run(fh)
         assert "270" in runs and len(runs["270"]) == 3
+
+
+class TestAnalyzeCommand:
+    FIXTURES = Path(__file__).parent / "analysis" / "fixtures"
+
+    def test_analyze_clean_fixture_exits_zero(self, capsys):
+        fixture = str(self.FIXTURES / "lock_good.py")
+        assert main(["analyze", fixture]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_analyze_reports_findings_with_exit_one(self, capsys):
+        fixture = str(self.FIXTURES / "lock_bad.py")
+        assert main(["analyze", fixture, "--select", "TRX1"]) == 1
+        out = capsys.readouterr().out
+        assert "TRX101" in out and "TRX102" in out
+
+    def test_analyze_list_rules(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        assert "TRX701" in capsys.readouterr().out
