@@ -1,0 +1,184 @@
+"""The batched single-pass segment builder.
+
+One ERA-style scan over the collection produces the entries of every
+requested ``(kind, term, scope)`` target:
+
+* per document, the position list of every requested term is gathered
+  in one pass over the token stream (the seed path re-scanned the
+  tokens once per term);
+* per element node, the sid is resolved once and each present term is
+  scored once — ``scorer.score(term, tf, length)`` with the same
+  arguments the per-term builder passes, so every float is identical;
+* the score fans out to each target of that term whose scope admits
+  the sid.
+
+Per-target entry lists are finally sorted by the RPL order
+``(-score, docid, endpos)`` — the exact key
+:func:`~repro.index.rpl.compute_rpl_entries` sorts by — so a batched
+build is entry-for-entry identical to the per-term path (golden tests
+diff the encoded bytes).
+
+Charging: construction is normally free (engines materialize under
+``cost_model.muted()``), but passing a cost model meters the build —
+one seek per collection pass, a tuple read per element examined, a
+tuple write per entry emitted, and a sort per target — which is how
+``measure_query`` accounts the batched build cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..corpus.collection import Collection
+from ..corpus.document import Document
+from ..index.rpl import RplEntry, _element_tf, erpl_block_codec, erpl_block_entry, rpl_block_codec, rpl_block_entry
+from ..scoring.scorers import ElementScorer
+from ..storage.blocks import DEFAULT_BLOCK_SIZE, BlockSequence
+from ..storage.cost import CostModel
+from ..summary.base import PartitionSummary
+from .planner import BuildTarget
+
+__all__ = ["BatchBuildResult", "compute_entries_batch",
+           "compute_document_entries", "encode_run", "filter_scope"]
+
+
+@dataclass
+class BatchBuildResult:
+    """Entries per target plus scan accounting for the one shared pass."""
+
+    entries: dict[BuildTarget, list[RplEntry]]
+    documents_scanned: int
+    elements_examined: int
+    collection_scans: int
+
+    def entry_total(self) -> int:
+        return sum(len(rows) for rows in self.entries.values())
+
+
+def compute_entries_batch(collection: Collection, summary: PartitionSummary,
+                          targets: Iterable[BuildTarget],
+                          scorer: ElementScorer,
+                          cost_model: CostModel | None = None) -> BatchBuildResult:
+    """Entries for every target from one shared collection scan."""
+    ordered = list(targets)
+    entries: dict[BuildTarget, list[RplEntry]] = {
+        target: [] for target in ordered}
+    by_term: dict[str, list[BuildTarget]] = {}
+    for target in ordered:
+        by_term.setdefault(target.term, []).append(target)
+    if not by_term:
+        return BatchBuildResult(entries=entries, documents_scanned=0,
+                                elements_examined=0, collection_scans=0)
+    if cost_model is not None:
+        cost_model.seek()
+    documents_scanned = 0
+    elements_examined = 0
+    for document in collection:
+        documents_scanned += 1
+        positions_by_term: dict[str, list[int]] = {}
+        for occurrence in document.tokens:
+            if occurrence.term in by_term:
+                positions_by_term.setdefault(occurrence.term,
+                                             []).append(occurrence.position)
+        if not positions_by_term:
+            continue
+        docid = document.docid
+        for node in document.elements():
+            elements_examined += 1
+            if cost_model is not None:
+                cost_model.tuple_read()
+            sid = summary.sid_of(docid, node.end_pos)
+            for term, positions in positions_by_term.items():
+                tf = _element_tf(node, positions)
+                if tf == 0:
+                    continue
+                score = scorer.score(term, tf, node.length)
+                if score <= 0.0:
+                    continue
+                entry = RplEntry(score, sid, docid, node.end_pos, node.length)
+                for target in by_term[term]:
+                    if target.scope is None or sid in target.scope:
+                        entries[target].append(entry)
+                        if cost_model is not None:
+                            cost_model.tuple_write()
+    for rows in entries.values():
+        # The per-term builder's exact sort key; determinism of the
+        # encoded bytes follows from unique (docid, endpos) keys.
+        if cost_model is not None:
+            cost_model.sort(len(rows))
+        rows.sort(key=lambda e: (-e.score, e.docid, e.endpos))
+    return BatchBuildResult(entries=entries,
+                            documents_scanned=documents_scanned,
+                            elements_examined=elements_examined,
+                            collection_scans=1)
+
+
+def compute_document_entries(document: Document, summary: PartitionSummary,
+                             terms: Iterable[str],
+                             scorer: ElementScorer) -> dict[str, list[RplEntry]]:
+    """Per-term entries contributed by one document — the delta-run
+    payloads ``add_document`` appends to existing segments.
+
+    Equivalent to restricting :func:`compute_entries_batch` to a
+    single-document collection: the engine's scorer keeps the corpus
+    statistics snapshot taken at construction, so entries of existing
+    documents are unaffected by the insert and only these new entries
+    differ from a from-scratch rebuild (which is why appending them as
+    a delta run is exact).
+    """
+    wanted = set(terms)
+    positions_by_term: dict[str, list[int]] = {}
+    for occurrence in document.tokens:
+        if occurrence.term in wanted:
+            positions_by_term.setdefault(occurrence.term,
+                                         []).append(occurrence.position)
+    result: dict[str, list[RplEntry]] = {term: [] for term in sorted(wanted)}
+    if not positions_by_term:
+        return result
+    docid = document.docid
+    for node in document.elements():
+        sid = summary.sid_of(docid, node.end_pos)
+        for term, positions in positions_by_term.items():
+            tf = _element_tf(node, positions)
+            if tf == 0:
+                continue
+            score = scorer.score(term, tf, node.length)
+            if score <= 0.0:
+                continue
+            result[term].append(RplEntry(score, sid, docid, node.end_pos,
+                                         node.length))
+    for rows in result.values():
+        rows.sort(key=lambda e: (-e.score, e.docid, e.endpos))
+    return result
+
+
+def encode_run(kind: str, entries: list[RplEntry],
+               block_size: int = DEFAULT_BLOCK_SIZE,
+               cost_model: CostModel | None = None) -> BlockSequence:
+    """Encode entries as one block run, exactly as the catalog would.
+
+    RPL runs are keyed by descending-score rank, ERPL runs by
+    ``(sid, docid, endpos)``.  Deterministic: the same entries and
+    block size always serialize to the same bytes, whichever process
+    encodes them.
+    """
+    if kind == "rpl":
+        ordered = sorted(entries, key=lambda e: (-e.score, e.docid, e.endpos))
+        rows = [rpl_block_entry(rank, entry)
+                for rank, entry in enumerate(ordered)]
+        codec = rpl_block_codec()
+    else:
+        rows = sorted(erpl_block_entry(entry) for entry in entries)
+        codec = erpl_block_codec()
+    return BlockSequence.build(rows, codec, block_size=block_size,
+                               cost_model=cost_model)
+
+
+def filter_scope(entries_by_term: Mapping[str, list[RplEntry]], term: str,
+                 scope: frozenset[int] | None) -> list[RplEntry]:
+    """Entries of *term* admitted by *scope* (all of them when None)."""
+    rows = entries_by_term.get(term, [])
+    if scope is None:
+        return list(rows)
+    return [entry for entry in rows if entry.sid in scope]

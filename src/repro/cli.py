@@ -6,6 +6,7 @@ Subcommands::
     python -m repro info      collection / summary / index statistics
     python -m repro translate show a NEXI query's (sids, terms) translation
     python -m repro query     evaluate a NEXI query
+    python -m repro build     batch-materialize RPL/ERPL segments
     python -m repro advise    run the self-managing index advisor
     python -m repro shard     build / inspect partitioned (sharded) indexes
     python -m repro serve     run the concurrent HTTP query service
@@ -131,6 +132,45 @@ def _parse_workload_file(path: str) -> Workload:
     return Workload(queries, normalize=True)
 
 
+def _cmd_build(args: argparse.Namespace) -> int:
+    import time
+
+    from .build import BuildPlanner
+
+    engine = _make_engine(args)
+    kinds = tuple(kind.strip() for kind in args.kinds.split(",") if kind.strip())
+    planner = BuildPlanner()
+    if args.workload:
+        workload = _parse_workload_file(args.workload)
+        for wq in workload:
+            for target in engine.plan_for_query(wq.nexi, kinds,
+                                                scope=args.scope):
+                planner.add_target(target)
+    else:
+        if args.terms:
+            terms = list(dict.fromkeys(args.terms))
+        else:
+            terms = sorted({row[0] for row in engine.postings.scan()})
+        for term in terms:
+            for kind in kinds:
+                planner.add(kind, term)
+    started = time.perf_counter()
+    report = engine.build_segments(planner.plan(), workers=args.workers)
+    elapsed = time.perf_counter() - started
+    print(f"requested {report.requested} segments: built {report.built}, "
+          f"reused {report.reused} ({report.entries} entries, "
+          f"{report.bytes_built} bytes, "
+          f"{report.collection_scans} collection scans, "
+          f"workers={max(args.workers, 1)}) in {elapsed:.3f}s")
+    if args.verbose:
+        for line in report.segments:
+            print(f"  {line}")
+    if args.out:
+        engine.save_indexes(args.out)
+        print(f"saved index tables to {args.out}")
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     plan = engine.explain(args.nexi, k=args.k)
@@ -197,11 +237,14 @@ def _print_shard_rows(rows: list[dict]) -> None:
 
 
 def _cmd_shard_build(args: argparse.Namespace) -> int:
+    from .build import BuildPlanner
+
     engine = _make_sharded_engine(args)
     for shard in engine.shards:
-        terms = {row[0] for row in shard.engine.postings.scan()}
-        for term in sorted(terms):
-            shard.engine.materialize_rpl(term)
+        planner = BuildPlanner()
+        for term in sorted({row[0] for row in shard.engine.postings.scan()}):
+            planner.add("rpl", term)
+        shard.engine.build_segments(planner.plan(), workers=args.workers)
     engine.save_indexes(args.out)
     print(f"partitioned {len(engine.collection)} documents into "
           f"{engine.num_shards} shards ({args.policy}) -> {args.out}")
@@ -237,6 +280,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_policy=args.shard_policy,
         shard_deadline=args.shard_deadline,
         fail_soft=not args.no_fail_soft,
+        build_workers=args.build_workers,
+        auto_compact=not args.no_auto_compact,
     )
     with QueryService(engine, config) as service:
         server = make_server(service, args.host, args.port,
@@ -361,6 +406,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run tag for --run-output lines")
     query.set_defaults(func=_cmd_query)
 
+    build = sub.add_parser(
+        "build", help="batch-materialize RPL/ERPL segments "
+                      "(one shared scan; optional process pool)")
+    add_engine_args(build)
+    build.add_argument("--terms", nargs="*", default=None,
+                       help="terms to build (default: every indexed term)")
+    build.add_argument("--workload", default=None,
+                       help="TSV workload file; builds each query's plan")
+    build.add_argument("--scope", choices=("universal", "query", "flat"),
+                       default="universal",
+                       help="segment scope for --workload plans")
+    build.add_argument("--kinds", default="rpl,erpl",
+                       help="comma-separated kinds (default rpl,erpl)")
+    build.add_argument("--workers", type=int, default=0,
+                       help="build worker processes (0 = in-process)")
+    build.add_argument("--out", default=None,
+                       help="save index tables to this directory")
+    build.add_argument("--verbose", action="store_true",
+                       help="list every built segment")
+    build.set_defaults(func=_cmd_build)
+
     explain = sub.add_parser("explain", help="show the evaluation plan")
     add_engine_args(explain)
     explain.add_argument("nexi", help="NEXI query string")
@@ -396,6 +462,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_shard_args(shard_build)
     shard_build.add_argument("--out", required=True,
                              help="output directory (one shard{i}/ each)")
+    shard_build.add_argument("--workers", type=int, default=0,
+                             help="build worker processes per shard "
+                                  "(0 = in-process)")
     shard_build.set_defaults(func=_cmd_shard_build)
 
     shard_stats = shard_sub.add_parser(
@@ -425,6 +494,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="greedy")
     serve.add_argument("--no-autopilot", action="store_true",
                        help="disable background index self-management")
+    serve.add_argument("--build-workers", type=int, default=0,
+                       help="worker processes for segment warm-up builds")
+    serve.add_argument("--no-auto-compact", action="store_true",
+                       help="leave LSM delta compaction to POST /compact")
     serve.add_argument("--shards", type=int, default=1,
                        help="partition the engine into N document shards")
     serve.add_argument("--shard-policy", choices=("hash", "range"),

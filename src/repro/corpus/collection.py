@@ -68,6 +68,7 @@ class Collection:
         self.name = name
         self._documents: dict[int, Document] = {}
         self._stats = CollectionStats()
+        self._max_docid = -1
 
     @classmethod
     def from_documents(cls, documents: Iterable[Document],
@@ -82,6 +83,8 @@ class Collection:
             raise TrexError(f"duplicate docid {document.docid} in {self.name!r}")
         self._documents[document.docid] = document
         self._stats.observe(document)
+        if document.docid > self._max_docid:
+            self._max_docid = document.docid
 
     def document(self, docid: int) -> Document:
         try:
@@ -101,6 +104,17 @@ class Collection:
     @property
     def docids(self) -> list[int]:
         return list(self._documents.keys())
+
+    @property
+    def max_docid(self) -> int:
+        """Largest docid ever added (``-1`` when empty); O(1), maintained
+        incrementally so per-insert docid allocation never rescans."""
+        return self._max_docid
+
+    @property
+    def next_docid(self) -> int:
+        """The next free docid for sequential allocation."""
+        return self._max_docid + 1
 
     @property
     def stats(self) -> CollectionStats:

@@ -32,7 +32,7 @@ Block layouts (cf. paper §2.2, fragmentation done block-per-run):
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
 from ..errors import MissingIndexError, StorageError
@@ -92,8 +92,15 @@ class IndexCatalog:
         self.block_size = block_size
         self._cache = PageCache(cost_model=self.cost_model)
         self._blocks: dict[int, BlockSequence] = {}
+        self._deltas: dict[int, list[BlockSequence]] = {}
         self._segments: dict[int, IndexSegment] = {}
         self._next_segment_id = 1
+        #: Cumulative maintenance counters, read by the serving layer to
+        #: emit ``ingest.*``/``compaction.*`` telemetry as diffs.
+        self.deltas_appended = 0
+        self.delta_entries_appended = 0
+        self.segments_compacted = 0
+        self.delta_runs_folded = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -139,6 +146,155 @@ class IndexCatalog:
         self._blocks[segment_id] = sequence
         self._segments[segment_id] = segment
         return segment
+
+    def build_sequence(self, kind: str, entries: list[RplEntry]) -> BlockSequence:
+        """Encode *entries* as one block run of the given *kind*.
+
+        RPL runs are keyed by local rank in descending-score order, ERPL
+        runs by ``(sid, docid, endpos)``.  The encoding is deterministic,
+        so a run built here is byte-identical to one built by a build
+        worker from the same entries.
+        """
+        if kind == "rpl":
+            ordered = sorted(entries, key=lambda e: (-e.score, e.docid, e.endpos))
+            rows: Iterable[tuple] = (rpl_block_entry(rank, entry)
+                                     for rank, entry in enumerate(ordered))
+            codec = rpl_block_codec()
+        else:
+            rows = sorted(erpl_block_entry(entry) for entry in entries)
+            codec = erpl_block_codec()
+        return BlockSequence.build(list(rows), codec, block_size=self.block_size,
+                                   cost_model=self.cost_model, cache=self._cache)
+
+    def install_sequence(self, kind: str, term: str, sequence: BlockSequence,
+                         scope: Iterable[int] | None = None) -> IndexSegment:
+        """Register an externally built run as a new segment.
+
+        This is the parent-side install step of the parallel build path:
+        workers ship finished :class:`BlockSequence` images back, the
+        parent re-hydrates them and installs under the writer lock.
+        """
+        sequence.cost_model = self.cost_model
+        sequence.use_cache(self._cache)
+        segment_id = self._next_segment_id
+        self._next_segment_id += 1
+        segment = IndexSegment(
+            segment_id=segment_id,
+            kind=kind,
+            term=term,
+            scope=None if scope is None else frozenset(scope),
+            entry_count=sequence.entry_count,
+            size_bytes=sequence.size_bytes,
+        )
+        self._blocks[segment_id] = sequence
+        self._segments[segment_id] = segment
+        return segment
+
+    def install_segment_bytes(self, kind: str, term: str, data: bytes,
+                              scope: Iterable[int] | None = None) -> IndexSegment:
+        """Install a serialized run image (see :meth:`install_sequence`)."""
+        codec = rpl_block_codec() if kind == "rpl" else erpl_block_codec()
+        sequence = BlockSequence.from_bytes(
+            data, codec, cost_model=self.cost_model, cache=self._cache,
+            source=f"{kind}:{term}")
+        return self.install_sequence(kind, term, sequence, scope=scope)
+
+    # ------------------------------------------------------------------
+    # LSM delta runs
+    # ------------------------------------------------------------------
+    def append_delta(self, segment_id: int, entries: list[RplEntry]) -> IndexSegment:
+        """Append a small delta run to a segment instead of dropping it.
+
+        The read path merges base + deltas through the iterators; the
+        per-run block headers keep block-max pruning sound because every
+        run is individually ordered with its own max-score directory.
+        """
+        segment = self.get_segment(segment_id)
+        if not entries:
+            return segment
+        run = self.build_sequence(segment.kind, entries)
+        self._deltas.setdefault(segment_id, []).append(run)
+        updated = replace(segment,
+                          entry_count=segment.entry_count + len(entries),
+                          size_bytes=segment.size_bytes + run.size_bytes)
+        self._segments[segment_id] = updated
+        self.deltas_appended += 1
+        self.delta_entries_appended += len(entries)
+        return updated
+
+    def runs_for(self, segment: IndexSegment) -> list[BlockSequence]:
+        """Every run of *segment*: the base sequence plus delta runs, in
+        append order.  Single-element for a segment with no deltas."""
+        base = self.blocks_for(segment)
+        deltas = self._deltas.get(segment.segment_id)
+        if not deltas:
+            return [base]
+        return [base, *deltas]
+
+    def delta_run_count(self, segment_id: int) -> int:
+        return len(self._deltas.get(segment_id, []))
+
+    def delta_bytes(self, segment_id: int) -> int:
+        return sum(run.size_bytes for run in self._deltas.get(segment_id, []))
+
+    def needs_compaction(self, segment_id: int, ratio: float) -> bool:
+        """True when the segment's delta footprint trips *ratio* of the
+        base run (an empty base always trips)."""
+        deltas = self._deltas.get(segment_id)
+        if not deltas:
+            return False
+        base = self._blocks[segment_id].size_bytes
+        if base == 0:
+            return True
+        return sum(run.size_bytes for run in deltas) >= ratio * base
+
+    def compaction_candidates(self, ratio: float,
+                              force: bool = False) -> list[int]:
+        """Segment ids whose deltas should fold into the base run."""
+        return [segment_id for segment_id in sorted(self._deltas)
+                if self._deltas[segment_id]
+                and (force or self.needs_compaction(segment_id, ratio))]
+
+    def compact_segment(self, segment_id: int) -> IndexSegment:
+        """Fold a segment's delta runs into a fresh base run.
+
+        Each run is already sorted by the segment's block key, and keys
+        are unique across runs (delta entries come from new docids), so
+        a k-way merge reproduces the exact order a from-scratch build
+        would sort into — the compacted run is byte-identical to a
+        fresh materialization over the extended collection.
+        """
+        segment = self.get_segment(segment_id)
+        deltas = self._deltas.get(segment_id)
+        if not deltas:
+            return segment
+        merged: list[RplEntry] = []
+        for run in self.runs_for(segment):
+            merged.extend(self._run_entries(run, segment.kind))
+        # build_sequence re-sorts by the segment's block key; keys are
+        # unique across runs (deltas carry new docids), so the result is
+        # exactly the from-scratch order.
+        sequence = self.build_sequence(segment.kind, merged)
+        folded = len(deltas)
+        for run in self.runs_for(segment):
+            run.invalidate()
+        self._deltas.pop(segment_id, None)
+        self._blocks[segment_id] = sequence
+        updated = replace(segment, entry_count=sequence.entry_count,
+                          size_bytes=sequence.size_bytes)
+        self._segments[segment_id] = updated
+        self.segments_compacted += 1
+        self.delta_runs_folded += folded
+        return updated
+
+    def _run_entries(self, sequence: BlockSequence, kind: str) -> list[RplEntry]:
+        """Decode one run's entries, uncharged (maintenance path)."""
+        if kind == "rpl":
+            # repro: allow[TRX201] documented uncharged maintenance path
+            return [rpl_entry_from_block(row) for row in sequence.entries()]
+        return [RplEntry(score, sid, docid, endpos, length)
+                # repro: allow[TRX201] documented uncharged maintenance path
+                for sid, docid, endpos, score, length in sequence.entries()]
 
     # ------------------------------------------------------------------
     # Lookup
@@ -200,15 +356,19 @@ class IndexCatalog:
         """All of *segment*'s entries, uncharged (maintenance path).
 
         RPL segments come back in rank (descending-score) order, ERPL
-        segments in sid-major position order.
+        segments in sid-major position order.  Delta runs are merged in,
+        so the view is always the logical (base + deltas) list.
         """
-        sequence = self.blocks_for(segment)
-        if segment.kind == "rpl":
-            # repro: allow[TRX201] documented uncharged maintenance path
-            return [rpl_entry_from_block(row) for row in sequence.entries()]
-        return [RplEntry(score, sid, docid, endpos, length)
-                # repro: allow[TRX201] documented uncharged maintenance path
-                for sid, docid, endpos, score, length in sequence.entries()]
+        runs = self.runs_for(segment)
+        entries: list[RplEntry] = []
+        for run in runs:
+            entries.extend(self._run_entries(run, segment.kind))
+        if len(runs) > 1:
+            if segment.kind == "rpl":
+                entries.sort(key=lambda e: (-e.score, e.docid, e.endpos))
+            else:
+                entries.sort(key=lambda e: (e.sid, e.docid, e.endpos))
+        return entries
 
     def erpl_probe(self, segment: IndexSegment, sid: int, docid: int,
                    endpos: int) -> float | None:
@@ -218,40 +378,42 @@ class IndexCatalog:
         directory lands on — the paper's cited TA-with-random-accesses
         pays this per probe.
         """
-        sequence = self.blocks_for(segment)
         self.cost_model.seek()
         key = (sid, docid, endpos)
-        index = sequence.find_first_block_ge(key)
-        if index >= sequence.block_count:
-            return None
-        if sequence.headers[index].first_key > key:
-            return None
-        entries = sequence.read_block(index)
-        lo, hi = 0, len(entries)
-        steps = 0
-        while lo < hi:
-            mid = (lo + hi) // 2
-            steps += 1
-            if entries[mid][:3] < key:
-                lo = mid + 1
-            else:
-                hi = mid
-        if steps:
-            self.cost_model.compare(steps)
-        if lo < len(entries) and entries[lo][:3] == key:
-            self.cost_model.tuple_read()
-            return entries[lo][3]
+        for sequence in self.runs_for(segment):
+            index = sequence.find_first_block_ge(key)
+            if index >= sequence.block_count:
+                continue
+            if sequence.headers[index].first_key > key:
+                continue
+            entries = sequence.read_block(index)
+            lo, hi = 0, len(entries)
+            steps = 0
+            while lo < hi:
+                mid = (lo + hi) // 2
+                steps += 1
+                if entries[mid][:3] < key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if steps:
+                self.cost_model.compare(steps)
+            if lo < len(entries) and entries[lo][:3] == key:
+                self.cost_model.tuple_read()
+                return entries[lo][3]
         return None
 
     # ------------------------------------------------------------------
     # Removal
     # ------------------------------------------------------------------
     def drop_segment(self, segment_id: int) -> None:
-        """Delete a segment's blocks and unregister it."""
+        """Delete a segment's blocks (base and deltas) and unregister it."""
         self.get_segment(segment_id)
         sequence = self._blocks.pop(segment_id, None)
         if sequence is not None:
             sequence.invalidate()
+        for run in self._deltas.pop(segment_id, []):
+            run.invalidate()
         del self._segments[segment_id]
 
     # ------------------------------------------------------------------
@@ -270,6 +432,24 @@ class IndexCatalog:
         self._cache = cache
         for sequence in self._blocks.values():
             sequence.use_cache(cache)
+        for runs in self._deltas.values():
+            for run in runs:
+                run.use_cache(cache)
+
+    def delta_snapshot(self) -> dict[str, int]:
+        """LSM state counters for stats endpoints and tests."""
+        return {
+            "segments_with_deltas": sum(1 for runs in self._deltas.values()
+                                        if runs),
+            "delta_runs": sum(len(runs) for runs in self._deltas.values()),
+            "delta_bytes": sum(run.size_bytes
+                               for runs in self._deltas.values()
+                               for run in runs),
+            "deltas_appended": self.deltas_appended,
+            "delta_entries_appended": self.delta_entries_appended,
+            "segments_compacted": self.segments_compacted,
+            "delta_runs_folded": self.delta_runs_folded,
+        }
 
     def cache_stats(self) -> dict[str, int | float]:
         """Residency statistics of the catalog's block cache."""
@@ -286,17 +466,27 @@ class IndexCatalog:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, directory: str) -> None:
-        """Persist every segment's blocks and the segment metadata."""
+        """Persist every segment's blocks and the segment metadata.
+
+        Delta runs are written alongside the base run as
+        ``seg{ID}.d{N}.blk`` files, so a save/load round-trip preserves
+        the LSM state instead of silently compacting it.
+        """
         os.makedirs(directory, exist_ok=True)
         lines = [f"{self._next_segment_id}"]
         for segment in sorted(self._segments.values(), key=lambda s: s.segment_id):
             scope = ("*" if segment.scope is None
                      else ",".join(str(sid) for sid in sorted(segment.scope)))
+            deltas = self._deltas.get(segment.segment_id, [])
             lines.append("\t".join([
                 str(segment.segment_id), segment.kind, segment.term, scope,
-                str(segment.entry_count), str(segment.size_bytes)]))
+                str(segment.entry_count), str(segment.size_bytes),
+                str(len(deltas))]))
             self._blocks[segment.segment_id].save(
                 os.path.join(directory, f"seg{segment.segment_id}.blk"))
+            for run_index, run in enumerate(deltas):
+                run.save(os.path.join(
+                    directory, f"seg{segment.segment_id}.d{run_index}.blk"))
         with open(os.path.join(directory, "segments.tsv"), "w",
                   encoding="utf-8") as fh:
             fh.write("\n".join(lines) + "\n")
@@ -310,9 +500,15 @@ class IndexCatalog:
         self._next_segment_id = int(lines[0])
         self._segments = {}
         self._blocks = {}
+        self._deltas = {}
         for line in lines[1:]:
-            seg_id, kind, term, scope_text, entry_count, size_bytes = \
-                line.split("\t")
+            fields = line.split("\t")
+            if len(fields) == 6:  # pre-delta catalog layout
+                seg_id, kind, term, scope_text, entry_count, size_bytes = fields
+                delta_count = "0"
+            else:
+                (seg_id, kind, term, scope_text, entry_count, size_bytes,
+                 delta_count) = fields
             scope = (None if scope_text == "*" else
                      frozenset(int(s) for s in scope_text.split(",") if s))
             segment = IndexSegment(
@@ -323,3 +519,11 @@ class IndexCatalog:
             self._blocks[segment.segment_id] = BlockSequence.load(
                 os.path.join(directory, f"seg{segment.segment_id}.blk"),
                 codec, cost_model=self.cost_model, cache=self._cache)
+            runs: list[BlockSequence] = []
+            for run_index in range(int(delta_count)):
+                runs.append(BlockSequence.load(
+                    os.path.join(directory,
+                                 f"seg{segment.segment_id}.d{run_index}.blk"),
+                    codec, cost_model=self.cost_model, cache=self._cache))
+            if runs:
+                self._deltas[segment.segment_id] = runs

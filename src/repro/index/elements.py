@@ -10,6 +10,7 @@ and a seek to ``(SID, docid, pos)`` implements the ERA primitive
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Iterable
 
 from ..corpus.collection import Collection
 from ..storage.blocks import DEFAULT_BLOCK_SIZE, BlockSequence
@@ -72,19 +73,39 @@ class BlockedElements:
     def _codec() -> BlockCodec:
         return BlockCodec(key_width=2, payload_codecs=(UIntCodec(),))
 
-    def rebuild(self) -> None:
-        """(Re)build all per-sid sequences (maintenance path)."""
-        for old in self._sequences.values():
-            old.invalidate()
-        grouped: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
-        for sid, docid, endpos, length in self.table.scan():
-            grouped[sid].append((docid, endpos, length))
-        self._sequences = {
-            sid: BlockSequence.build(rows, self._codec(),
-                                     block_size=self.block_size,
-                                     cost_model=self.cost_model,
-                                     cache=self._cache)
-            for sid, rows in grouped.items()}
+    def rebuild(self, sids: Iterable[int] | None = None) -> None:
+        """(Re)build per-sid sequences (maintenance path).
+
+        ``sids=None`` rebuilds every extent from a full table scan.
+        Passing the affected sids rebuilds only those extents via prefix
+        scans — the incremental path ``add_document`` uses, which costs
+        O(affected extents) instead of O(collection) per insert.
+        """
+        if sids is None:
+            for old in self._sequences.values():
+                old.invalidate()
+            grouped: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
+            for sid, docid, endpos, length in self.table.scan():
+                grouped[sid].append((docid, endpos, length))
+            self._sequences = {
+                sid: BlockSequence.build(rows, self._codec(),
+                                         block_size=self.block_size,
+                                         cost_model=self.cost_model,
+                                         cache=self._cache)
+                for sid, rows in grouped.items()}
+            return
+        for sid in sorted(set(sids)):
+            old = self._sequences.get(sid)
+            if old is not None:
+                old.invalidate()
+            rows = [(docid, endpos, length) for _sid, docid, endpos, length
+                    in self.table.scan_prefix((sid,))]
+            if rows:
+                self._sequences[sid] = BlockSequence.build(
+                    rows, self._codec(), block_size=self.block_size,
+                    cost_model=self.cost_model, cache=self._cache)
+            else:
+                self._sequences.pop(sid, None)
 
     def sequence(self, sid: int) -> BlockSequence | None:
         return self._sequences.get(sid)

@@ -28,6 +28,9 @@ from bisect import bisect_left, bisect_right
 from typing import Callable
 
 from .. import sanitizer
+from ..build.batch import compute_document_entries, filter_scope
+from ..build.executor import BuildExecutor, BuildReport
+from ..build.planner import BuildPlan, BuildPlanner, BuildTarget
 from ..corpus.alias import AliasMapping
 from ..corpus.collection import Collection
 from ..corpus.document import Document
@@ -90,7 +93,8 @@ class TrexEngine:
                  fragment_size: int = 64,
                  btree_order: int = 64,
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 ta_batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+                 ta_batch_size: int = DEFAULT_BATCH_SIZE,
+                 compaction_ratio: float = 0.5) -> None:
         self.collection = collection
         self.cost_model = cost_model if cost_model is not None else CostModel()
         if summary is None:
@@ -105,6 +109,11 @@ class TrexEngine:
         self.auto_materialize = auto_materialize
         #: Sorted accesses between TA stopping-condition checks.
         self.ta_batch_size = ta_batch_size
+        #: Delta-to-base size ratio at which :meth:`compact_segments`
+        #: folds a segment's LSM delta runs into its base run.
+        self.compaction_ratio = compaction_ratio
+        #: Report of the most recent :meth:`build_plan` run (telemetry).
+        self.last_build_report: BuildReport | None = None
         #: Monotonic data-version counter.  Bumped whenever the answers
         #: the engine would give can change (document ingestion, scorer
         #: rebuild, index reload) — result caches key their entries on
@@ -149,9 +158,39 @@ class TrexEngine:
                                           self.scorer, sids=sids)
             return self.catalog.add_erpl_segment(term, entries, scope=sids)
 
+    def plan_for_query(self, query: str | NexiQuery,
+                       kinds: tuple[str, ...] = ("rpl", "erpl"), *,
+                       scope: str = "universal") -> BuildPlan:
+        """The deduplicated build plan covering the query's clauses.
+
+        Repeated ``(term, sids)`` pairs across clauses collapse to one
+        target (their cover sets merge), so the batched builder pays
+        for each distinct segment once however many clauses want it.
+        """
+        if scope not in ("universal", "query", "flat"):
+            raise RetrievalError(f"unknown materialization scope {scope!r}")
+        translated = self.translate(query)
+        planner = BuildPlanner()
+
+        def request(term: str, sids: frozenset[int]) -> None:
+            stored_scope = None if scope == "universal" else sids
+            for kind in kinds:
+                planner.add(kind, term, scope=stored_scope, cover=sids)
+
+        if scope == "flat":
+            flat_sids = translated.flat_sids()
+            for term in translated.flat_term_weights():
+                request(term, flat_sids)
+        else:
+            for clause in translated.clauses:
+                for term in clause.terms:
+                    request(term, clause.sids)
+        return planner.plan()
+
     def materialize_for_query(self, query: str | NexiQuery,
                               kinds: tuple[str, ...] = ("rpl", "erpl"), *,
-                              scope: str = "universal") -> list[IndexSegment]:
+                              scope: str = "universal",
+                              workers: int = 0) -> list[IndexSegment]:
         """Materialize every missing segment the query's clauses need.
 
         ``scope='universal'`` builds whole-term lists (shared across
@@ -160,32 +199,69 @@ class TrexEngine:
         builds lists restricted to the union of the query's sids — the
         redundant index a flat-mode evaluation of exactly this query
         reads without any skipping.
+
+        All missing segments are built by one batched collection pass
+        (optionally fanned over *workers* processes) instead of one
+        ERA-style scan per term.
         """
-        if scope not in ("universal", "query", "flat"):
-            raise RetrievalError(f"unknown materialization scope {scope!r}")
-        translated = self.translate(query)
-        created: list[IndexSegment] = []
+        plan = self.plan_for_query(query, kinds, scope=scope)
+        _report, installed = self.build_plan(plan, workers=workers)
+        return installed
 
-        def ensure(term: str, sids: frozenset[int], kind: str) -> None:
-            if self.catalog.find_segment(kind, term, sids) is not None:
-                return
-            stored_scope = None if scope == "universal" else sids
-            if kind == "rpl":
-                created.append(self.materialize_rpl(term, stored_scope))
-            else:
-                created.append(self.materialize_erpl(term, stored_scope))
+    def _target_satisfied(self, target: BuildTarget) -> bool:
+        """Is a catalog segment already good enough for *target*?"""
+        cover = target.cover if target.cover is not None else target.scope
+        if cover is None:
+            # A universal request with no cover set demands an actual
+            # universal segment, not merely one covering some sids.
+            return any(segment.scope is None and segment.term == target.term
+                       for segment in self.catalog.segments(target.kind))
+        return self.catalog.find_segment(target.kind, target.term,
+                                         cover) is not None
 
-        if scope == "flat":
-            flat_sids = translated.flat_sids()
-            for term in translated.flat_term_weights():
-                for kind in kinds:
-                    ensure(term, flat_sids, kind)
-        else:
-            for clause in translated.clauses:
-                for term in clause.terms:
-                    for kind in kinds:
-                        ensure(term, clause.sids, kind)
-        return created
+    @sanitizer.mutates_engine_state
+    def build_plan(self, plan: BuildPlan, *,
+                   workers: int = 0) -> tuple[BuildReport, list[IndexSegment]]:
+        """Execute a build plan: one shared batched pass (or a process
+        pool when ``workers > 1``), installing every still-missing
+        target into the catalog.  Returns the report and the installed
+        segments in plan order."""
+        report = BuildReport(requested=len(plan), workers=max(1, workers))
+        installed: list[IndexSegment] = []
+        with self.cost_model.muted():
+            todo = BuildPlanner()
+            for target in plan:
+                if self._target_satisfied(target):
+                    report.reused += 1
+                else:
+                    todo.add_target(target)
+            pending = todo.plan()
+            if pending.is_empty:
+                return report, installed
+            executor = BuildExecutor(workers=workers,
+                                     block_size=self.block_size)
+            images, scans = executor.build_images(
+                self.collection, self.summary, self.scorer, pending)
+            report.collection_scans = scans
+            for target, image in images:
+                segment = self.catalog.install_segment_bytes(
+                    target.kind, target.term, image, scope=target.scope)
+                installed.append(segment)
+                report.built += 1
+                report.entries += segment.entry_count
+                report.bytes_built += segment.size_bytes
+                report.segments.append(segment.describe())
+        return report, installed
+
+    def build_segments(self, targets: list[BuildTarget] | BuildPlan, *,
+                       workers: int = 0) -> BuildReport:
+        """Materialize *targets* (deduplicating first); see
+        :meth:`build_plan`."""
+        planner = BuildPlanner()
+        for target in targets:
+            planner.add_target(target)
+        report, _installed = self.build_plan(planner.plan(), workers=workers)
+        return report
 
     # ------------------------------------------------------------------
     # Translation
@@ -575,27 +651,23 @@ class TrexEngine:
         return missing
 
     @sanitizer.mutates_engine_state
-    def warm_segments(self, missing: list[tuple]) -> int:
+    def warm_segments(self, missing: list[tuple], *, workers: int = 0) -> int:
         """Materialize a universal segment for each ``(kind, term, ...)``
         entry of *missing* (as produced by :meth:`missing_segments`)
         that is still absent.  Returns the number of segments created.
 
         The serving layer calls this under its write lock before
         retrying a forced-method evaluation that reported missing
-        indexes.
+        indexes.  All absent segments are built by one batched
+        collection pass via :meth:`build_plan` instead of one per-term
+        scan each.
         """
-        created = 0
-        for item in missing:
-            kind, term = item[0], item[1]
-            sids = item[2] if len(item) > 2 and item[2] is not None else ()
-            if self.catalog.find_segment(kind, term, sids) is not None:
-                continue
-            if kind == "rpl":
-                self.materialize_rpl(term)
-            else:
-                self.materialize_erpl(term)
-            created += 1
-        return created
+        planner = BuildPlanner()
+        planner.add_missing(missing)
+        report, _installed = self.build_plan(planner.plan(), workers=workers)
+        #: Scan accounting + built counts are kept for telemetry.
+        self.last_build_report = report
+        return report.built
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -605,38 +677,74 @@ class TrexEngine:
         """Add one document to the live engine.
 
         Updates the collection, summary (path-determined summaries
-        extend in place), Elements and PostingLists tables, and drops
-        every RPL/ERPL segment whose term occurs in the new document —
-        those lists are stale and will be rebuilt on demand.
+        extend in place), Elements and PostingLists tables — all
+        incrementally: docid allocation is O(1), only the extents the
+        new document touches are re-blocked, and instead of dropping
+        every RPL/ERPL segment whose term occurs in the document, the
+        document's scored entries are appended to each affected segment
+        as a small LSM **delta run**.  The read path merges base +
+        deltas (byte-identical results to a from-scratch rebuild);
+        :meth:`compact_segments` folds deltas back into the base when
+        their size ratio trips.
 
         Scoring note: the engine's scorer keeps the corpus-statistics
-        snapshot taken at construction, so scores remain mutually
-        consistent across strategies as documents arrive; call
-        :meth:`rebuild_scorer` to refresh statistics (which drops all
-        segments, since every stored score depends on them).
+        snapshot taken at construction, so scores of existing elements
+        are unchanged by the insert — which is exactly why appending a
+        delta run is exact.  Call :meth:`rebuild_scorer` to refresh
+        statistics (which drops all segments, since every stored score
+        depends on them).
         """
         if isinstance(source, str):
             parser = XMLParser(self.tokenizer)
-            next_id = docid if docid is not None else (
-                max(self.collection.docids, default=-1) + 1)
+            next_id = docid if docid is not None else self.collection.next_docid
             document = parser.parse(source, next_id)
         else:
             document = source
         with self.cost_model.muted():
             self.collection.add(document)
             self.summary.extend(document)
+            affected_sids: set[int] = set()
             for node in document.elements():
                 sid = self.summary.sid_of(document.docid, node.end_pos)
+                affected_sids.add(sid)
                 self.elements.insert((sid, document.docid, node.end_pos,
                                       node.length))
             affected = extend_posting_lists(self.postings, document)
-            self.blocked_elements.rebuild()
+            self.blocked_elements.rebuild(sids=affected_sids)
             self.blocked_postings.rebuild(terms=affected)
-            for segment in list(self.catalog.segments()):
-                if segment.term in affected:
-                    self.catalog.drop_segment(segment.segment_id)
+            stale = [segment for segment in self.catalog.segments()
+                     if segment.term in affected]
+            if stale:
+                delta_entries = compute_document_entries(
+                    document, self.summary,
+                    sorted({segment.term for segment in stale}), self.scorer)
+                for segment in stale:
+                    rows = filter_scope(delta_entries, segment.term,
+                                        segment.scope)
+                    # A scoped segment whose scope excludes every new
+                    # entry is untouched — it is still exact as-is.
+                    if rows:
+                        self.catalog.append_delta(segment.segment_id, rows)
         self.epoch += 1
         return document
+
+    @sanitizer.mutates_engine_state
+    def compact_segments(self, *, ratio: float | None = None,
+                         force: bool = False) -> int:
+        """Fold LSM delta runs into base runs where the delta-to-base
+        size ratio trips (``force=True`` folds every segment carrying
+        deltas).  Returns the number of segments compacted.
+
+        Compaction never changes query answers — the merged run holds
+        exactly the entries the iterators were already merging — so the
+        epoch is *not* bumped and result caches stay valid.
+        """
+        limit = self.compaction_ratio if ratio is None else ratio
+        with self.cost_model.muted():
+            candidates = self.catalog.compaction_candidates(limit, force=force)
+            for segment_id in candidates:
+                self.catalog.compact_segment(segment_id)
+        return len(candidates)
 
     @sanitizer.mutates_engine_state
     def rebuild_scorer(self, scorer_factory: Callable[[ScoringStats], ElementScorer] | None = None) -> None:

@@ -246,6 +246,71 @@ class PostingIterator:
         return self._exhausted
 
 
+class _RplRunCursor:
+    """Sequential charged reader over one RPL run (base or delta).
+
+    Mirrors the single-run iterator's charging exactly: one positioning
+    seek on the first decode, ``read_block`` per block opened, and
+    block-skip accounting when the tail is pruned.
+    """
+
+    def __init__(self, sequence: BlockSequence, cost_model: CostModel) -> None:
+        self._seq = sequence
+        self._model = cost_model
+        self._block = 0
+        self._entries: list[tuple] = []
+        self._index = 0
+        self._seeked = False
+        self.last_read_score = float("inf")
+
+    def peek(self) -> tuple | None:
+        """The next raw row without consuming it, or ``None`` when the
+        run is drained (decodes the next block on demand)."""
+        while self._index >= len(self._entries):
+            if self._block >= self._seq.block_count:
+                return None
+            if not self._seeked:
+                self._model.seek()
+                self._seeked = True
+            self._entries = self._seq.read_block(self._block)
+            self._block += 1
+            self._index = 0
+        return self._entries[self._index]
+
+    def take(self) -> tuple:
+        row = self._entries[self._index]
+        self._index += 1
+        self.last_read_score = row[1]
+        return row
+
+    @property
+    def drained(self) -> bool:
+        return (self._index >= len(self._entries)
+                and self._block >= self._seq.block_count)
+
+    @property
+    def bound(self) -> float:
+        """Best possible score of this run's unreturned entries."""
+        if self._index < len(self._entries):
+            return self.last_read_score
+        if self._block < self._seq.block_count:
+            return min(self._seq.headers[self._block].max_score,
+                       self.last_read_score)
+        return 0.0
+
+    def skip_tail(self, threshold: float) -> int:
+        """Prune undecoded tail blocks whose block-max rules them out."""
+        count = self._seq.block_count
+        if self._block >= count:
+            return 0
+        if self._seq.headers[self._block].max_score >= threshold:
+            return 0
+        skipped = count - self._block
+        self._model.block_skip(skipped)
+        self._block = count
+        return skipped
+
+
 class RplIterator:
     """Sorted access over one RPL segment with sid filtering.
 
@@ -259,6 +324,14 @@ class RplIterator:
     next undecoded block's header ``max_score`` at block boundaries (the
     block-max bound), and :meth:`skip_until_score_below` prunes the
     undecoded tail once no remaining block can matter.
+
+    A segment carrying LSM delta runs (appended by ``add_document``) is
+    read through a small k-way merge over per-run cursors: each run is
+    individually score-descending with its own block-max directory, so
+    always taking the best per-run head reproduces the exact global
+    descending order, and the merged ``upper_bound`` — the max of the
+    per-run bounds — stays sound for TA.  A segment with no deltas
+    takes the original single-run path unchanged.
     """
 
     def __init__(self, catalog: IndexCatalog, segment: IndexSegment,
@@ -266,8 +339,11 @@ class RplIterator:
         self._segment = segment
         self.term = segment.term
         self._sids = set(sids)
-        self._seq = catalog.blocks_for(segment)
+        runs = catalog.runs_for(segment)
+        self._seq = runs[0]
         self._model = catalog.cost_model
+        self._cursors = ([_RplRunCursor(run, self._model) for run in runs]
+                         if len(runs) > 1 else [])
         self._block = 0
         self._entries: list[tuple] = []
         self._index = 0
@@ -295,6 +371,8 @@ class RplIterator:
         return entries
 
     def next_entry(self) -> RplEntry | None:
+        if self._cursors:
+            return self._next_entry_merged()
         while True:
             if self._index >= len(self._entries):
                 block = self.next_block()
@@ -314,15 +392,46 @@ class RplIterator:
                 continue
             return RplEntry(score, sid, row[3], row[4], row[5])
 
+    def _next_entry_merged(self) -> RplEntry | None:
+        while True:
+            best: _RplRunCursor | None = None
+            best_key: tuple[float, int, int] | None = None
+            for cursor in self._cursors:
+                row = cursor.peek()
+                if row is None:
+                    continue
+                key = (-row[1], row[3], row[4])
+                if best_key is None or key < best_key:
+                    best, best_key = cursor, key
+            if best is None:
+                self.exhausted = True
+                self.last_read_score = 0.0
+                return None
+            row = best.take()
+            self.depth += 1
+            score, sid = row[1], row[2]
+            self.last_read_score = score
+            if sid not in self._sids:
+                self.skipped += 1
+                continue
+            return RplEntry(score, sid, row[3], row[4], row[5])
+
     def skip_until_score_below(self, threshold: float) -> int:
         """Prune undecoded tail blocks that block-max rules out.
 
-        Sound because the list is score-descending: if the next
+        Sound because every run is score-descending: if a run's next
         undecoded block's ``max_score`` is below *threshold*, so is
-        every entry after it.  Returns the number of blocks skipped;
-        the skip directory is resident, so pruning is free except for
-        the counter.
+        every entry after it in that run.  Returns the number of blocks
+        skipped; the skip directory is resident, so pruning is free
+        except for the counter.
         """
+        if self._cursors:
+            skipped = sum(cursor.skip_tail(threshold)
+                          for cursor in self._cursors)
+            if all(cursor.drained for cursor in self._cursors):
+                self.exhausted = True
+                self.last_read_score = 0.0
+            return skipped
         count = self._seq.block_count
         if self._block >= count:
             return 0
@@ -344,9 +453,13 @@ class RplIterator:
         Within a block this is the classic last-read score; at a block
         boundary the next header's ``max_score`` is a tighter sound
         bound (block-max), letting TA stop without decoding the block.
+        With delta runs the bound is the max of the per-run bounds —
+        any unreturned entry lives in some run, so the max is sound.
         """
         if self.exhausted:
             return 0.0
+        if self._cursors:
+            return max(cursor.bound for cursor in self._cursors)
         if self._index < len(self._entries):
             return self.last_read_score
         if self._block < self._seq.block_count:
@@ -362,6 +475,11 @@ class ErplIterator:
     skip-directory search that leaps straight to the sid's first block),
     merged by (docid, endpos) with a small in-memory heap — the standard
     way to read a sid-major layout in position order.
+
+    A segment with LSM delta runs contributes one stream per (sid, run)
+    pair to the same heap; entry keys are unique across runs (deltas
+    carry new docids), so the merged order is exactly the order a
+    compacted segment would stream.
     """
 
     def __init__(self, catalog: IndexCatalog, segment: IndexSegment,
@@ -371,11 +489,14 @@ class ErplIterator:
         self.rows_read = 0
         self._heap: list[tuple[Position, int, RplEntry]] = []
         self._streams = []
-        sequence = catalog.blocks_for(segment)
-        for stream_id, sid in enumerate(sorted(sids)):
-            stream = _ErplSidStream(sequence, sid, catalog.cost_model)
-            self._streams.append(stream)
-            self._push_from(stream_id)
+        runs = catalog.runs_for(segment)
+        stream_id = 0
+        for sid in sorted(sids):
+            for sequence in runs:
+                stream = _ErplSidStream(sequence, sid, catalog.cost_model)
+                self._streams.append(stream)
+                self._push_from(stream_id)
+                stream_id += 1
 
     def _push_from(self, stream_id: int) -> None:
         row = self._streams[stream_id].next_row()

@@ -46,3 +46,22 @@ class ScoringStats:
 
     def df(self, term: str) -> int:
         return self.document_frequency.get(term, 0)
+
+    def __reduce__(self) -> tuple:
+        # MappingProxyType is not picklable; ship a plain dict and
+        # re-wrap on load so build workers receive the same immutable
+        # snapshot the parent scored with.
+        return (_rebuild_stats, (self.num_documents, self.num_elements,
+                                 self.average_element_length,
+                                 dict(self.document_frequency)))
+
+
+def _rebuild_stats(num_documents: int, num_elements: int,
+                   average_element_length: float,
+                   document_frequency: dict[str, int]) -> ScoringStats:
+    return ScoringStats(
+        num_documents=num_documents,
+        num_elements=num_elements,
+        average_element_length=average_element_length,
+        document_frequency=MappingProxyType(document_frequency),
+    )

@@ -7,21 +7,30 @@ temporary query-scoped RPL and ERPL segments, runs the three retrieval
 methods, and records
 
 * ``T_e``, ``T_m``, ``T_ta`` — simulated evaluation costs;
+* ``T_build`` — the simulated cost of materializing the query's
+  segments (one batched pass; metered on a private cost model so the
+  engine's serving-side accounting is untouched);
 * ``Δm = max(T_e - T_m, 0)``, ``Δta = max(T_e - T_ta, 0)`` — savings;
 * ``S_ERPL`` — bytes of the ERPL segments Merge needs;
 * ``S_RPL`` — bytes of the RPL *prefixes* TA read before stopping
   (the paper: "only the part of the RPLs that is needed for computing
   the top-k elements must be stored").
 
-The temporary segments are dropped afterwards; the advisor decides
-which to re-materialize.
+The temporary segments are built through the batched single-pass
+builder — every ``(kind, term, scope)`` the query needs comes out of
+one shared collection scan, with cross-clause duplicates collapsed by
+the planner — and dropped afterwards; the advisor decides which to
+re-materialize.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..build.batch import compute_entries_batch
+from ..build.planner import BuildPlanner
 from ..retrieval.engine import TrexEngine
+from ..storage.cost import CostModel
 from .workload import Workload, WorkloadQuery
 
 __all__ = ["QueryCosts", "measure_query", "measure_workload"]
@@ -38,6 +47,10 @@ class QueryCosts:
     t_ta: float
     s_rpl: int
     s_erpl: int
+    #: Simulated cost of materializing this query's segments in one
+    #: batched pass — what the self-manager pays up front to unlock the
+    #: per-query savings below.
+    t_build: float = 0.0
 
     @property
     def delta_merge(self) -> float:
@@ -62,15 +75,33 @@ def measure_query(engine: TrexEngine, query: WorkloadQuery) -> QueryCosts:
     """Measure one query's method costs and index sizes on *engine*."""
     translated = engine.translate(query.nexi)
 
-    # Materialize temporary query-scoped segments for the measurement.
-    created = []
-    rpl_segments = {}
+    # Plan the temporary query-scoped segments: the planner collapses a
+    # term requested by several clauses with the same sid set into one
+    # build target.
+    planner = BuildPlanner()
     for clause in translated.clauses:
         for term in clause.terms:
-            rpl = engine.materialize_rpl(term, clause.sids)
-            erpl = engine.materialize_erpl(term, clause.sids)
-            created.extend([rpl, erpl])
-            rpl_segments[(term, clause.sids)] = rpl
+            planner.add("rpl", term, scope=clause.sids)
+            planner.add("erpl", term, scope=clause.sids)
+    plan = planner.plan()
+
+    # One shared collection scan for every target, metered privately so
+    # the engine's own accounting never sees tuning work.
+    build_model = CostModel()
+    batch = compute_entries_batch(engine.collection, engine.summary,
+                                  list(plan), engine.scorer,
+                                  cost_model=build_model)
+    created = []
+    rpl_segments = {}
+    with engine.cost_model.muted():
+        for target in plan:
+            sequence = engine.catalog.build_sequence(
+                target.kind, batch.entries[target])
+            segment = engine.catalog.install_sequence(
+                target.kind, target.term, sequence, scope=target.scope)
+            created.append(segment)
+            if target.kind == "rpl":
+                rpl_segments[(target.term, target.scope)] = segment
 
     era_result = engine.evaluate(query.nexi, k=None, method="era")
     merge_result = engine.evaluate(query.nexi, k=None, method="merge")
@@ -86,8 +117,9 @@ def measure_query(engine: TrexEngine, query: WorkloadQuery) -> QueryCosts:
         depth = min(depths.get(term, segment.entry_count), segment.entry_count)
         s_rpl += round(segment.size_bytes * depth / segment.entry_count)
 
-    for segment in created:
-        engine.catalog.drop_segment(segment.segment_id)
+    with engine.cost_model.muted():
+        for segment in created:
+            engine.catalog.drop_segment(segment.segment_id)
 
     return QueryCosts(
         query_id=query.query_id,
@@ -97,6 +129,7 @@ def measure_query(engine: TrexEngine, query: WorkloadQuery) -> QueryCosts:
         t_ta=ta_result.stats.cost,
         s_rpl=s_rpl,
         s_erpl=s_erpl,
+        t_build=build_model.total_cost,
     )
 
 

@@ -31,8 +31,9 @@ import time
 from dataclasses import dataclass, field
 
 from .. import sanitizer
+from ..build.batch import compute_entries_batch
+from ..build.planner import BuildPlanner
 from ..errors import StorageError, TrexError
-from ..index.rpl import compute_rpl_entries
 from ..retrieval.engine import TrexEngine
 from ..selfmanage.advisor import IndexAdvisor
 from ..storage.cost import CostModel
@@ -243,36 +244,47 @@ class Autopilot:
                         pass  # already gone (e.g. invalidated by ingestion)
                     del self._created[segment_id]
 
-            # Materialize what is missing: compute concurrently with
-            # readers, insert under a brief write lock.
-            for kind, term, scope in wanted:
-                with self.lock.read():
+            # Materialize what is missing: the entries of every absent
+            # segment come from ONE shared batched pass (dedup'd by the
+            # planner) run concurrently with readers; only the catalog
+            # inserts take a brief write lock.
+            planner = BuildPlanner()
+            with self.lock.read():
+                for kind, term, scope in wanted:
                     if self._query_scoped_exists(kind, term, scope):
                         report.skipped += 1
                         continue
-                    epoch = engine.epoch
-                    entries = compute_rpl_entries(
-                        engine.collection, engine.summary, term,
-                        engine.scorer, sids=scope)
+                    planner.add(kind, term, scope=scope)
+                todo = planner.plan()
+                epoch = engine.epoch
+                batch = (None if todo.is_empty else compute_entries_batch(
+                    engine.collection, engine.summary, list(todo),
+                    engine.scorer))
+            if batch is not None:
                 with self.lock.write():
-                    if self._query_scoped_exists(kind, term, scope):
-                        report.skipped += 1
-                        continue
-                    if engine.epoch != epoch:
-                        # The collection changed under us; the entries
-                        # are stale.  The next cycle will retry.
-                        report.skipped += 1
-                        continue
-                    if kind == "erpl":
-                        segment = engine.catalog.add_erpl_segment(
-                            term, entries, scope=scope)
-                    else:
-                        segment = engine.catalog.add_rpl_segment(
-                            term, entries, scope=scope)
-                    self._created[segment.segment_id] = (kind, term, scope)
-                    report.materialized += 1
-                    report.materialized_bytes += segment.size_bytes
-                    report.segments.append(segment.describe())
+                    for target in todo:
+                        scope = target.scope if target.scope is not None \
+                            else frozenset()
+                        if self._query_scoped_exists(target.kind,
+                                                     target.term, scope):
+                            report.skipped += 1
+                            continue
+                        if engine.epoch != epoch:
+                            # The collection changed under us; the
+                            # entries are stale.  The next cycle will
+                            # retry.
+                            report.skipped += 1
+                            continue
+                        sequence = engine.catalog.build_sequence(
+                            target.kind, batch.entries[target])
+                        segment = engine.catalog.install_sequence(
+                            target.kind, target.term, sequence,
+                            scope=target.scope)
+                        self._created[segment.segment_id] = (
+                            target.kind, target.term, scope)
+                        report.materialized += 1
+                        report.materialized_bytes += segment.size_bytes
+                        report.segments.append(segment.describe())
 
         report.duration = time.monotonic() - started
         self.cycles += 1
@@ -333,7 +345,10 @@ class Autopilot:
                         pass  # already gone (e.g. dropped by ingestion)
                     del self._created_sharded[(shard_index, segment_id)]
 
-                # Materialize what is missing, shard by shard.
+                # Materialize what is missing: one batched pass per
+                # shard (one shared scan of that shard's sub-collection
+                # for all of its targets).
+                by_shard: dict[int, BuildPlanner] = {}
                 for shard_index, kind, term, scope in sorted(
                         wanted, key=lambda w: (w[0], w[1], w[2],
                                                sorted(w[3]))):
@@ -343,16 +358,28 @@ class Autopilot:
                     if existing is not None and existing.scope is not None:
                         report.skipped += 1
                         continue
-                    if kind == "erpl":
-                        segment = shard_engine.materialize_erpl(term, scope)
-                    else:
-                        segment = shard_engine.materialize_rpl(term, scope)
-                    self._created_sharded[(shard_index, segment.segment_id)] = (
-                        shard_index, kind, term, scope)
-                    report.materialized += 1
-                    report.materialized_bytes += segment.size_bytes
-                    report.segments.append(
-                        f"shard{shard_index}:{segment.describe()}")
+                    by_shard.setdefault(shard_index, BuildPlanner()).add(
+                        kind, term, scope=scope)
+                for shard_index in sorted(by_shard):
+                    shard_engine = engine.shards[shard_index].engine
+                    todo = by_shard[shard_index].plan()
+                    batch = compute_entries_batch(
+                        shard_engine.collection, shard_engine.summary,
+                        list(todo), shard_engine.scorer)
+                    for target in todo:
+                        sequence = shard_engine.catalog.build_sequence(
+                            target.kind, batch.entries[target])
+                        segment = shard_engine.catalog.install_sequence(
+                            target.kind, target.term, sequence,
+                            scope=target.scope)
+                        self._created_sharded[
+                            (shard_index, segment.segment_id)] = (
+                            shard_index, target.kind, target.term,
+                            target.scope)
+                        report.materialized += 1
+                        report.materialized_bytes += segment.size_bytes
+                        report.segments.append(
+                            f"shard{shard_index}:{segment.describe()}")
 
         report.duration = time.monotonic() - started
         self.cycles += 1

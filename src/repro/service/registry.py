@@ -50,7 +50,16 @@ COUNTERS: frozenset[str] = frozenset({
     "shards.timed_out",
     "ingest.documents",
     "ingest.scorer_rebuilds",
+    "ingest.delta_runs",
+    "ingest.delta_entries",
     "warmup.segments",
+    "build.segments",
+    "build.scans",
+    "build.reused",
+    "build.entries",
+    "compaction.runs",
+    "compaction.segments",
+    "compaction.delta_runs_folded",
     "race.parallel_legs",
     "race.inline_fallback",
     "sanitizer.violations",
@@ -66,6 +75,8 @@ HISTOGRAMS: frozenset[str] = frozenset({
     "search.latency_seconds",
     "search.simulated_cost",
     "ingest.latency_seconds",
+    "build.latency_seconds",
+    "compaction.latency_seconds",
 })
 
 #: Histogram families with a runtime-chosen suffix.

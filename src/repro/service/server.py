@@ -18,9 +18,9 @@ something better — which is exactly the paper's self-managing story
 playing out online.
 
 :class:`TrexHTTPHandler` exposes the facade over HTTP using only the
-standard library (``/search``, ``/explain``, ``/ingest``, ``/stats``,
-``/healthz``, ``/autopilot/cycle``); ``repro serve`` wires it to the
-CLI.
+standard library (``/search``, ``/explain``, ``/ingest``, ``/compact``,
+``/stats``, ``/healthz``, ``/autopilot/cycle``); ``repro serve`` wires
+it to the CLI.
 """
 
 from __future__ import annotations
@@ -98,6 +98,15 @@ class ServiceConfig:
     #: On shard timeout, return partial results tagged ``degraded``
     #: (HTTP 200) instead of failing the query with a 504.
     fail_soft: bool = True
+    #: Fold LSM delta runs into base segments right after each ingest
+    #: (under the same write lock) when their size ratio trips; off
+    #: leaves compaction to explicit ``compact()`` / ``POST /compact``.
+    auto_compact: bool = True
+    #: Delta-to-base size ratio that trips compaction (None = the
+    #: engine's own ``compaction_ratio``).
+    compaction_ratio: float | None = None
+    #: Worker processes for segment warm-up builds (0/1 = in-process).
+    build_workers: int = 0
 
 
 class QueryService:
@@ -249,11 +258,23 @@ class QueryService:
         """Materialize universal segments for *missing* under the write
         lock (shared across queries; TA/Merge skip within them).  For a
         sharded engine each entry carries its shard index and warms only
-        the shard that lacks the segment."""
+        the shard that lacks the segment.  All requests go through the
+        build planner, so one shared collection scan (per shard) covers
+        every missing segment, optionally fanned over build workers."""
+        started = time.perf_counter()
         with self.lock.write():
-            created = self.engine.warm_segments(missing)
+            created = self.engine.warm_segments(
+                missing, workers=self.config.build_workers)
         if created:
             self.telemetry.incr("warmup.segments", created)
+        report = self.engine.last_build_report
+        if report is not None and report.requested:
+            self.telemetry.incr("build.segments", report.built)
+            self.telemetry.incr("build.scans", report.collection_scans)
+            self.telemetry.incr("build.reused", report.reused)
+            self.telemetry.incr("build.entries", report.entries)
+            self.telemetry.observe("build.latency_seconds",
+                                   time.perf_counter() - started)
 
     def _race(self, translated: TranslatedQuery, k: int | None,
               mode: str) -> ResultSet:
@@ -341,18 +362,83 @@ class QueryService:
         with self.lock.read():
             return self.engine.explain(query, k)
 
+    def _delta_totals(self) -> dict[str, int]:
+        """LSM delta statistics for whichever engine kind is served."""
+        engine = self.engine
+        if isinstance(engine, ShardedEngine):
+            return engine.delta_snapshot()
+        return engine.catalog.delta_snapshot()
+
     def ingest(self, xml: str, docid: int | None = None) -> dict:
-        """Add one XML document; exclusive against all queries."""
+        """Add one XML document; exclusive against all queries.
+
+        Ingestion appends LSM delta runs to affected segments instead of
+        dropping them; with ``auto_compact`` on, segments whose
+        delta-to-base ratio trips are folded under the same write lock,
+        so queries never observe a half-compacted catalog.
+        """
+        if self._closed.is_set():
+            raise ServiceClosedError("service is closed")
+        started = time.perf_counter()
+        compacted = 0
+        compact_elapsed = 0.0
+        with self.lock.write():
+            before = self._delta_totals()
+            document = self.engine.add_document(xml, docid)
+            epoch = self.engine.epoch
+            appended = self._delta_totals()
+            if self.config.auto_compact:
+                compact_started = time.perf_counter()
+                compacted = self.engine.compact_segments(
+                    ratio=self.config.compaction_ratio)
+                compact_elapsed = time.perf_counter() - compact_started
+            after = self._delta_totals()
+        self.telemetry.incr("ingest.documents")
+        self.telemetry.incr("ingest.delta_runs",
+                            appended["deltas_appended"]
+                            - before["deltas_appended"])
+        self.telemetry.incr("ingest.delta_entries",
+                            appended["delta_entries_appended"]
+                            - before["delta_entries_appended"])
+        if compacted:
+            self.telemetry.incr("compaction.runs")
+            self.telemetry.incr("compaction.segments", compacted)
+            self.telemetry.incr("compaction.delta_runs_folded",
+                                after["delta_runs_folded"]
+                                - appended["delta_runs_folded"])
+            self.telemetry.observe("compaction.latency_seconds",
+                                   compact_elapsed)
+        self.telemetry.observe("ingest.latency_seconds",
+                               time.perf_counter() - started)
+        return {"docid": document.docid, "epoch": epoch,
+                "delta_runs": after["delta_runs"],
+                "segments_compacted": compacted}
+
+    def compact(self, *, force: bool = False) -> dict:
+        """Fold LSM delta runs into base segments on demand.
+
+        ``force=True`` folds every segment carrying deltas regardless of
+        ratio.  Exclusive against queries; compaction never changes
+        results, so the epoch (and hence the result cache) is untouched.
+        """
         if self._closed.is_set():
             raise ServiceClosedError("service is closed")
         started = time.perf_counter()
         with self.lock.write():
-            document = self.engine.add_document(xml, docid)
-            epoch = self.engine.epoch
-        self.telemetry.incr("ingest.documents")
-        self.telemetry.observe("ingest.latency_seconds",
+            before = self._delta_totals()
+            segments = self.engine.compact_segments(
+                ratio=self.config.compaction_ratio, force=force)
+            after = self._delta_totals()
+        if segments:
+            self.telemetry.incr("compaction.runs")
+            self.telemetry.incr("compaction.segments", segments)
+            self.telemetry.incr("compaction.delta_runs_folded",
+                                after["delta_runs_folded"]
+                                - before["delta_runs_folded"])
+        self.telemetry.observe("compaction.latency_seconds",
                                time.perf_counter() - started)
-        return {"docid": document.docid, "epoch": epoch}
+        return {"segments_compacted": segments,
+                "delta_runs": after["delta_runs"]}
 
     def rebuild_scorer(self) -> dict:
         """Refresh corpus statistics; exclusive against all queries."""
@@ -375,6 +461,7 @@ class QueryService:
             "lock": self.lock.snapshot(),
             "worker_costs": self.worker_costs.aggregate(),
             "autopilot": self.autopilot.snapshot(),
+            "deltas": self._delta_totals(),
         }
         if isinstance(engine, ShardedEngine):
             snapshot["engine"] = {
@@ -541,6 +628,12 @@ class TrexHTTPHandler(BaseHTTPRequestHandler):
                 if not xml.strip():
                     raise TrexError("empty ingest body")
                 self._send_json(200, self.service.ingest(xml, docid))
+            elif parsed.path == "/compact":
+                params = (json.loads(body.decode("utf-8") or "{}")
+                          if body else {})
+                force = str(params.get("force", "0")) not in ("0", "false",
+                                                              "False")
+                self._send_json(200, self.service.compact(force=force))
             elif parsed.path == "/autopilot/cycle":
                 report = self.service.autopilot.run_cycle(force=True)
                 self._send_json(200, self.service.autopilot.snapshot()

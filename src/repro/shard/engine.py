@@ -41,6 +41,7 @@ from ..corpus.document import Document
 from ..corpus.tokenizer import Tokenizer
 from ..corpus.xmlparser import XMLParser
 from ..errors import RetrievalError, ShardTimeoutError
+from ..build.executor import BuildReport
 from ..nexi.ast import NexiQuery
 from ..nexi.parser import parse_nexi
 from ..nexi.translate import TranslatedQuery
@@ -148,6 +149,8 @@ class ShardedEngine:
         self.support_weight = support_weight
         self._auto_materialize = auto_materialize
         self._counter_lock = sanitizer.make_lock("shard-counters")
+        #: Merged per-shard report of the most recent warm-up run.
+        self.last_build_report: BuildReport | None = None
 
         if summary_factory is None:
             resolved_alias = alias if alias is not None else AliasMapping.identity()
@@ -499,21 +502,40 @@ class ShardedEngine:
         return missing
 
     @sanitizer.mutates_engine_state
-    def warm_segments(self, missing: list[tuple]) -> int:
-        created = 0
+    def warm_segments(self, missing: list[tuple], *, workers: int = 0) -> int:
+        """Materialize missing segments, batched per owning shard.
+
+        Requests are grouped so each shard engine receives **one**
+        warm-up call covering all of its targets — one shared collection
+        scan per shard (and a worker pool per shard when ``workers``
+        exceeds 1) instead of one scan per ``(kind, term)``.
+        """
+        by_shard: dict[int | None, list[tuple]] = {}
         for item in missing:
-            kind, term = item[0], item[1]
-            sids = item[2] if len(item) > 2 else None
             shard_index = item[3] if len(item) > 3 else None
+            by_shard.setdefault(shard_index, []).append(item[:3])
+        created = 0
+        merged = BuildReport(workers=workers)
+        for shard_index in sorted(by_shard,
+                                  key=lambda i: (i is None, i or 0)):
+            requests = by_shard[shard_index]
             if shard_index is not None:
                 # sids in a quadruple are local to the owning shard.
-                created += self.shards[shard_index].engine.warm_segments(
-                    [(kind, term, sids)])
+                engine = self.shards[shard_index].engine
+                created += engine.warm_segments(requests, workers=workers)
+                if engine.last_build_report is not None:
+                    merged.merge(engine.last_build_report)
             else:
-                # No owner recorded: warm the term everywhere (sids from
-                # an unknown summary cannot be trusted across shards).
+                # No owner recorded: warm the terms everywhere (sids
+                # from an unknown summary cannot be trusted across
+                # shards).
+                stripped = [(kind, term) for kind, term, *_rest in requests]
                 for shard in self.shards:
-                    created += shard.engine.warm_segments([(kind, term)])
+                    created += shard.engine.warm_segments(stripped,
+                                                          workers=workers)
+                    if shard.engine.last_build_report is not None:
+                        merged.merge(shard.engine.last_build_report)
+        self.last_build_report = merged
         return created
 
     # ------------------------------------------------------------------
@@ -530,8 +552,7 @@ class ShardedEngine:
         """
         if isinstance(source, str):
             parser = XMLParser(self.tokenizer)
-            next_id = docid if docid is not None else (
-                max(self.collection.docids, default=-1) + 1)
+            next_id = docid if docid is not None else self.collection.next_docid
             document = parser.parse(source, next_id)
         else:
             document = source
@@ -541,6 +562,21 @@ class ShardedEngine:
         shard = self.shards[self.partitioner.shard_of(document.docid)]
         shard.engine.add_document(document)
         return document
+
+    @sanitizer.mutates_engine_state
+    def compact_segments(self, *, ratio: float | None = None,
+                         force: bool = False) -> int:
+        """Fold LSM delta runs on every shard; returns segments compacted."""
+        return sum(shard.engine.compact_segments(ratio=ratio, force=force)
+                   for shard in self.shards)
+
+    def delta_snapshot(self) -> dict[str, int]:
+        """Aggregated LSM delta-run statistics across every shard."""
+        totals: dict[str, int] = {}
+        for shard in self.shards:
+            for key, value in shard.engine.catalog.delta_snapshot().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     @sanitizer.mutates_engine_state
     def rebuild_scorer(self, scorer_factory: Callable[[ScoringStats], Any]

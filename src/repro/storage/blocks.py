@@ -192,7 +192,14 @@ class BlockSequence:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | os.PathLike) -> None:
+    def to_bytes(self) -> bytes:
+        """Serialize to the canonical ``TRXB`` wire format.
+
+        The encoding is deterministic: two sequences built from the same
+        entries with the same codec and block size serialize identically,
+        which is what lets parallel build workers ship finished segments
+        back to the parent (and the golden tests diff them byte-wise).
+        """
         out = bytearray(_MAGIC)
         _write_uvarint(out, self.codec.key_width)
         _write_uvarint(out, len(self.headers))
@@ -205,23 +212,22 @@ class BlockSequence:
             _write_uvarint(out, header.count)
             _write_uvarint(out, header.byte_len)
             out.extend(payload)
-        with open(path, "wb") as fh:
-            fh.write(bytes(out))
+        return bytes(out)
 
     @classmethod
-    def load(cls, path: str | os.PathLike, codec: BlockCodec,
-             cost_model: CostModel | None = None,
-             cache: PageCache | None = None) -> "BlockSequence":
-        with open(path, "rb") as fh:
-            data = fh.read()
+    def from_bytes(cls, data: bytes, codec: BlockCodec,
+                   cost_model: CostModel | None = None,
+                   cache: PageCache | None = None,
+                   source: str = "<bytes>") -> "BlockSequence":
+        """Reconstruct a sequence from :meth:`to_bytes` output."""
         if not data.startswith(_MAGIC):
-            raise StorageError(f"{path}: not a block-sequence file")
+            raise StorageError(f"{source}: not a block-sequence image")
         offset = len(_MAGIC)
         try:
             key_width, offset = _read_uvarint(data, offset)
             if key_width != codec.key_width:
                 raise StorageError(
-                    f"{path}: key width {key_width} != codec {codec.key_width}")
+                    f"{source}: key width {key_width} != codec {codec.key_width}")
             block_count, offset = _read_uvarint(data, offset)
             headers: list[BlockHeader] = []
             payloads: list[bytes] = []
@@ -249,7 +255,20 @@ class BlockSequence:
                 payloads.append(data[offset:end])
                 offset = end
         except CodecError as err:
-            raise StorageError(f"{path}: corrupt block file: {err}") from err
+            raise StorageError(f"{source}: corrupt block image: {err}") from err
         if offset != len(data):
-            raise StorageError(f"{path}: trailing bytes in block file")
+            raise StorageError(f"{source}: trailing bytes in block image")
         return cls(codec, headers, payloads, cost_model=cost_model, cache=cache)
+
+    def save(self, path: str | os.PathLike) -> None:
+        with open(path, "wb") as fh:
+            fh.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path: str | os.PathLike, codec: BlockCodec,
+             cost_model: CostModel | None = None,
+             cache: PageCache | None = None) -> "BlockSequence":
+        with open(path, "rb") as fh:
+            data = fh.read()
+        return cls.from_bytes(data, codec, cost_model=cost_model,
+                              cache=cache, source=str(path))

@@ -7,3 +7,17 @@ def emit(telemetry: object, method: str) -> None:
     telemetry.observe("search.latency_seconds", 0.1)
     telemetry.incr(f"search.method.{method}")
     telemetry.register_gauge("queue_depth", lambda: 0)
+
+
+def emit_build_and_compaction(telemetry: object) -> None:
+    telemetry.incr("build.segments", 3)
+    telemetry.incr("build.scans")
+    telemetry.incr("build.reused")
+    telemetry.incr("build.entries", 100)
+    telemetry.observe("build.latency_seconds", 0.01)
+    telemetry.incr("ingest.delta_runs", 2)
+    telemetry.incr("ingest.delta_entries", 7)
+    telemetry.incr("compaction.runs")
+    telemetry.incr("compaction.segments", 2)
+    telemetry.incr("compaction.delta_runs_folded", 2)
+    telemetry.observe("compaction.latency_seconds", 0.005)

@@ -1,0 +1,172 @@
+"""Batched single-pass builder: golden equivalence with the per-term
+path, scope filtering, scan accounting, and per-document delta payloads."""
+
+from repro.build import BuildPlanner, BuildTarget, compute_document_entries, compute_entries_batch, encode_run
+from repro.build.batch import filter_scope
+from repro.corpus import Collection, Tokenizer, parse_document
+from repro.index.rpl import compute_rpl_entries
+from repro.retrieval import TrexEngine
+from repro.storage.cost import CostModel
+from repro.summary import IncomingSummary
+
+TEXTS = (
+    "<a><sec>xml retrieval systems</sec><sec>database theory</sec></a>",
+    "<a><sec>xml database</sec><par>retrieval of xml data</par></a>",
+    "<a><sec>retrieval models for xml</sec></a>",
+    "<a><par>database systems</par></a>",
+)
+
+
+def build_engine():
+    tokenizer = Tokenizer(stopwords=())
+    collection = Collection.from_documents(
+        parse_document(text, docid, tokenizer=tokenizer)
+        for docid, text in enumerate(TEXTS))
+    return TrexEngine(collection, IncomingSummary(collection),
+                      tokenizer=tokenizer)
+
+
+class TestBatchEquivalence:
+    def test_batch_entries_equal_per_term_entries(self):
+        engine = build_engine()
+        terms = ["xml", "retrieval", "database"]
+        targets = [BuildTarget("rpl", term) for term in terms]
+        batch = compute_entries_batch(engine.collection, engine.summary,
+                                      targets, engine.scorer)
+        for target in targets:
+            reference = compute_rpl_entries(engine.collection, engine.summary,
+                                            target.term, engine.scorer)
+            assert batch.entries[target] == reference
+
+    def test_one_collection_scan_for_many_targets(self):
+        engine = build_engine()
+        targets = [BuildTarget(kind, term)
+                   for term in ("xml", "retrieval", "database", "systems")
+                   for kind in ("rpl", "erpl")]
+        batch = compute_entries_batch(engine.collection, engine.summary,
+                                      targets, engine.scorer)
+        assert batch.collection_scans == 1
+        assert batch.documents_scanned == len(TEXTS)
+        assert batch.entry_total() > 0
+
+    def test_encoded_bytes_match_catalog_segments(self):
+        engine = build_engine()
+        batch = compute_entries_batch(
+            engine.collection, engine.summary,
+            [BuildTarget("rpl", "xml"), BuildTarget("erpl", "xml")],
+            engine.scorer)
+        rpl_seg = engine.materialize_rpl("xml")
+        erpl_seg = engine.materialize_erpl("xml")
+        rpl_run = encode_run("rpl", batch.entries[BuildTarget("rpl", "xml")],
+                             block_size=engine.block_size)
+        erpl_run = encode_run("erpl",
+                              batch.entries[BuildTarget("erpl", "xml")],
+                              block_size=engine.block_size)
+        assert rpl_run.to_bytes() == \
+            engine.catalog.blocks_for(rpl_seg).to_bytes()
+        assert erpl_run.to_bytes() == \
+            engine.catalog.blocks_for(erpl_seg).to_bytes()
+
+    def test_scoped_target_restricts_sids(self):
+        engine = build_engine()
+        universal = BuildTarget("rpl", "xml")
+        batch = compute_entries_batch(engine.collection, engine.summary,
+                                      [universal], engine.scorer)
+        sids = {entry.sid for entry in batch.entries[universal]}
+        chosen = frozenset(list(sorted(sids))[:1])
+        scoped = BuildTarget("rpl", "xml", scope=chosen)
+        scoped_batch = compute_entries_batch(engine.collection,
+                                             engine.summary, [scoped],
+                                             engine.scorer)
+        rows = scoped_batch.entries[scoped]
+        assert rows
+        assert {entry.sid for entry in rows} <= chosen
+        reference = compute_rpl_entries(engine.collection, engine.summary,
+                                        "xml", engine.scorer, sids=chosen)
+        assert rows == reference
+
+    def test_charged_build_meters_private_model(self):
+        engine = build_engine()
+        model = CostModel()
+        compute_entries_batch(engine.collection, engine.summary,
+                              [BuildTarget("rpl", "xml")], engine.scorer,
+                              cost_model=model)
+        assert model.total_cost > 0.0
+
+
+class TestDocumentEntries:
+    def test_matches_batch_restricted_to_one_document(self):
+        engine = build_engine()
+        document = engine.collection.document(1)
+        result = compute_document_entries(document, engine.summary,
+                                          ["xml", "retrieval"], engine.scorer)
+        target = BuildTarget("rpl", "xml")
+        batch = compute_entries_batch(engine.collection, engine.summary,
+                                      [target], engine.scorer)
+        expected = [entry for entry in batch.entries[target]
+                    if entry.docid == 1]
+        assert sorted(result["xml"]) == sorted(expected)
+
+    def test_unmentioned_term_yields_empty_list(self):
+        engine = build_engine()
+        document = engine.collection.document(3)  # no 'xml' occurrences
+        result = compute_document_entries(document, engine.summary,
+                                          ["xml"], engine.scorer)
+        assert result["xml"] == []
+
+
+class TestFilterScope:
+    def test_universal_scope_copies(self):
+        engine = build_engine()
+        document = engine.collection.document(0)
+        entries = compute_document_entries(document, engine.summary,
+                                           ["xml"], engine.scorer)
+        rows = filter_scope(entries, "xml", None)
+        assert rows == entries["xml"]
+        assert rows is not entries["xml"]
+
+    def test_scope_filters_sids(self):
+        engine = build_engine()
+        document = engine.collection.document(0)
+        entries = compute_document_entries(document, engine.summary,
+                                           ["xml"], engine.scorer)
+        assert entries["xml"]
+        keep = frozenset({entries["xml"][0].sid})
+        rows = filter_scope(entries, "xml", keep)
+        assert rows and all(entry.sid in keep for entry in rows)
+        assert filter_scope(entries, "xml", frozenset()) == []
+
+
+class TestPlannerIntegration:
+    def test_plan_for_query_dedups_across_clauses(self):
+        engine = build_engine()
+        # Both clauses mention 'xml'; universal scope must dedup to one
+        # target per kind.
+        plan = engine.plan_for_query(
+            "//a[about(.//sec, xml)]//sec[about(., xml retrieval)]")
+        keys = [(t.kind, t.term, t.scope) for t in plan]
+        assert len(keys) == len(set(keys))
+        terms = {t.term for t in plan}
+        assert terms == {"xml", "retrieval"}
+
+    def test_materialize_for_query_installs_plan(self):
+        engine = build_engine()
+        installed = engine.materialize_for_query(
+            "//sec[about(., xml retrieval)]")
+        assert {seg.term for seg in installed} == {"xml", "retrieval"}
+        assert {seg.kind for seg in installed} == {"rpl", "erpl"}
+        # Second call: everything is satisfied, nothing new installed.
+        again = engine.materialize_for_query("//sec[about(., xml retrieval)]")
+        assert again == []
+
+    def test_build_plan_reports_reuse(self):
+        engine = build_engine()
+        planner = BuildPlanner()
+        planner.add("rpl", "xml")
+        report = engine.build_segments(planner.plan())
+        assert (report.built, report.reused) == (1, 0)
+        planner = BuildPlanner()
+        planner.add("rpl", "xml")
+        planner.add("rpl", "database")
+        report = engine.build_segments(planner.plan())
+        assert (report.built, report.reused) == (1, 1)

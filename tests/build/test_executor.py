@@ -1,0 +1,97 @@
+"""BuildExecutor: worker-pool builds are byte-identical to serial ones."""
+
+import pytest
+
+from repro.build import BuildExecutor, BuildPlanner, BuildReport
+from tests.build.test_batch import build_engine
+
+
+def make_plan(engine, terms=("xml", "retrieval", "database", "systems",
+                             "models", "data")):
+    planner = BuildPlanner()
+    for term in terms:
+        planner.add("rpl", term)
+        planner.add("erpl", term)
+    return planner.plan()
+
+
+class TestBuildImages:
+    def test_empty_plan_is_noop(self):
+        engine = build_engine()
+        executor = BuildExecutor(workers=4)
+        images, scans = executor.build_images(
+            engine.collection, engine.summary, engine.scorer,
+            BuildPlanner().plan())
+        assert (images, scans) == ([], 0)
+
+    def test_serial_single_scan(self):
+        engine = build_engine()
+        plan = make_plan(engine)
+        executor = BuildExecutor(workers=0, block_size=engine.block_size)
+        images, scans = executor.build_images(
+            engine.collection, engine.summary, engine.scorer, plan)
+        assert scans == 1
+        assert [target for target, _image in images] == list(plan)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_images_byte_identical_to_serial(self, workers):
+        engine = build_engine()
+        plan = make_plan(engine)
+        serial = BuildExecutor(workers=0, block_size=engine.block_size)
+        parallel = BuildExecutor(workers=workers,
+                                 block_size=engine.block_size)
+        serial_images, _ = serial.build_images(
+            engine.collection, engine.summary, engine.scorer, plan)
+        parallel_images, scans = parallel.build_images(
+            engine.collection, engine.summary, engine.scorer, plan)
+        assert scans == min(workers, len(plan))
+        assert [t for t, _ in parallel_images] == [t for t, _ in serial_images]
+        for (target, serial_bytes), (_t, parallel_bytes) in zip(
+                serial_images, parallel_images):
+            assert parallel_bytes == serial_bytes, target.describe()
+
+
+class TestEngineParallelBuild:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_engine_catalog_identical_serial_vs_parallel(self, workers):
+        serial_engine = build_engine()
+        parallel_engine = build_engine()
+        plan = make_plan(serial_engine)
+        serial_report = serial_engine.build_segments(plan, workers=0)
+        parallel_report = parallel_engine.build_segments(
+            make_plan(parallel_engine), workers=workers)
+        assert serial_report.built == parallel_report.built
+        serial_segments = list(serial_engine.catalog.segments())
+        parallel_segments = list(parallel_engine.catalog.segments())
+        assert [(s.segment_id, s.kind, s.term) for s in serial_segments] == \
+            [(s.segment_id, s.kind, s.term) for s in parallel_segments]
+        for s_seg, p_seg in zip(serial_segments, parallel_segments):
+            assert serial_engine.catalog.blocks_for(s_seg).to_bytes() == \
+                parallel_engine.catalog.blocks_for(p_seg).to_bytes()
+
+    def test_warm_segments_sets_report(self):
+        engine = build_engine()
+        created = engine.warm_segments([("rpl", "xml"), ("erpl", "xml")])
+        assert created == 2
+        report = engine.last_build_report
+        assert report is not None
+        assert report.built == 2
+        assert report.collection_scans == 1
+
+
+class TestBuildReport:
+    def test_merge_accumulates(self):
+        a = BuildReport(requested=2, built=2, entries=10, bytes_built=100,
+                        collection_scans=1, workers=1, segments=["a"])
+        b = BuildReport(requested=3, built=1, reused=2, entries=5,
+                        bytes_built=50, collection_scans=2, workers=4,
+                        segments=["b"])
+        a.merge(b)
+        assert a.requested == 5
+        assert a.built == 3
+        assert a.reused == 2
+        assert a.entries == 15
+        assert a.bytes_built == 150
+        assert a.collection_scans == 3
+        assert a.workers == 4
+        assert a.segments == ["a", "b"]

@@ -55,13 +55,18 @@ class TestAddDocument:
         document = engine.add_document("<a><sec>x y</sec></a>")
         assert len(engine.elements) == rows_before + document.element_count()
 
-    def test_affected_segments_dropped(self, engine):
-        engine.materialize_rpl("xml")
-        engine.materialize_rpl("databases")
+    def test_affected_segments_gain_delta_runs(self, engine):
+        xml_seg = engine.materialize_rpl("xml")
+        db_seg = engine.materialize_rpl("databases")
         engine.add_document("<a><sec>xml again</sec></a>")
-        # 'xml' segment stale -> dropped; 'databases' untouched -> kept.
-        assert engine.catalog.find_segment("rpl", "xml", set()) is None
-        assert engine.catalog.find_segment("rpl", "databases", set()) is not None
+        # 'xml' segment kept with an LSM delta run appended;
+        # 'databases' untouched — no delta.
+        assert engine.catalog.find_segment("rpl", "xml", set()) is not None
+        assert engine.catalog.delta_run_count(xml_seg.segment_id) == 1
+        assert engine.catalog.delta_run_count(db_seg.segment_id) == 0
+        snapshot = engine.catalog.delta_snapshot()
+        assert snapshot["deltas_appended"] == 1
+        assert snapshot["segments_with_deltas"] == 1
 
     def test_methods_agree_after_adds(self, engine):
         engine.add_document("<a><sec>xml xml retrieval</sec></a>")

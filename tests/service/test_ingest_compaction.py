@@ -1,0 +1,144 @@
+"""Serving-layer LSM behavior: delta telemetry, ingest-triggered
+compaction, cache/epoch interplay, and concurrent ingest + evaluate.
+
+The concurrency test also runs in CI under ``REPRO_SANITIZE=1`` (the
+sanitizer-stress job), where the runtime sanitizer checks that every
+engine mutation — delta appends and compactions included — holds the
+service's write lock.
+"""
+
+import threading
+
+from repro.service import QueryService, ServiceConfig
+
+from tests.service.conftest import DOCS, build_engine
+
+QUERY = "//sec[about(., xml)]"
+
+
+def make_service(**overrides):
+    config = ServiceConfig(workers=4, queue_depth=32, cache_capacity=64,
+                           autopilot_interval=None, **overrides)
+    return QueryService(build_engine(*DOCS), config)
+
+
+class TestIngestDeltas:
+    def test_ingest_appends_deltas_and_reports(self):
+        service = make_service(auto_compact=False)
+        with service:
+            # Warm a segment so ingestion has something to delta.
+            service.search(QUERY, k=5, method="ta")
+            outcome = service.ingest("<a><sec>xml delta content</sec></a>")
+            assert outcome["delta_runs"] >= 1
+            assert outcome["segments_compacted"] == 0
+            counters = service.telemetry.snapshot()["counters"]
+            assert counters["ingest.delta_runs"] >= 1
+            assert counters["ingest.delta_entries"] >= 1
+            assert service.stats()["deltas"]["delta_runs"] >= 1
+
+    def test_auto_compact_trips_on_ratio(self):
+        # ratio=0 trips on any delta: every ingest folds immediately.
+        service = make_service(auto_compact=True, compaction_ratio=0.0)
+        with service:
+            service.search(QUERY, k=5, method="ta")
+            outcome = service.ingest("<a><sec>xml more xml</sec></a>")
+            assert outcome["segments_compacted"] >= 1
+            assert outcome["delta_runs"] == 0
+            counters = service.telemetry.snapshot()["counters"]
+            assert counters["compaction.runs"] >= 1
+            assert counters["compaction.segments"] >= 1
+            assert counters["compaction.delta_runs_folded"] >= 1
+
+    def test_explicit_compact_endpoint_logic(self):
+        service = make_service(auto_compact=False)
+        with service:
+            service.search(QUERY, k=5, method="ta")
+            service.ingest("<a><sec>xml fold me</sec></a>")
+            assert service.stats()["deltas"]["delta_runs"] >= 1
+            outcome = service.compact(force=True)
+            assert outcome["segments_compacted"] >= 1
+            assert outcome["delta_runs"] == 0
+
+    def test_compaction_preserves_cache_ingest_invalidates(self):
+        service = make_service(auto_compact=False)
+        with service:
+            service.search(QUERY, k=5, method="ta")
+            first = service.search(QUERY, k=5, method="ta")
+            assert first["cached"] is True
+
+            # Compaction does not change answers: epoch (and cache) hold.
+            service.ingest("<a><sec>xml appended</sec></a>")
+            after_ingest = service.search(QUERY, k=5, method="ta")
+            assert after_ingest["cached"] is False  # epoch bumped
+            assert after_ingest["total"] == first["total"] + 1
+
+            cached = service.search(QUERY, k=5, method="ta")
+            assert cached["cached"] is True
+            service.compact(force=True)
+            still_cached = service.search(QUERY, k=5, method="ta")
+            assert still_cached["cached"] is True
+            assert still_cached["epoch"] == cached["epoch"]
+
+    def test_search_results_merge_deltas(self):
+        service = make_service(auto_compact=False)
+        with service:
+            before = service.search(QUERY, k=None, method="ta",
+                                    use_cache=False)
+            docid = service.ingest("<a><sec>xml xml xml</sec></a>")["docid"]
+            after = service.search(QUERY, k=None, method="ta",
+                                   use_cache=False)
+            assert after["total"] == before["total"] + 1
+            assert docid in {hit["docid"] for hit in after["hits"]}
+
+
+class TestConcurrentIngestAndEvaluate:
+    THREADS = 4
+    OPS = 6
+
+    def test_concurrent_ingest_and_search(self):
+        service = make_service(auto_compact=True, compaction_ratio=0.25)
+        errors = []
+        ingested = []
+        state_lock = threading.Lock()
+
+        def worker(worker_id):
+            try:
+                for op in range(self.OPS):
+                    docid = service.ingest(
+                        f"<a><sec>xml w{worker_id} op{op}</sec></a>")["docid"]
+                    with state_lock:
+                        ingested.append(docid)
+                    payload = service.search(QUERY, k=None, method="ta",
+                                             use_cache=False)
+                    seen = {hit["docid"] for hit in payload["hits"]}
+                    # Read-your-writes: this worker's latest document is
+                    # visible to its next query.
+                    assert docid in seen, (worker_id, op)
+                    ranks = [hit["rank"] for hit in payload["hits"]]
+                    assert ranks == list(range(1, len(ranks) + 1))
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        with service:
+            service.search(QUERY, k=5, method="ta")  # warm segments
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(self.THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            final = service.search(QUERY, k=None, method="ta",
+                                   use_cache=False)
+            seen = {hit["docid"] for hit in final["hits"]}
+            assert set(ingested) <= seen
+            assert len(ingested) == self.THREADS * self.OPS
+            counters = service.telemetry.snapshot()["counters"]
+            assert counters["ingest.documents"] == len(ingested)
+            assert counters["ingest.delta_runs"] >= 1
+            # Strategies still agree after interleaved deltas/compactions.
+            merge = service.search(QUERY, k=None, method="merge",
+                                   use_cache=False)
+            assert [(h["docid"], h["end"], h["score"])
+                    for h in merge["hits"]] == \
+                [(h["docid"], h["end"], h["score"]) for h in final["hits"]]
