@@ -36,7 +36,7 @@ __all__ = ["LockDisciplineChecker"]
 
 _EXEMPT_FUNCTIONS = {"__init__", "__post_init__", "__new__", "__del__"}
 _EXEMPT_DECORATORS = {"mutates_engine_state"}
-_SCOPES = ("repro.service", "repro.shard")
+_SCOPES = ("repro.service", "repro.shard", "repro.replica")
 
 
 def _guarded_declarations(tree: ast.Module) -> dict[str, str]:

@@ -11,6 +11,7 @@ Subcommands::
     python -m repro shard     build / inspect partitioned (sharded) indexes
     python -m repro serve     run the concurrent HTTP query service
     python -m repro stats     fetch /stats from a running server
+    python -m repro replica   inspect replica groups on a running server
 
 Corpora are directories of ``*.xml`` files; docids follow sorted
 filename order.  The ``--alias`` option selects the INEX alias mapping
@@ -223,12 +224,17 @@ def _print_shard_rows(rows: list[dict]) -> None:
     documents = [row["documents"] for row in rows]
     mean = sum(documents) / len(documents) if documents else 0.0
     print(f"{'shard':>5} {'documents':>9} {'elements':>9} {'segments':>8} "
-          f"{'catalog B':>10} {'probes':>7} {'pruned':>7} {'timeouts':>8}")
+          f"{'catalog B':>10} {'probes':>7} {'pruned':>7} {'timeouts':>8} "
+          f"{'deltas':>6} {'delta B':>8} {'repl':>4}")
     for row in rows:
+        replicas = row.get("replicas", 1)
+        healthy = row.get("replicas_healthy", replicas)
         print(f"{row['shard']:>5} {row['documents']:>9} "
               f"{row['elements_rows']:>9} {row['segments']:>8} "
               f"{row['catalog_bytes']:>10} {row['probes']:>7} "
-              f"{row['pruned']:>7} {row['timeouts']:>8}")
+              f"{row['pruned']:>7} {row['timeouts']:>8} "
+              f"{row.get('delta_runs', 0):>6} {row.get('delta_bytes', 0):>8} "
+              f"{healthy}/{replicas}")
     if documents and mean:
         skew = max(documents) / mean
         print(f"balance: {len(documents)} shards, "
@@ -282,6 +288,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fail_soft=not args.no_fail_soft,
         build_workers=args.build_workers,
         auto_compact=not args.no_auto_compact,
+        replicas=args.replicas,
+        read_policy=args.read_policy,
+        quorum=args.quorum,
     )
     with QueryService(engine, config) as service:
         server = make_server(service, args.host, args.port,
@@ -289,13 +298,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host, port = server.server_address[:2]
         sharding = (f", {args.shards} shards ({args.shard_policy})"
                     if args.shards > 1 else "")
+        replication = (f", {args.replicas} replicas ({args.read_policy})"
+                       if args.replicas > 1 else "")
         print(f"serving {args.corpus} on http://{host}:{port} "
               f"({config.workers} workers, cache={config.cache_capacity}, "
               f"autopilot="
               f"{'off' if args.no_autopilot else f'{args.autopilot_interval}s'}"
-              f"{sharding})")
-        print("endpoints: /search /explain /ingest /stats /healthz "
-              "/autopilot/cycle  (Ctrl-C or SIGTERM to stop)")
+              f"{sharding}{replication})")
+        print("endpoints: /search /explain /ingest /stats /replicas "
+              "/healthz /autopilot/cycle  (Ctrl-C or SIGTERM to stop)")
         serve_until_shutdown(server, service)
         print("drained; bye")
     return 0
@@ -342,6 +353,51 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                   f"{row.get('segments')} segments, "
                   f"epoch={row.get('epoch')}, probes={row.get('probes')} "
                   f"pruned={row.get('pruned')} timeouts={row.get('timeouts')}")
+    return 0
+
+
+def _cmd_replica_status(args: argparse.Namespace) -> int:
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = f"http://{args.host}:{args.port}/replicas"
+    try:
+        with urlopen(url, timeout=args.timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except (URLError, OSError) as err:
+        print(f"error: cannot reach {url}: {err}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not payload.get("groups"):
+        print("engine is not sharded: no replica groups")
+        return 0
+    print(f"replicas={payload.get('replicas', 1)} "
+          f"policy={payload.get('read_policy')} "
+          f"quorum={payload.get('quorum')}")
+    counters = payload.get("counters", {})
+    print("counters: " + ", ".join(f"{key}={counters[key]}"
+                                   for key in sorted(counters)))
+    for group in payload["groups"]:
+        log = group.get("log", {})
+        quorum = "ok" if group.get("quorum_met") else "LOST"
+        print(f"shard {group['shard']} ({group['name']}): "
+              f"healthy {group['healthy']}/{len(group['replicas'])} "
+              f"quorum={quorum} log head={log.get('head')} "
+              f"retained={log.get('retained')}")
+        for row in group["replicas"]:
+            flags = []
+            if not row["alive"]:
+                flags.append("killed")
+            if not row["attached"]:
+                flags.append("detached")
+            suffix = f" [{', '.join(flags)}]" if flags else ""
+            print(f"  r{row['replica']} {row['role']:<8} "
+                  f"state={row['state']:<7} reads={row['reads']:<6} "
+                  f"applied={row['applied_offset']} lag={row['lag']}"
+                  f"{suffix}")
     return 0
 
 
@@ -507,6 +563,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-fail-soft", action="store_true",
                        help="shard timeouts become 504s instead of "
                             "degraded partial results")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="engine replicas per shard (reads are "
+                            "load-balanced; writes ship leader-first)")
+    serve.add_argument("--read-policy",
+                       choices=("round_robin", "least_inflight",
+                                "power_of_two"),
+                       default="round_robin",
+                       help="replica read-balancing policy")
+    serve.add_argument("--quorum", type=int, default=1,
+                       help="healthy replicas per shard below which "
+                            "/replicas reports quorum lost")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request")
     serve.set_defaults(func=_cmd_serve)
@@ -518,6 +585,19 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="print the raw JSON snapshot")
     stats.set_defaults(func=_cmd_stats)
+
+    replica = sub.add_parser(
+        "replica", help="inspect replica groups on a running server")
+    replica_sub = replica.add_subparsers(dest="replica_command",
+                                         required=True)
+    status = replica_sub.add_parser(
+        "status", help="fetch /replicas and print per-group topology")
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, default=8080)
+    status.add_argument("--timeout", type=float, default=5.0)
+    status.add_argument("--json", action="store_true",
+                        help="print the raw JSON snapshot")
+    status.set_defaults(func=_cmd_replica_status)
 
     analyze = sub.add_parser(
         "analyze", help="run the invariant lint suite (docs/analysis.md)")

@@ -165,3 +165,46 @@ class ShardTimeoutError(ShardError):
         self.shard_index = shard_index
         self.elapsed = elapsed
         self.deadline = deadline
+
+
+class ReplicaError(TrexError):
+    """A failure in the replica-group layer (:mod:`repro.replica`)."""
+
+
+class ReplicaFaultError(ReplicaError):
+    """One replica failed while serving a read.
+
+    Raised by the liveness check of a read lease — either because the
+    replica was killed (process death simulation) or because a fault
+    was injected by the test hook.  The group catches this and fails
+    the read over to a healthy sibling; it only escapes the group when
+    every sibling is faulty too (see :class:`ReplicaQuorumError`).
+    """
+
+    def __init__(self, replica_index: int, reason: str = "replica fault") -> None:
+        super().__init__(f"replica {replica_index} failed: {reason}")
+        self.replica_index = replica_index
+        self.reason = reason
+
+
+class ReplicaQuorumError(ReplicaError):
+    """No healthy replica is left to serve a read.
+
+    Under ``fail_soft`` the coordinator degrades the query (the shard's
+    contribution is dropped and the result is tagged ``degraded``);
+    otherwise this propagates to the caller as a hard failure.
+    """
+
+    def __init__(self, group: str, healthy: int, total: int) -> None:
+        super().__init__(
+            f"replica group {group!r} lost quorum: "
+            f"{healthy} of {total} replicas healthy")
+        self.group = group
+        self.healthy = healthy
+        self.total = total
+
+
+class ReplicaDivergenceError(ReplicaError):
+    """A shipped replication record did not apply cleanly on a follower
+    (segment-id mismatch or a missing target segment) — the follower's
+    catalog has diverged from the leader's."""

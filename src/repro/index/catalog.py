@@ -167,17 +167,32 @@ class IndexCatalog:
                                    cost_model=self.cost_model, cache=self._cache)
 
     def install_sequence(self, kind: str, term: str, sequence: BlockSequence,
-                         scope: Iterable[int] | None = None) -> IndexSegment:
+                         scope: Iterable[int] | None = None, *,
+                         segment_id: int | None = None) -> IndexSegment:
         """Register an externally built run as a new segment.
 
         This is the parent-side install step of the parallel build path:
         workers ship finished :class:`BlockSequence` images back, the
         parent re-hydrates them and installs under the writer lock.
+
+        ``segment_id`` forces the id instead of allocating one — the
+        replication path uses it so a follower installs a shipped run
+        under exactly the leader's id, keeping later delta appends and
+        drops (which address segments by id) aligned across replicas.
+        A forced id that is already taken evicts the resident segment
+        first: segments are derived data, and the only way a follower
+        holds a conflicting id is a replica-local lazy materialization
+        the leader never saw (that list rebuilds on demand).
         """
         sequence.cost_model = self.cost_model
         sequence.use_cache(self._cache)
-        segment_id = self._next_segment_id
-        self._next_segment_id += 1
+        if segment_id is None:
+            segment_id = self._next_segment_id
+            self._next_segment_id += 1
+        else:
+            if segment_id in self._segments:
+                self.drop_segment(segment_id)
+            self._next_segment_id = max(self._next_segment_id, segment_id + 1)
         segment = IndexSegment(
             segment_id=segment_id,
             kind=kind,
@@ -191,13 +206,45 @@ class IndexCatalog:
         return segment
 
     def install_segment_bytes(self, kind: str, term: str, data: bytes,
-                              scope: Iterable[int] | None = None) -> IndexSegment:
+                              scope: Iterable[int] | None = None, *,
+                              segment_id: int | None = None) -> IndexSegment:
         """Install a serialized run image (see :meth:`install_sequence`)."""
         codec = rpl_block_codec() if kind == "rpl" else erpl_block_codec()
         sequence = BlockSequence.from_bytes(
             data, codec, cost_model=self.cost_model, cache=self._cache,
             source=f"{kind}:{term}")
-        return self.install_sequence(kind, term, sequence, scope=scope)
+        return self.install_sequence(kind, term, sequence, scope=scope,
+                                     segment_id=segment_id)
+
+    def install_compacted_bytes(self, segment_id: int,
+                                data: bytes) -> IndexSegment:
+        """Replace a segment's base run with a compacted image and clear
+        its delta runs (the replication *snapshot-install*).
+
+        The image is the leader's post-compaction base run, which
+        :meth:`compact_segment` guarantees is byte-identical to a
+        from-scratch build over the extended collection — so after this
+        call the follower's segment is byte-identical to the leader's.
+        """
+        segment = self.get_segment(segment_id)
+        codec = (rpl_block_codec() if segment.kind == "rpl"
+                 else erpl_block_codec())
+        sequence = BlockSequence.from_bytes(
+            data, codec, cost_model=self.cost_model, cache=self._cache,
+            source=f"{segment.kind}:{segment.term}")
+        folded = len(self._deltas.get(segment_id, []))
+        old = self._blocks.get(segment_id)
+        if old is not None:
+            old.invalidate()
+        for run in self._deltas.pop(segment_id, []):
+            run.invalidate()
+        self._blocks[segment_id] = sequence
+        updated = replace(segment, entry_count=sequence.entry_count,
+                          size_bytes=sequence.size_bytes)
+        self._segments[segment_id] = updated
+        self.segments_compacted += 1
+        self.delta_runs_folded += folded
+        return updated
 
     # ------------------------------------------------------------------
     # LSM delta runs
@@ -309,6 +356,9 @@ class IndexCatalog:
             return self._segments[segment_id]
         except KeyError:
             raise StorageError(f"unknown segment id {segment_id}") from None
+
+    def has_segment(self, segment_id: int) -> bool:
+        return segment_id in self._segments
 
     def find_segment(self, kind: str, term: str,
                      sids: Iterable[int]) -> IndexSegment | None:

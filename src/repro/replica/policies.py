@@ -1,0 +1,111 @@
+"""Read-balancing policies for replica groups.
+
+A policy picks one replica out of the currently *eligible* set (healthy,
+or due for a half-open probe).  All three classics are provided:
+
+* ``round_robin`` — strict rotation, oblivious to load;
+* ``least_inflight`` — pick the replica with the fewest reads in
+  flight (ties break to the lowest index, so the choice is
+  deterministic);
+* ``power_of_two`` — sample two distinct replicas with a *seeded* PRNG
+  and take the less-loaded one: nearly the balance of least-inflight
+  at O(1) bookkeeping, and reproducible because the seed is fixed.
+
+Policies are pure selection logic; inflight accounting, health state
+and fault handling all live in :class:`~repro.replica.group.
+ReplicaGroup`, which calls ``choose`` under its own state lock.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence
+
+from ..errors import ReplicaError
+
+__all__ = ["ReadPolicy", "RoundRobinPolicy", "LeastInflightPolicy",
+           "PowerOfTwoPolicy", "READ_POLICIES", "make_read_policy"]
+
+
+class _Selectable(Protocol):
+    """What a policy needs to know about a replica."""
+
+    @property
+    def index(self) -> int: ...
+
+    @property
+    def inflight(self) -> int: ...
+
+
+class ReadPolicy(Protocol):
+    """Selection strategy over the eligible replicas of one group."""
+
+    name: str
+
+    def choose(self, eligible: Sequence[_Selectable]) -> _Selectable: ...
+
+
+class RoundRobinPolicy:
+    """Strict rotation over replica indexes."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, eligible: Sequence[_Selectable]) -> _Selectable:
+        # Rotate over the *group* index space, not the eligible list,
+        # so a replica dropping out does not skew the rotation of the
+        # survivors.
+        ordered = sorted(eligible, key=lambda replica: replica.index)
+        for candidate in ordered:
+            if candidate.index >= self._next:
+                chosen = candidate
+                break
+        else:
+            chosen = ordered[0]
+        self._next = chosen.index + 1
+        return chosen
+
+
+class LeastInflightPolicy:
+    """Pick the replica with the fewest reads in flight."""
+
+    name = "least_inflight"
+
+    def choose(self, eligible: Sequence[_Selectable]) -> _Selectable:
+        return min(eligible,
+                   key=lambda replica: (replica.inflight, replica.index))
+
+
+class PowerOfTwoPolicy:
+    """Two seeded random choices, keep the less loaded one."""
+
+    name = "power_of_two"
+
+    def __init__(self, seed: int = 1729) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, eligible: Sequence[_Selectable]) -> _Selectable:
+        if len(eligible) == 1:
+            return eligible[0]
+        first, second = self._rng.sample(list(eligible), 2)
+        if (second.inflight, second.index) < (first.inflight, first.index):
+            return second
+        return first
+
+
+READ_POLICIES: tuple[str, ...] = ("round_robin", "least_inflight",
+                                  "power_of_two")
+
+
+def make_read_policy(name: str, *, seed: int = 1729) -> ReadPolicy:
+    """Instantiate a read policy by name."""
+    if name == "round_robin":
+        return RoundRobinPolicy()
+    if name == "least_inflight":
+        return LeastInflightPolicy()
+    if name == "power_of_two":
+        return PowerOfTwoPolicy(seed=seed)
+    raise ReplicaError(
+        f"unknown read policy {name!r}; choose from {READ_POLICIES}")

@@ -57,6 +57,10 @@ class EvaluationStats:
     degraded: bool = False
     #: Per-shard breakdown (one dict per shard, coordinator runs only).
     shard_stats: list[dict] = field(default_factory=list)
+    #: Replica read leases granted while serving this query.
+    replica_reads: int = 0
+    #: Reads transparently retried on a sibling after a replica fault.
+    replica_failovers: int = 0
 
     def record_block_io(self, spent: object) -> None:
         """Copy block-level counters from a cost-snapshot difference."""
@@ -87,6 +91,8 @@ class EvaluationStats:
         self.shards_pruned += other.shards_pruned
         self.shards_timed_out += other.shards_timed_out
         self.degraded = self.degraded or other.degraded
+        self.replica_reads += other.replica_reads
+        self.replica_failovers += other.replica_failovers
         self.shard_stats.extend(other.shard_stats)
         for term, depth in other.list_depths.items():
             self.list_depths[term] = self.list_depths.get(term, 0) + depth

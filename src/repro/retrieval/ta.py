@@ -116,6 +116,31 @@ class TaSession:
                 bound = best
         return bound
 
+    def can_prune(self, floor: float) -> bool:
+        """Sound early-termination test against a global *floor*.
+
+        Equivalent to ``floor > self.upper_bound()`` but cheap on the
+        common path: the static threshold ``Σ_j w_j · high_j`` comes
+        straight from the resident block-max directories (before the
+        first sorted access it is the list-head bound, i.e. the shard's
+        static score upper bound), so while the floor has not cleared
+        it no element — seen or unseen — can be ruled out and the
+        per-candidate completion scan is skipped entirely.  Once the
+        floor does clear the threshold, the scan early-exits on the
+        first candidate whose best completion still reaches the floor.
+        Strict comparisons throughout, so cross-shard ties survive.
+        """
+        if floor == float("-inf"):
+            return False
+        self.cost_model.compare()
+        if floor <= self.threshold():
+            return False
+        for candidate in self.candidates.values():
+            self.cost_model.compare()
+            if self.best_of(candidate) >= floor:
+                return False
+        return True
+
     def _should_stop(self) -> bool:
         heap, candidates, k = self.heap, self.candidates, self.k
         if len(heap) < min(k, max(len(candidates), 1)):

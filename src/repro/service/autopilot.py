@@ -332,14 +332,15 @@ class Autopilot:
                             wanted.add((shard_index, choice.kind, term,
                                         frozenset(clause.sids)))
 
-                # Retire previously-created segments the plan dropped.
+                # Retire previously-created segments the plan dropped —
+                # through the replica group, so followers drop too.
                 for (shard_index, segment_id), key in list(
                         self._created_sharded.items()):
                     if key in wanted:
                         continue
-                    catalog = engine.shards[shard_index].engine.catalog
+                    group = engine.shards[shard_index].group
                     try:
-                        catalog.drop_segment(segment_id)
+                        group.drop_segment(segment_id)
                         report.dropped += 1
                     except StorageError:
                         pass  # already gone (e.g. dropped by ingestion)
@@ -362,16 +363,18 @@ class Autopilot:
                         kind, term, scope=scope)
                 for shard_index in sorted(by_shard):
                     shard_engine = engine.shards[shard_index].engine
+                    group = engine.shards[shard_index].group
                     todo = by_shard[shard_index].plan()
                     batch = compute_entries_batch(
                         shard_engine.collection, shard_engine.summary,
                         list(todo), shard_engine.scorer)
                     for target in todo:
-                        sequence = shard_engine.catalog.build_sequence(
-                            target.kind, batch.entries[target])
-                        segment = shard_engine.catalog.install_sequence(
-                            target.kind, target.term, sequence,
-                            scope=target.scope)
+                        # Install through the group: the leader builds
+                        # the run and its image broadcasts to followers
+                        # under the leader's segment id.
+                        segment = group.install_entries(
+                            target.kind, target.term,
+                            batch.entries[target], scope=target.scope)
                         self._created_sharded[
                             (shard_index, segment.segment_id)] = (
                             shard_index, target.kind, target.term,

@@ -63,11 +63,18 @@ COUNTERS: frozenset[str] = frozenset({
     "race.parallel_legs",
     "race.inline_fallback",
     "sanitizer.violations",
+    "replica.reads",
+    "replica.failovers",
+    "replica.faults",
+    "replica.records_shipped",
+    "replica.catchup_records",
+    "replica.snapshot_installs",
 })
 
 #: Counter families with a runtime-chosen suffix (method names &c).
 COUNTER_PREFIXES: tuple[str, ...] = (
     "search.method.",
+    "replica.",
 )
 
 #: Exact histogram names.

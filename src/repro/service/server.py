@@ -93,6 +93,15 @@ class ServiceConfig:
     #: An engine that is already a ShardedEngine is used as-is.
     shards: int = 1
     shard_policy: str = "hash"
+    #: Engine replicas per shard (1 = unreplicated).  Reads are
+    #: load-balanced over the group; writes go leader-first with LSM
+    #: delta-run shipping (see docs/replication.md).
+    replicas: int = 1
+    #: Read-balancing policy: round_robin | least_inflight | power_of_two.
+    read_policy: str = "round_robin"
+    #: Healthy replicas per shard below which ``/replicas`` reports the
+    #: group as quorum-lost (reads keep working while >= 1 is healthy).
+    quorum: int = 1
     #: Per-shard wall-clock budget in seconds (None = unbounded).
     shard_deadline: float | None = None
     #: On shard timeout, return partial results tagged ``degraded``
@@ -115,12 +124,16 @@ class QueryService:
     def __init__(self, engine: TrexEngine | ShardedEngine,
                  config: ServiceConfig | None = None) -> None:
         self.config = config if config is not None else ServiceConfig()
-        if self.config.shards > 1 and not isinstance(engine, ShardedEngine):
+        if ((self.config.shards > 1 or self.config.replicas > 1)
+                and not isinstance(engine, ShardedEngine)):
             engine = ShardedEngine.from_engine(
                 engine, self.config.shards,
                 policy=self.config.shard_policy,
                 shard_deadline=self.config.shard_deadline,
-                fail_soft=self.config.fail_soft)
+                fail_soft=self.config.fail_soft,
+                replicas=self.config.replicas,
+                read_policy=self.config.read_policy,
+                quorum=self.config.quorum)
         self.engine = engine
         # Serving invariant: evaluation under the read lock must never
         # mutate the catalog; materialization happens under the write
@@ -147,6 +160,11 @@ class QueryService:
         # Let the runtime sanitizer enforce that engine mutators run
         # under this service's write lock (REPRO_SANITIZE=1 only).
         sanitizer.guard_engine(engine, self.lock)
+        if isinstance(engine, ShardedEngine):
+            # Replica-group mutators (leader-first writes, attach/
+            # detach) are engine state too: same write-lock contract.
+            for shard in engine.shards:
+                sanitizer.guard_engine(shard.group, self.lock)
         self.telemetry.register_gauge("queue_depth", self.executor.queue_depth)
         self.telemetry.register_gauge("epoch", lambda: self.engine.epoch)
         if self.config.autopilot_interval is not None:
@@ -249,6 +267,12 @@ class QueryService:
             self.telemetry.incr("shards.probed", shards["probed"])
             self.telemetry.incr("shards.pruned", shards["pruned"])
             self.telemetry.incr("shards.timed_out", shards["timed_out"])
+            if shards.get("replica_reads"):
+                self.telemetry.incr("replica.reads",
+                                    shards["replica_reads"])
+            if shards.get("replica_failovers"):
+                self.telemetry.incr("replica.failovers",
+                                    shards["replica_failovers"])
         self.recorder.record(query, k)
         if use_cache:
             self.cache.put((query, k, method, mode), payload["epoch"], payload)
@@ -353,6 +377,8 @@ class QueryService:
                 "probed": stats.shards_probed,
                 "pruned": stats.shards_pruned,
                 "timed_out": stats.shards_timed_out,
+                "replica_reads": stats.replica_reads,
+                "replica_failovers": stats.replica_failovers,
                 "per_shard": stats.shard_stats,
             }
         return payload
@@ -369,6 +395,22 @@ class QueryService:
             return engine.delta_snapshot()
         return engine.catalog.delta_snapshot()
 
+    def _replication_totals(self) -> dict[str, int]:
+        """Cross-shard replica-group counters (empty when unsharded)."""
+        engine = self.engine
+        if isinstance(engine, ShardedEngine):
+            return engine.replication_counters()
+        return {}
+
+    def _emit_replication(self, before: dict[str, int],
+                          after: dict[str, int]) -> None:
+        """Emit ``replica.*`` counter diffs from a write operation."""
+        for key in ("records_shipped", "snapshot_installs",
+                    "catchup_records", "faults"):
+            diff = after.get(key, 0) - before.get(key, 0)
+            if diff:
+                self.telemetry.incr(f"replica.{key}", diff)
+
     def ingest(self, xml: str, docid: int | None = None) -> dict:
         """Add one XML document; exclusive against all queries.
 
@@ -384,6 +426,7 @@ class QueryService:
         compact_elapsed = 0.0
         with self.lock.write():
             before = self._delta_totals()
+            replication_before = self._replication_totals()
             document = self.engine.add_document(xml, docid)
             epoch = self.engine.epoch
             appended = self._delta_totals()
@@ -393,6 +436,8 @@ class QueryService:
                     ratio=self.config.compaction_ratio)
                 compact_elapsed = time.perf_counter() - compact_started
             after = self._delta_totals()
+            replication_after = self._replication_totals()
+        self._emit_replication(replication_before, replication_after)
         self.telemetry.incr("ingest.documents")
         self.telemetry.incr("ingest.delta_runs",
                             appended["deltas_appended"]
@@ -426,9 +471,12 @@ class QueryService:
         started = time.perf_counter()
         with self.lock.write():
             before = self._delta_totals()
+            replication_before = self._replication_totals()
             segments = self.engine.compact_segments(
                 ratio=self.config.compaction_ratio, force=force)
             after = self._delta_totals()
+            replication_after = self._replication_totals()
+        self._emit_replication(replication_before, replication_after)
         if segments:
             self.telemetry.incr("compaction.runs")
             self.telemetry.incr("compaction.segments", segments)
@@ -447,6 +495,20 @@ class QueryService:
             epoch = self.engine.epoch
         self.telemetry.incr("ingest.scorer_rebuilds")
         return {"epoch": epoch}
+
+    def replica_stats(self) -> dict:
+        """Replica-group topology and health (the ``/replicas`` body)."""
+        engine = self.engine
+        if not isinstance(engine, ShardedEngine):
+            return {"replicated": False, "groups": []}
+        return {
+            "replicated": engine.num_replicas > 1,
+            "replicas": engine.num_replicas,
+            "read_policy": engine.read_policy,
+            "quorum": engine.quorum,
+            "counters": engine.replication_counters(),
+            "groups": engine.replica_snapshot(),
+        }
 
     def stats(self) -> dict:
         """One JSON-ready snapshot of every moving part."""
@@ -471,9 +533,12 @@ class QueryService:
                 "block_size": engine.block_size,
                 "num_shards": engine.num_shards,
                 "policy": engine.partitioner.name,
+                "replicas": engine.num_replicas,
+                "read_policy": engine.read_policy,
             }
             snapshot["block_cache"] = engine.cache_stats()
             snapshot["shards"] = engine.shard_snapshot()
+            snapshot["replication"] = engine.replication_counters()
         else:
             snapshot["engine"] = {
                 "documents": len(engine.collection),
@@ -583,6 +648,8 @@ class TrexHTTPHandler(BaseHTTPRequestHandler):
                                       "epoch": self.service.engine.epoch})
             elif parsed.path == "/stats":
                 self._send_json(200, self.service.stats())
+            elif parsed.path == "/replicas":
+                self._send_json(200, self.service.replica_stats())
             elif parsed.path == "/search":
                 args = self._search_args(params)
                 self._send_json(200, self.service.search(

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from .. import sanitizer
@@ -40,11 +40,17 @@ from ..corpus.collection import Collection
 from ..corpus.document import Document
 from ..corpus.tokenizer import Tokenizer
 from ..corpus.xmlparser import XMLParser
-from ..errors import RetrievalError, ShardTimeoutError
+from ..errors import (
+    ReplicaFaultError,
+    ReplicaQuorumError,
+    RetrievalError,
+    ShardTimeoutError,
+)
 from ..build.executor import BuildReport
 from ..nexi.ast import NexiQuery
 from ..nexi.parser import parse_nexi
-from ..nexi.translate import TranslatedQuery
+from ..nexi.translate import TranslatedClause, TranslatedQuery
+from ..replica.group import ReplicaGroup, ReplicaLease
 from ..retrieval.engine import METHODS, TrexEngine
 from ..retrieval.race import race as race_strategies
 from ..retrieval.result import EvaluationStats, ResultSet
@@ -63,20 +69,26 @@ __all__ = ["Shard", "ShardedTranslation", "ShardedEngine"]
 
 @dataclass
 class Shard:
-    """One partition: its engine plus cumulative serving counters.
+    """One partition: its replica group plus cumulative counters.
 
-    The counters are mutated by the coordinator under its
-    ``_counter_lock`` (declared here because the attributes live on
-    this class; the lock lives on :class:`ShardedEngine`).
+    ``engine`` is the group's **leader** (replica 0) — translation,
+    advising and every leader-first write address it directly, while
+    reads are leased from the group.  The counters are mutated by the
+    coordinator under its ``_counter_lock`` (declared here because the
+    attributes live on this class; the lock lives on
+    :class:`ShardedEngine`).
     """
 
     index: int
     engine: TrexEngine
-    probes: int = 0    # queries this shard evaluated work for
-    pruned: int = 0    # early terminations by the coordinator
-    timeouts: int = 0  # deadline misses
+    group: ReplicaGroup
+    probes: int = 0         # queries this shard evaluated work for
+    pruned: int = 0         # early terminations by the coordinator
+    timeouts: int = 0       # deadline misses
+    quorum_losses: int = 0  # reads dropped because no replica was healthy
 
-    __guarded_by__ = {"_counter_lock": ("probes", "pruned", "timeouts")}
+    __guarded_by__ = {"_counter_lock": ("probes", "pruned", "timeouts",
+                                        "quorum_losses")}
 
 
 @dataclass(frozen=True)
@@ -93,16 +105,26 @@ class ShardedTranslation:
 
 @dataclass
 class _ShardRun:
-    """Coordinator-side bookkeeping for one shard's TA session."""
+    """Coordinator-side bookkeeping for one shard's TA session.
+
+    ``lease`` pins the replica the session reads from; ``clause`` and
+    ``excluded`` let the coordinator rebuild the session on a healthy
+    sibling when the lease's liveness check fails mid-query.
+    """
 
     shard: Shard
     session: TaSession
+    lease: ReplicaLease
+    clause: TranslatedClause
     cost: float = 0.0
     ideal_cost: float = 0.0
     entries_decoded: int = 0
     elapsed: float = 0.0
     pruned: bool = False
     timed_out: bool = False
+    failed: bool = False      # quorum lost mid-query (fail-soft)
+    dispatched: bool = False  # has the session performed a sorted access?
+    excluded: set[int] = field(default_factory=set)
 
     def account(self, spent: Any, seconds: float) -> None:
         self.cost += spent.total_cost
@@ -137,7 +159,10 @@ class ShardedEngine:
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  shard_deadline: float | None = None,
                  fail_soft: bool = True,
-                 ta_batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+                 ta_batch_size: int = DEFAULT_BATCH_SIZE,
+                 replicas: int = 1,
+                 read_policy: str = "round_robin",
+                 quorum: int = 1) -> None:
         self.collection = collection
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
@@ -147,6 +172,9 @@ class ShardedEngine:
         self.ta_batch_size = ta_batch_size
         self.block_size = block_size
         self.support_weight = support_weight
+        self.num_replicas = max(1, replicas)
+        self.read_policy = read_policy
+        self.quorum = quorum
         self._auto_materialize = auto_materialize
         self._counter_lock = sanitizer.make_lock("shard-counters")
         #: Merged per-shard report of the most recent warm-up run.
@@ -169,21 +197,38 @@ class ShardedEngine:
         self.shards: list[Shard] = []
         for index, sub in enumerate(
                 partition_collection(collection, self.partitioner)):
-            engine = TrexEngine(
-                sub, summary_factory(sub),
-                scorer=self.scorer, tokenizer=self.tokenizer,
-                cost_model=self.cost_model,
-                support_weight=support_weight,
-                auto_materialize=auto_materialize,
-                fragment_size=fragment_size, btree_order=btree_order,
-                block_size=block_size, ta_batch_size=ta_batch_size)
-            self.shards.append(Shard(index=index, engine=engine))
+            engines: list[TrexEngine] = []
+            for rank in range(self.num_replicas):
+                # Each replica owns its OWN copy of the sub-collection
+                # (same Document objects, separate stats/tables), so a
+                # leader ingest does not leak into follower state: the
+                # follower only changes when a shipped record applies.
+                replica_collection = (
+                    sub if rank == 0 else
+                    Collection.from_documents(sub,
+                                              name=f"{sub.name}.r{rank}"))
+                engines.append(TrexEngine(
+                    replica_collection, summary_factory(replica_collection),
+                    scorer=self.scorer, tokenizer=self.tokenizer,
+                    cost_model=self.cost_model,
+                    support_weight=support_weight,
+                    auto_materialize=auto_materialize,
+                    fragment_size=fragment_size, btree_order=btree_order,
+                    block_size=block_size, ta_batch_size=ta_batch_size))
+            group = ReplicaGroup(engines, name=f"shard{index}",
+                                 read_policy=read_policy, quorum=quorum,
+                                 read_deadline=shard_deadline)
+            self.shards.append(Shard(index=index, engine=engines[0],
+                                     group=group))
 
     @classmethod
     def from_engine(cls, engine: TrexEngine, num_shards: int, *,
                     policy: str = "hash",
                     shard_deadline: float | None = None,
-                    fail_soft: bool = True) -> "ShardedEngine":
+                    fail_soft: bool = True,
+                    replicas: int = 1,
+                    read_policy: str = "round_robin",
+                    quorum: int = 1) -> "ShardedEngine":
         """Re-partition an existing engine's collection.
 
         Reuses the engine's tokenizer, scorer, cost model and summary
@@ -198,7 +243,9 @@ class ShardedEngine:
                    support_weight=engine.support_weight,
                    auto_materialize=engine.auto_materialize,
                    block_size=engine.block_size,
-                   shard_deadline=shard_deadline, fail_soft=fail_soft)
+                   shard_deadline=shard_deadline, fail_soft=fail_soft,
+                   replicas=replicas, read_policy=read_policy,
+                   quorum=quorum)
 
     # ------------------------------------------------------------------
     # Engine-surface properties
@@ -220,7 +267,8 @@ class ShardedEngine:
     def auto_materialize(self, value: bool) -> None:
         self._auto_materialize = value
         for shard in self.shards:
-            shard.engine.auto_materialize = value
+            for replica in shard.group.replicas:
+                replica.engine.auto_materialize = value
 
     @property
     def catalog_bytes(self) -> int:
@@ -239,7 +287,8 @@ class ShardedEngine:
 
     def use_page_cache(self, cache: PageCache) -> None:
         for shard in self.shards:
-            shard.engine.use_page_cache(cache)
+            for replica in shard.group.replicas:
+                replica.engine.use_page_cache(cache)
 
     # ------------------------------------------------------------------
     # Translation
@@ -303,10 +352,26 @@ class ShardedEngine:
                              require_phrases: bool) -> ResultSet:
         total = EvaluationStats(method=method)
         hits: list[ScoredHit] = []
+        events = {"read": 0, "failover": 0}
+        on_event = self._event_recorder(events)
+        quorum_lost = 0
         for shard, local in zip(self.shards, translated.per_shard):
             started = time.perf_counter()
-            result = shard.engine.evaluate_translated(
-                local, k, method, mode=mode, require_phrases=require_phrases)
+            try:
+                result = shard.group.run_read(
+                    lambda engine, local=local: engine.evaluate_translated(
+                        local, k, method, mode=mode,
+                        require_phrases=require_phrases),
+                    on_event=on_event)
+            except ReplicaQuorumError as error:
+                self._note_quorum_loss(shard, error)
+                quorum_lost += 1
+                total.degraded = True
+                total.shard_stats.append(self._shard_row(
+                    shard, cost=0.0, hits=0,
+                    elapsed=time.perf_counter() - started,
+                    entries_decoded=0, failed=True))
+                continue
             elapsed = time.perf_counter() - started
             if (self.shard_deadline is not None
                     and elapsed > self.shard_deadline):
@@ -326,7 +391,10 @@ class ShardedEngine:
                 elapsed=elapsed,
                 entries_decoded=result.stats.entries_decoded))
             hits.extend(self._relabel(result.hits))
-        total.shards_probed = len(self.shards) - total.shards_timed_out
+        total.shards_probed = (len(self.shards) - total.shards_timed_out
+                               - quorum_lost)
+        total.replica_reads = events["read"]
+        total.replica_failovers = events["failover"]
         self.cost_model.sort(len(hits))
         hits.sort(key=lambda h: (-h.score, h.docid, h.end_pos))
         if k is not None:
@@ -336,9 +404,80 @@ class ShardedEngine:
         return ResultSet(hits=hits, stats=total, k=k)
 
     # -- distributed TA (flat mode, finite k) ---------------------------
+    def _ta_session(self, engine: TrexEngine, clause: TranslatedClause,
+                    k: int) -> TaSession:
+        """One resumable TA session over *engine*'s RPL catalog."""
+        segments = engine.segments_for(clause, "rpl")
+        return TaSession(engine.catalog, segments, clause.sids, k,
+                         self.cost_model, dict(clause.term_weights),
+                         batch_size=self.ta_batch_size)
+
+    def _start_ta_run(self, shard: Shard, clause: TranslatedClause, k: int,
+                      on_event: Callable[[str], None]) -> _ShardRun:
+        """Lease a replica and open its TA session, failing over on a
+        dead lease before the first sorted access."""
+        excluded: set[int] = set()
+        while True:
+            lease = shard.group.lease(exclude=frozenset(excluded),
+                                      on_event=on_event)
+            try:
+                lease.check()
+                session = self._ta_session(lease.engine, clause, k)
+            except ReplicaFaultError:
+                lease.fail()
+                excluded.add(lease.replica.index)
+                shard.group.note_failover(on_event)
+                continue
+            # repro: allow[TRX501] lease boundary releases then re-raises
+            except BaseException:
+                lease.release()
+                raise
+            return _ShardRun(shard=shard, session=session, lease=lease,
+                             clause=clause, excluded=excluded)
+
+    def _ta_failover(self, run: _ShardRun, k: int,
+                     on_event: Callable[[str], None]) -> bool:
+        """Move *run* to a healthy sibling after a mid-query fault.
+
+        The replacement session restarts from depth zero on the sibling
+        (sessions are replica-local); since every replica is
+        byte-identical the rebuilt session converges to the same top-k.
+        Returns False when no sibling is admissible — the shard is then
+        dropped (fail-soft) or the quorum error propagates.
+        """
+        run.lease.fail()
+        run.excluded.add(run.lease.replica.index)
+        run.shard.group.note_failover(on_event)
+        while True:
+            try:
+                lease = run.shard.group.lease(
+                    exclude=frozenset(run.excluded), on_event=on_event)
+            except ReplicaQuorumError as error:
+                self._note_quorum_loss(run.shard, error)
+                run.failed = True
+                run.session.prune()
+                return False
+            try:
+                lease.check()
+                session = self._ta_session(lease.engine, run.clause, k)
+            except ReplicaFaultError:
+                lease.fail()
+                run.excluded.add(lease.replica.index)
+                run.shard.group.note_failover(on_event)
+                continue
+            # repro: allow[TRX501] lease boundary releases then re-raises
+            except BaseException:
+                lease.release()
+                raise
+            run.lease = lease
+            run.session = session
+            return True
+
     def _scatter_gather_ta(self, translated: ShardedTranslation, k: int,
                            method: str) -> ResultSet:
         overall = self.cost_model.snapshot()
+        events = {"read": 0, "failover": 0}
+        on_event = self._event_recorder(events)
         runs: list[_ShardRun] = []
         empty_rows = []
         for shard, local in zip(self.shards, translated.per_shard):
@@ -348,24 +487,36 @@ class ShardedEngine:
                                                   elapsed=0.0,
                                                   entries_decoded=0))
                 continue
-            segments = shard.engine.segments_for(clause, "rpl")
-            session = TaSession(shard.engine.catalog, segments, clause.sids,
-                                k, self.cost_model,
-                                dict(clause.term_weights),
-                                batch_size=self.ta_batch_size)
-            runs.append(_ShardRun(shard=shard, session=session))
+            try:
+                run = self._start_ta_run(shard, clause, k, on_event)
+            except ReplicaQuorumError as error:
+                self._note_quorum_loss(shard, error)
+                empty_rows.append(self._shard_row(shard, cost=0.0, hits=0,
+                                                  elapsed=0.0,
+                                                  entries_decoded=0,
+                                                  failed=True))
+                continue
+            runs.append(run)
             with self._counter_lock:
                 shard.probes += 1
 
-        active = list(runs)
+        # Shards ordered by descending static upper bound (the block-max
+        # threshold before any sorted access): the high-bound shards run
+        # first and raise the global floor, so a low-bound shard can be
+        # pruned before its FIRST dispatch — it never decodes a block.
+        active = sorted(runs, key=lambda run: -run.session.threshold())
         while active:
             floor = self._global_floor(runs, k)
             survivors: list[_ShardRun] = []
             for run in active:
+                if not run.dispatched:
+                    # Earlier shards in this round may have raised the
+                    # floor past this shard's bound: refresh before
+                    # paying for its first sorted access.
+                    floor = self._global_floor(runs, k)
                 snapshot = self.cost_model.snapshot()
                 started = time.perf_counter()
-                if (floor > float("-inf")
-                        and floor > run.session.upper_bound()):
+                if run.session.can_prune(floor):
                     # No element this shard could still deliver can make
                     # the global top-k: terminate it early.
                     run.session.prune()
@@ -378,7 +529,16 @@ class ShardedEngine:
                     run.account(self.cost_model.since(snapshot),
                                 time.perf_counter() - started)
                     continue
-                alive = run.session.step()
+                run.dispatched = True
+                try:
+                    run.lease.check()
+                    alive = run.session.step()
+                except ReplicaFaultError:
+                    run.account(self.cost_model.since(snapshot),
+                                time.perf_counter() - started)
+                    if self._ta_failover(run, k, on_event):
+                        survivors.append(run)
+                    continue
                 run.account(self.cost_model.since(snapshot),
                             time.perf_counter() - started)
                 if (self.shard_deadline is not None
@@ -394,7 +554,9 @@ class ShardedEngine:
         hits: list[ScoredHit] = []
         total = EvaluationStats(method="ita" if method == "ita" else "ta")
         for run in runs:
-            if not (run.pruned or run.timed_out):
+            if not run.failed:
+                run.lease.succeed(elapsed=run.elapsed)
+            if not (run.pruned or run.timed_out or run.failed):
                 hits.extend(self._relabel(run.session.finalize()))
             run.session.stats_into(total)
             total.candidates += len(run.session.candidates)
@@ -405,12 +567,17 @@ class ShardedEngine:
                 entries_decoded=run.entries_decoded,
                 pruned=run.pruned, timed_out=run.timed_out,
                 early_stop=run.session.early_stop,
-                depth=sum(it.depth for it in run.session.iterators.values())))
+                depth=sum(it.depth for it in run.session.iterators.values()),
+                failed=run.failed))
         total.shard_stats.extend(empty_rows)
         total.shards_probed = len(runs)
         total.shards_pruned = sum(1 for run in runs if run.pruned)
         total.shards_timed_out = sum(1 for run in runs if run.timed_out)
-        total.degraded = total.shards_timed_out > 0
+        quorum_lost = sum(1 for run in runs if run.failed)
+        quorum_lost += sum(1 for row in empty_rows if row.get("failed"))
+        total.degraded = total.shards_timed_out > 0 or quorum_lost > 0
+        total.replica_reads = events["read"]
+        total.replica_failovers = events["failover"]
 
         self.cost_model.sort(len(hits))
         hits.sort(key=lambda h: (-h.score, h.docid, h.end_pos))
@@ -442,6 +609,21 @@ class ShardedEngine:
         if not self.fail_soft:
             raise ShardTimeoutError(shard.index, elapsed, self.shard_deadline)
 
+    def _note_quorum_loss(self, shard: Shard,
+                          error: ReplicaQuorumError) -> None:
+        """A read found no admissible replica: count it, and either drop
+        the shard (fail-soft partial result) or abort the query."""
+        with self._counter_lock:
+            shard.quorum_losses += 1
+        if not self.fail_soft:
+            raise error
+
+    @staticmethod
+    def _event_recorder(events: dict[str, int]) -> Callable[[str], None]:
+        def record(kind: str) -> None:
+            events[kind] = events.get(kind, 0) + 1
+        return record
+
     def _relabel(self, hits: list[ScoredHit]) -> list[ScoredHit]:
         """Re-key shard-local hits with global-summary sids."""
         return [ScoredHit(hit.score, hit.docid, hit.end_pos,
@@ -453,7 +635,8 @@ class ShardedEngine:
                    elapsed: float,
                    entries_decoded: int, pruned: bool = False,
                    timed_out: bool = False, early_stop: bool = False,
-                   depth: int | None = None) -> dict:
+                   depth: int | None = None,
+                   failed: bool = False) -> dict:
         row = {
             "shard": shard.index,
             "cost": round(cost, 3),
@@ -468,6 +651,8 @@ class ShardedEngine:
             row["early_stop"] = True
         if depth is not None:
             row["depth"] = depth
+        if failed:
+            row["failed"] = True
         return row
 
     # ------------------------------------------------------------------
@@ -521,18 +706,18 @@ class ShardedEngine:
             requests = by_shard[shard_index]
             if shard_index is not None:
                 # sids in a quadruple are local to the owning shard.
-                engine = self.shards[shard_index].engine
-                created += engine.warm_segments(requests, workers=workers)
-                if engine.last_build_report is not None:
-                    merged.merge(engine.last_build_report)
+                group = self.shards[shard_index].group
+                created += group.warm_segments(requests, workers=workers)
+                if group.leader.engine.last_build_report is not None:
+                    merged.merge(group.leader.engine.last_build_report)
             else:
                 # No owner recorded: warm the terms everywhere (sids
                 # from an unknown summary cannot be trusted across
                 # shards).
                 stripped = [(kind, term) for kind, term, *_rest in requests]
                 for shard in self.shards:
-                    created += shard.engine.warm_segments(stripped,
-                                                          workers=workers)
+                    created += shard.group.warm_segments(stripped,
+                                                         workers=workers)
                     if shard.engine.last_build_report is not None:
                         merged.merge(shard.engine.last_build_report)
         self.last_build_report = merged
@@ -560,14 +745,18 @@ class ShardedEngine:
             self.collection.add(document)
             self.summary.extend(document)
         shard = self.shards[self.partitioner.shard_of(document.docid)]
-        shard.engine.add_document(document)
+        shard.group.add_document(document)
         return document
 
     @sanitizer.mutates_engine_state
     def compact_segments(self, *, ratio: float | None = None,
                          force: bool = False) -> int:
-        """Fold LSM delta runs on every shard; returns segments compacted."""
-        return sum(shard.engine.compact_segments(ratio=ratio, force=force)
+        """Fold LSM delta runs on every shard; returns segments compacted.
+
+        Leader-first per group: each shard's leader compacts, then the
+        compacted base images ship to followers as snapshot installs.
+        """
+        return sum(shard.group.compact_segments(ratio=ratio, force=force)
                    for shard in self.shards)
 
     def delta_snapshot(self) -> dict[str, int]:
@@ -589,11 +778,15 @@ class ShardedEngine:
             else:
                 self.scorer = scorer_factory(stats)
             for shard in self.shards:
-                engine = shard.engine
-                engine.scorer = self.scorer
-                for segment in list(engine.catalog.segments()):
-                    engine.catalog.drop_segment(segment.segment_id)
-                engine.epoch += 1
+                for replica in shard.group.replicas:
+                    engine = replica.engine
+                    engine.scorer = self.scorer
+                    for segment in list(engine.catalog.segments()):
+                        engine.catalog.drop_segment(segment.segment_id)
+                    engine.epoch += 1
+                # Every replica was reset in lockstep: restart the
+                # replication log from a clean sync point.
+                shard.group.reset_replication()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -628,8 +821,10 @@ class ShardedEngine:
         for shard in self.shards:
             engine = shard.engine
             with self._counter_lock:
-                probes, pruned, timeouts = (shard.probes, shard.pruned,
-                                            shard.timeouts)
+                probes, pruned, timeouts, quorum_losses = (
+                    shard.probes, shard.pruned, shard.timeouts,
+                    shard.quorum_losses)
+            deltas = engine.catalog.delta_snapshot()
             rows.append({
                 "shard": shard.index,
                 "documents": len(engine.collection),
@@ -640,8 +835,26 @@ class ShardedEngine:
                 "probes": probes,
                 "pruned": pruned,
                 "timeouts": timeouts,
+                "delta_runs": deltas["delta_runs"],
+                "delta_bytes": deltas["delta_bytes"],
+                "replicas": len(shard.group),
+                "replicas_healthy": shard.group.healthy_count(),
+                "quorum_losses": quorum_losses,
             })
         return rows
+
+    def replica_snapshot(self) -> list[dict]:
+        """Per-shard replica-group topology rows for ``/replicas``."""
+        return [{"shard": shard.index, **shard.group.snapshot()}
+                for shard in self.shards]
+
+    def replication_counters(self) -> dict[str, int]:
+        """Group counters summed across shards (telemetry deltas)."""
+        totals: dict[str, int] = {}
+        for shard in self.shards:
+            for key, value in shard.group.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # ------------------------------------------------------------------
     # Index persistence (per-shard subdirectories)
@@ -655,10 +868,17 @@ class ShardedEngine:
 
     @sanitizer.mutates_engine_state
     def load_indexes(self, directory: str) -> None:
-        """Replace every shard's index tables from a saved directory."""
+        """Replace every shard's index tables from a saved directory.
+
+        Every replica of a shard loads the same ``shard{i}/`` image, so
+        the group is byte-identical afterwards and the replication log
+        restarts from a clean sync point.
+        """
         for shard in self.shards:
-            shard.engine.load_indexes(
-                os.path.join(directory, f"shard{shard.index}"))
+            path = os.path.join(directory, f"shard{shard.index}")
+            for replica in shard.group.replicas:
+                replica.engine.load_indexes(path)
+            shard.group.reset_replication()
 
     def describe(self) -> dict[str, object]:
         return {
@@ -667,5 +887,8 @@ class ShardedEngine:
             "fail_soft": self.fail_soft,
             "shard_deadline": self.shard_deadline,
             "catalog_bytes": self.catalog_bytes,
+            "replicas": self.num_replicas,
+            "read_policy": self.read_policy,
+            "quorum": self.quorum,
             "shards": self.shard_snapshot(),
         }

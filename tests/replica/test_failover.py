@@ -1,0 +1,146 @@
+"""Failover: mid-query faults retry on a sibling, answers never change.
+
+The fault-injection hooks model a replica dying at three points: before
+any query (``kill``), at the next liveness check (``inject_fault``
+with ``after=0``) and *mid-query*, after work has already been done on
+the dying replica (``after=1`` — the first check passes, the second
+fires).  In every case a 2-replica group must return the exact oracle
+answer with ``degraded=False``; only losing the whole group degrades.
+"""
+
+import pytest
+
+from repro.errors import ReplicaFaultError, ReplicaQuorumError
+from repro.shard import ShardedEngine
+
+from tests.replica.conftest import QUERY, build_group
+from tests.shard.conftest import hit_keys
+
+FLAT_QUERY = "//sec[about(., xml retrieval)]"
+
+
+class TestGroupFailover:
+    def test_run_read_fails_over_on_killed_replica(self, group):
+        group.kill(0)
+        result = group.run_read(lambda engine: engine.evaluate(
+            QUERY, k=3, method="era"))
+        assert len(result.hits) > 0
+        # The killed leader is marked down; the sibling served.
+        assert group.replicas[1].reads > 0
+        assert group.healthy_count() == 1
+
+    def test_injected_fault_counts_one_failover(self, group):
+        group.inject_fault(0, after=0)
+        group.run_read(lambda engine: engine.evaluate(
+            QUERY, k=3, method="era"))
+        counters = group.counters()
+        assert counters["failovers"] == 1
+        assert counters["faults"] == 1
+
+    def test_injected_fault_is_single_shot(self, group):
+        group.inject_fault(1, after=0)
+        lease = group.lease(exclude=frozenset({0}))
+        with pytest.raises(ReplicaFaultError):
+            lease.check()
+        lease.fail()
+        # Disarmed after firing: the replica recovers via its probe.
+        assert group.replicas[1].fault_budget is None
+
+    def test_quorum_error_when_every_replica_is_gone(self, group):
+        group.kill(0)
+        group.kill(1)
+        with pytest.raises(ReplicaQuorumError):
+            group.run_read(lambda engine: engine.evaluate(
+                QUERY, k=3, method="era"))
+
+    def test_revived_replica_recovers_through_probe(self):
+        now = [0.0]
+        group = build_group(2, probe_interval=5.0, clock=lambda: now[0])
+        group.kill(1)
+        group.revive(1)
+        # Before the probe interval the replica stays excluded.
+        assert group.healthy_count() == 1
+        now[0] = 5.0
+        group.run_read(lambda engine: engine.evaluate(
+            QUERY, k=3, method="era"))
+        group.run_read(lambda engine: engine.evaluate(
+            QUERY, k=3, method="era"))
+        assert group.healthy_count() == 2
+
+
+class TestShardedFailover:
+    """The coordinator's read paths survive replica loss un-degraded."""
+
+    def _sharded(self, collection, alias, **kw):
+        kw.setdefault("replicas", 2)
+        return ShardedEngine(collection, 2, alias=alias, **kw)
+
+    def test_kill_one_replica_degrades_nothing_full_scatter(
+            self, ieee_collection, ieee_alias, oracle):
+        sharded = self._sharded(ieee_collection, ieee_alias)
+        want = hit_keys(oracle.evaluate(QUERY, k=5, method="era").hits)
+        sharded.shards[0].group.kill(0)
+        result = sharded.evaluate(QUERY, k=5, method="era")
+        assert hit_keys(result.hits) == want
+        assert result.stats.degraded is False
+
+    def test_mid_query_fault_fails_over_in_distributed_ta(
+            self, ieee_collection, ieee_alias, oracle):
+        sharded = self._sharded(ieee_collection, ieee_alias)
+        want = hit_keys(oracle.evaluate(FLAT_QUERY, k=5, method="era",
+                                        mode="flat").hits)
+        # First liveness check (session open) passes, the second — at
+        # the first sorted access, mid-query — fires the fault.
+        sharded.shards[0].group.inject_fault(0, after=1)
+        result = sharded.evaluate(FLAT_QUERY, k=5, method="ta", mode="flat")
+        assert hit_keys(result.hits) == want
+        assert result.stats.degraded is False
+        assert result.stats.replica_failovers >= 1
+        assert sharded.shards[0].group.counters()["failovers"] >= 1
+
+    def test_fault_before_session_open_fails_over(
+            self, ieee_collection, ieee_alias, oracle):
+        sharded = self._sharded(ieee_collection, ieee_alias)
+        want = hit_keys(oracle.evaluate(FLAT_QUERY, k=5, method="era",
+                                        mode="flat").hits)
+        sharded.shards[1].group.inject_fault(0, after=0)
+        result = sharded.evaluate(FLAT_QUERY, k=5, method="ta", mode="flat")
+        assert hit_keys(result.hits) == want
+        assert result.stats.degraded is False
+
+    def test_losing_a_whole_group_degrades_fail_soft(
+            self, ieee_collection, ieee_alias):
+        sharded = self._sharded(ieee_collection, ieee_alias)
+        group = sharded.shards[0].group
+        group.kill(0)
+        group.kill(1)
+        result = sharded.evaluate(QUERY, k=5, method="era")
+        assert result.stats.degraded is True
+        rows = [row for row in result.stats.shard_stats
+                if row.get("failed")]
+        assert [row["shard"] for row in rows] == [0]
+        assert sharded.shards[0].quorum_losses == 1
+
+    def test_losing_a_whole_group_raises_fail_hard(
+            self, ieee_collection, ieee_alias):
+        sharded = self._sharded(ieee_collection, ieee_alias,
+                                fail_soft=False)
+        group = sharded.shards[0].group
+        group.kill(0)
+        group.kill(1)
+        with pytest.raises(ReplicaQuorumError):
+            sharded.evaluate(QUERY, k=5, method="era")
+
+    def test_quorum_loss_mid_ta_drops_only_that_shard(
+            self, ieee_collection, ieee_alias):
+        sharded = self._sharded(ieee_collection, ieee_alias)
+        group = sharded.shards[0].group
+        group.kill(1)
+        group.inject_fault(0, after=1)
+        result = sharded.evaluate(FLAT_QUERY, k=5, method="ta", mode="flat")
+        assert result.stats.degraded is True
+        failed = [row for row in result.stats.shard_stats
+                  if row.get("failed")]
+        assert [row["shard"] for row in failed] == [0]
+        # Shard 1 still contributed: the answer is the partial merge.
+        assert len(result.hits) > 0

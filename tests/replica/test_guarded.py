@@ -1,0 +1,89 @@
+"""Sanitizer coverage of the replica layer's guarded mutable state.
+
+``ReplicaGroup`` mutators are decorated ``mutates_engine_state``; once
+the group is guarded by the service's reader-writer lock, any replica-
+set mutation outside the write side must raise
+``UnguardedMutationError``.  The fault-injection hooks are deliberately
+*not* decorated — a test (or operator) must be able to kill a replica
+without holding the serving write lock — but they still lock the
+group's internal state lock.
+"""
+
+from typing import Iterator
+
+import pytest
+
+from repro import sanitizer
+from repro.errors import UnguardedMutationError
+from repro.service.locks import ReadWriteLock
+
+from tests.replica.conftest import QUERY, build_group, new_document
+
+
+@pytest.fixture
+def clean_sanitizer() -> Iterator[None]:
+    prior = sanitizer.is_active()
+    sanitizer.reset()
+    yield
+    sanitizer.reset()
+    if prior:
+        sanitizer.enable()
+    else:
+        sanitizer.disable()
+
+
+DOC = "<a><sec>xml retrieval advances</sec></a>"
+
+
+def guarded_group():
+    group = build_group(2)
+    lock = ReadWriteLock("replica-guard-test")
+    sanitizer.guard_engine(group, lock)
+    return group, lock
+
+
+def test_unguarded_replica_set_mutation_raises(clean_sanitizer):
+    with sanitizer.enabled():
+        group, lock = guarded_group()
+        with pytest.raises(UnguardedMutationError):
+            group.add_document(new_document(group, DOC))
+        with lock.read():
+            with pytest.raises(UnguardedMutationError):
+                group.add_document(new_document(group, DOC))
+
+
+def test_write_side_admits_every_mutator(clean_sanitizer):
+    with sanitizer.enabled():
+        group, lock = guarded_group()
+        with lock.write():
+            group.add_document(new_document(group, DOC))
+            group.detach(1)
+            assert group.attach(1) >= 0
+            group.reset_replication()
+
+
+def test_membership_mutators_require_the_lock_too(clean_sanitizer):
+    with sanitizer.enabled():
+        group, lock = guarded_group()
+        with pytest.raises(UnguardedMutationError):
+            group.detach(1)
+        with pytest.raises(UnguardedMutationError):
+            group.reset_replication()
+
+
+def test_fault_injection_needs_no_write_lock(clean_sanitizer):
+    with sanitizer.enabled():
+        group, _lock = guarded_group()
+        group.kill(1)
+        group.revive(1)
+        group.inject_fault(1, after=2)
+        assert group.replicas[1].fault_budget == 2
+
+
+def test_reads_need_no_write_lock(clean_sanitizer):
+    with sanitizer.enabled():
+        group, lock = guarded_group()
+        with lock.read():
+            result = group.run_read(lambda engine: engine.evaluate(
+                QUERY, k=3, method="era"))
+        assert len(result.hits) > 0

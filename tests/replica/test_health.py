@@ -1,0 +1,99 @@
+"""The per-replica health state machine, driven by an explicit clock."""
+
+import pytest
+
+from repro.replica import DOWN, PROBING, UP, ReplicaHealth
+
+
+def make_health(**kw):
+    now = [0.0]
+    kw.setdefault("failure_threshold", 2)
+    kw.setdefault("probe_interval", 10.0)
+    health = ReplicaHealth(clock=lambda: now[0], **kw)
+    return health, now
+
+
+def test_starts_up_and_admits():
+    health, _ = make_health()
+    assert health.state == UP
+    assert health.admit()
+
+
+def test_marks_down_at_consecutive_failure_threshold():
+    health, _ = make_health(failure_threshold=3)
+    health.record_failure()
+    health.record_failure()
+    assert health.state == UP
+    health.record_failure()
+    assert health.state == DOWN
+    assert not health.admit()
+
+
+def test_success_resets_the_consecutive_count():
+    health, _ = make_health(failure_threshold=2)
+    health.record_failure()
+    health.record_success()
+    health.record_failure()
+    assert health.state == UP
+
+
+def test_mark_now_trips_immediately():
+    health, _ = make_health(failure_threshold=5)
+    health.record_failure(mark_now=True)
+    assert health.state == DOWN
+
+
+def test_down_admits_one_probe_after_the_interval():
+    health, now = make_health(probe_interval=10.0)
+    health.record_failure(mark_now=True)
+    now[0] = 5.0
+    assert not health.admit()
+    now[0] = 10.0
+    assert health.admit()
+    assert health.state == PROBING
+    # Exactly one probe: while it is outstanding nothing else enters.
+    assert not health.admit()
+    assert health.probes == 1
+
+
+def test_probe_success_recovers_to_up():
+    health, now = make_health()
+    health.record_failure(mark_now=True)
+    now[0] = 10.0
+    assert health.admit()
+    health.record_success()
+    assert health.state == UP
+    assert health.recoveries == 1
+    assert health.admit()
+
+
+def test_probe_failure_reopens_and_restarts_the_interval():
+    health, now = make_health(probe_interval=10.0)
+    health.record_failure(mark_now=True)
+    now[0] = 10.0
+    assert health.admit()
+    health.record_failure()
+    assert health.state == DOWN
+    # The interval restarts from the probe failure, not the first trip.
+    now[0] = 15.0
+    assert not health.admit()
+    now[0] = 20.0
+    assert health.admit()
+
+
+def test_snapshot_carries_the_counters():
+    health, now = make_health()
+    health.record_failure(mark_now=True)
+    now[0] = 10.0
+    health.admit()
+    health.record_success()
+    snapshot = health.snapshot()
+    assert snapshot["state"] == UP
+    assert snapshot["failures"] == 1
+    assert snapshot["probes"] == 1
+    assert snapshot["recoveries"] == 1
+
+
+def test_failure_threshold_must_be_positive():
+    with pytest.raises(ValueError):
+        ReplicaHealth(failure_threshold=0)

@@ -1,0 +1,75 @@
+"""Read-balancing policy selection logic (pure, no group machinery)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ReplicaError
+from repro.replica import READ_POLICIES, make_read_policy
+from repro.replica.policies import (LeastInflightPolicy, PowerOfTwoPolicy,
+                                    RoundRobinPolicy)
+
+
+@dataclass
+class _Stub:
+    index: int
+    inflight: int = 0
+
+
+def test_round_robin_rotates_over_group_index_space():
+    policy = RoundRobinPolicy()
+    replicas = [_Stub(0), _Stub(1), _Stub(2)]
+    chosen = [policy.choose(replicas).index for _ in range(6)]
+    assert chosen == [0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_skips_ineligible_without_skewing():
+    policy = RoundRobinPolicy()
+    replicas = [_Stub(0), _Stub(1), _Stub(2)]
+    assert policy.choose(replicas).index == 0
+    # Replica 1 drops out: rotation continues over the survivors'
+    # *group* indexes rather than restarting.
+    survivors = [replicas[0], replicas[2]]
+    assert [policy.choose(survivors).index for _ in range(4)] == [2, 0, 2, 0]
+
+
+def test_least_inflight_prefers_idle_then_lowest_index():
+    policy = LeastInflightPolicy()
+    replicas = [_Stub(0, inflight=2), _Stub(1, inflight=1), _Stub(2, inflight=1)]
+    assert policy.choose(replicas).index == 1
+    replicas[1].inflight = 5
+    assert policy.choose(replicas).index == 2
+
+
+def test_power_of_two_is_deterministic_under_a_seed():
+    replicas = [_Stub(0), _Stub(1), _Stub(2), _Stub(3)]
+    first = PowerOfTwoPolicy(seed=7)
+    second = PowerOfTwoPolicy(seed=7)
+    want = [first.choose(replicas).index for _ in range(20)]
+    got = [second.choose(replicas).index for _ in range(20)]
+    assert got == want
+
+
+def test_power_of_two_takes_the_less_loaded_sample():
+    policy = PowerOfTwoPolicy(seed=7)
+    hot = _Stub(0, inflight=100)
+    cold = _Stub(1, inflight=0)
+    # Whichever pair the PRNG samples, the cold replica must win.
+    for _ in range(10):
+        assert policy.choose([hot, cold]).index == 1
+
+
+def test_power_of_two_single_candidate_shortcut():
+    policy = PowerOfTwoPolicy(seed=7)
+    only = _Stub(3, inflight=9)
+    assert policy.choose([only]) is only
+
+
+def test_factory_builds_every_registered_policy():
+    for name in READ_POLICIES:
+        assert make_read_policy(name).name == name
+
+
+def test_factory_rejects_unknown_policy():
+    with pytest.raises(ReplicaError):
+        make_read_policy("sticky")
