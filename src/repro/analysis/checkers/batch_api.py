@@ -1,0 +1,91 @@
+"""TRX204 — hot strategies must consume iterators block-at-a-time.
+
+The columnar refactor gave every retrieval iterator a batch access
+path — ``RplIterator.next_entries``, ``ErplIterator.take_until``,
+``PostingIterator.next_chunk`` — and migrated the three strategy hot
+loops (ERA, Merge, TA) onto it.  An entry-at-a-time loop reintroduced
+there would silently fall back to the shim: correct results, same
+simulated cost, but one Python method call per posting where the batch
+path pays one per block.  TRX204 flags calls to the entry-level shims
+(``next_entry()`` / ``next_position()``) inside any loop of the hot
+strategy modules; deliberate exceptions carry a
+``# repro: allow[TRX204]`` pragma.
+
+Other modules — ``ta_ra`` (the random-access TA variant kept for
+ablations), tests, tools — may use the entry-level API freely: the
+shim exists precisely so they keep working.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Module, Rule
+from . import terminal_attr
+
+__all__ = ["BatchApiChecker"]
+
+#: The strategy modules whose inner loops are wall-clock hot.
+_HOT_MODULES = ("repro.retrieval.era", "repro.retrieval.merge",
+                "repro.retrieval.ta")
+_ENTRY_SHIMS = {"next_entry", "next_position"}
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+class BatchApiChecker:
+    name = "batch-api"
+    rules = (
+        Rule("TRX204", "per-entry iterator shims (next_entry()/"
+                       "next_position()) are banned inside loops of the "
+                       "hot strategy modules; use the batch API "
+                       "(next_entries/take_until/next_chunk)"),
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not module.in_package(*_HOT_MODULES):
+            return
+        yield from self._scan(module.tree.body, module, in_loop=False)
+
+    def _scan(self, body: list[ast.stmt], module: Module, *,
+              in_loop: bool) -> Iterator[Finding]:
+        for statement in body:
+            looped = in_loop or isinstance(statement, _LOOPS)
+            for node in ast.iter_child_nodes(statement):
+                if isinstance(node, ast.expr):
+                    yield from self._scan_expr(node, module, in_loop=looped)
+            for field in ("body", "orelse", "finalbody"):
+                blocks = getattr(statement, field, None)
+                if blocks:
+                    yield from self._scan(blocks, module, in_loop=looped)
+            for handler in getattr(statement, "handlers", []) or []:
+                yield from self._scan(handler.body, module, in_loop=looped)
+
+    def _scan_expr(self, expr: ast.expr, module: Module, *,
+                   in_loop: bool) -> Iterator[Finding]:
+        # Inside a loop statement every call site counts; outside one,
+        # only calls within comprehensions (which are loops too).
+        if in_loop:
+            roots: list[ast.expr] = [expr]
+        else:
+            roots = [node for node in ast.walk(expr)
+                     if isinstance(node, _COMPREHENSIONS)]
+        seen: set[tuple[int, int]] = set()
+        for root in roots:
+            for call in ast.walk(root):
+                if not isinstance(call, ast.Call):
+                    continue
+                callee = terminal_attr(call.func)
+                if callee not in _ENTRY_SHIMS:
+                    continue
+                site = (call.lineno, call.col_offset)
+                if site in seen:  # nested comprehensions share calls
+                    continue
+                seen.add(site)
+                yield Finding(
+                    "TRX204", module.path, call.lineno,
+                    call.col_offset + 1,
+                    f"per-entry {callee}() loop on a hot strategy "
+                    f"path; consume whole blocks via the batch API "
+                    f"(next_entries/take_until/next_chunk)")

@@ -126,6 +126,7 @@ class Checker(Protocol):
 
 def _build_checkers() -> tuple[Checker, ...]:
     from .checkers.annotations import AnnotationChecker
+    from .checkers.batch_api import BatchApiChecker
     from .checkers.cost_charging import CostChargingChecker
     from .checkers.determinism import DeterminismChecker
     from .checkers.exception_policy import ExceptionPolicyChecker
@@ -136,6 +137,7 @@ def _build_checkers() -> tuple[Checker, ...]:
     return (
         LockDisciplineChecker(),
         CostChargingChecker(),
+        BatchApiChecker(),
         DeterminismChecker(),
         StatsRegistryChecker(),
         ExceptionPolicyChecker(),

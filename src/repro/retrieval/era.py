@@ -46,8 +46,22 @@ def era_raw(elements_table: Table, postings_table: Table,
     elements = [iterator.first_element() for iterator in extent_iterators]
     counts = [[0] * len(terms) for _ in sids]
 
+    # Posting positions are consumed fragment-at-a-time: each term keeps
+    # the current decoded chunk and an inline cursor, refilled through
+    # the batch access path — one PostingIterator call per fragment
+    # instead of one per position; decode charges are per fragment
+    # opened, exactly as before.
     posting_iterators = [PostingIterator(postings_table, term) for term in terms]
-    positions = [iterator.next_position() for iterator in posting_iterators]
+    buffers: list[list[tuple[int, int]]] = []
+    cursors: list[int] = []
+    positions: list[tuple[int, int]] = []
+    for iterator in posting_iterators:
+        chunk = iterator.next_chunk()
+        if chunk is None:
+            chunk = [M_POS]  # term absent: behave as an empty list
+        buffers.append(chunk)
+        cursors.append(0)
+        positions.append(chunk[0])
 
     while True:
         # x: index of the minimal current position (line 12)
@@ -79,7 +93,15 @@ def era_raw(elements_table: Table, postings_table: Table,
         # flush above emitted every remaining element.
         if pos_x == M_POS:
             break
-        positions[x] = posting_iterators[x].next_position()
+        cursor = cursors[x] + 1
+        while cursor >= len(buffers[x]):
+            chunk = posting_iterators[x].next_chunk()
+            if chunk is None:
+                chunk = [M_POS]  # stored lists end with the sentinel
+            buffers[x] = chunk
+            cursor = 0
+        cursors[x] = cursor
+        positions[x] = buffers[x][cursor]
 
     return results
 
@@ -98,15 +120,29 @@ def era_retrieve(elements_table: Table, postings_table: Table,
     snapshot = cost_model.snapshot()
     raw = era_raw(elements_table, postings_table, sorted(sids), list(terms),
                   cost_model)
+    # Columnar scoring: one score_block call per term over the emitted
+    # elements' tf/length columns, accumulated per element in term order
+    # — the same additions in the same order as the per-element loop,
+    # so aggregate scores are bitwise identical, and one score-combine
+    # charge per nonzero contribution exactly as before.
+    totals = [0.0] * len(raw)
+    if raw:
+        lengths = [element.length for element, _ in raw]
+        combines = 0
+        for j, term in enumerate(terms):
+            weight = (1.0 if term_weights is None
+                      else term_weights.get(term, 1.0))
+            tfs = [tf_vector[j] for _, tf_vector in raw]
+            scores = scorer.score_block(term, tfs, lengths)
+            for i, tf in enumerate(tfs):
+                if tf == 0:
+                    continue
+                totals[i] += weight * scores[i]
+                combines += 1
+        if combines:
+            cost_model.score_combine(combines)
     hits: list[ScoredHit] = []
-    for element, tf_vector in raw:
-        score = 0.0
-        for term, tf in zip(terms, tf_vector):
-            if tf == 0:
-                continue
-            weight = 1.0 if term_weights is None else term_weights.get(term, 1.0)
-            score += weight * scorer.score(term, tf, element.length)
-            cost_model.score_combine()
+    for (element, _), score in zip(raw, totals):
         if score <= 0.0:
             continue
         hits.append(ScoredHit(score=score, docid=element.docid,
@@ -132,9 +168,12 @@ def era_scored_entries(elements_table: Table, postings_table: Table,
     through the index tables; tested to agree with the direct builder.
     """
     raw = era_raw(elements_table, postings_table, sorted(sids), [term], cost_model)
+    if not raw:
+        return []
+    scores = scorer.score_block(term, [tf_vector[0] for _, tf_vector in raw],
+                                [element.length for element, _ in raw])
     entries = []
-    for element, tf_vector in raw:
-        score = scorer.score(term, tf_vector[0], element.length)
+    for (element, _), score in zip(raw, scores):
         if score <= 0.0:
             continue
         entries.append(RplEntry(score, element.sid, element.docid,

@@ -23,6 +23,16 @@ and the per-sid ERPL streams leap over blocks whose ``last_key``
 precedes the probe (``skip_to``), and the RPL path prunes undecoded
 tail blocks whose block-max score cannot reach a threshold
 (``skip_until_score_below``).
+
+Decoding is columnar: blocks are opened through
+:meth:`~repro.storage.blocks.BlockSequence.read_block_columns` and the
+iterators walk the parallel arrays directly, materializing row tuples
+only for the entries they actually emit.  The batch entry points —
+:meth:`RplIterator.next_entries`, :meth:`ErplIterator.take_until`,
+:meth:`PostingIterator.next_chunk` — hand whole decoded runs to the
+strategies; the entry-at-a-time API (``next_entry``, ``next_position``)
+remains as a thin shim over the same state, with identical cost-model
+charges either way (the charge is per block opened, never per view).
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from ..index.catalog import IndexCatalog, IndexSegment
 from ..index.rpl import RplEntry
 from ..storage.blocks import BlockSequence
 from ..storage.cost import CostModel
+from ..storage.serialization import BlockColumns
 from ..storage.table import Table
 
 __all__ = ["ElementSpan", "DUMMY_ELEMENT", "ExtentIterator", "PostingIterator",
@@ -85,7 +96,7 @@ class ExtentIterator:
     Accepts either the Elements :class:`Table` (row-at-a-time seeks) or
     a :class:`~repro.index.elements.BlockedElements` access path, where
     each probe bisects the resident skip directory and decodes at most
-    one block.
+    one block — columnar, so a probe touches only the key arrays.
     """
 
     def __init__(self, elements: object, sid: int) -> None:
@@ -120,9 +131,11 @@ class ExtentIterator:
         if self._seq is None or self._seq.block_count == 0:
             return DUMMY_ELEMENT
         self._block = 0
-        docid, endpos, length = self._seq.read_block(0)[0]
-        return ElementSpan(sid=self.sid, docid=docid, endpos=endpos,
-                           length=length)
+        columns = self._seq.read_block_columns(0)
+        docids, endpositions = columns.keys
+        return ElementSpan(sid=self.sid, docid=docids[0],
+                           endpos=endpositions[0],
+                           length=columns.payloads[0][0])
 
     def next_element_after(self, position: Position) -> ElementSpan:
         """The extent element with the lowest end position > *position*.
@@ -141,34 +154,37 @@ class ExtentIterator:
     def skip_to(self, position: Position) -> ElementSpan:
         """Blocked-path probe: leap the skip directory, decode one block."""
         docid, offset = position
-        key = (docid, offset + 1)
+        key_docid, key_endpos = docid, offset + 1
         self._model.seek()
         seq = self._seq
         if seq is None or seq.block_count == 0:
             return DUMMY_ELEMENT
         start = self._block
-        if start > 0 and key <= seq.headers[start - 1].last_key:
+        if start > 0 and (key_docid, key_endpos) <= seq.headers[start - 1].last_key:
             start = 0  # non-monotone probe: restart the directory search
-        index = seq.find_first_block_ge(key, start=start)
+        index = seq.find_first_block_ge((key_docid, key_endpos), start=start)
         if index >= seq.block_count:
             self._block = seq.block_count - 1
             return DUMMY_ELEMENT
         self._block = index
-        entries = seq.read_block(index)
-        lo, hi = 0, len(entries)
+        columns = seq.read_block_columns(index)
+        docids, endpositions = columns.keys
+        lo, hi = 0, columns.count
         steps = 0
         while lo < hi:
             mid = (lo + hi) // 2
             steps += 1
-            if entries[mid][:2] < key:
+            mid_docid = docids[mid]
+            if mid_docid < key_docid or (mid_docid == key_docid
+                                         and endpositions[mid] < key_endpos):
                 lo = mid + 1
             else:
                 hi = mid
         if steps:
             self._model.compare(steps)
-        docid, endpos, length = entries[lo]
-        return ElementSpan(sid=self.sid, docid=docid, endpos=endpos,
-                           length=length)
+        return ElementSpan(sid=self.sid, docid=docids[lo],
+                           endpos=endpositions[lo],
+                           length=columns.payloads[0][lo])
 
     def scan(self) -> Iterator[ElementSpan]:
         """All elements of the extent, in order (used by tests/examples)."""
@@ -182,10 +198,15 @@ class ExtentIterator:
         # Block-by-block through the charged read path: a full scan
         # must cost exactly what decoding every block costs — the
         # uncharged entries() bulk decode is for offline maintenance.
+        sid = self.sid
         for index in range(self._seq.block_count):
-            for docid, endpos, length in self._seq.read_block(index):
-                yield ElementSpan(sid=self.sid, docid=docid, endpos=endpos,
-                                  length=length)
+            columns = self._seq.read_block_columns(index)
+            docids, endpositions = columns.keys
+            lengths = columns.payloads[0]
+            for row in range(columns.count):
+                yield ElementSpan(sid=sid, docid=docids[row],
+                                  endpos=endpositions[row],
+                                  length=lengths[row])
 
 
 class PostingIterator:
@@ -194,6 +215,11 @@ class PostingIterator:
     Accepts either the PostingLists :class:`Table` or a
     :class:`~repro.index.postings.BlockedPostings` access path, where
     whole fragments are decoded as single compressed blocks.
+
+    :meth:`next_chunk` is the batch access path — one decoded fragment
+    per call — and :meth:`next_position` is the entry-level shim over
+    the same buffer (both charge per fragment opened, never per
+    position).
     """
 
     def __init__(self, postings: object, term: str) -> None:
@@ -210,35 +236,43 @@ class PostingIterator:
             self._block = 0
             postings.cost_model.seek()
 
+    def next_chunk(self) -> list[Position] | None:
+        """The next whole fragment of positions, or ``None`` at the end.
+
+        Fragments end with the ``m-pos`` sentinel (the last stored
+        fragment carries it), so a consumer sweeping chunk by chunk sees
+        exhaustion exactly where the entry-level API would.
+        """
+        if self._cursor is not None:
+            if not self._cursor.valid or self._cursor.key[0] != self.term:
+                # Term absent from the corpus: behave as an empty list.
+                return None
+            row = self._cursor.value
+            fragment = [tuple(pair) for pair in row[3]]
+            self._cursor.advance()
+            return fragment
+        if self._seq is None or self._block >= self._seq.block_count:
+            return None
+        fragment = self._seq.read_block(self._block)
+        self._block += 1
+        return fragment
+
     def next_position(self) -> Position:
         """The next position, or ``m-pos`` forever once exhausted."""
         if self._exhausted:
             return M_POS
         while self._index >= len(self._fragment):
-            if not self._load_fragment():
+            chunk = self.next_chunk()
+            if chunk is None:
                 self._exhausted = True
                 return M_POS
+            self._fragment = chunk
             self._index = 0
         position = self._fragment[self._index]
         self._index += 1
         if position == M_POS:
             self._exhausted = True
         return position
-
-    def _load_fragment(self) -> bool:
-        if self._cursor is not None:
-            if not self._cursor.valid or self._cursor.key[0] != self.term:
-                # Term absent from the corpus: behave as an empty list.
-                return False
-            row = self._cursor.value
-            self._fragment = [tuple(pair) for pair in row[3]]
-            self._cursor.advance()
-            return True
-        if self._seq is None or self._block >= self._seq.block_count:
-            return False
-        self._fragment = self._seq.read_block(self._block)
-        self._block += 1
-        return True
 
     @property
     def exhausted(self) -> bool:
@@ -250,48 +284,58 @@ class _RplRunCursor:
     """Sequential charged reader over one RPL run (base or delta).
 
     Mirrors the single-run iterator's charging exactly: one positioning
-    seek on the first decode, ``read_block`` per block opened, and
-    block-skip accounting when the tail is pruned.
+    seek on the first decode, a columnar block open per block entered,
+    and block-skip accounting when the tail is pruned.  The cursor
+    walks the decoded column arrays and materializes a row tuple only
+    at :meth:`peek` time (cached until taken).
     """
 
     def __init__(self, sequence: BlockSequence, cost_model: CostModel) -> None:
         self._seq = sequence
         self._model = cost_model
         self._block = 0
-        self._entries: list[tuple] = []
+        self._columns: BlockColumns | None = None
+        self._count = 0
         self._index = 0
+        self._row: tuple | None = None
         self._seeked = False
         self.last_read_score = float("inf")
 
     def peek(self) -> tuple | None:
         """The next raw row without consuming it, or ``None`` when the
         run is drained (decodes the next block on demand)."""
-        while self._index >= len(self._entries):
+        if self._row is not None:
+            return self._row
+        while self._index >= self._count:
             if self._block >= self._seq.block_count:
                 return None
             if not self._seeked:
                 self._model.seek()
                 self._seeked = True
-            self._entries = self._seq.read_block(self._block)
+            self._columns = self._seq.read_block_columns(self._block)
+            self._count = self._columns.count
             self._block += 1
             self._index = 0
-        return self._entries[self._index]
+        self._row = self._columns.row(self._index)
+        return self._row
 
     def take(self) -> tuple:
-        row = self._entries[self._index]
+        row = self._row
+        self._row = None
         self._index += 1
         self.last_read_score = row[1]
         return row
 
     @property
     def drained(self) -> bool:
-        return (self._index >= len(self._entries)
+        return (self._row is None
+                and self._index >= self._count
                 and self._block >= self._seq.block_count)
 
     @property
     def bound(self) -> float:
         """Best possible score of this run's unreturned entries."""
-        if self._index < len(self._entries):
+        if self._row is not None or self._index < self._count:
             return self.last_read_score
         if self._block < self._seq.block_count:
             return min(self._seq.headers[self._block].max_score,
@@ -314,13 +358,17 @@ class _RplRunCursor:
 class RplIterator:
     """Sorted access over one RPL segment with sid filtering.
 
-    ``next_entry()`` returns entries in descending score order whose sid
-    belongs to *sids*, or ``None`` at exhaustion.  ``depth`` counts every
-    entry decoded (including skipped ones) and ``last_read_score`` tracks
-    the score of the most recent entry — the value TA's threshold uses.
+    ``next_entries(limit)`` is the batch access path: it returns up to
+    *limit* entries in descending score order whose sid belongs to
+    *sids*, consuming whole decoded blocks columnar-style.  ``depth``
+    counts every entry consumed (including skipped ones) and
+    ``last_read_score`` tracks the score of the most recent entry — the
+    value TA's threshold uses.  ``next_entry()`` is the entry-level shim
+    (``next_entries(1)``): identical state transitions, identical cost
+    charges.
 
-    The segment is stored as compressed blocks: :meth:`next_block`
-    decodes one block at a time, :attr:`upper_bound` tightens to the
+    The segment is stored as compressed blocks: :meth:`next_block_columns`
+    opens one block at a time, :attr:`upper_bound` tightens to the
     next undecoded block's header ``max_score`` at block boundaries (the
     block-max bound), and :meth:`skip_until_score_below` prunes the
     undecoded tail once no remaining block can matter.
@@ -331,7 +379,8 @@ class RplIterator:
     always taking the best per-run head reproduces the exact global
     descending order, and the merged ``upper_bound`` — the max of the
     per-run bounds — stays sound for TA.  A segment with no deltas
-    takes the original single-run path unchanged.
+    takes the original single-run path unchanged; both paths serve
+    batches from the same columnar block decodes.
     """
 
     def __init__(self, catalog: IndexCatalog, segment: IndexSegment,
@@ -345,8 +394,13 @@ class RplIterator:
         self._cursors = ([_RplRunCursor(run, self._model) for run in runs]
                          if len(runs) > 1 else [])
         self._block = 0
-        self._entries: list[tuple] = []
+        self._count = 0
         self._index = 0
+        self._scores: tuple = ()
+        self._sid_col: tuple = ()
+        self._docid_col: tuple = ()
+        self._end_col: tuple = ()
+        self._len_col: tuple = ()
         self._seeked = False
         self.depth = 0
         self.skipped = 0
@@ -357,8 +411,8 @@ class RplIterator:
     def length(self) -> int:
         return self._segment.entry_count
 
-    def next_block(self) -> list[tuple] | None:
-        """Decode the next block of raw ``(ir, score, sid, ...)`` rows."""
+    def next_block_columns(self) -> BlockColumns | None:
+        """Open the next block as raw ``(ir, score, sid, ...)`` columns."""
         if self._block >= self._seq.block_count:
             return None
         if not self._seeked:
@@ -366,31 +420,80 @@ class RplIterator:
             # sorted access pays, matching the row-store scan's seek.
             self._model.seek()
             self._seeked = True
-        entries = self._seq.read_block(self._block)
+        columns = self._seq.read_block_columns(self._block)
         self._block += 1
-        return entries
+        return columns
 
-    def next_entry(self) -> RplEntry | None:
+    def next_block(self) -> list[tuple] | None:
+        """Row-tuple view of :meth:`next_block_columns` (shim)."""
+        columns = self.next_block_columns()
+        if columns is None:
+            return None
+        return columns.rows()
+
+    def next_entries(self, limit: int) -> list[RplEntry]:
+        """Up to *limit* sorted-access entries, batched.
+
+        Equivalent to *limit* successive ``next_entry()`` calls — same
+        entries, same depth/skip accounting, same block-decode charges —
+        but consuming the decoded column arrays directly.  Returns fewer
+        than *limit* entries only at exhaustion.
+        """
+        out: list[RplEntry] = []
+        if limit <= 0:
+            return out
         if self._cursors:
-            return self._next_entry_merged()
-        while True:
-            if self._index >= len(self._entries):
-                block = self.next_block()
-                if block is None:
+            while len(out) < limit:
+                entry = self._next_entry_merged()
+                if entry is None:
+                    break
+                out.append(entry)
+            return out
+        sids = self._sids
+        depth = self.depth
+        skipped = self.skipped
+        while len(out) < limit:
+            if self._index >= self._count:
+                columns = self.next_block_columns()
+                if columns is None:
                     self.exhausted = True
                     self.last_read_score = 0.0
-                    return None
-                self._entries = block
+                    break
+                payloads = columns.payloads
+                self._scores = payloads[0]
+                self._sid_col = payloads[1]
+                self._docid_col = payloads[2]
+                self._end_col = payloads[3]
+                self._len_col = payloads[4]
+                self._count = columns.count
                 self._index = 0
-            row = self._entries[self._index]
-            self._index += 1
-            self.depth += 1
-            score, sid = row[1], row[2]
-            self.last_read_score = score
-            if sid not in self._sids:
-                self.skipped += 1
-                continue
-            return RplEntry(score, sid, row[3], row[4], row[5])
+            index, count = self._index, self._count
+            scores, sid_col = self._scores, self._sid_col
+            docid_col, end_col = self._docid_col, self._end_col
+            len_col = self._len_col
+            score = self.last_read_score
+            while index < count and len(out) < limit:
+                score = scores[index]
+                sid = sid_col[index]
+                if sid in sids:
+                    out.append(RplEntry(score, sid, docid_col[index],
+                                        end_col[index], len_col[index]))
+                else:
+                    skipped += 1
+                depth += 1
+                index += 1
+            consumed = index - self._index
+            self._index = index
+            if consumed:
+                self.last_read_score = score
+        self.depth = depth
+        self.skipped = skipped
+        return out
+
+    def next_entry(self) -> RplEntry | None:
+        """Entry-level shim over :meth:`next_entries`."""
+        entries = self.next_entries(1)
+        return entries[0] if entries else None
 
     def _next_entry_merged(self) -> RplEntry | None:
         while True:
@@ -440,7 +543,7 @@ class RplIterator:
         skipped = count - self._block
         self._model.block_skip(skipped)
         self._block = count
-        if self._index >= len(self._entries):
+        if self._index >= self._count:
             # Nothing decoded remains either: the list is finished.
             self.exhausted = True
             self.last_read_score = 0.0
@@ -460,7 +563,7 @@ class RplIterator:
             return 0.0
         if self._cursors:
             return max(cursor.bound for cursor in self._cursors)
-        if self._index < len(self._entries):
+        if self._index < self._count:
             return self.last_read_score
         if self._block < self._seq.block_count:
             bound = self._seq.headers[self._block].max_score
@@ -480,6 +583,12 @@ class ErplIterator:
     pair to the same heap; entry keys are unique across runs (deltas
     carry new docids), so the merged order is exactly the order a
     compacted segment would stream.
+
+    :meth:`take_until` is the batch access path: it drains every entry
+    strictly below a position bound in one call, galloping through the
+    winning stream's decoded column arrays between heap touches, so the
+    per-entry heap traffic of ``current``/``advance`` disappears on
+    single-holder stretches.
     """
 
     def __init__(self, catalog: IndexCatalog, segment: IndexSegment,
@@ -526,20 +635,57 @@ class ErplIterator:
         _, stream_id, _ = heapq.heappop(self._heap)
         self._push_from(stream_id)
 
+    def take_until(self, bound: Position) -> list[RplEntry]:
+        """Pop and return every entry with position strictly < *bound*.
+
+        The entries come back in position order, exactly as repeated
+        ``current``/``advance`` would deliver them; block decodes are
+        charged identically because both paths open the same blocks.
+        """
+        out: list[RplEntry] = []
+        heap = self._heap
+        while heap and heap[0][0] < bound:
+            position, stream_id, entry = heapq.heappop(heap)
+            out.append(entry)
+            # Gallop: the popped stream stays the global head while its
+            # next positions undercut both *bound* and the best other
+            # stream, so bulk-take from its decoded block directly.
+            limit = bound
+            if heap and heap[0][0] < limit:
+                limit = heap[0][0]
+            rows = self._streams[stream_id].take_rows_below(limit)
+            if rows:
+                self.rows_read += len(rows)
+                for sid, docid, endpos, score, length in rows:
+                    out.append(RplEntry(score, sid, docid, endpos, length))
+            self._push_from(stream_id)
+        return out
+
     @property
     def exhausted(self) -> bool:
         return not self._heap
 
 
 class _ErplSidStream:
-    """Sequential reader over one sid's range of an ERPL block sequence."""
+    """Sequential reader over one sid's range of an ERPL block sequence.
+
+    Walks the decoded column arrays (``sid``/``docid``/``endpos`` keys,
+    ``score``/``length`` payloads); :meth:`take_rows_below` bulk-emits
+    the run of rows under a position bound without re-materializing
+    per-row state.
+    """
 
     def __init__(self, sequence: BlockSequence, sid: int,
                  cost_model: CostModel) -> None:
         self.sid = sid
         self._seq = sequence
         self._model = cost_model
-        self._entries: list[tuple] = []
+        self._sid_col: tuple = ()
+        self._docid_col: tuple = ()
+        self._end_col: tuple = ()
+        self._score_col: tuple = ()
+        self._len_col: tuple = ()
+        self._count = 0
         self._index = 0
         self._done = sequence.block_count == 0
         self._model.seek()
@@ -550,45 +696,104 @@ class _ErplSidStream:
         self._block = sequence.find_first_block_ge((sid, 0, 0))
         self._first_block = True
 
+    def _load_next_block(self) -> bool:
+        """Decode the next in-range block into the column fields."""
+        if self._block >= self._seq.block_count:
+            return False
+        header = self._seq.headers[self._block]
+        if header.first_key[0] > self.sid:
+            return False
+        columns = self._seq.read_block_columns(self._block)
+        self._block += 1
+        sid_col, docid_col, end_col = columns.keys
+        start = 0
+        if self._first_block:
+            # Bisect past smaller-sid entries sharing the block.  The
+            # full key probe is (sid, 0, 0), so the lexicographic test
+            # collapses to the sid column alone.
+            self._first_block = False
+            sid = self.sid
+            lo, hi = 0, columns.count
+            steps = 0
+            while lo < hi:
+                mid = (lo + hi) // 2
+                steps += 1
+                if sid_col[mid] < sid:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if steps:
+                self._model.compare(steps)
+            start = lo
+        self._sid_col = sid_col
+        self._docid_col = docid_col
+        self._end_col = end_col
+        self._score_col, self._len_col = columns.payloads
+        self._count = columns.count
+        self._index = start
+        return True
+
     def next_row(self) -> tuple | None:
         while True:
             if self._done:
                 return None
-            if self._index < len(self._entries):
-                row = self._entries[self._index]
-                if row[0] == self.sid:
-                    self._index += 1
-                    return row
-                if row[0] > self.sid:
+            index, count = self._index, self._count
+            sid = self.sid
+            sid_col = self._sid_col
+            while index < count:
+                row_sid = sid_col[index]
+                if row_sid == sid:
+                    self._index = index + 1
+                    return (sid, self._docid_col[index], self._end_col[index],
+                            self._score_col[index], self._len_col[index])
+                if row_sid > sid:
+                    self._index = index
                     self._done = True
                     return None
-                self._index += 1
-                continue
-            if self._block >= self._seq.block_count:
+                index += 1
+            self._index = index
+            if not self._load_next_block():
                 self._done = True
                 return None
-            header = self._seq.headers[self._block]
-            if header.first_key[0] > self.sid:
+
+    def take_rows_below(self, bound: Position) -> list[tuple]:
+        """Every remaining row of this sid strictly below *bound*, bulk.
+
+        Stops at the first row at or past the bound (or outside the
+        sid) without consuming it; crossing into a fresh block charges
+        exactly what :meth:`next_row` would.
+        """
+        rows: list[tuple] = []
+        bound_docid, bound_endpos = bound
+        while True:
+            if self._done:
+                return rows
+            index, count = self._index, self._count
+            sid = self.sid
+            sid_col, docid_col = self._sid_col, self._docid_col
+            end_col = self._end_col
+            score_col, len_col = self._score_col, self._len_col
+            while index < count:
+                row_sid = sid_col[index]
+                if row_sid != sid:
+                    if row_sid > sid:
+                        self._index = index
+                        self._done = True
+                        return rows
+                    index += 1
+                    continue
+                docid = docid_col[index]
+                if docid > bound_docid:
+                    self._index = index
+                    return rows
+                endpos = end_col[index]
+                if docid == bound_docid and endpos >= bound_endpos:
+                    self._index = index
+                    return rows
+                rows.append((sid, docid, endpos,
+                             score_col[index], len_col[index]))
+                index += 1
+            self._index = index
+            if not self._load_next_block():
                 self._done = True
-                return None
-            entries = self._seq.read_block(self._block)
-            self._block += 1
-            start = 0
-            if self._first_block:
-                # Bisect past smaller-sid entries sharing the block.
-                self._first_block = False
-                key = (self.sid, 0, 0)
-                lo, hi = 0, len(entries)
-                steps = 0
-                while lo < hi:
-                    mid = (lo + hi) // 2
-                    steps += 1
-                    if entries[mid][:3] < key:
-                        lo = mid + 1
-                    else:
-                        hi = mid
-                if steps:
-                    self._model.compare(steps)
-                start = lo
-            self._entries = entries
-            self._index = start
+                return rows

@@ -14,6 +14,7 @@ relevance-ordered lists (paper §5.2).
 
 from __future__ import annotations
 
+from ..corpus.document import M_POS
 from ..index.catalog import IndexCatalog, IndexSegment
 from ..scoring.combine import ScoredHit
 from ..storage.cost import CostModel
@@ -42,6 +43,9 @@ def merge_retrieve(catalog: IndexCatalog,
     snapshot = cost_model.snapshot()
     iterators = [ErplIterator(catalog, segment, sids)
                  for segment in segments.values()]
+    weights = {iterator.term: (1.0 if term_weights is None
+                               else term_weights.get(iterator.term, 1.0))
+               for iterator in iterators}
 
     hits: list[ScoredHit] = []
     while True:
@@ -50,15 +54,37 @@ def merge_retrieve(catalog: IndexCatalog,
             break
         # line 7: the minimal position among the current elements
         position = min(it.current_position for it in live)
+        holders = [it for it in live if it.current_position == position]
+        if len(holders) == 1:
+            # Galloping batch: while one iterator alone holds the
+            # minimum, every entry strictly below the runner-up's
+            # position is its own single-term result — take the whole
+            # run from the decoded block in one call.  Per emitted
+            # entry this is one Figure-3 loop iteration, so the charge
+            # is the same len(live)-way minimum comparison plus one
+            # score combination each.
+            holder = holders[0]
+            bound = M_POS
+            for iterator in live:
+                if iterator is not holder and iterator.current_position < bound:
+                    bound = iterator.current_position
+            run = holder.take_until(bound)
+            cost_model.compare(len(live) * len(run))
+            cost_model.score_combine(len(run))
+            weight = weights[holder.term]
+            for entry in run:
+                score = weight * entry.score  # line 12
+                if score > 0.0:
+                    hits.append(ScoredHit(score=score, docid=entry.docid,
+                                          end_pos=entry.endpos, sid=entry.sid,
+                                          length=entry.length))  # line 20
+            continue
         cost_model.compare(len(live))
         score = 0.0
         spec = None
-        for iterator in live:
-            if iterator.current_position != position:
-                continue
+        for iterator in holders:
             entry = iterator.current
-            weight = 1.0 if term_weights is None else term_weights.get(iterator.term, 1.0)
-            score += weight * entry.score  # line 12
+            score += weights[iterator.term] * entry.score  # line 12
             cost_model.score_combine()
             spec = entry
             iterator.advance()  # lines 13-17

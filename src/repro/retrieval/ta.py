@@ -166,28 +166,48 @@ class TaSession:
 
     # -- advancement ----------------------------------------------------
     def step(self) -> bool:
-        """Advance one batch; return False once the session has ended."""
+        """Advance one batch; return False once the session has ended.
+
+        Sorted accesses are fetched block-at-a-time through
+        ``RplIterator.next_entries``: each live list contributes
+        ``ceil(remaining / live)`` entries per fetch — exactly the
+        per-list share the entry-at-a-time round-robin would consume
+        before the next stopping-condition check — and the fetched
+        batches are replayed in round-robin order, so candidate
+        updates, heap traffic, and check boundaries are identical to
+        the scalar loop (a list running dry mid-interval just shrinks
+        the next fetch's divisor, as it shrank the scalar round).
+        """
         if self.finished:
             return False
         while True:
+            live = [(term, iterator)
+                    for term, iterator in self.iterators.items()
+                    if not iterator.exhausted]
+            if not live:
+                self.finished = True
+                return False  # every list exhausted: exact by construction
+            need = self.batch_size - self._accesses_since_check
+            rounds = -(-need // len(live))  # ceil
+            batches = [(term, iterator.next_entries(rounds))
+                       for term, iterator in live]
             progressed = False
-            for term, iterator in self.iterators.items():
-                if iterator.exhausted:
-                    continue
-                entry = iterator.next_entry()
-                if entry is None:
-                    continue
-                progressed = True
-                key = entry.element_key()
-                candidate = self.candidates.get(key)
-                if candidate is None:
-                    candidate = self.candidates[key] = _Candidate(
-                        sid=entry.sid, length=entry.length)
-                candidate.worst += self.weights[term] * entry.score
-                candidate.seen.add(term)
-                self.cost_model.score_combine()
-                self.heap.offer(candidate.worst, key)
-                self._accesses_since_check += 1
+            for round_index in range(rounds):
+                for term, entries in batches:
+                    if round_index >= len(entries):
+                        continue
+                    entry = entries[round_index]
+                    progressed = True
+                    key = entry.element_key()
+                    candidate = self.candidates.get(key)
+                    if candidate is None:
+                        candidate = self.candidates[key] = _Candidate(
+                            sid=entry.sid, length=entry.length)
+                    candidate.worst += self.weights[term] * entry.score
+                    candidate.seen.add(term)
+                    self.cost_model.score_combine()
+                    self.heap.offer(candidate.worst, key)
+                    self._accesses_since_check += 1
 
             if not progressed:
                 self.finished = True

@@ -35,6 +35,20 @@ class ElementScorer:
         """Relevance contribution of *term* occurring *tf* times."""
         raise NotImplementedError
 
+    def score_block(self, term: str, tfs: list[int],
+                    lengths: list[int]) -> list[float]:
+        """Vectorized :meth:`score` over parallel tf/length columns.
+
+        ``score_block(t, tfs, lengths)[i] == score(t, tfs[i], lengths[i])``
+        bitwise — subclasses hoist the per-term constants (idf, average
+        length) out of the loop but must preserve the exact operation
+        order of the scalar formula so the equality is float-exact, not
+        approximate.  This generic fallback simply maps the scalar
+        scorer, so any third-party scorer is batch-callable unchanged.
+        """
+        score = self.score
+        return [score(term, tf, length) for tf, length in zip(tfs, lengths)]
+
     def idf(self, term: str) -> float:
         """Inverse document frequency; 0 for unseen terms."""
         raise NotImplementedError
@@ -80,6 +94,23 @@ class BM25Scorer(ElementScorer):
         denom = tf + self.k1 * (1.0 - self.b + self.b * norm_len)
         return idf * tf * (self.k1 + 1.0) / denom
 
+    def score_block(self, term: str, tfs: list[int],
+                    lengths: list[int]) -> list[float]:
+        # One idf lookup and normalizer setup for the whole column; the
+        # per-element arithmetic keeps the scalar formula's association
+        # (``base + b*(len/avg)`` is ``1.0 - b + b*norm_len`` evaluated
+        # left to right), so results are bitwise equal to score().
+        idf = self.idf(term)
+        if idf == 0.0:
+            return [0.0] * len(tfs)
+        k1, b = self.k1, self.b
+        base = 1.0 - b
+        k1_plus_1 = k1 + 1.0
+        avg = self.stats.average_element_length
+        return [idf * tf * k1_plus_1 / (tf + k1 * (base + b * (length / avg)))
+                if tf > 0 else 0.0
+                for tf, length in zip(tfs, lengths)]
+
     def max_score(self, term: str) -> float:
         # tf -> inf, len -> 0 bound: idf * (k1 + 1)
         return self.idf(term) * (self.k1 + 1.0)
@@ -114,6 +145,14 @@ class LMImpactScorer(ElementScorer):
             return 0.0
         return math.log(1.0 + tf * ratio)
 
+    def score_block(self, term: str, tfs: list[int],
+                    lengths: list[int]) -> list[float]:
+        ratio = self.idf(term)
+        if ratio == 0.0:
+            return [0.0] * len(tfs)
+        log = math.log
+        return [log(1.0 + tf * ratio) if tf > 0 else 0.0 for tf in tfs]
+
     def max_score(self, term: str) -> float:
         # tf is bounded by the longest element's token capacity; use the
         # average element length scaled generously as a practical bound.
@@ -136,6 +175,16 @@ class TfIdfScorer(ElementScorer):
             return 0.0
         normalizer = math.sqrt(max(element_length, 1))
         return (1.0 + math.log(tf)) * idf / normalizer
+
+    def score_block(self, term: str, tfs: list[int],
+                    lengths: list[int]) -> list[float]:
+        idf = self.idf(term)
+        if idf == 0.0:
+            return [0.0] * len(tfs)
+        log, sqrt = math.log, math.sqrt
+        return [(1.0 + log(tf)) * idf / sqrt(length if length > 1 else 1)
+                if tf > 0 else 0.0
+                for tf, length in zip(tfs, lengths)]
 
     def max_score(self, term: str) -> float:
         # tf is at most the element length, so score <= idf*(1+ln tf)/sqrt(tf),

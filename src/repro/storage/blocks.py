@@ -23,7 +23,13 @@ import struct
 from ..errors import CodecError, StorageError
 from .cost import CostModel, GLOBAL_COST_MODEL
 from .pager import PageCache
-from .serialization import BlockCodec, BlockHeader, _read_uvarint, _write_uvarint
+from .serialization import (
+    BlockCodec,
+    BlockColumns,
+    BlockHeader,
+    _read_uvarint,
+    _write_uvarint,
+)
 
 __all__ = ["BlockSequence", "DEFAULT_BLOCK_SIZE"]
 
@@ -76,6 +82,7 @@ class BlockSequence:
         self._cache = (cache if cache is not None
                        else PageCache(cost_model=self.cost_model))
         self._decoded: dict[int, list[tuple]] = {}
+        self._columns: dict[int, BlockColumns] = {}
         self._page_base = _allocate_block_pages(max(len(self.headers), 1))
         self._header_bytes = sum(_header_size(h) for h in self.headers)
 
@@ -140,16 +147,38 @@ class BlockSequence:
     # ------------------------------------------------------------------
     # Charged access paths
     # ------------------------------------------------------------------
-    def read_block(self, index: int) -> list[tuple]:
-        """Open block *index*: charged via the page cache + decode meter."""
+    def read_block_columns(self, index: int) -> BlockColumns:
+        """Open block *index* as parallel columns.
+
+        Charging is identical to :meth:`read_block` — one page-cache
+        touch (``BLOCK_READ`` on a miss, ``PAGE_HIT`` on a hit) plus one
+        ``BLOCK_DECODE`` + N ``ENTRY_DECODE`` per miss — because both
+        entry points share the same cache page and decode meter; which
+        *view* of the block the caller asked for never changes cost.
+        """
         header = self.headers[index]
         hit = self._cache.touch_block(self._page_base + index)
         if not hit:
             self.cost_model.block_decode(header.count)
+        columns = self._columns.get(index)
+        if columns is None:
+            columns = self.codec.decode_columns(self._payloads[index],
+                                                header.count)
+            self._columns[index] = columns
+        return columns
+
+    def read_block(self, index: int) -> list[tuple]:
+        """Open block *index* as row tuples: shim over the columnar read."""
         entries = self._decoded.get(index)
-        if entries is None:
-            entries = self.codec.decode_block(self._payloads[index], header.count)
-            self._decoded[index] = entries
+        if entries is not None:
+            # Still touch the (possibly shared) buffer pool: residency
+            # is decided by the cache, not by Python-side memoization.
+            hit = self._cache.touch_block(self._page_base + index)
+            if not hit:
+                self.cost_model.block_decode(self.headers[index].count)
+            return entries
+        entries = self.read_block_columns(index).rows()
+        self._decoded[index] = entries
         return entries
 
     def find_first_block_ge(self, key: tuple, start: int = 0) -> int:

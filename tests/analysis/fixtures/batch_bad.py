@@ -1,0 +1,23 @@
+# repro: module[repro.retrieval.ta]
+"""Fixture: per-entry shim loops on a hot strategy path."""
+
+
+def drain(iterator: object) -> list:
+    entries = []
+    while True:
+        entry = iterator.next_entry()
+        if entry is None:
+            break
+        entries.append(entry)
+    return entries
+
+
+def sweep(iterators: list) -> list:
+    positions = []
+    for iterator in iterators:
+        positions.append(iterator.next_position())
+    return positions
+
+
+def harvest(iterators: list) -> list:
+    return [iterator.next_entry() for iterator in iterators]

@@ -1,0 +1,34 @@
+# repro: module[repro.retrieval.ta]
+"""Fixture: batch consumption, out-of-scope shims, and pragmas pass."""
+
+
+def drain(iterator: object) -> list:
+    entries = []
+    while True:
+        batch = iterator.next_entries(32)
+        if not batch:
+            break
+        entries.extend(batch)
+    return entries
+
+
+def gallop(iterator: object, bound: tuple) -> list:
+    hits = []
+    while not iterator.exhausted:
+        hits.extend(iterator.take_until(bound))
+    return hits
+
+
+def head(iterator: object) -> object:
+    # Outside a loop the entry-level shim is fine (single probe).
+    return iterator.next_entry()
+
+
+def legacy(iterator: object) -> list:
+    entries = []
+    while True:
+        # repro: allow[TRX204] ablation path measures the shim itself
+        entry = iterator.next_entry()
+        if entry is None:
+            return entries
+        entries.append(entry)

@@ -48,6 +48,18 @@ def test_cost_charging_accepts_read_block_and_muted() -> None:
     assert findings("cost_good.py", select=["TRX2"]) == []
 
 
+def test_batch_api_flags_per_entry_loops_on_hot_paths() -> None:
+    assert findings("batch_bad.py", select=["TRX204"]) == [
+        ("TRX204", 8),    # while-loop next_entry()
+        ("TRX204", 18),   # for-loop next_position()
+        ("TRX204", 23),   # list-comprehension next_entry()
+    ]
+
+
+def test_batch_api_accepts_batch_calls_probes_and_pragmas() -> None:
+    assert findings("batch_good.py", select=["TRX204"]) == []
+
+
 # ----------------------------------------------------------------------
 # TRX3xx — determinism
 # ----------------------------------------------------------------------
