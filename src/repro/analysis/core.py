@@ -126,6 +126,7 @@ class Checker(Protocol):
 
 def _build_checkers() -> tuple[Checker, ...]:
     from .checkers.annotations import AnnotationChecker
+    from .checkers.backend_io import BackendIoChecker
     from .checkers.batch_api import BatchApiChecker
     from .checkers.cost_charging import CostChargingChecker
     from .checkers.determinism import DeterminismChecker
@@ -138,6 +139,7 @@ def _build_checkers() -> tuple[Checker, ...]:
         LockDisciplineChecker(),
         CostChargingChecker(),
         BatchApiChecker(),
+        BackendIoChecker(),
         DeterminismChecker(),
         StatsRegistryChecker(),
         ExceptionPolicyChecker(),

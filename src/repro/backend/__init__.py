@@ -1,0 +1,46 @@
+"""Pluggable storage backends behind the block layer.
+
+The datastore an index lives in is a variant axis, not a constant: the
+same catalog of block sequences can persist as the historical
+file-per-segment pager layout, as rows in one sqlite database, or
+packed into one mmap'd region — and any of them can layer zlib block
+compression underneath.  Query *results* are identical everywhere; what
+changes is the footprint (``size_bytes``) and the simulated charge per
+cold block (each backend's :class:`CostProfile`), which is exactly the
+trade-off surface the self-managing advisor optimizes over.
+
+See ``docs/storage.md`` for the backend matrix.
+"""
+
+from .atomic import atomic_write_bytes
+from .base import (
+    BACKEND_NAMES,
+    PROFILES,
+    CostProfile,
+    StorageBackend,
+    detect_backend,
+    make_backend,
+    open_backend,
+)
+from .compression import COMPRESSIONS, check_compression, compress, decompress
+from .mmapfile import MmapBackend
+from .pagerdir import PagerBackend
+from .sqlite import SqliteBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "COMPRESSIONS",
+    "PROFILES",
+    "CostProfile",
+    "MmapBackend",
+    "PagerBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "atomic_write_bytes",
+    "check_compression",
+    "compress",
+    "decompress",
+    "detect_backend",
+    "make_backend",
+    "open_backend",
+]

@@ -1,0 +1,34 @@
+"""Atomic file publication for every storage backend.
+
+All three backends funnel their on-disk writes through
+:func:`atomic_write_bytes`: the payload is written to a temporary file
+in the destination directory, flushed and fsynced, and then published
+with ``os.replace``.  A crash at any point leaves either the previous
+file intact or the complete new file — never a torn ``.blk``/sqlite/
+mmap image (the kill-mid-save tests in ``tests/backend`` pin this).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_bytes(path: str | os.PathLike[str], data: bytes) -> None:
+    """Write *data* to *path* atomically (temp file + ``os.replace``)."""
+    target = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(target)) or "."
+    fd, staging = tempfile.mkstemp(prefix=os.path.basename(target) + ".",
+                                   suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(staging, target)
+    except BaseException:
+        try:
+            os.unlink(staging)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,65 @@
+"""Block compression codecs layered under any storage backend.
+
+A compression codec transforms a block *payload* (the delta+varint
+bytes produced by ``BlockCodec.encode_block``) into a smaller stored
+form.  Compression never changes what a block decodes to — the skip
+directory, block boundaries and query results are byte-identical across
+codecs — it only trades ``size_bytes`` against an explicit
+``BLOCK_DECOMPRESS`` charge per cold block open, which is the knob the
+self-managing advisor weighs against the disk budget.
+
+``zlib`` is the one real codec (level pinned so compressed images are
+deterministic across builders and replicas); ``none`` is the identity.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..errors import StorageCorruptionError, StorageError
+
+__all__ = ["COMPRESSIONS", "check_compression", "compress", "decompress"]
+
+#: Every compression name the block layer understands.
+COMPRESSIONS = ("none", "zlib")
+
+#: zlib level is pinned: compressed images must be deterministic so the
+#: parallel-build and replica byte-identity invariants keep holding.
+_ZLIB_LEVEL = 6
+
+
+def check_compression(name: str) -> str:
+    """Validate a compression name; returns it for chaining."""
+    if name not in COMPRESSIONS:
+        raise StorageError(
+            f"unknown compression {name!r}; expected one of {COMPRESSIONS}")
+    return name
+
+
+def compress(name: str, payload: bytes) -> bytes:
+    """The stored form of *payload* under codec *name*."""
+    check_compression(name)
+    if name == "none":
+        return payload
+    return zlib.compress(payload, _ZLIB_LEVEL)
+
+
+def decompress(name: str, stored: bytes, raw_len: int, *,
+               source: str = "<bytes>",
+               sequence_id: int | None = None) -> bytes:
+    """Recover the raw payload; typed error on a corrupt stored block."""
+    check_compression(name)
+    if name == "none":
+        return stored
+    try:
+        payload = zlib.decompress(stored)
+    except zlib.error as err:
+        raise StorageCorruptionError(
+            source, f"corrupt zlib block: {err}",
+            sequence_id=sequence_id) from err
+    if len(payload) != raw_len:
+        raise StorageCorruptionError(
+            source,
+            f"zlib block inflated to {len(payload)} bytes, expected {raw_len}",
+            sequence_id=sequence_id)
+    return payload

@@ -1,0 +1,184 @@
+"""The mmap backend: blobs packed into one region with a footer directory.
+
+Layout of ``catalog.mmap``::
+
+    magic "TRXM\\x01"
+    blob bytes, back to back, in write order
+    directory: uvarint blob count, then per blob
+        uvarint name length | name (utf-8) | uvarint offset | uvarint length
+    trailing 8 bytes: big-endian u64 offset of the directory
+
+Readers map the whole file once, parse the footer directory into a
+resident dict (the analogue of the block layer's skip directory) and
+serve ``read``/``read_block_bytes`` as zero-copy-ish slices of the map.
+A short or out-of-range footer raises a typed
+:class:`~repro.errors.StorageCorruptionError` carrying the path.
+
+Writes are staged in memory and published at :meth:`sync` through
+:func:`~repro.backend.atomic.atomic_write_bytes`, so the store is
+always either the previous image or the complete new one.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+from typing import IO
+
+from ..errors import CodecError, StorageCorruptionError, StorageError
+from ..storage.serialization import _read_uvarint, _write_uvarint
+from .atomic import atomic_write_bytes
+from .base import StorageBackend
+
+__all__ = ["MmapBackend"]
+
+_STORE_NAME = "catalog.mmap"
+_MAGIC = b"TRXM\x01"
+_FOOTER = struct.Struct(">Q")
+
+
+class MmapBackend(StorageBackend):
+    """Blobs packed into one mmap'd region with a footer directory."""
+
+    name = "mmap"
+
+    def __init__(self, directory: str, mode: str = "r") -> None:
+        super().__init__(directory, mode)
+        self.path = os.path.join(directory, _STORE_NAME)
+        self._staged: dict[str, bytes] = {}
+        self._directory: dict[str, tuple[int, int]] = {}
+        self._map: mmap.mmap | None = None
+        self._file: IO[bytes] | None = None
+        if mode == "w":
+            os.makedirs(directory, exist_ok=True)
+        else:
+            self._open_map()
+
+    # -- on-disk format ------------------------------------------------
+    def _open_map(self) -> None:
+        if not os.path.exists(self.path):
+            raise StorageError(f"{self.path}: no mmap store")
+        size = os.path.getsize(self.path)
+        if size < len(_MAGIC) + _FOOTER.size:
+            raise StorageCorruptionError(
+                self.path, f"short mmap footer: file is only {size} bytes")
+        self._file = open(self.path, "rb")  # noqa: SIM115 - held for the map
+        self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        data = self._map
+        if data[:len(_MAGIC)] != _MAGIC:
+            raise StorageCorruptionError(
+                self.path, "not an mmap store (bad magic)")
+        (dir_offset,) = _FOOTER.unpack(data[size - _FOOTER.size:])
+        if dir_offset < len(_MAGIC) or dir_offset > size - _FOOTER.size:
+            raise StorageCorruptionError(
+                self.path,
+                f"short mmap footer: directory offset {dir_offset} "
+                f"outside file of {size} bytes")
+        view = bytes(data[dir_offset:size - _FOOTER.size])
+        try:
+            count, offset = _read_uvarint(view, 0)
+            for _ in range(count):
+                name_len, offset = _read_uvarint(view, offset)
+                name = view[offset:offset + name_len].decode("utf-8")
+                if len(name.encode("utf-8")) != name_len:
+                    raise CodecError("truncated directory name")
+                offset += name_len
+                blob_offset, offset = _read_uvarint(view, offset)
+                blob_length, offset = _read_uvarint(view, offset)
+                if blob_offset + blob_length > dir_offset:
+                    raise CodecError(
+                        f"blob {name!r} extends past the directory")
+                self._directory[name] = (blob_offset, blob_length)
+        except (CodecError, UnicodeDecodeError) as err:
+            raise StorageCorruptionError(
+                self.path, f"corrupt mmap directory: {err}") from err
+
+    def _serialize(self) -> bytes:
+        out = bytearray(_MAGIC)
+        placed: list[tuple[str, int, int]] = []
+        for name in sorted(self._staged):
+            data = self._staged[name]
+            placed.append((name, len(out), len(data)))
+            out.extend(data)
+        dir_offset = len(out)
+        _write_uvarint(out, len(placed))
+        for name, offset, length in placed:
+            encoded = name.encode("utf-8")
+            _write_uvarint(out, len(encoded))
+            out.extend(encoded)
+            _write_uvarint(out, offset)
+            _write_uvarint(out, length)
+        out.extend(_FOOTER.pack(dir_offset))
+        return bytes(out)
+
+    # -- write side ----------------------------------------------------
+    def write(self, blob: str, data: bytes) -> None:
+        if self.mode != "w":
+            raise StorageError(f"{self.path}: mmap store opened read-only")
+        self._staged[blob] = data
+
+    def sync(self) -> None:
+        if self.mode != "w":
+            return None
+        atomic_write_bytes(self.path, self._serialize())
+        return None
+
+    # -- read side -----------------------------------------------------
+    def _slot(self, blob: str) -> tuple[int, int]:
+        if self.mode == "w":
+            if blob in self._staged:
+                return (-1, len(self._staged[blob]))
+            raise StorageError(f"{self.path}: no blob {blob!r} in mmap store")
+        try:
+            return self._directory[blob]
+        except KeyError:
+            raise StorageError(
+                f"{self.path}: no blob {blob!r} in mmap store") from None
+
+    def read(self, blob: str) -> bytes:
+        if self.mode == "w":
+            try:
+                return self._staged[blob]
+            except KeyError:
+                raise StorageError(
+                    f"{self.path}: no blob {blob!r} in mmap store") from None
+        offset, length = self._slot(blob)
+        assert self._map is not None
+        return bytes(self._map[offset:offset + length])
+
+    def read_block_bytes(self, blob: str, offset: int, length: int) -> bytes:
+        if self.mode == "w":
+            return self.read(blob)[offset:offset + length]
+        base, blob_length = self._slot(blob)
+        end = min(offset + length, blob_length)
+        assert self._map is not None
+        return bytes(self._map[base + offset:base + end])
+
+    def names(self) -> list[str]:
+        if self.mode == "w":
+            return sorted(self._staged)
+        return sorted(self._directory)
+
+    def length(self, blob: str) -> int:
+        return self._slot(blob)[1]
+
+    def exists(self, blob: str) -> bool:
+        if self.mode == "w":
+            return blob in self._staged
+        return blob in self._directory
+
+    # -- accounting / lifecycle ---------------------------------------
+    def size_bytes(self) -> int:
+        if os.path.exists(self.path):
+            return os.path.getsize(self.path)
+        return 0
+
+    def close(self) -> None:
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self._staged = {}

@@ -1,0 +1,87 @@
+"""The file-per-blob backend: the historical ``.blk`` directory layout.
+
+Every blob maps to one file named exactly like the blob (``seg3.blk``,
+``seg3.d0.blk``, ``segments.tsv``), so a store written by this backend
+is byte-for-byte identical to what pre-backend catalogs produced and
+old directories load without migration.  Writes publish per blob via
+:func:`~repro.backend.atomic.atomic_write_bytes`, which already gives
+each file the temp-file + ``os.replace`` atomicity guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import StorageError
+from .atomic import atomic_write_bytes
+from .base import StorageBackend
+
+__all__ = ["PagerBackend"]
+
+
+class PagerBackend(StorageBackend):
+    """One file per blob under the index directory (the default)."""
+
+    name = "pager"
+
+    def __init__(self, directory: str, mode: str = "r") -> None:
+        super().__init__(directory, mode)
+        if mode == "w":
+            os.makedirs(directory, exist_ok=True)
+
+    def _path(self, blob: str) -> str:
+        if os.sep in blob or blob.startswith("."):
+            raise StorageError(f"bad blob name {blob!r}")
+        return os.path.join(self.directory, blob)
+
+    # -- write side ----------------------------------------------------
+    def write(self, blob: str, data: bytes) -> None:
+        atomic_write_bytes(self._path(blob), data)
+
+    def sync(self) -> None:
+        # Each write already published atomically; nothing is staged.
+        return None
+
+    # -- read side -----------------------------------------------------
+    def read(self, blob: str) -> bytes:
+        try:
+            with open(self._path(blob), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            raise StorageError(
+                f"{self._path(blob)}: no such blob in pager store") from None
+
+    def read_block_bytes(self, blob: str, offset: int, length: int) -> bytes:
+        try:
+            with open(self._path(blob), "rb") as fh:
+                fh.seek(offset)
+                return fh.read(length)
+        except FileNotFoundError:
+            raise StorageError(
+                f"{self._path(blob)}: no such blob in pager store") from None
+
+    def names(self) -> list[str]:
+        if not os.path.isdir(self.directory):
+            return []
+        return sorted(
+            entry for entry in os.listdir(self.directory)
+            if os.path.isfile(os.path.join(self.directory, entry))
+            and not entry.endswith(".tmp"))
+
+    def length(self, blob: str) -> int:
+        try:
+            return os.path.getsize(self._path(blob))
+        except FileNotFoundError:
+            raise StorageError(
+                f"{self._path(blob)}: no such blob in pager store") from None
+
+    def exists(self, blob: str) -> bool:
+        return os.path.isfile(self._path(blob))
+
+    # -- accounting / lifecycle ---------------------------------------
+    def size_bytes(self) -> int:
+        return sum(os.path.getsize(os.path.join(self.directory, entry))
+                   for entry in self.names())
+
+    def close(self) -> None:
+        return None

@@ -1,0 +1,154 @@
+"""The sqlite backend: every blob is a row in one database file.
+
+The store is a single ``catalog.sqlite`` per index directory holding a
+``blobs(name TEXT PRIMARY KEY, data BLOB NOT NULL)`` table, accessed
+through exactly one connection (the engine is single-writer anyway, and
+one connection keeps the WAL journal trivially consistent).  Writes are
+staged into a temporary database that is committed, closed and then
+published over the real path with ``os.replace`` — a crash mid-save
+leaves the previous database untouched.
+
+A malformed row (``NULL`` data, a non-BLOB value, or a file that is not
+a database at all) surfaces as a typed
+:class:`~repro.errors.StorageCorruptionError` naming the path and the
+blob, never as a raw ``sqlite3`` exception.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+from ..errors import StorageCorruptionError, StorageError
+from .base import StorageBackend
+
+__all__ = ["SqliteBackend"]
+
+_DB_NAME = "catalog.sqlite"
+
+
+class SqliteBackend(StorageBackend):
+    """Blobs as rows in one single-connection WAL sqlite file."""
+
+    name = "sqlite"
+
+    def __init__(self, directory: str, mode: str = "r") -> None:
+        super().__init__(directory, mode)
+        self.path = os.path.join(directory, _DB_NAME)
+        self._staging: str | None = None
+        self._conn: sqlite3.Connection | None = None
+        if mode == "w":
+            os.makedirs(directory, exist_ok=True)
+            self._staging = f"{self.path}.staging{os.getpid()}"
+            if os.path.exists(self._staging):
+                os.unlink(self._staging)
+            self._conn = sqlite3.connect(self._staging)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(
+                "CREATE TABLE blobs (name TEXT PRIMARY KEY, "
+                "data BLOB NOT NULL)")
+        else:
+            if not os.path.exists(self.path):
+                raise StorageError(f"{self.path}: no sqlite store")
+            self._conn = sqlite3.connect(self.path)
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise StorageError(f"{self.path}: backend is closed")
+        return self._conn
+
+    # -- write side ----------------------------------------------------
+    def write(self, blob: str, data: bytes) -> None:
+        self._connection().execute(
+            "INSERT OR REPLACE INTO blobs (name, data) VALUES (?, ?)",
+            (blob, sqlite3.Binary(data)))
+
+    def sync(self) -> None:
+        if self._staging is None:
+            return None
+        conn = self._connection()
+        conn.commit()
+        # Fold the WAL into the main file before publishing, so the
+        # replaced artifact is one self-contained database.
+        conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        conn.close()
+        os.replace(self._staging, self.path)
+        for sidecar in (f"{self._staging}-wal", f"{self._staging}-shm"):
+            if os.path.exists(sidecar):
+                os.unlink(sidecar)
+        self._staging = None
+        self._conn = sqlite3.connect(self.path)
+        return None
+
+    # -- read side -----------------------------------------------------
+    def _fetch(self, sql: str, params: tuple[object, ...],
+               blob: str) -> tuple[object, ...]:
+        try:
+            row = self._connection().execute(sql, params).fetchone()
+        except sqlite3.DatabaseError as err:
+            raise StorageCorruptionError(
+                self.path, f"unreadable sqlite store: {err}") from err
+        if row is None:
+            raise StorageError(f"{self.path}: no blob {blob!r} in sqlite store")
+        return tuple(row)
+
+    def read(self, blob: str) -> bytes:
+        (data,) = self._fetch(
+            "SELECT data FROM blobs WHERE name = ?", (blob,), blob)
+        if not isinstance(data, bytes):
+            raise StorageCorruptionError(
+                self.path,
+                f"malformed row for blob {blob!r}: "
+                f"expected BLOB, found {type(data).__name__}")
+        return data
+
+    def read_block_bytes(self, blob: str, offset: int, length: int) -> bytes:
+        (data,) = self._fetch(
+            "SELECT substr(data, ?, ?) FROM blobs WHERE name = ?",
+            (offset + 1, length, blob), blob)
+        if not isinstance(data, bytes):
+            raise StorageCorruptionError(
+                self.path,
+                f"malformed row for blob {blob!r}: "
+                f"expected BLOB, found {type(data).__name__}")
+        return data
+
+    def names(self) -> list[str]:
+        try:
+            rows = self._connection().execute(
+                "SELECT name FROM blobs ORDER BY name").fetchall()
+        except sqlite3.DatabaseError as err:
+            raise StorageCorruptionError(
+                self.path, f"unreadable sqlite store: {err}") from err
+        return [str(name) for (name,) in rows]
+
+    def length(self, blob: str) -> int:
+        (size,) = self._fetch(
+            "SELECT length(data) FROM blobs WHERE name = ?", (blob,), blob)
+        if not isinstance(size, int):
+            raise StorageCorruptionError(
+                self.path, f"malformed row for blob {blob!r}: NULL data")
+        return size
+
+    def exists(self, blob: str) -> bool:
+        row = self._connection().execute(
+            "SELECT 1 FROM blobs WHERE name = ?", (blob,)).fetchone()
+        return row is not None
+
+    # -- accounting / lifecycle ---------------------------------------
+    def size_bytes(self) -> int:
+        if os.path.exists(self.path):
+            return os.path.getsize(self.path)
+        return 0
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        if self._staging is not None:
+            # Unsynced staged store: abandon it, previous state stands.
+            for leftover in (self._staging, f"{self._staging}-wal",
+                             f"{self._staging}-shm"):
+                if os.path.exists(leftover):
+                    os.unlink(leftover)
+            self._staging = None

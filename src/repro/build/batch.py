@@ -155,13 +155,14 @@ def compute_document_entries(document: Document, summary: PartitionSummary,
 
 def encode_run(kind: str, entries: list[RplEntry],
                block_size: int = DEFAULT_BLOCK_SIZE,
-               cost_model: CostModel | None = None) -> BlockSequence:
+               cost_model: CostModel | None = None,
+               compression: str = "none") -> BlockSequence:
     """Encode entries as one block run, exactly as the catalog would.
 
     RPL runs are keyed by descending-score rank, ERPL runs by
-    ``(sid, docid, endpos)``.  Deterministic: the same entries and
-    block size always serialize to the same bytes, whichever process
-    encodes them.
+    ``(sid, docid, endpos)``.  Deterministic: the same entries, block
+    size and compression always serialize to the same bytes, whichever
+    process encodes them.
     """
     if kind == "rpl":
         ordered = sorted(entries, key=lambda e: (-e.score, e.docid, e.endpos))
@@ -172,7 +173,8 @@ def encode_run(kind: str, entries: list[RplEntry],
         rows = sorted(erpl_block_entry(entry) for entry in entries)
         codec = erpl_block_codec()
     return BlockSequence.build(rows, codec, block_size=block_size,
-                               cost_model=cost_model)
+                               cost_model=cost_model,
+                               compression=compression)
 
 
 def filter_scope(entries_by_term: Mapping[str, list[RplEntry]], term: str,

@@ -73,23 +73,25 @@ def _init_worker(payload: bytes | None) -> None:
 
 
 def _build_chunk(
-        chunk: list[tuple[str, str, frozenset[int] | None, int]]) -> list[bytes]:
+        chunk: list[tuple[str, str, frozenset[int] | None, int, str]],
+) -> list[bytes]:
     """Build every target of *chunk* and return serialized run images.
 
     Target specs travel as plain picklable tuples ``(kind, term, scope,
-    block_size)``; results come back in chunk order.
+    block_size, compression)``; results come back in chunk order.
     """
     state = _WORKER_STATE
     if state is None:
         raise RuntimeError("build worker used before initialization")
     collection, summary, scorer = state
     targets = [BuildTarget(kind=kind, term=term, scope=scope)
-               for kind, term, scope, _block_size in chunk]
+               for kind, term, scope, _block_size, _compression in chunk]
     result = compute_entries_batch(collection, summary, targets, scorer)
     images: list[bytes] = []
-    for target, (_kind, _term, _scope, block_size) in zip(targets, chunk):
+    for target, (_kind, _term, _scope, block_size, compression) in zip(
+            targets, chunk):
         run = encode_run(target.kind, result.entries[target],
-                         block_size=block_size)
+                         block_size=block_size, compression=compression)
         images.append(run.to_bytes())
     return images
 
@@ -98,9 +100,13 @@ class BuildExecutor:
     """Runs a :class:`BuildPlan` serially or across a process pool."""
 
     def __init__(self, workers: int = 0,
-                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 compression: str = "none") -> None:
         self.workers = max(0, workers)
         self.block_size = block_size
+        #: Codec worker-built images are encoded with — the engine's
+        #: configured compression, so shipped images install verbatim.
+        self.compression = compression
 
     def build_images(self, collection: Collection, summary: PartitionSummary,
                      scorer: ElementScorer,
@@ -120,11 +126,13 @@ class BuildExecutor:
                                            scorer)
             images = [(target,
                        encode_run(target.kind, result.entries[target],
-                                  block_size=self.block_size).to_bytes())
+                                  block_size=self.block_size,
+                                  compression=self.compression).to_bytes())
                       for target in targets]
             return images, result.collection_scans
         chunks = plan.chunked(self.workers)
-        specs = [[(target.kind, target.term, target.scope, self.block_size)
+        specs = [[(target.kind, target.term, target.scope, self.block_size,
+                   self.compression)
                   for target in chunk] for chunk in chunks]
         try:
             context = get_context("fork")

@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .backend import BACKEND_NAMES, COMPRESSIONS
 from .corpus.alias import AliasMapping
 from .corpus.generator import SyntheticIEEECorpus, SyntheticWikipediaCorpus
 from .corpus.loader import dump_collection, load_collection
@@ -53,7 +54,9 @@ def _make_engine(args: argparse.Namespace) -> TrexEngine:
         summary = AKIndex(collection, k=int(args.summary[2:]), alias=alias)
     else:
         summary = IncomingSummary(collection, alias=alias)
-    return TrexEngine(collection, summary, block_size=args.block_size)
+    return TrexEngine(collection, summary, block_size=args.block_size,
+                      backend=getattr(args, "backend", "pager"),
+                      compression=getattr(args, "compress", "none"))
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -168,7 +171,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
             print(f"  {line}")
     if args.out:
         engine.save_indexes(args.out)
-        print(f"saved index tables to {args.out}")
+        print(f"saved index tables to {args.out} "
+              f"(backend={engine.backend}, compression={engine.compression})")
     return 0
 
 
@@ -198,11 +202,24 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     workload = _parse_workload_file(args.workload)
     advisor = IndexAdvisor(engine)
-    plan = advisor.recommend(workload, args.budget, method=args.selector)
+    plan = advisor.recommend(workload, args.budget, method=args.selector,
+                             compression=args.compression)
     for line in plan.describe():
         print(line)
     print(f"baseline (ERA-only) cost: {advisor.baseline_cost(workload):.1f}")
     print(f"expected cost under plan: {advisor.expected_cost(workload, plan):.1f}")
+    if args.compression:
+        recommended = advisor.recommend_compression(workload)
+        print("recommended codec per kind: "
+              + ", ".join(f"{kind}={codec}"
+                          for kind, codec in sorted(recommended.items())))
+        report = advisor.backend_report(workload)
+        print(f"{'backend':>8} {'codec':>6} {'size B':>10} {'t_build':>10}")
+        for backend in sorted(report):
+            for codec in sorted(report[backend]):
+                row = report[backend][codec]
+                print(f"{backend:>8} {codec:>6} {row['size_bytes']:>10.0f} "
+                      f"{row['t_build']:>10.1f}")
     if args.apply:
         applied = advisor.apply(workload, plan)
         print(f"materialized {len(applied.segments)} segments "
@@ -217,7 +234,9 @@ def _make_sharded_engine(args: argparse.Namespace) -> "ShardedEngine":
     collection = load_collection(args.corpus)
     alias = _ALIASES[args.alias]()
     return ShardedEngine(collection, args.shards, policy=args.policy,
-                         alias=alias, block_size=args.block_size)
+                         alias=alias, block_size=args.block_size,
+                         backend=getattr(args, "backend", "pager"),
+                         compression=getattr(args, "compress", "none"))
 
 
 def _print_shard_rows(rows: list[dict]) -> None:
@@ -291,6 +310,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         replicas=args.replicas,
         read_policy=args.read_policy,
         quorum=args.quorum,
+        backend=args.backend,
+        compression=args.compress,
     )
     with QueryService(engine, config) as service:
         server = make_server(service, args.host, args.port,
@@ -334,6 +355,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           f"{engine.get('segments')} segments, "
           f"{engine.get('catalog_bytes')} catalog bytes, "
           f"block_size={engine.get('block_size')}")
+    storage = stats.get("storage", {})
+    if storage:
+        print(f"storage:   backend={storage.get('backend')} "
+              f"compression={storage.get('compression')} "
+              f"({storage.get('compressed_segments', 0)} compressed segments, "
+              f"{storage.get('size_bytes', 0)}/{storage.get('flat_bytes', 0)} "
+              f"stored/flat bytes, "
+              f"ratio={storage.get('compression_ratio', 1.0)})")
+        for kind in sorted(storage.get("kinds", {})):
+            row = storage["kinds"][kind]
+            print(f"  {kind:6s} {row.get('segments', 0):>4} segments  "
+                  f"{row.get('size_bytes', 0):>10} bytes on disk  "
+                  f"({row.get('flat_bytes', 0)} flat)")
     cache = stats.get("block_cache", {})
     print(f"block cache: {cache.get('resident')}/{cache.get('capacity')} "
           f"resident, hits={cache.get('hits')} misses={cache.get('misses')} "
@@ -434,6 +468,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE,
                        help="entries per compressed index block "
                             f"(default {DEFAULT_BLOCK_SIZE})")
+        p.add_argument("--backend", choices=BACKEND_NAMES, default="pager",
+                       help="storage backend for saved indexes "
+                            "(see docs/storage.md)")
+        p.add_argument("--compress", choices=COMPRESSIONS, default="none",
+                       help="block codec for newly built segments")
 
     info = sub.add_parser("info", help="collection and index statistics")
     add_engine_args(info)
@@ -496,6 +535,9 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--budget", type=int, required=True,
                         help="disk budget in bytes")
     advise.add_argument("--selector", choices=("greedy", "ilp"), default="greedy")
+    advise.add_argument("--compression", action="store_true",
+                        help="let the selector trade compressed indexes "
+                             "(smaller, decompress-charged) against flat ones")
     advise.add_argument("--apply", action="store_true",
                         help="materialize the plan and measure achieved cost")
     advise.set_defaults(func=_cmd_advise)
@@ -512,6 +554,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="document-to-shard routing policy")
         p.add_argument("--alias", choices=sorted(_ALIASES), default="none")
         p.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+        p.add_argument("--backend", choices=BACKEND_NAMES, default="pager")
+        p.add_argument("--compress", choices=COMPRESSIONS, default="none")
 
     shard_build = shard_sub.add_parser(
         "build", help="partition a corpus and save per-shard indexes")

@@ -20,6 +20,25 @@ class CodecError(StorageError):
     """A value could not be encoded to, or decoded from, bytes."""
 
 
+class StorageCorruptionError(StorageError):
+    """A persisted index image is torn, truncated or malformed.
+
+    Raised (instead of ``struct.error``/``IndexError``/``zlib.error``)
+    whenever a store read cannot be completed because the bytes on disk
+    are not a well-formed image.  The message always carries the path
+    (or blob name) and, when known, the sequence/segment id, so an
+    operator can tell *which* artifact to restore from a replica.
+    """
+
+    def __init__(self, source: str, detail: str,
+                 sequence_id: int | None = None) -> None:
+        where = source if sequence_id is None else f"{source} (segment {sequence_id})"
+        super().__init__(f"{where}: {detail}")
+        self.source = source
+        self.detail = detail
+        self.sequence_id = sequence_id
+
+
 class SchemaError(StorageError):
     """A row does not conform to its table schema."""
 

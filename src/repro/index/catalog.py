@@ -35,6 +35,7 @@ import os
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
+from ..backend import PROFILES, check_compression, make_backend, open_backend
 from ..errors import MissingIndexError, StorageError
 from ..index.rpl import (
     RplEntry,
@@ -61,6 +62,7 @@ class IndexSegment:
     scope: frozenset[int] | None  # None means universal
     entry_count: int
     size_bytes: int
+    compression: str = "none"
 
     def covers(self, sids: Iterable[int]) -> bool:
         """Can this segment answer a query restricted to *sids*?"""
@@ -74,8 +76,9 @@ class IndexSegment:
 
     def describe(self) -> str:
         scope = "ALL" if self.scope is None else f"{len(self.scope)} sids"
+        codec = "" if self.compression == "none" else f", {self.compression}"
         return (f"{self.kind.upper()}({self.term!r}, {scope}, "
-                f"{self.entry_count} entries, {self.size_bytes} B)")
+                f"{self.entry_count} entries, {self.size_bytes} B{codec})")
 
 
 class IndexCatalog:
@@ -83,13 +86,23 @@ class IndexCatalog:
 
     def __init__(self, cost_model: CostModel | None = None,
                  btree_order: int = 64,
-                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 backend: str = "pager",
+                 compression: str = "none") -> None:
         # btree_order is accepted for call-site compatibility with the
         # row-store catalog; block storage has no tree fan-out to tune.
         del btree_order
         self.cost_model = (cost_model if cost_model is not None
                            else GLOBAL_COST_MODEL)
         self.block_size = block_size
+        if backend not in PROFILES:
+            raise StorageError(f"unknown storage backend {backend!r}")
+        #: Which datastore :meth:`save`/:meth:`load` use, and whose
+        #: :class:`~repro.backend.CostProfile` scales block-read charges.
+        self.backend = backend
+        #: Default compression for newly built segments; individual
+        #: segments may differ (the advisor installs per-segment codecs).
+        self.compression = check_compression(compression)
         self._cache = PageCache(cost_model=self.cost_model)
         self._blocks: dict[int, BlockSequence] = {}
         self._deltas: dict[int, list[BlockSequence]] = {}
@@ -105,15 +118,33 @@ class IndexCatalog:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
+    def _adopt(self, sequence: BlockSequence, segment_id: int,
+               kind: str, term: str) -> None:
+        """Stamp a sequence with this catalog's routing and identity."""
+        sequence.cost_model = self.cost_model
+        sequence.use_cache(self._cache)
+        sequence.read_factor = PROFILES[self.backend].block_read_factor
+        sequence.sequence_id = segment_id
+        if sequence.source == "<memory>":
+            sequence.source = f"{kind}:{term}"
+
     def add_rpl_segment(self, term: str, entries: list[RplEntry],
-                        scope: Iterable[int] | None = None) -> IndexSegment:
-        """Store *entries* (already in descending-score order) as an RPL."""
+                        scope: Iterable[int] | None = None,
+                        compression: str | None = None) -> IndexSegment:
+        """Store *entries* (already in descending-score order) as an RPL.
+
+        *compression* overrides the catalog codec for this one segment
+        (the advisor materializes individually chosen codecs this way).
+        """
         segment_id = self._next_segment_id
         self._next_segment_id += 1
         sequence = BlockSequence.build(
             (rpl_block_entry(rank, entry) for rank, entry in enumerate(entries)),
             rpl_block_codec(), block_size=self.block_size,
-            cost_model=self.cost_model, cache=self._cache)
+            cost_model=self.cost_model, cache=self._cache,
+            compression=(self.compression if compression is None
+                         else compression))
+        self._adopt(sequence, segment_id, "rpl", term)
         segment = IndexSegment(
             segment_id=segment_id,
             kind="rpl",
@@ -121,20 +152,25 @@ class IndexCatalog:
             scope=None if scope is None else frozenset(scope),
             entry_count=len(entries),
             size_bytes=sequence.size_bytes,
+            compression=sequence.compression,
         )
         self._blocks[segment_id] = sequence
         self._segments[segment_id] = segment
         return segment
 
     def add_erpl_segment(self, term: str, entries: list[RplEntry],
-                         scope: Iterable[int] | None = None) -> IndexSegment:
+                         scope: Iterable[int] | None = None,
+                         compression: str | None = None) -> IndexSegment:
         """Store *entries* as an ERPL (blocks keyed by sid, then position)."""
         segment_id = self._next_segment_id
         self._next_segment_id += 1
         ordered = sorted(erpl_block_entry(entry) for entry in entries)
         sequence = BlockSequence.build(
             ordered, erpl_block_codec(), block_size=self.block_size,
-            cost_model=self.cost_model, cache=self._cache)
+            cost_model=self.cost_model, cache=self._cache,
+            compression=(self.compression if compression is None
+                         else compression))
+        self._adopt(sequence, segment_id, "erpl", term)
         segment = IndexSegment(
             segment_id=segment_id,
             kind="erpl",
@@ -142,18 +178,22 @@ class IndexCatalog:
             scope=None if scope is None else frozenset(scope),
             entry_count=len(entries),
             size_bytes=sequence.size_bytes,
+            compression=sequence.compression,
         )
         self._blocks[segment_id] = sequence
         self._segments[segment_id] = segment
         return segment
 
-    def build_sequence(self, kind: str, entries: list[RplEntry]) -> BlockSequence:
+    def build_sequence(self, kind: str, entries: list[RplEntry],
+                       compression: str | None = None) -> BlockSequence:
         """Encode *entries* as one block run of the given *kind*.
 
         RPL runs are keyed by local rank in descending-score order, ERPL
         runs by ``(sid, docid, endpos)``.  The encoding is deterministic,
         so a run built here is byte-identical to one built by a build
-        worker from the same entries.
+        worker from the same entries.  *compression* defaults to the
+        catalog's configured codec; delta appends pass their segment's
+        codec so every run of a segment stores alike.
         """
         if kind == "rpl":
             ordered = sorted(entries, key=lambda e: (-e.score, e.docid, e.endpos))
@@ -163,12 +203,16 @@ class IndexCatalog:
         else:
             rows = sorted(erpl_block_entry(entry) for entry in entries)
             codec = erpl_block_codec()
-        return BlockSequence.build(list(rows), codec, block_size=self.block_size,
-                                   cost_model=self.cost_model, cache=self._cache)
+        return BlockSequence.build(
+            list(rows), codec, block_size=self.block_size,
+            cost_model=self.cost_model, cache=self._cache,
+            compression=(self.compression if compression is None
+                         else compression))
 
     def install_sequence(self, kind: str, term: str, sequence: BlockSequence,
                          scope: Iterable[int] | None = None, *,
-                         segment_id: int | None = None) -> IndexSegment:
+                         segment_id: int | None = None,
+                         compression: str | None = None) -> IndexSegment:
         """Register an externally built run as a new segment.
 
         This is the parent-side install step of the parallel build path:
@@ -183,9 +227,14 @@ class IndexCatalog:
         first: segments are derived data, and the only way a follower
         holds a conflicting id is a replica-local lazy materialization
         the leader never saw (that list rebuilds on demand).
+
+        The sequence keeps the compression it arrived with (shipped
+        images carry their codec tag) unless *compression* asks for a
+        re-encode — the advisor's apply path uses that to materialize a
+        chosen segment compressed into an otherwise-flat catalog.
         """
-        sequence.cost_model = self.cost_model
-        sequence.use_cache(self._cache)
+        if compression is not None:
+            sequence = sequence.with_compression(compression)
         if segment_id is None:
             segment_id = self._next_segment_id
             self._next_segment_id += 1
@@ -193,6 +242,7 @@ class IndexCatalog:
             if segment_id in self._segments:
                 self.drop_segment(segment_id)
             self._next_segment_id = max(self._next_segment_id, segment_id + 1)
+        self._adopt(sequence, segment_id, kind, term)
         segment = IndexSegment(
             segment_id=segment_id,
             kind=kind,
@@ -200,6 +250,7 @@ class IndexCatalog:
             scope=None if scope is None else frozenset(scope),
             entry_count=sequence.entry_count,
             size_bytes=sequence.size_bytes,
+            compression=sequence.compression,
         )
         self._blocks[segment_id] = sequence
         self._segments[segment_id] = segment
@@ -212,7 +263,7 @@ class IndexCatalog:
         codec = rpl_block_codec() if kind == "rpl" else erpl_block_codec()
         sequence = BlockSequence.from_bytes(
             data, codec, cost_model=self.cost_model, cache=self._cache,
-            source=f"{kind}:{term}")
+            source=f"{kind}:{term}", sequence_id=segment_id)
         return self.install_sequence(kind, term, sequence, scope=scope,
                                      segment_id=segment_id)
 
@@ -231,7 +282,8 @@ class IndexCatalog:
                  else erpl_block_codec())
         sequence = BlockSequence.from_bytes(
             data, codec, cost_model=self.cost_model, cache=self._cache,
-            source=f"{segment.kind}:{segment.term}")
+            source=f"{segment.kind}:{segment.term}", sequence_id=segment_id)
+        self._adopt(sequence, segment_id, segment.kind, segment.term)
         folded = len(self._deltas.get(segment_id, []))
         old = self._blocks.get(segment_id)
         if old is not None:
@@ -240,7 +292,8 @@ class IndexCatalog:
             run.invalidate()
         self._blocks[segment_id] = sequence
         updated = replace(segment, entry_count=sequence.entry_count,
-                          size_bytes=sequence.size_bytes)
+                          size_bytes=sequence.size_bytes,
+                          compression=sequence.compression)
         self._segments[segment_id] = updated
         self.segments_compacted += 1
         self.delta_runs_folded += folded
@@ -259,7 +312,9 @@ class IndexCatalog:
         segment = self.get_segment(segment_id)
         if not entries:
             return segment
-        run = self.build_sequence(segment.kind, entries)
+        run = self.build_sequence(segment.kind, entries,
+                                  compression=segment.compression)
+        self._adopt(run, segment_id, segment.kind, segment.term)
         self._deltas.setdefault(segment_id, []).append(run)
         updated = replace(segment,
                           entry_count=segment.entry_count + len(entries),
@@ -321,7 +376,9 @@ class IndexCatalog:
         # build_sequence re-sorts by the segment's block key; keys are
         # unique across runs (deltas carry new docids), so the result is
         # exactly the from-scratch order.
-        sequence = self.build_sequence(segment.kind, merged)
+        sequence = self.build_sequence(segment.kind, merged,
+                                       compression=segment.compression)
+        self._adopt(sequence, segment_id, segment.kind, segment.term)
         folded = len(deltas)
         for run in self.runs_for(segment):
             run.invalidate()
@@ -501,6 +558,37 @@ class IndexCatalog:
             "delta_runs_folded": self.delta_runs_folded,
         }
 
+    def storage_snapshot(self) -> dict[str, object]:
+        """Backend, per-kind footprint and compression state.
+
+        ``size_bytes`` is what segments occupy as stored; ``flat_bytes``
+        what they would occupy uncompressed — their ratio is the
+        compression ratio ``repro stats`` reports.  Delta runs count
+        toward their segment's kind.
+        """
+        kinds: dict[str, dict[str, int]] = {}
+        compressed_segments = 0
+        for segment in self._segments.values():
+            bucket = kinds.setdefault(
+                segment.kind, {"segments": 0, "size_bytes": 0, "flat_bytes": 0})
+            bucket["segments"] += 1
+            for run in self.runs_for(segment):
+                bucket["size_bytes"] += run.size_bytes
+                bucket["flat_bytes"] += run.flat_size_bytes
+            if segment.compression != "none":
+                compressed_segments += 1
+        size = sum(bucket["size_bytes"] for bucket in kinds.values())
+        flat = sum(bucket["flat_bytes"] for bucket in kinds.values())
+        return {
+            "backend": self.backend,
+            "compression": self.compression,
+            "compressed_segments": compressed_segments,
+            "kinds": kinds,
+            "size_bytes": size,
+            "flat_bytes": flat,
+            "compression_ratio": round(size / flat, 4) if flat else 1.0,
+        }
+
     def cache_stats(self) -> dict[str, int | float]:
         """Residency statistics of the catalog's block cache."""
         return {
@@ -518,62 +606,109 @@ class IndexCatalog:
     def save(self, directory: str) -> None:
         """Persist every segment's blocks and the segment metadata.
 
-        Delta runs are written alongside the base run as
-        ``seg{ID}.d{N}.blk`` files, so a save/load round-trip preserves
-        the LSM state instead of silently compacting it.
+        All I/O goes through this catalog's :class:`~repro.backend.
+        StorageBackend`: the pager writes the historical one-file-per-
+        segment layout (``seg{ID}.blk`` + ``seg{ID}.d{N}.blk`` delta
+        runs next to a ``segments.tsv`` manifest, so a save/load
+        round-trip preserves the LSM state instead of silently
+        compacting it); sqlite and mmap pack the same blobs into one
+        store file.  Every backend publishes atomically.
+
+        A fully flat catalog writes the pre-compression manifest layout
+        byte-for-byte; compression adds a manifest column and a codec
+        tag on line 1, which old files never carried, so loads stay
+        backward compatible in both directions.
         """
-        os.makedirs(directory, exist_ok=True)
-        lines = [f"{self._next_segment_id}"]
-        for segment in sorted(self._segments.values(), key=lambda s: s.segment_id):
-            scope = ("*" if segment.scope is None
-                     else ",".join(str(sid) for sid in sorted(segment.scope)))
-            deltas = self._deltas.get(segment.segment_id, [])
-            lines.append("\t".join([
-                str(segment.segment_id), segment.kind, segment.term, scope,
-                str(segment.entry_count), str(segment.size_bytes),
-                str(len(deltas))]))
-            self._blocks[segment.segment_id].save(
-                os.path.join(directory, f"seg{segment.segment_id}.blk"))
-            for run_index, run in enumerate(deltas):
-                run.save(os.path.join(
-                    directory, f"seg{segment.segment_id}.d{run_index}.blk"))
-        with open(os.path.join(directory, "segments.tsv"), "w",
-                  encoding="utf-8") as fh:
-            fh.write("\n".join(lines) + "\n")
+        store = make_backend(self.backend, directory, mode="w")
+        try:
+            tagged = (self.compression != "none"
+                      or any(segment.compression != "none"
+                             for segment in self._segments.values()))
+            lines = [f"{self._next_segment_id}\t{self.compression}"
+                     if tagged else f"{self._next_segment_id}"]
+            for segment in sorted(self._segments.values(),
+                                  key=lambda s: s.segment_id):
+                scope = ("*" if segment.scope is None
+                         else ",".join(str(sid) for sid in sorted(segment.scope)))
+                deltas = self._deltas.get(segment.segment_id, [])
+                row = [str(segment.segment_id), segment.kind, segment.term,
+                       scope, str(segment.entry_count),
+                       str(segment.size_bytes), str(len(deltas))]
+                if tagged:
+                    row.append(segment.compression)
+                lines.append("\t".join(row))
+                store.write(f"seg{segment.segment_id}.blk",
+                            self._blocks[segment.segment_id].to_bytes())
+                for run_index, run in enumerate(deltas):
+                    store.write(f"seg{segment.segment_id}.d{run_index}.blk",
+                                run.to_bytes())
+            store.write("segments.tsv",
+                        ("\n".join(lines) + "\n").encode("utf-8"))
+            store.sync()
+        finally:
+            store.close()
 
     def load(self, directory: str) -> None:
-        """Replace this catalog's contents from a saved directory."""
-        with open(os.path.join(directory, "segments.tsv"), encoding="utf-8") as fh:
-            lines = [line.rstrip("\n") for line in fh if line.strip()]
-        if not lines:
-            raise StorageError(f"{directory}/segments.tsv is empty")
-        self._next_segment_id = int(lines[0])
-        self._segments = {}
-        self._blocks = {}
-        self._deltas = {}
-        for line in lines[1:]:
-            fields = line.split("\t")
-            if len(fields) == 6:  # pre-delta catalog layout
-                seg_id, kind, term, scope_text, entry_count, size_bytes = fields
-                delta_count = "0"
-            else:
-                (seg_id, kind, term, scope_text, entry_count, size_bytes,
-                 delta_count) = fields
-            scope = (None if scope_text == "*" else
-                     frozenset(int(s) for s in scope_text.split(",") if s))
-            segment = IndexSegment(
-                segment_id=int(seg_id), kind=kind, term=term, scope=scope,
-                entry_count=int(entry_count), size_bytes=int(size_bytes))
-            codec = rpl_block_codec() if kind == "rpl" else erpl_block_codec()
-            self._segments[segment.segment_id] = segment
-            self._blocks[segment.segment_id] = BlockSequence.load(
-                os.path.join(directory, f"seg{segment.segment_id}.blk"),
-                codec, cost_model=self.cost_model, cache=self._cache)
-            runs: list[BlockSequence] = []
-            for run_index in range(int(delta_count)):
-                runs.append(BlockSequence.load(
-                    os.path.join(directory,
-                                 f"seg{segment.segment_id}.d{run_index}.blk"),
-                    codec, cost_model=self.cost_model, cache=self._cache))
-            if runs:
-                self._deltas[segment.segment_id] = runs
+        """Replace this catalog's contents from a saved directory.
+
+        The backend is auto-detected from the published artifacts, so a
+        catalog configured one way can still open a store written
+        another way — the catalog adopts the store's backend.
+        """
+        store = open_backend(directory)
+        try:
+            self.backend = store.name
+            text = store.read("segments.tsv").decode("utf-8")
+            lines = [line for line in text.splitlines() if line.strip()]
+            if not lines:
+                raise StorageError(f"{directory}/segments.tsv is empty")
+            head = lines[0].split("\t")
+            self._next_segment_id = int(head[0])
+            if len(head) > 1:
+                self.compression = check_compression(head[1])
+            self._segments = {}
+            self._blocks = {}
+            self._deltas = {}
+            for line in lines[1:]:
+                fields = line.split("\t")
+                if len(fields) == 6:  # pre-delta catalog layout
+                    (seg_id, kind, term, scope_text, entry_count,
+                     size_bytes) = fields
+                    delta_count = "0"
+                elif len(fields) == 7:  # pre-compression layout
+                    (seg_id, kind, term, scope_text, entry_count, size_bytes,
+                     delta_count) = fields
+                else:
+                    (seg_id, kind, term, scope_text, entry_count, size_bytes,
+                     delta_count, _compression_column) = fields
+                scope = (None if scope_text == "*" else
+                         frozenset(int(s) for s in scope_text.split(",") if s))
+                segment_id = int(seg_id)
+                codec = rpl_block_codec() if kind == "rpl" else erpl_block_codec()
+                source = os.path.join(directory, f"seg{segment_id}.blk")
+                sequence = BlockSequence.from_bytes(
+                    store.read(f"seg{segment_id}.blk"), codec,
+                    cost_model=self.cost_model, cache=self._cache,
+                    source=source, sequence_id=segment_id)
+                self._adopt(sequence, segment_id, kind, term)
+                # The image's codec tag is authoritative for the segment.
+                segment = IndexSegment(
+                    segment_id=segment_id, kind=kind, term=term, scope=scope,
+                    entry_count=int(entry_count), size_bytes=int(size_bytes),
+                    compression=sequence.compression)
+                self._segments[segment_id] = segment
+                self._blocks[segment_id] = sequence
+                runs: list[BlockSequence] = []
+                for run_index in range(int(delta_count)):
+                    blob = f"seg{segment_id}.d{run_index}.blk"
+                    run = BlockSequence.from_bytes(
+                        store.read(blob), codec,
+                        cost_model=self.cost_model, cache=self._cache,
+                        source=os.path.join(directory, blob),
+                        sequence_id=segment_id)
+                    self._adopt(run, segment_id, kind, term)
+                    runs.append(run)
+                if runs:
+                    self._deltas[segment_id] = runs
+        finally:
+            store.close()

@@ -94,7 +94,9 @@ class TrexEngine:
                  btree_order: int = 64,
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  ta_batch_size: int = DEFAULT_BATCH_SIZE,
-                 compaction_ratio: float = 0.5) -> None:
+                 compaction_ratio: float = 0.5,
+                 backend: str = "pager",
+                 compression: str = "none") -> None:
         self.collection = collection
         self.cost_model = cost_model if cost_model is not None else CostModel()
         if summary is None:
@@ -125,6 +127,11 @@ class TrexEngine:
         self.epoch = 0
 
         self.block_size = block_size
+        #: Storage backend for the catalog's persisted segments and the
+        #: charge profile of cold block reads (see ``repro.backend``).
+        self.backend = backend
+        #: Default block-payload compression for newly built segments.
+        self.compression = compression
         with self.cost_model.muted():
             self.elements = build_elements_table(
                 collection, summary, cost_model=self.cost_model,
@@ -134,7 +141,9 @@ class TrexEngine:
                 fragment_size=fragment_size, btree_order=btree_order)
             self.catalog = IndexCatalog(cost_model=self.cost_model,
                                         btree_order=btree_order,
-                                        block_size=block_size)
+                                        block_size=block_size,
+                                        backend=backend,
+                                        compression=compression)
             # Block-compressed access paths over the base tables.  The
             # tables stay the ingestion-side source of truth; queries
             # read these block sequences (skip directory resident,
@@ -148,19 +157,23 @@ class TrexEngine:
     # ------------------------------------------------------------------
     # Materialization of redundant indexes
     # ------------------------------------------------------------------
-    def materialize_rpl(self, term: str, sids: frozenset[int] | None = None) -> IndexSegment:
+    def materialize_rpl(self, term: str, sids: frozenset[int] | None = None,
+                        compression: str | None = None) -> IndexSegment:
         """Materialize an RPL segment for *term* (universal when sids=None)."""
         with self.cost_model.muted():
             entries = compute_rpl_entries(self.collection, self.summary, term,
                                           self.scorer, sids=sids)
-            return self.catalog.add_rpl_segment(term, entries, scope=sids)
+            return self.catalog.add_rpl_segment(term, entries, scope=sids,
+                                                compression=compression)
 
-    def materialize_erpl(self, term: str, sids: frozenset[int] | None = None) -> IndexSegment:
+    def materialize_erpl(self, term: str, sids: frozenset[int] | None = None,
+                         compression: str | None = None) -> IndexSegment:
         """Materialize an ERPL segment for *term* (universal when sids=None)."""
         with self.cost_model.muted():
             entries = compute_rpl_entries(self.collection, self.summary, term,
                                           self.scorer, sids=sids)
-            return self.catalog.add_erpl_segment(term, entries, scope=sids)
+            return self.catalog.add_erpl_segment(term, entries, scope=sids,
+                                                 compression=compression)
 
     def plan_for_query(self, query: str | NexiQuery,
                        kinds: tuple[str, ...] = ("rpl", "erpl"), *,
@@ -243,7 +256,8 @@ class TrexEngine:
             if pending.is_empty:
                 return report, installed
             executor = BuildExecutor(workers=workers,
-                                     block_size=self.block_size)
+                                     block_size=self.block_size,
+                                     compression=self.compression)
             images, scans = executor.build_images(
                 self.collection, self.summary, self.scorer, pending)
             report.collection_scans = scans
@@ -880,6 +894,10 @@ class TrexEngine:
             self.elements.load(os.path.join(directory, "elements.tbl"))
             self.postings.load(os.path.join(directory, "postings.tbl"))
             self.catalog.load(os.path.join(directory, "catalog"))
+            # The catalog adopts whatever backend the store was written
+            # with; keep the engine's view in step.
+            self.backend = self.catalog.backend
+            self.compression = self.catalog.compression
             self.blocked_elements.rebuild()
             self.blocked_postings.rebuild()
         self.epoch += 1
@@ -911,6 +929,7 @@ class TrexEngine:
             "postings_bytes": self.postings.size_bytes,
             "catalog_bytes": self.catalog.total_bytes,
             "segments": self.catalog.describe(),
+            "storage": self.catalog.storage_snapshot(),
         }
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..backend import COMPRESSIONS, PROFILES
 from ..errors import OptimizationError
 from ..index.catalog import IndexSegment
 from ..retrieval.engine import TrexEngine
@@ -64,26 +65,39 @@ class IndexAdvisor:
         self._costs_cache.clear()
 
     def autotune(self, workload: Workload, disk_budget: int,
-                 method: str = "greedy") -> "AppliedPlan":
+                 method: str = "greedy", *,
+                 compression: bool = False) -> "AppliedPlan":
         """The full §4 cycle in one call: re-measure, select under the
         budget, and materialize the chosen segments."""
         self.invalidate_measurements()
-        plan = self.recommend(workload, disk_budget, method=method)
+        plan = self.recommend(workload, disk_budget, method=method,
+                              compression=compression)
         return self.apply(workload, plan)
 
     def recommend(self, workload: Workload, disk_budget: int,
-                  method: str = "greedy") -> SelectionPlan:
-        """Select which indexes to store under *disk_budget* bytes."""
+                  method: str = "greedy", *,
+                  compression: bool = False) -> SelectionPlan:
+        """Select which indexes to store under *disk_budget* bytes.
+
+        With *compression* on, every candidate index also competes in a
+        zlib variant — smaller footprint, gain reduced by the
+        per-cold-block decompress charge — so a tight budget can prefer
+        storing more (compressed) indexes over fewer flat ones.
+        """
         selector_cls = self._SELECTORS.get(method)
         if selector_cls is None:
             raise OptimizationError(
                 f"unknown selection method {method!r}; choose from "
                 f"{sorted(self._SELECTORS)}")
         costs = self.measure(workload)
-        return selector_cls().select(costs, disk_budget)
+        return selector_cls().select(costs, disk_budget,
+                                     compression=compression)
 
     def apply(self, workload: Workload, plan: SelectionPlan) -> AppliedPlan:
-        """Materialize the plan's query-scoped segments on the engine."""
+        """Materialize the plan's query-scoped segments on the engine.
+
+        Each segment is stored under its choice's codec — a zlib choice
+        lands compressed even in an otherwise-flat catalog."""
         segments: list[IndexSegment] = []
         methods: dict[str, str] = {query.query_id: "era" for query in workload}
         for choice in plan.choices:
@@ -92,11 +106,13 @@ class IndexAdvisor:
             for clause in translated.clauses:
                 for term in clause.terms:
                     if choice.kind == "erpl":
-                        segments.append(
-                            self.engine.materialize_erpl(term, clause.sids))
+                        segments.append(self.engine.materialize_erpl(
+                            term, clause.sids,
+                            compression=choice.compression))
                     else:
-                        segments.append(
-                            self.engine.materialize_rpl(term, clause.sids))
+                        segments.append(self.engine.materialize_rpl(
+                            term, clause.sids,
+                            compression=choice.compression))
             methods[choice.query_id] = "merge" if choice.kind == "erpl" else "ta"
         return AppliedPlan(plan=plan, segments=segments, methods=methods)
 
@@ -111,9 +127,13 @@ class IndexAdvisor:
             if choice is None:
                 total += query.frequency * cost.t_era
             elif choice.kind == "erpl":
-                total += query.frequency * cost.t_merge
+                total += query.frequency * (
+                    cost.t_merge_zlib if choice.compression == "zlib"
+                    else cost.t_merge)
             else:
-                total += query.frequency * cost.t_ta
+                total += query.frequency * (
+                    cost.t_ta_zlib if choice.compression == "zlib"
+                    else cost.t_ta)
         return total
 
     def achieved_cost(self, workload: Workload, applied: AppliedPlan) -> float:
@@ -135,3 +155,52 @@ class IndexAdvisor:
         """Weighted cost of answering everything with ERA (no indexes)."""
         costs = self.measure(workload)
         return sum(q.frequency * costs[q.query_id].t_era for q in workload)
+
+    # ------------------------------------------------------------------
+    def backend_report(self, workload: Workload) -> dict[str, dict[str, dict[str, float]]]:
+        """What storing every measured index costs per backend × codec.
+
+        For each backend the build cost scales by the backend's write
+        factor (sqlite row inserts are dearer than pager file writes,
+        mmap serialization sits between) and the footprint switches
+        between the flat and zlib measurements.  The advisor surfaces
+        this so operators can see the t_build/size trade-off of
+        ``--backend``/``--compress`` before committing to one.
+        """
+        costs = self.measure(workload)
+        t_build = sum(cost.t_build for cost in costs.values())
+        flat_bytes = sum(cost.s_rpl + cost.s_erpl for cost in costs.values())
+        zlib_bytes = sum(cost.s_rpl_zlib + cost.s_erpl_zlib
+                         for cost in costs.values())
+        report: dict[str, dict[str, dict[str, float]]] = {}
+        for backend, profile in PROFILES.items():
+            report[backend] = {}
+            for codec in COMPRESSIONS:
+                size = flat_bytes if codec == "none" else zlib_bytes
+                report[backend][codec] = {
+                    "size_bytes": float(size),
+                    "t_build": round(t_build * profile.write_factor, 2),
+                }
+        return report
+
+    def recommend_compression(self, workload: Workload, *,
+                              min_saving: float = 0.1) -> dict[str, str]:
+        """Per-segment-kind codec recommendation from measured sizes.
+
+        Recommends ``zlib`` for a kind when compressing shaves at least
+        *min_saving* (fraction) off its measured bytes; otherwise
+        ``none`` — the decompress charges are not worth marginal
+        savings.
+        """
+        costs = self.measure(workload)
+        totals = {
+            "rpl": (sum(c.s_rpl for c in costs.values()),
+                    sum(c.s_rpl_zlib for c in costs.values())),
+            "erpl": (sum(c.s_erpl for c in costs.values()),
+                     sum(c.s_erpl_zlib for c in costs.values())),
+        }
+        recommendation = {}
+        for kind, (flat, compressed) in totals.items():
+            saving = (flat - compressed) / flat if flat else 0.0
+            recommendation[kind] = "zlib" if saving >= min_saving else "none"
+        return recommendation

@@ -91,10 +91,11 @@ class GreedyIndexSelector:
 
     name = "greedy"
 
-    def select(self, costs: dict[str, QueryCosts], disk_budget: int) -> SelectionPlan:
+    def select(self, costs: dict[str, QueryCosts], disk_budget: int, *,
+               compression: bool = False) -> SelectionPlan:
         if disk_budget < 0:
             raise OptimizationError("disk budget must be non-negative")
-        per_query = options_from_costs(costs)
+        per_query = options_from_costs(costs, compression=compression)
 
         items: list[_Item] = []
         for query_id, options in sorted(per_query.items()):
@@ -107,7 +108,8 @@ class GreedyIndexSelector:
                                    gain_delta, size_delta))
                 previous = option
         items.sort(key=lambda item: (-item.ratio, item.query_id,
-                                     item.choice.kind))
+                                     item.choice.kind,
+                                     item.choice.compression))
 
         remaining = disk_budget
         current: dict[str, IndexChoice] = {}

@@ -33,10 +33,11 @@ class IlpIndexSelector:
     def __init__(self, max_nodes: int = 2_000_000) -> None:
         self.max_nodes = max_nodes
 
-    def select(self, costs: dict[str, QueryCosts], disk_budget: int) -> SelectionPlan:
+    def select(self, costs: dict[str, QueryCosts], disk_budget: int, *,
+               compression: bool = False) -> SelectionPlan:
         if disk_budget < 0:
             raise OptimizationError("disk budget must be non-negative")
-        per_query = options_from_costs(costs)
+        per_query = options_from_costs(costs, compression=compression)
         # Deterministic ordering; queries with no useful options drop out.
         items: list[list[IndexChoice]] = [
             options for _, options in sorted(per_query.items()) if options]
@@ -84,7 +85,9 @@ class IlpIndexSelector:
             if value + fractional_bound(index, capacity) <= best_value + 1e-12:
                 return  # prune
             # Branch on each option of this query, most valuable first...
-            for option in sorted(items[index], key=lambda o: -o.gain):
+            for option in sorted(items[index],
+                                 key=lambda o: (-o.gain, o.kind,
+                                                o.compression)):
                 if option.size <= capacity:
                     chosen.append(option)
                     search(index + 1, capacity - option.size,

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from ..build.batch import compute_entries_batch
 from ..build.planner import BuildPlanner
 from ..retrieval.engine import TrexEngine
-from ..storage.cost import CostModel
+from ..storage.cost import Charge, CostModel
 from .workload import Workload, WorkloadQuery
 
 __all__ = ["QueryCosts", "measure_query", "measure_workload"]
@@ -51,6 +51,14 @@ class QueryCosts:
     #: batched pass — what the self-manager pays up front to unlock the
     #: per-query savings below.
     t_build: float = 0.0
+    #: What the same segments occupy zlib-compressed, and what the
+    #: methods cost when every cold block additionally pays
+    #: BLOCK_DECOMPRESS — the compressed alternative the selector can
+    #: trade against the flat one (smaller size, smaller gain).
+    s_rpl_zlib: int = 0
+    s_erpl_zlib: int = 0
+    t_merge_zlib: float = 0.0
+    t_ta_zlib: float = 0.0
 
     @property
     def delta_merge(self) -> float:
@@ -63,12 +71,30 @@ class QueryCosts:
         return max(self.t_era - self.t_ta, 0.0)
 
     @property
+    def delta_merge_zlib(self) -> float:
+        """Δm against a zlib-compressed ERPL (decompress charges in)."""
+        return max(self.t_era - self.t_merge_zlib, 0.0)
+
+    @property
+    def delta_ta_zlib(self) -> float:
+        """Δta against a zlib-compressed RPL (decompress charges in)."""
+        return max(self.t_era - self.t_ta_zlib, 0.0)
+
+    @property
     def weighted_delta_merge(self) -> float:
         return self.frequency * self.delta_merge
 
     @property
     def weighted_delta_ta(self) -> float:
         return self.frequency * self.delta_ta
+
+    @property
+    def weighted_delta_merge_zlib(self) -> float:
+        return self.frequency * self.delta_merge_zlib
+
+    @property
+    def weighted_delta_ta_zlib(self) -> float:
+        return self.frequency * self.delta_ta_zlib
 
 
 def measure_query(engine: TrexEngine, query: WorkloadQuery) -> QueryCosts:
@@ -93,10 +119,15 @@ def measure_query(engine: TrexEngine, query: WorkloadQuery) -> QueryCosts:
                                   cost_model=build_model)
     created = []
     rpl_segments = {}
+    zlib_sizes: dict[int, int] = {}
     with engine.cost_model.muted():
         for target in plan:
+            # Built flat regardless of the catalog's codec: the flat
+            # run is the measurement baseline, the zlib alternative is
+            # derived from it below.
             sequence = engine.catalog.build_sequence(
-                target.kind, batch.entries[target])
+                target.kind, batch.entries[target], compression="none")
+            zlib_sizes[id(sequence)] = sequence.compressed_size_bytes("zlib")
             segment = engine.catalog.install_sequence(
                 target.kind, target.term, sequence, scope=target.scope)
             created.append(segment)
@@ -107,29 +138,52 @@ def measure_query(engine: TrexEngine, query: WorkloadQuery) -> QueryCosts:
     merge_result = engine.evaluate(query.nexi, k=None, method="merge")
     ta_result = engine.evaluate(query.nexi, k=query.k, method="ta")
 
-    s_erpl = sum(seg.size_bytes for seg in created if seg.kind == "erpl")
+    s_erpl = 0
+    s_erpl_zlib = 0
+    for segment in created:
+        if segment.kind != "erpl":
+            continue
+        s_erpl += segment.size_bytes
+        for run in engine.catalog.runs_for(segment):
+            s_erpl_zlib += zlib_sizes.get(id(run), run.size_bytes)
     # RPL prefix actually read by TA, prorated from the depth counters.
     s_rpl = 0
+    s_rpl_zlib = 0
     depths = ta_result.stats.list_depths
     for (term, _sids), segment in rpl_segments.items():
         if segment.entry_count == 0:
             continue
         depth = min(depths.get(term, segment.entry_count), segment.entry_count)
-        s_rpl += round(segment.size_bytes * depth / segment.entry_count)
+        fraction = depth / segment.entry_count
+        s_rpl += round(segment.size_bytes * fraction)
+        compressed = sum(zlib_sizes.get(id(run), run.size_bytes)
+                        for run in engine.catalog.runs_for(segment))
+        s_rpl_zlib += round(compressed * fraction)
 
     with engine.cost_model.muted():
         for segment in created:
             engine.catalog.drop_segment(segment.segment_id)
 
+    # The compressed alternative pays one BLOCK_DECOMPRESS per cold
+    # block on top of the flat run's cost — the block-read counters of
+    # the measured runs tell exactly how many that is.
+    t_merge = merge_result.stats.cost
+    t_ta = ta_result.stats.cost
     return QueryCosts(
         query_id=query.query_id,
         frequency=query.frequency,
         t_era=era_result.stats.cost,
-        t_merge=merge_result.stats.cost,
-        t_ta=ta_result.stats.cost,
+        t_merge=t_merge,
+        t_ta=t_ta,
         s_rpl=s_rpl,
         s_erpl=s_erpl,
         t_build=build_model.total_cost,
+        s_rpl_zlib=s_rpl_zlib,
+        s_erpl_zlib=s_erpl_zlib,
+        t_merge_zlib=t_merge + Charge.BLOCK_DECOMPRESS
+        * merge_result.stats.blocks_read,
+        t_ta_zlib=t_ta + Charge.BLOCK_DECOMPRESS
+        * ta_result.stats.blocks_read,
     )
 
 

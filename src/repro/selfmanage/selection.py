@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..backend import COMPRESSIONS
 from ..errors import OptimizationError
 from .measure import QueryCosts
 
@@ -15,17 +16,24 @@ class IndexChoice:
     """Store one redundant index for one query.
 
     ``kind='erpl'`` supports Merge (variable x_i1 in the paper's LP),
-    ``kind='rpl'`` supports TA (variable x_i2).
+    ``kind='rpl'`` supports TA (variable x_i2).  ``compression='zlib'``
+    is the same index stored compressed: smaller ``size`` (it competes
+    better for the disk budget) but smaller ``gain`` too, since every
+    cold block pays a decompress charge at query time.
     """
 
     query_id: str
     kind: str  # 'erpl' or 'rpl'
     gain: float  # f_i * Δ(Q_i), the weighted time saving
     size: int  # bytes of the index
+    compression: str = "none"
 
     def __post_init__(self) -> None:
         if self.kind not in ("erpl", "rpl"):
             raise OptimizationError(f"unknown index kind {self.kind!r}")
+        if self.compression not in COMPRESSIONS:
+            raise OptimizationError(
+                f"unknown compression {self.compression!r}")
         if self.gain < 0 or self.size < 0:
             raise OptimizationError("gain and size must be non-negative")
 
@@ -59,17 +67,23 @@ class SelectionPlan:
         lines = [f"plan({self.method}): gain={self.total_gain:.1f} "
                  f"size={self.total_size}/{self.disk_budget} bytes"]
         for choice in sorted(self.choices, key=lambda c: c.query_id):
-            lines.append(f"  {choice.query_id}: {choice.kind.upper()} "
+            codec = "" if choice.compression == "none" else \
+                f"+{choice.compression}"
+            lines.append(f"  {choice.query_id}: {choice.kind.upper()}{codec} "
                          f"(gain {choice.gain:.1f}, {choice.size} B)")
         return lines
 
 
-def options_from_costs(costs: dict[str, QueryCosts]) -> dict[str, list[IndexChoice]]:
+def options_from_costs(costs: dict[str, QueryCosts],
+                       compression: bool = False) -> dict[str, list[IndexChoice]]:
     """The per-query candidate indexes implied by measured costs.
 
     Each query contributes up to two options: an ERPL (gain f·Δm, size
-    S_ERPL) and an RPL (gain f·Δta, size S_RPL).  Options with zero
-    gain are dropped — storing them could never help.
+    S_ERPL) and an RPL (gain f·Δta, size S_RPL).  With *compression*
+    on, each flat option gets a zlib sibling — same segment stored
+    compressed, trading decompress charges (lower gain) for bytes —
+    turning the knapsack into a four-way multiple choice per query.
+    Options with zero gain are dropped — storing them could never help.
     """
     options: dict[str, list[IndexChoice]] = {}
     for query_id, cost in costs.items():
@@ -80,5 +94,14 @@ def options_from_costs(costs: dict[str, QueryCosts]) -> dict[str, list[IndexChoi
         if cost.weighted_delta_ta > 0:
             candidates.append(IndexChoice(query_id, "rpl",
                                           cost.weighted_delta_ta, cost.s_rpl))
+        if compression:
+            if cost.weighted_delta_merge_zlib > 0:
+                candidates.append(IndexChoice(
+                    query_id, "erpl", cost.weighted_delta_merge_zlib,
+                    cost.s_erpl_zlib, compression="zlib"))
+            if cost.weighted_delta_ta_zlib > 0:
+                candidates.append(IndexChoice(
+                    query_id, "rpl", cost.weighted_delta_ta_zlib,
+                    cost.s_rpl_zlib, compression="zlib"))
         options[query_id] = candidates
     return options

@@ -116,6 +116,12 @@ class ServiceConfig:
     compaction_ratio: float | None = None
     #: Worker processes for segment warm-up builds (0/1 = in-process).
     build_workers: int = 0
+    #: Storage backend for saved indexes: pager | sqlite | mmap (see
+    #: docs/storage.md).  Only applied when this service shards a plain
+    #: engine; a pre-built engine keeps its own backend.
+    backend: str = "pager"
+    #: Block codec newly built segments are encoded with: none | zlib.
+    compression: str = "none"
 
 
 class QueryService:
@@ -133,7 +139,9 @@ class QueryService:
                 fail_soft=self.config.fail_soft,
                 replicas=self.config.replicas,
                 read_policy=self.config.read_policy,
-                quorum=self.config.quorum)
+                quorum=self.config.quorum,
+                backend=self.config.backend,
+                compression=self.config.compression)
         self.engine = engine
         # Serving invariant: evaluation under the read lock must never
         # mutate the catalog; materialization happens under the write
@@ -537,6 +545,7 @@ class QueryService:
                 "read_policy": engine.read_policy,
             }
             snapshot["block_cache"] = engine.cache_stats()
+            snapshot["storage"] = engine.storage_snapshot()
             snapshot["shards"] = engine.shard_snapshot()
             snapshot["replication"] = engine.replication_counters()
         else:
@@ -547,6 +556,7 @@ class QueryService:
                 "block_size": engine.block_size,
             }
             snapshot["block_cache"] = engine.catalog.cache_stats()
+            snapshot["storage"] = engine.catalog.storage_snapshot()
         return snapshot
 
     # ------------------------------------------------------------------

@@ -162,7 +162,9 @@ class ShardedEngine:
                  ta_batch_size: int = DEFAULT_BATCH_SIZE,
                  replicas: int = 1,
                  read_policy: str = "round_robin",
-                 quorum: int = 1) -> None:
+                 quorum: int = 1,
+                 backend: str = "pager",
+                 compression: str = "none") -> None:
         self.collection = collection
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
@@ -171,6 +173,8 @@ class ShardedEngine:
         self.fail_soft = fail_soft
         self.ta_batch_size = ta_batch_size
         self.block_size = block_size
+        self.backend = backend
+        self.compression = compression
         self.support_weight = support_weight
         self.num_replicas = max(1, replicas)
         self.read_policy = read_policy
@@ -214,7 +218,8 @@ class ShardedEngine:
                     support_weight=support_weight,
                     auto_materialize=auto_materialize,
                     fragment_size=fragment_size, btree_order=btree_order,
-                    block_size=block_size, ta_batch_size=ta_batch_size))
+                    block_size=block_size, ta_batch_size=ta_batch_size,
+                    backend=backend, compression=compression))
             group = ReplicaGroup(engines, name=f"shard{index}",
                                  read_policy=read_policy, quorum=quorum,
                                  read_deadline=shard_deadline)
@@ -228,7 +233,9 @@ class ShardedEngine:
                     fail_soft: bool = True,
                     replicas: int = 1,
                     read_policy: str = "round_robin",
-                    quorum: int = 1) -> "ShardedEngine":
+                    quorum: int = 1,
+                    backend: str | None = None,
+                    compression: str | None = None) -> "ShardedEngine":
         """Re-partition an existing engine's collection.
 
         Reuses the engine's tokenizer, scorer, cost model and summary
@@ -245,7 +252,10 @@ class ShardedEngine:
                    block_size=engine.block_size,
                    shard_deadline=shard_deadline, fail_soft=fail_soft,
                    replicas=replicas, read_policy=read_policy,
-                   quorum=quorum)
+                   quorum=quorum,
+                   backend=engine.backend if backend is None else backend,
+                   compression=(engine.compression if compression is None
+                                else compression))
 
     # ------------------------------------------------------------------
     # Engine-surface properties
@@ -767,6 +777,39 @@ class ShardedEngine:
                 totals[key] = totals.get(key, 0) + value
         return totals
 
+    def storage_snapshot(self) -> dict[str, object]:
+        """Backend/compression accounting aggregated across shards.
+
+        Every shard (and every replica) runs the same backend and codec,
+        so the name fields come from shard 0 and only the byte counters
+        are summed."""
+        per_kind: dict[str, dict[str, int]] = {}
+        size_bytes = 0
+        flat_bytes = 0
+        compressed_segments = 0
+        for shard in self.shards:
+            snap = shard.engine.catalog.storage_snapshot()
+            size_bytes += int(snap["size_bytes"])  # type: ignore[call-overload]
+            flat_bytes += int(snap["flat_bytes"])  # type: ignore[call-overload]
+            compressed_segments += int(snap["compressed_segments"])  # type: ignore[call-overload]
+            kinds = snap["kinds"]
+            assert isinstance(kinds, dict)
+            for kind, row in kinds.items():
+                bucket = per_kind.setdefault(
+                    kind, {"segments": 0, "size_bytes": 0, "flat_bytes": 0})
+                for key in bucket:
+                    bucket[key] += int(row[key])
+        ratio = (size_bytes / flat_bytes) if flat_bytes else 1.0
+        return {
+            "backend": self.backend,
+            "compression": self.compression,
+            "compressed_segments": compressed_segments,
+            "kinds": per_kind,
+            "size_bytes": size_bytes,
+            "flat_bytes": flat_bytes,
+            "compression_ratio": round(ratio, 4),
+        }
+
     @sanitizer.mutates_engine_state
     def rebuild_scorer(self, scorer_factory: Callable[[ScoringStats], Any]
                        | None = None) -> None:
@@ -879,6 +922,11 @@ class ShardedEngine:
             for replica in shard.group.replicas:
                 replica.engine.load_indexes(path)
             shard.group.reset_replication()
+        if self.shards:
+            # The on-disk image decides backend and codec; adopt what
+            # the shard catalogs detected so describe()/stats agree.
+            self.backend = self.shards[0].engine.backend
+            self.compression = self.shards[0].engine.compression
 
     def describe(self) -> dict[str, object]:
         return {
@@ -890,5 +938,6 @@ class ShardedEngine:
             "replicas": self.num_replicas,
             "read_policy": self.read_policy,
             "quorum": self.quorum,
+            "storage": self.storage_snapshot(),
             "shards": self.shard_snapshot(),
         }

@@ -64,6 +64,10 @@ class Charge:
     #: over an order of magnitude below TUPLE_READ, which is the whole
     #: point of batched decoding.
     ENTRY_DECODE = 0.05
+    #: Inflating one zlib-compressed block before it can be decoded.
+    #: Paid only by segments stored compressed — the explicit CPU side
+    #: of the smaller-``size_bytes`` trade the advisor weighs.
+    BLOCK_DECOMPRESS = 2.0
 
 
 @dataclass
@@ -84,6 +88,7 @@ class CostCounters:
     blocks_decoded: int = 0
     blocks_skipped: int = 0
     entries_decoded: int = 0
+    blocks_decompressed: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -101,6 +106,7 @@ class CostCounters:
             "blocks_decoded": self.blocks_decoded,
             "blocks_skipped": self.blocks_skipped,
             "entries_decoded": self.entries_decoded,
+            "blocks_decompressed": self.blocks_decompressed,
         }
 
 
@@ -242,15 +248,32 @@ class CostModel:
         self.counters.score_combines += count
         self.base_cost += self.charge.SCORE_COMBINE * count
 
-    def block_read(self, count: int = 1) -> None:
-        """Charge fetching *count* compressed blocks from storage."""
+    def block_read(self, count: int = 1, factor: float = 1.0) -> None:
+        """Charge fetching *count* compressed blocks from storage.
+
+        ``factor`` scales the charge for the active storage backend's
+        access pattern (a sqlite row fetch pays SQL overhead, an mmap
+        fault is cheaper than a buffered read).  It multiplies the
+        configured ``BLOCK_READ`` constant, so a free cost model stays
+        free under every backend.
+        """
         target = self._active()
         if target is not self:
-            return target.block_read(count)
+            return target.block_read(count, factor)
         if self._muted:
             return
         self.counters.blocks_read += count
-        self.base_cost += self.charge.BLOCK_READ * count
+        self.base_cost += self.charge.BLOCK_READ * factor * count
+
+    def block_decompress(self, count: int = 1) -> None:
+        """Charge inflating *count* compressed blocks before decode."""
+        target = self._active()
+        if target is not self:
+            return target.block_decompress(count)
+        if self._muted:
+            return
+        self.counters.blocks_decompressed += count
+        self.base_cost += self.charge.BLOCK_DECOMPRESS * count
 
     def block_decode(self, entries: int) -> None:
         """Charge decompressing one block holding *entries* entries."""
@@ -338,7 +361,8 @@ class CostModel:
                             self.counters.blocks_read,
                             self.counters.blocks_decoded,
                             self.counters.blocks_skipped,
-                            self.counters.entries_decoded)
+                            self.counters.entries_decoded,
+                            self.counters.blocks_decompressed)
 
     def since(self, snap: "CostSnapshot") -> "CostSnapshot":
         """Return the cost accumulated since *snap* was taken."""
@@ -352,6 +376,7 @@ class CostModel:
             self.counters.blocks_decoded - snap.blocks_decoded,
             self.counters.blocks_skipped - snap.blocks_skipped,
             self.counters.entries_decoded - snap.entries_decoded,
+            self.counters.blocks_decompressed - snap.blocks_decompressed,
         )
 
     def reset(self) -> None:
@@ -373,6 +398,7 @@ class CostSnapshot:
     blocks_decoded: int = 0
     blocks_skipped: int = 0
     entries_decoded: int = 0
+    blocks_decompressed: int = 0
 
     @property
     def total_cost(self) -> float:
@@ -407,5 +433,6 @@ def free_cost_model() -> CostModel:
         BLOCK_READ = 0.0
         BLOCK_DECODE = 0.0
         ENTRY_DECODE = 0.0
+        BLOCK_DECOMPRESS = 0.0
 
     return CostModel(charge=_FreeCharge)

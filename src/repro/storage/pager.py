@@ -54,12 +54,15 @@ class PageCache:
             self.evictions += 1
         return False
 
-    def touch_block(self, page_id: int) -> bool:
+    def touch_block(self, page_id: int, factor: float = 1.0) -> bool:
         """Record an access to a compressed block; True on a cache hit.
 
         Same LRU bookkeeping as :meth:`touch`, but a miss is charged as
         a ``block_read`` — blocks are packed back to back, so a cold
         fetch is a short sequential read, not a full page fault.
+        ``factor`` scales the miss charge for the storage backend the
+        block lives in (see :class:`repro.backend.CostProfile`); hits
+        cost the same everywhere — residency is residency.
         """
         if page_id in self._resident:
             self._resident.move_to_end(page_id)
@@ -67,7 +70,7 @@ class PageCache:
             self.cost_model.page_hit()
             return True
         self.misses += 1
-        self.cost_model.block_read()
+        self.cost_model.block_read(factor=factor)
         self._resident[page_id] = None
         if len(self._resident) > self.capacity:
             self._resident.popitem(last=False)

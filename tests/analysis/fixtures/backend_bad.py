@@ -1,0 +1,18 @@
+# repro: module[repro.index.sidecar]
+"""Fixture: raw I/O on index-store artifacts outside repro.backend."""
+
+import sqlite3
+
+
+def read_segment(directory: str) -> bytes:
+    with open(f"{directory}/seg7.blk", "rb") as fh:
+        return fh.read()
+
+
+def open_catalog(directory: str):
+    return sqlite3.connect(f"{directory}/catalog.sqlite")
+
+
+def read_manifest(directory: str) -> str:
+    with open(directory + "/segments.tsv", encoding="utf-8") as fh:
+        return fh.read()

@@ -1,0 +1,27 @@
+# repro: module[repro.index.sidecar]
+"""Fixture: sanctioned store access — backends, non-index files, and a
+pragma'd deliberate exception."""
+
+from repro.backend import open_backend
+
+
+def read_segment(directory: str) -> bytes:
+    with open_backend(directory) as store:
+        return store.read("seg7.blk")
+
+
+def read_corpus(path: str) -> str:
+    # Non-index artifacts are out of scope for TRX205.
+    with open(f"{path}/doc0001.xml", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def name_only(directory: str) -> str:
+    # Merely naming an index file is fine; only raw I/O on it trips.
+    return f"{directory}/seg7.blk"
+
+
+def forensic_peek(path: str) -> bytes:
+    # repro: allow[TRX205] debugging helper reads the raw image
+    with open(f"{path}/seg0.blk", "rb") as fh:
+        return fh.read()

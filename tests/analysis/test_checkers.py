@@ -60,6 +60,18 @@ def test_batch_api_accepts_batch_calls_probes_and_pragmas() -> None:
     assert findings("batch_good.py", select=["TRX204"]) == []
 
 
+def test_backend_io_flags_raw_store_access() -> None:
+    assert findings("backend_bad.py", select=["TRX205"]) == [
+        ("TRX205", 8),    # open(f"{directory}/seg7.blk")
+        ("TRX205", 13),   # sqlite3.connect(.../catalog.sqlite)
+        ("TRX205", 17),   # open(... + "/segments.tsv")
+    ]
+
+
+def test_backend_io_accepts_backends_corpus_files_and_pragmas() -> None:
+    assert findings("backend_good.py", select=["TRX205"]) == []
+
+
 # ----------------------------------------------------------------------
 # TRX3xx — determinism
 # ----------------------------------------------------------------------

@@ -1,0 +1,138 @@
+"""The StorageBackend protocol: staged writes, reads, detection."""
+
+import os
+
+import pytest
+
+from repro.backend import (
+    BACKEND_NAMES,
+    PROFILES,
+    detect_backend,
+    make_backend,
+    open_backend,
+)
+from repro.errors import StorageError
+
+BLOBS = {
+    "seg0.blk": b"\x00\x01\x02payload-zero",
+    "seg1.blk": b"another payload with more bytes in it",
+    "segments.tsv": b"2\n0\trpl\tterm\t*\t4\t16\t0\n",
+}
+
+
+def publish(name, directory, blobs=BLOBS):
+    store = make_backend(name, str(directory), mode="w")
+    try:
+        for blob, data in blobs.items():
+            store.write(blob, data)
+        store.sync()
+    finally:
+        store.close()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_write_sync_read_round_trip(self, name, tmp_path):
+        publish(name, tmp_path)
+        with open_backend(str(tmp_path)) as store:
+            assert store.name == name
+            assert store.names() == sorted(BLOBS)
+            for blob, data in BLOBS.items():
+                assert store.read(blob) == data
+                assert store.length(blob) == len(data)
+                assert store.exists(blob)
+            assert not store.exists("seg9.blk")
+            assert store.size_bytes() > 0
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_ranged_reads_match_slices(self, name, tmp_path):
+        publish(name, tmp_path)
+        with open_backend(str(tmp_path)) as store:
+            data = BLOBS["seg1.blk"]
+            assert store.read_block_bytes("seg1.blk", 0, 7) == data[:7]
+            assert store.read_block_bytes("seg1.blk", 8, 4) == data[8:12]
+            assert store.read_block_bytes("seg1.blk", len(data) - 3, 3) == data[-3:]
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_rewrite_replaces_blob(self, name, tmp_path):
+        publish(name, tmp_path)
+        publish(name, tmp_path, {**BLOBS, "seg0.blk": b"v2"})
+        with open_backend(str(tmp_path)) as store:
+            assert store.read("seg0.blk") == b"v2"
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_detect_backend_identifies_store(self, name, tmp_path):
+        publish(name, tmp_path)
+        assert detect_backend(str(tmp_path)) == name
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_missing_blob_raises_storage_error(self, name, tmp_path):
+        publish(name, tmp_path)
+        with open_backend(str(tmp_path)) as store:
+            with pytest.raises(StorageError):
+                store.read("absent.blk")
+
+
+class TestStagingContract:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_unsynced_writes_are_not_published(self, name, tmp_path):
+        store = make_backend(name, str(tmp_path), mode="w")
+        try:
+            store.write("seg0.blk", b"staged")
+        finally:
+            store.close()
+        # Nothing published: the directory carries no detectable store.
+        with pytest.raises(StorageError):
+            detect_backend(str(tmp_path))
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_close_without_sync_leaves_no_staging_litter(self, name, tmp_path):
+        store = make_backend(name, str(tmp_path), mode="w")
+        try:
+            store.write("seg0.blk", b"staged")
+        finally:
+            store.close()
+        leftovers = [entry for entry in os.listdir(tmp_path)
+                     if "staging" in entry or entry.endswith(".tmp")]
+        assert leftovers == []
+
+    @pytest.mark.parametrize("name", ("sqlite", "mmap"))
+    def test_abandoned_restage_keeps_previous_store(self, name, tmp_path):
+        publish(name, tmp_path)
+        store = make_backend(name, str(tmp_path), mode="w")
+        try:
+            store.write("seg0.blk", b"would-be v2")
+        finally:
+            store.close()  # no sync: v1 must survive untouched
+        with open_backend(str(tmp_path)) as reopened:
+            assert reopened.read("seg0.blk") == BLOBS["seg0.blk"]
+
+
+class TestValidation:
+    def test_unknown_backend_name_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="unknown storage backend"):
+            make_backend("paper-tape", str(tmp_path))
+
+    def test_bad_mode_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="bad backend mode"):
+            make_backend("pager", str(tmp_path), mode="a")
+
+    def test_empty_directory_has_no_backend(self, tmp_path):
+        with pytest.raises(StorageError, match="no storage backend"):
+            detect_backend(str(tmp_path))
+
+    def test_pager_rejects_traversal_blob_names(self, tmp_path):
+        store = make_backend("pager", str(tmp_path), mode="w")
+        try:
+            with pytest.raises(StorageError):
+                store.write("../escape.blk", b"x")
+            with pytest.raises(StorageError):
+                store.write(".hidden", b"x")
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_profile_matches_registry(self, name, tmp_path):
+        publish(name, tmp_path)
+        with open_backend(str(tmp_path)) as store:
+            assert store.profile is PROFILES[name]

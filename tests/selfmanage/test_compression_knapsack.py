@@ -1,0 +1,161 @@
+"""Compression as a selection variable: zlib variants compete in the
+knapsack, trading decompress charges for disk-budget headroom."""
+
+import pytest
+
+from repro.corpus import AliasMapping, SyntheticIEEECorpus
+from repro.retrieval import TrexEngine
+from repro.selfmanage import IndexAdvisor, Workload
+from repro.selfmanage.selection import (IndexChoice, SelectionPlan,
+                                        options_from_costs)
+from repro.summary import IncomingSummary
+
+# A budget window where the measured flat indexes of both queries do
+# not fit together but swapping one for its zlib sibling does — the
+# situation compression-aware selection exists for.  The corpus is
+# sized so segments span hundreds of entries: on tiny segments zlib's
+# per-block overhead makes compression a strict loss, and no correct
+# selector would ever pick it.
+TIGHT_BUDGET = 21_000
+
+
+@pytest.fixture(scope="module")
+def engine():
+    collection = SyntheticIEEECorpus(num_docs=48, seed=5).build()
+    summary = IncomingSummary(collection, alias=AliasMapping.inex_ieee())
+    return TrexEngine(collection, summary)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload.uniform([
+        ("q-ret", "//article//sec[about(., introduction information retrieval)]", 10),
+        ("q-code", "//sec[about(., code signing verification)]", 10),
+    ])
+
+
+@pytest.fixture(scope="module")
+def solo_workload():
+    return Workload.uniform([
+        ("q-ret", "//article//sec[about(., introduction information retrieval)]", 10),
+    ])
+
+
+class TestMeasurement:
+    def test_zlib_sizes_are_smaller_on_real_segments(self, engine, workload):
+        for cost in IndexAdvisor(engine).measure(workload).values():
+            assert 0 < cost.s_rpl_zlib < cost.s_rpl
+            assert 0 < cost.s_erpl_zlib < cost.s_erpl
+
+    def test_zlib_gains_pay_for_decompression(self, engine, workload):
+        for cost in IndexAdvisor(engine).measure(workload).values():
+            assert 0 < cost.weighted_delta_merge_zlib < cost.weighted_delta_merge
+            assert 0 < cost.weighted_delta_ta_zlib < cost.weighted_delta_ta
+
+    def test_options_gain_zlib_siblings_only_when_asked(self, engine,
+                                                        workload):
+        costs = IndexAdvisor(engine).measure(workload)
+        flat_only = options_from_costs(costs)
+        four_way = options_from_costs(costs, compression=True)
+        for query_id in costs:
+            assert {o.compression for o in flat_only[query_id]} == {"none"}
+            assert {o.compression for o in four_way[query_id]} == \
+                {"none", "zlib"}
+            assert len(four_way[query_id]) == 2 * len(flat_only[query_id])
+
+
+class TestKnapsack:
+    def test_ilp_tight_budget_stores_a_compressed_index(self, engine,
+                                                        workload):
+        advisor = IndexAdvisor(engine)
+        plan = advisor.recommend(workload, TIGHT_BUDGET, method="ilp",
+                                 compression=True)
+        assert plan.total_size <= TIGHT_BUDGET
+        assert any(c.compression == "zlib" for c in plan.choices)
+        flat_plan = advisor.recommend(workload, TIGHT_BUDGET, method="ilp")
+        assert plan.total_gain > flat_plan.total_gain
+
+    def test_greedy_tight_budget_stores_a_compressed_index(self, engine,
+                                                           solo_workload):
+        # One query, a budget only its zlib variants fit under: greedy
+        # must reach for compression too.
+        advisor = IndexAdvisor(engine)
+        costs = advisor.measure(solo_workload)["q-ret"]
+        budget = costs.s_rpl_zlib + 50
+        assert budget < min(costs.s_rpl, costs.s_erpl)
+        plan = advisor.recommend(solo_workload, budget, method="greedy",
+                                 compression=True)
+        assert [c.compression for c in plan.choices] == ["zlib"]
+        assert advisor.recommend(solo_workload, budget,
+                                 method="greedy").choices == []
+
+    def test_compression_off_never_emits_zlib_choices(self, engine,
+                                                      workload):
+        advisor = IndexAdvisor(engine)
+        for budget in (TIGHT_BUDGET, 10**7):
+            plan = advisor.recommend(workload, budget, method="ilp")
+            assert all(c.compression == "none" for c in plan.choices)
+
+    def test_expected_cost_charges_decompression(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        costs = advisor.measure(workload)
+        flat = SelectionPlan(choices=[
+            IndexChoice("q-ret", "rpl", costs["q-ret"].weighted_delta_ta,
+                        costs["q-ret"].s_rpl)])
+        compressed = SelectionPlan(choices=[
+            IndexChoice("q-ret", "rpl",
+                        costs["q-ret"].weighted_delta_ta_zlib,
+                        costs["q-ret"].s_rpl_zlib, compression="zlib")])
+        assert advisor.expected_cost(workload, compressed) > \
+            advisor.expected_cost(workload, flat)
+
+
+class TestApply:
+    def test_apply_materializes_compressed_segments(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        plan = advisor.recommend(workload, TIGHT_BUDGET, method="ilp",
+                                 compression=True)
+        applied = advisor.apply(workload, plan)
+        stored = {c.compression for c in plan.choices}
+        assert "zlib" in stored
+        by_codec = {codec: [s for s in applied.segments
+                            if s.compression == codec] for codec in stored}
+        assert by_codec["zlib"]
+        for segment in by_codec["zlib"]:
+            blocks = engine.catalog.blocks_for(segment)
+            assert blocks.compression == "zlib"
+            assert blocks.to_bytes()[:5] == b"TRXC\x01"
+
+    def test_achieved_beats_the_unindexed_baseline(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        applied = advisor.autotune(workload, TIGHT_BUDGET, method="ilp",
+                                   compression=True)
+        assert advisor.achieved_cost(workload, applied) < \
+            advisor.baseline_cost(workload)
+
+
+class TestOperatorReports:
+    def test_recommendation_is_per_segment_kind(self, engine, workload):
+        advisor = IndexAdvisor(engine)
+        # On this corpus RPL compresses well while ERPL savings sit
+        # under the default 10% bar — the recommendation splits.
+        assert advisor.recommend_compression(workload) == \
+            {"rpl": "zlib", "erpl": "none"}
+        assert advisor.recommend_compression(workload, min_saving=0.01) == \
+            {"rpl": "zlib", "erpl": "zlib"}
+        assert advisor.recommend_compression(workload, min_saving=0.9) == \
+            {"rpl": "none", "erpl": "none"}
+
+    def test_backend_report_scales_build_and_size(self, engine, workload):
+        report = IndexAdvisor(engine).backend_report(workload)
+        assert set(report) == {"pager", "sqlite", "mmap"}
+        for backend in report:
+            assert set(report[backend]) == {"none", "zlib"}
+            assert (report[backend]["zlib"]["size_bytes"]
+                    < report[backend]["none"]["size_bytes"])
+            # Size is a property of the codec, not the backend.
+            assert (report[backend]["none"]["size_bytes"]
+                    == report["pager"]["none"]["size_bytes"])
+        assert (report["pager"]["none"]["t_build"]
+                < report["mmap"]["none"]["t_build"]
+                < report["sqlite"]["none"]["t_build"])

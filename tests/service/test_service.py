@@ -163,6 +163,17 @@ class TestLifecycle:
         assert stats["engine"]["documents"] == 4
         assert "autopilot" in stats
 
+    def test_stats_reports_storage_snapshot(self, service):
+        service.search(QUERY, k=3)  # materialize at least one segment
+        storage = service.stats()["storage"]
+        assert storage["backend"] == "pager"
+        assert storage["compression"] == "none"
+        assert storage["compressed_segments"] == 0
+        assert storage["compression_ratio"] == 1.0
+        assert set(storage["kinds"]) <= {"rpl", "erpl"}
+        assert storage["size_bytes"] == sum(
+            row["size_bytes"] for row in storage["kinds"].values())
+
     def test_close_rejects_new_requests(self, engine):
         svc = QueryService(engine, ServiceConfig(workers=1,
                                                  autopilot_interval=None))

@@ -82,6 +82,19 @@ class TestSearchPayload:
         assert sum(row["probes"] for row in rows) > 0
         assert json.dumps(snapshot)  # must stay JSON-serializable
 
+    def test_stats_aggregates_storage_across_shards(self):
+        svc = make_service(backend="mmap", compression="zlib")
+        try:
+            svc.search(QUERY, k=3, method="ta", use_cache=False)
+            storage = svc.stats()["storage"]
+            assert storage["backend"] == "mmap"
+            assert storage["compression"] == "zlib"
+            assert storage["compressed_segments"] > 0
+            assert storage["size_bytes"] > 0
+            assert json.dumps(storage)
+        finally:
+            svc.close()
+
 
 class TestDegradedMode:
     def test_timeout_fail_soft_returns_degraded_payload(self):

@@ -122,6 +122,54 @@ class TestCli:
                      "--budget", "100"]) == 1
 
 
+class TestBackendCli:
+    def test_build_saves_through_the_chosen_backend(self, corpus_dir,
+                                                    tmp_path, capsys):
+        out = tmp_path / "idx-sqlite"
+        assert main(["build", corpus_dir, "--alias", "ieee",
+                     "--backend", "sqlite", "--compress", "zlib",
+                     "--terms", "information", "--out", str(out)]) == 0
+        assert "backend=sqlite, compression=zlib" in capsys.readouterr().out
+        assert (out / "catalog" / "catalog.sqlite").exists()
+        assert not (out / "catalog" / "segments.tsv").exists()
+
+    def test_build_mmap_packs_one_store_file(self, corpus_dir, tmp_path,
+                                             capsys):
+        out = tmp_path / "idx-mmap"
+        assert main(["build", corpus_dir, "--alias", "ieee",
+                     "--backend", "mmap",
+                     "--terms", "information", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert (out / "catalog" / "catalog.mmap").exists()
+
+    def test_unknown_backend_is_a_usage_error(self, corpus_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(["info", corpus_dir, "--backend", "paper-tape"])
+        assert "--backend" in capsys.readouterr().err
+
+    def test_query_accepts_backend_flags(self, corpus_dir, capsys):
+        assert main(["query", corpus_dir, "--alias", "ieee",
+                     "--backend", "mmap", "--compress", "zlib",
+                     "--method", "ta", "--k", "3",
+                     "//sec[about(., information)]"]) == 0
+        assert "answers=" in capsys.readouterr().out
+
+    def test_advise_compression_prints_codec_and_backend_report(
+            self, corpus_dir, tmp_path, capsys):
+        workload = tmp_path / "workload.tsv"
+        workload.write_text(
+            "# id\tk\tfreq\tnexi\n"
+            "hot\t5\t0.7\t//sec[about(., information)]\n")
+        assert main(["advise", corpus_dir, "--alias", "ieee",
+                     "--workload", str(workload), "--budget", "1000000",
+                     "--selector", "ilp", "--compression"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended codec per kind:" in out
+        assert "rpl=" in out and "erpl=" in out
+        for backend in ("pager", "sqlite", "mmap"):
+            assert backend in out
+
+
 class TestCliExplain:
     def test_explain(self, corpus_dir, capsys):
         from repro.cli import main as cli_main
