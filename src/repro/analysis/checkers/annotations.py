@@ -26,7 +26,8 @@ class AnnotationChecker:
                        "parameters (self/cls excepted)"),
     )
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: object | None = None) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue

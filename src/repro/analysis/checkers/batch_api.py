@@ -43,7 +43,8 @@ class BatchApiChecker:
                        "(next_entries/take_until/next_chunk)"),
     )
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: object | None = None) -> Iterator[Finding]:
         if not module.in_package(*_HOT_MODULES):
             return
         yield from self._scan(module.tree.body, module, in_loop=False)

@@ -7,6 +7,10 @@ the module, is re-exported via ``__all__``, or occurs as a token inside
 a string constant (docstring references, ``typing`` forward
 references).  ``from x import *`` and ``__future__`` imports are
 skipped.
+
+The helpers are shared with the ``--fix`` autofixer
+(:mod:`repro.analysis.flow.fixer`), which re-derives unused bindings
+with exactly this logic so that fix → re-analyze is a fixed point.
 """
 
 from __future__ import annotations
@@ -17,37 +21,42 @@ from typing import Iterator
 
 from ..core import Finding, Module, Rule
 
-__all__ = ["UnusedImportChecker"]
+__all__ = ["UnusedImportChecker", "bound_aliases", "local_name",
+           "used_names", "exported_names", "string_tokens"]
 
 
-def _bound_names(tree: ast.Module) -> list[tuple[str, int, int, str]]:
-    """``(local name, line, col, imported thing)`` per import binding."""
-    bound: list[tuple[str, int, int, str]] = []
+def bound_aliases(tree: ast.Module) -> list[
+        tuple[ast.Import | ast.ImportFrom, list[ast.alias]]]:
+    """Each import statement with its name-binding aliases."""
+    statements: list[tuple[ast.Import | ast.ImportFrom, list[ast.alias]]] = []
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
-            for alias in node.names:
-                local = alias.asname or alias.name.split(".")[0]
-                bound.append((local, node.lineno, node.col_offset + 1,
-                              alias.name))
+            statements.append((node, list(node.names)))
         elif isinstance(node, ast.ImportFrom):
             if node.module == "__future__":
                 continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                local = alias.asname or alias.name
-                bound.append((local, node.lineno, node.col_offset + 1,
-                              alias.name))
-    return bound
+            aliases = [alias for alias in node.names if alias.name != "*"]
+            if aliases:
+                statements.append((node, aliases))
+    return statements
 
 
-def _used_names(tree: ast.Module) -> set[str]:
+def local_name(node: ast.Import | ast.ImportFrom, alias: ast.alias) -> str:
+    """The name *alias* binds in the module namespace."""
+    if alias.asname:
+        return alias.asname
+    if isinstance(node, ast.Import):
+        return alias.name.split(".")[0]
+    return alias.name
+
+
+def used_names(tree: ast.Module) -> set[str]:
     used: set[str] = set()
     for node in ast.walk(tree):
         if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
             used.add(node.id)
         elif isinstance(node, ast.Attribute):
-            root = node
+            root: ast.expr = node
             while isinstance(root, ast.Attribute):
                 root = root.value
             if isinstance(root, ast.Name):
@@ -55,7 +64,7 @@ def _used_names(tree: ast.Module) -> set[str]:
     return used
 
 
-def _exported_names(tree: ast.Module) -> set[str]:
+def exported_names(tree: ast.Module) -> set[str]:
     exported: set[str] = set()
     for node in tree.body:
         if (isinstance(node, ast.Assign)
@@ -69,7 +78,7 @@ def _exported_names(tree: ast.Module) -> set[str]:
     return exported
 
 
-def _string_tokens(tree: ast.Module) -> set[str]:
+def string_tokens(tree: ast.Module) -> set[str]:
     tokens: set[str] = set()
     for node in ast.walk(tree):
         if isinstance(node, ast.Constant) and isinstance(node.value, str):
@@ -84,13 +93,16 @@ class UnusedImportChecker:
                        "__all__, or referenced in annotations"),
     )
 
-    def check(self, module: Module) -> Iterator[Finding]:
-        used = _used_names(module.tree)
-        exported = _exported_names(module.tree)
-        tokens = _string_tokens(module.tree)
-        for local, line, col, imported in _bound_names(module.tree):
-            if local in used or local in exported or local in tokens:
-                continue
-            yield Finding(
-                "TRX601", module.path, line, col,
-                f"{imported!r} imported as {local!r} but never used")
+    def check(self, module: Module,
+              project: object | None = None) -> Iterator[Finding]:
+        used = used_names(module.tree)
+        exported = exported_names(module.tree)
+        tokens = string_tokens(module.tree)
+        for node, aliases in bound_aliases(module.tree):
+            for alias in aliases:
+                local = local_name(node, alias)
+                if local in used or local in exported or local in tokens:
+                    continue
+                yield Finding(
+                    "TRX601", module.path, node.lineno, node.col_offset + 1,
+                    f"{alias.name!r} imported as {local!r} but never used")

@@ -55,7 +55,8 @@ class StatsRegistryChecker:
                        "f-strings on a registered prefix)"),
     )
 
-    def check(self, module: Module) -> Iterator[Finding]:
+    def check(self, module: Module,
+              project: object | None = None) -> Iterator[Finding]:
         if not module.in_package(*_SCOPES):
             return
         if module.in_package(*_EXEMPT_MODULES):

@@ -1,0 +1,38 @@
+"""repro.analysis.flow — the whole-program dataflow engine.
+
+The per-file checkers of PR 4 are blind across call boundaries: a
+``*_locked`` helper that mutates guarded state is exempt inside its own
+body, but nothing checked that its callers actually hold the lock; an
+uncharged block decode hidden behind an owner-module wrapper never
+showed up on a query path.  This package closes that gap:
+
+* :mod:`project` builds a project-wide symbol table and call graph over
+  every analyzed module — functions and methods by qualified name,
+  class hierarchies, import maps, and one :class:`CallSite` per call
+  with its *lexical context* (locks held, read/write side, ``muted()``
+  scopes) attached to the edge;
+* :mod:`cfg` builds per-function control-flow graphs (with optional
+  may-raise edges) for the all-exit-paths analyses — resources closed
+  on every path, telemetry emitted on every exit;
+* :mod:`summaries` computes interprocedural function summaries (locks
+  required on entry, locks possibly held on entry, uncharged decodes,
+  telemetry emission) by fixpoint over the call graph, plus the static
+  lock-order graph whose cycles complement the runtime sanitizer;
+* :mod:`cache` is the incremental result cache keyed by file hash +
+  transitive import fingerprint, so warm full-repo runs skip parsing
+  entirely;
+* :mod:`sarif` renders findings as SARIF 2.1.0 for GitHub
+  code-scanning annotations, and :mod:`baseline` implements the
+  committed suppression file that lets new rules land strict;
+* :mod:`fixer` applies the ``--fix`` autofixes (TRX601 unused
+  imports).
+
+The engine is consulted by checkers through the ``project`` argument of
+``Checker.check`` — intraprocedural rules ignore it, the upgraded
+lock-discipline / cost-charging rules and the TRX8xx/TRX9xx families
+read call-graph context and summaries from it.
+"""
+
+from .project import CallSite, ClassInfo, FunctionInfo, Project
+
+__all__ = ["CallSite", "ClassInfo", "FunctionInfo", "Project"]

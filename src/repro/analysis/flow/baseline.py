@@ -1,0 +1,101 @@
+"""The committed baseline / suppression file.
+
+New rules should land strict without blocking unrelated work: findings
+recorded in the baseline are filtered from the run's output (and from
+its exit status), while *new* findings — anything not in the baseline —
+still fail.  ``repro analyze --write-baseline`` records the current
+findings; ``--baseline`` (the default when the file exists) applies it.
+
+Fingerprints are content-addressed, not line-addressed: the hash covers
+the rule id, the path, the message, and the stripped source line text —
+so unrelated edits that shift a finding up or down do not dodge (or
+break) its suppression.  Duplicate findings on identical lines are
+counted: a baseline with two occurrences masks two, not unlimited.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from ..core import Finding
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline",
+           "apply_baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+def _source_line(finding: Finding,
+                 line_cache: dict[str, list[str]]) -> str:
+    lines = line_cache.get(finding.path)
+    if lines is None:
+        try:
+            lines = Path(finding.path).read_text(
+                encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        line_cache[finding.path] = lines
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1].strip()
+    return ""
+
+
+def fingerprint(finding: Finding,
+                line_cache: dict[str, list[str]]) -> str:
+    """Line-drift-tolerant identity of one finding."""
+    digest = hashlib.sha256()
+    for part in (finding.rule, finding.path, finding.message,
+                 _source_line(finding, line_cache)):
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def load_baseline(path: str) -> Counter[str] | None:
+    """The fingerprint multiset from *path*, or None when unusable."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        return None
+    entries = raw.get("entries")
+    if not isinstance(entries, dict):
+        return None
+    return Counter({str(key): int(value) for key, value in entries.items()
+                    if isinstance(value, int) and value > 0})
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> int:
+    """Record *findings* as the new baseline; returns the entry count."""
+    line_cache: dict[str, list[str]] = {}
+    counts: Counter[str] = Counter(
+        fingerprint(finding, line_cache) for finding in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": dict(sorted(counts.items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return sum(counts.values())
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Counter[str]) -> list[Finding]:
+    """*findings* with baseline-recorded occurrences removed."""
+    remaining = Counter(baseline)
+    line_cache: dict[str, list[str]] = {}
+    kept: list[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding, line_cache)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,227 @@
+"""Incremental result cache keyed by file hash + import fingerprint.
+
+The cache is one JSON file mapping every analyzed source path to its
+content hash, the project-internal source paths it imports, and the
+findings reported for it.  Two reuse tiers:
+
+* **Pure warm hit** — every file's hash matches the cache: the stored
+  findings are returned without parsing a single module.  This is the
+  CI fast path; hashing ~100 files costs milliseconds where a full
+  parse + whole-program analysis costs seconds.
+* **Partial reuse** — some files changed: the project is rebuilt (the
+  whole-program pass needs every AST), but per-file findings are reused
+  for files whose *transitive import fingerprint* is unchanged — the
+  hash of the file plus everything it (transitively) imports.  Editing
+  a callee therefore re-analyzes every caller that imports it, which is
+  what makes interprocedural findings cache-safe: a cross-function
+  violation is always reported at the call site, and the call site's
+  module imports (directly or transitively) the callee it resolves to.
+
+Known approximation: call edges resolved through the method-name
+fallback (receiver of unknown type) can cross module boundaries that no
+import records.  Cold runs — which CI's gate performs — are always
+authoritative; the cache exists for the warm-timing path and local
+iteration.
+
+The cache key includes a schema version and the registered-rule
+signature, so a new rule or a changed checker invalidates everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..core import (Finding, RULES, analyze_modules, iter_sources,
+                    make_module)
+
+__all__ = ["CacheResult", "analyze_with_cache", "rules_signature",
+           "CACHE_VERSION"]
+
+CACHE_VERSION = 1
+
+
+@dataclass
+class CacheResult:
+    """The outcome of one cached analysis run."""
+
+    findings: list[Finding]
+    #: Pure warm hit: nothing was parsed, every finding came from cache.
+    hit: bool
+    #: Files whose cached findings were reused (partial runs).
+    reused_files: int
+    #: Files actually re-analyzed.
+    analyzed_files: int
+
+
+def rules_signature() -> str:
+    """A digest over the registered rule set (cache invalidation key)."""
+    digest = hashlib.sha256()
+    for rule_id in sorted(RULES):
+        digest.update(rule_id.encode())
+        digest.update(RULES[rule_id].summary.encode())
+    digest.update(str(CACHE_VERSION).encode())
+    return digest.hexdigest()
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _load_cache(cache_path: str) -> dict[str, object] | None:
+    try:
+        with open(cache_path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(raw, dict) or raw.get("version") != CACHE_VERSION:
+        return None
+    if raw.get("rules") != rules_signature():
+        return None
+    files = raw.get("files")
+    if not isinstance(files, dict):
+        return None
+    return raw
+
+
+def _finding_to_dict(finding: Finding) -> dict[str, object]:
+    return {"rule": finding.rule, "path": finding.path,
+            "line": finding.line, "col": finding.col,
+            "message": finding.message}
+
+
+def _finding_from_dict(raw: dict[str, object]) -> Finding:
+    return Finding(rule=str(raw["rule"]), path=str(raw["path"]),
+                   line=int(raw["line"]), col=int(raw["col"]),  # type: ignore[arg-type]
+                   message=str(raw["message"]))
+
+
+def _fingerprints(shas: dict[str, str],
+                  imports: dict[str, list[str]]) -> dict[str, str]:
+    """Transitive (file + imports) content fingerprints per path.
+
+    BFS over the import graph; cycles (package SCCs) simply close over
+    the same dependency set.
+    """
+    closure: dict[str, list[str]] = {}
+    for path in shas:
+        seen = {path}
+        queue = [path]
+        while queue:
+            current = queue.pop()
+            for dep in imports.get(current, ()):
+                if dep not in seen and dep in shas:
+                    seen.add(dep)
+                    queue.append(dep)
+        closure[path] = sorted(seen)
+    prints: dict[str, str] = {}
+    for path, deps in closure.items():
+        digest = hashlib.sha256()
+        for dep in deps:
+            digest.update(dep.encode())
+            digest.update(shas[dep].encode())
+        prints[path] = digest.hexdigest()
+    return prints
+
+
+def analyze_with_cache(paths: Sequence[str], *, cache_path: str,
+                       select: Sequence[str] | None = None,
+                       interprocedural: bool = True) -> CacheResult:
+    """Run the analysis over *paths* through the incremental cache."""
+    if select:
+        # Selector runs see a filtered rule set; caching them would
+        # poison the full-run entries.  Bypass entirely.
+        findings = analyze_modules(
+            [make_module(path) for path in iter_sources(paths)],
+            select=select, interprocedural=interprocedural)
+        return CacheResult(findings, hit=False, reused_files=0,
+                           analyzed_files=len(set(f.path for f in findings)))
+
+    sources = [str(path) for path in iter_sources(paths)]
+    contents = {path: Path(path).read_bytes() for path in sources}
+    shas = {path: _sha256(data) for path, data in contents.items()}
+
+    cache = _load_cache(cache_path)
+    entries: dict[str, dict[str, object]] = {}
+    if cache is not None:
+        raw_files = cache.get("files")
+        if isinstance(raw_files, dict):
+            entries = {str(path): entry
+                       for path, entry in raw_files.items()
+                       if isinstance(entry, dict)}
+
+    if (entries and set(entries) == set(shas)
+            and all(entries[path].get("sha") == shas[path]
+                    for path in shas)):
+        findings = [_finding_from_dict(raw)  # type: ignore[arg-type]
+                    for path in sorted(entries)
+                    for raw in entries[path].get("findings", ())]  # type: ignore[union-attr]
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return CacheResult(findings, hit=True, reused_files=len(entries),
+                           analyzed_files=0)
+
+    modules = [make_module(path, contents[path].decode("utf-8"))
+               for path in sources]
+
+    # New import graph (as source paths) from the freshly built project.
+    from .project import Project
+    project = Project(modules) if interprocedural else None
+    new_imports: dict[str, list[str]] = {}
+    for module in modules:
+        deps: list[str] = []
+        if project is not None:
+            for dep_name in project.module_imports.get(module.module, ()):
+                dep = project.module_by_name.get(dep_name)
+                if dep is not None:
+                    deps.append(dep.path)
+        new_imports[module.path] = sorted(set(deps))
+    new_prints = _fingerprints(shas, new_imports)
+
+    old_shas = {path: str(entry.get("sha", ""))
+                for path, entry in entries.items()}
+    old_imports = {path: [str(dep) for dep in entry.get("imports", ())]  # type: ignore[union-attr]
+                   for path, entry in entries.items()}
+    old_prints = _fingerprints(old_shas, old_imports) if entries else {}
+
+    reusable = {path for path in sources
+                if path in entries
+                and old_shas.get(path) == shas[path]
+                and old_prints.get(path) == new_prints[path]}
+    stale = [path for path in sources if path not in reusable]
+
+    fresh = analyze_modules(modules, interprocedural=interprocedural,
+                            restrict_paths=set(stale), project=project)
+
+    findings = list(fresh)
+    for path in reusable:
+        findings.extend(_finding_from_dict(raw)  # type: ignore[arg-type]
+                        for raw in entries[path].get("findings", ()))  # type: ignore[union-attr]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    by_path: dict[str, list[Finding]] = {path: [] for path in sources}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    payload = {
+        "version": CACHE_VERSION,
+        "rules": rules_signature(),
+        "files": {
+            path: {
+                "sha": shas[path],
+                "imports": new_imports[path],
+                "findings": [_finding_to_dict(f) for f in by_path[path]],
+            }
+            for path in sources
+        },
+    }
+    tmp_path = f"{cache_path}.tmp{os.getpid()}"
+    os.makedirs(os.path.dirname(cache_path) or ".", exist_ok=True)
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=0, sort_keys=True)
+    os.replace(tmp_path, cache_path)
+
+    return CacheResult(findings, hit=False, reused_files=len(reusable),
+                       analyzed_files=len(stale))

@@ -1,0 +1,296 @@
+"""Per-function control-flow graphs for all-exit-paths analyses.
+
+The graph is statement-granular: one node per simple statement (plus
+condition nodes for ``if``/``while`` and context-expression nodes for
+``with``), with edges for sequencing, branching, loops, ``break``/
+``continue``, ``return``/``raise``, and ``try``/``except``/``finally``
+routing.  Two build modes:
+
+* ``exception_edges=False`` — only *explicit* control flow.  Used by
+  the telemetry-on-every-exit rule, where the exits that matter are
+  ``return`` statements, explicit ``raise`` statements and falling off
+  the end.
+* ``exception_edges=True`` — every statement additionally gets
+  may-raise edges to the enclosing handler entries / ``finally`` block
+  / the exceptional exit.  Used by the resource-lifecycle rules, where
+  a leak on the exceptional path is exactly the bug class.
+
+The analysis primitive is :meth:`CFG.reachable_without`: the set of
+nodes reachable from a start set along paths that never pass through a
+"barrier" node.  "Is there an exit the resource can leak through" and
+"is there a return no telemetry call precedes" are both instances.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterable
+
+__all__ = ["Node", "CFG", "build_cfg"]
+
+
+class Node:
+    """One CFG node wrapping at most one AST statement/expression."""
+
+    __slots__ = ("index", "stmt", "kind", "succ", "pred", "exc_succ")
+
+    def __init__(self, index: int, stmt: ast.AST | None, kind: str) -> None:
+        self.index = index
+        self.stmt = stmt
+        #: "entry" | "exit" | "exc_exit" | "stmt" | "return" | "raise"
+        #: | "with" (a with-statement's context expression)
+        self.kind = kind
+        self.succ: list["Node"] = []
+        self.pred: list["Node"] = []
+        #: May-raise successors (``exception_edges=True`` builds only) —
+        #: kept apart from ``succ`` so analyses can skip the *start*
+        #: statement's own failure (e.g. an acquisition that never
+        #: completed cannot leak) while still following every later
+        #: exceptional path.
+        self.exc_succ: list["Node"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = type(self.stmt).__name__ if self.stmt is not None else ""
+        return f"<Node {self.index} {self.kind} {label}>"
+
+
+class CFG:
+    """A built control-flow graph for one function body."""
+
+    def __init__(self, nodes: list[Node], entry: Node, exit_normal: Node,
+                 exit_exceptional: Node) -> None:
+        self.nodes = nodes
+        self.entry = entry
+        self.exit_normal = exit_normal
+        self.exit_exceptional = exit_exceptional
+
+    def exits(self) -> list[Node]:
+        return [self.exit_normal, self.exit_exceptional]
+
+    def statement_nodes(self) -> Iterable[Node]:
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+    def reachable_without(self, starts: Iterable[Node],
+                          barrier: Callable[[Node], bool], *,
+                          exceptional: bool = True) -> set[Node]:
+        """Nodes reachable from *starts* without crossing a barrier.
+
+        A start node that is itself a barrier does not propagate.  The
+        returned set includes the start nodes (reachability via the
+        empty path).  ``exceptional=False`` ignores may-raise edges.
+        """
+        seen: set[Node] = set()
+        stack = list(starts)
+        for node in stack:
+            seen.add(node)
+        while stack:
+            node = stack.pop()
+            if barrier(node):
+                continue
+            successors = (node.succ + node.exc_succ if exceptional
+                          else node.succ)
+            for nxt in successors:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+
+class _Frame:
+    """Loop / try context during construction."""
+
+    __slots__ = ("break_to", "continue_to")
+
+    def __init__(self, break_to: Node, continue_to: Node) -> None:
+        self.break_to = break_to
+        self.continue_to = continue_to
+
+
+class _Builder:
+    def __init__(self, exception_edges: bool) -> None:
+        self.exception_edges = exception_edges
+        self.nodes: list[Node] = []
+        self.entry = self._node(None, "entry")
+        self.exit_normal = self._node(None, "exit")
+        self.exit_exceptional = self._node(None, "exc_exit")
+        self.loop_stack: list[_Frame] = []
+        #: Where an in-flight exception goes: handler entries plus the
+        #: final backstop (finally entry or the exceptional exit).
+        self.exc_targets: list[list[Node]] = [[self.exit_exceptional]]
+        #: Where a ``return`` goes (innermost finally first).
+        self.return_targets: list[Node] = [self.exit_normal]
+
+    def _node(self, stmt: ast.AST | None, kind: str = "stmt") -> Node:
+        node = Node(len(self.nodes), stmt, kind)
+        self.nodes.append(node)
+        return node
+
+    @staticmethod
+    def _link(src: Node, dst: Node) -> None:
+        if dst not in src.succ:
+            src.succ.append(dst)
+            dst.pred.append(src)
+
+    def _link_exceptional(self, node: Node) -> None:
+        if self.exception_edges:
+            for target in self.exc_targets[-1]:
+                if target not in node.exc_succ:
+                    node.exc_succ.append(target)
+
+    # ------------------------------------------------------------------
+    def build(self, body: list[ast.stmt]) -> CFG:
+        frontier = self._block(body, [self.entry])
+        for node in frontier:
+            self._link(node, self.exit_normal)
+        return CFG(self.nodes, self.entry, self.exit_normal,
+                   self.exit_exceptional)
+
+    def _block(self, body: list[ast.stmt],
+               frontier: list[Node]) -> list[Node]:
+        for statement in body:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self._statement(statement, frontier)
+        return frontier
+
+    def _statement(self, stmt: ast.stmt,
+                   frontier: list[Node]) -> list[Node]:
+        if isinstance(stmt, ast.Return):
+            node = self._node(stmt, "return")
+            self._attach(frontier, node)
+            self._link(node, self.return_targets[-1])
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._node(stmt, "raise")
+            self._attach(frontier, node)
+            for target in self.exc_targets[-1]:
+                self._link(node, target)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._node(stmt)
+            self._attach(frontier, node)
+            if self.loop_stack:
+                self._link(node, self.loop_stack[-1].break_to)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._node(stmt)
+            self._attach(frontier, node)
+            if self.loop_stack:
+                self._link(node, self.loop_stack[-1].continue_to)
+            return []
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        node = self._node(stmt)
+        self._attach(frontier, node)
+        self._link_exceptional(node)
+        return [node]
+
+    def _attach(self, frontier: list[Node], node: Node) -> None:
+        for prev in frontier:
+            self._link(prev, node)
+
+    def _if(self, stmt: ast.If, frontier: list[Node]) -> list[Node]:
+        test = self._node(stmt.test)
+        self._attach(frontier, test)
+        self._link_exceptional(test)
+        then_out = self._block(stmt.body, [test])
+        else_out = self._block(stmt.orelse, [test]) if stmt.orelse else [test]
+        return then_out + else_out
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor,
+              frontier: list[Node]) -> list[Node]:
+        header_expr = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        header = self._node(header_expr)
+        self._attach(frontier, header)
+        self._link_exceptional(header)
+        after = self._node(None, "stmt")  # join node after the loop
+        self.loop_stack.append(_Frame(after, header))
+        body_out = self._block(stmt.body, [header])
+        for node in body_out:
+            self._link(node, header)
+        self.loop_stack.pop()
+        else_out = (self._block(stmt.orelse, [header])
+                    if stmt.orelse else [header])
+        for node in else_out:
+            self._link(node, after)
+        return [after]
+
+    def _with(self, stmt: ast.With | ast.AsyncWith,
+              frontier: list[Node]) -> list[Node]:
+        enter = self._node(stmt.items[0].context_expr, "with")
+        self._attach(frontier, enter)
+        self._link_exceptional(enter)
+        return self._block(stmt.body, [enter])
+
+    def _try(self, stmt: ast.Try, frontier: list[Node]) -> list[Node]:
+        handler_entries: list[Node] = []
+        for handler in stmt.handlers:
+            handler_entries.append(self._node(handler, "stmt"))
+        finally_entry = (self._node(None, "stmt")
+                         if stmt.finalbody else None)
+
+        # Exceptions raised in the body route to the handlers, then the
+        # finally block (or the outer targets when there is none).
+        body_targets = list(handler_entries)
+        if finally_entry is not None:
+            body_targets.append(finally_entry)
+        elif not handler_entries:
+            body_targets = list(self.exc_targets[-1])
+        else:
+            # Handlers may not match: the exception escapes outward.
+            body_targets.extend(self.exc_targets[-1])
+
+        self.exc_targets.append(body_targets)
+        if finally_entry is not None:
+            self.return_targets.append(finally_entry)
+        body_out = self._block(stmt.body, list(frontier))
+        self.exc_targets.pop()
+        if finally_entry is not None:
+            self.return_targets.pop()
+
+        else_out = (self._block(stmt.orelse, body_out)
+                    if stmt.orelse else body_out)
+
+        # Handler bodies: exceptions inside them go to finally/outer.
+        handler_targets = ([finally_entry] if finally_entry is not None
+                           else list(self.exc_targets[-1]))
+        handler_outs: list[Node] = []
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self.exc_targets.append(handler_targets)
+            if finally_entry is not None:
+                self.return_targets.append(finally_entry)
+            outs = self._block(handler.body, [entry])
+            self.exc_targets.pop()
+            if finally_entry is not None:
+                self.return_targets.pop()
+            handler_outs.extend(outs)
+
+        if finally_entry is None:
+            return else_out + handler_outs
+
+        # finally: built once; its exits continue both normally and
+        # along every outer continuation (exception propagation,
+        # returns) — an over-approximation that merges the duplicated-
+        # finally continuations real compilers track separately.
+        for node in else_out + handler_outs:
+            self._link(node, finally_entry)
+        finally_out = self._block(stmt.finalbody, [finally_entry])
+        for node in finally_out:
+            for target in self.exc_targets[-1]:
+                self._link(node, target)
+            self._link(node, self.return_targets[-1])
+        return finally_out
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef, *,
+              exception_edges: bool = False) -> CFG:
+    """Build the CFG for one function body."""
+    return _Builder(exception_edges).build(func.body)

@@ -1,0 +1,96 @@
+"""``repro analyze --fix``: automatic removal of TRX601 unused imports.
+
+The fixer re-derives the unused bindings exactly as the checker does
+(same used/exported/string-token logic), so fix-then-reanalyze is a
+fixed point: one pass removes every fixable finding, a second pass
+changes nothing.  Pragmas are respected — an import carrying (or
+covered by) ``# repro: allow[TRX601]`` / ``allow-file`` is left alone.
+
+Statements are rewritten bottom-up by source span: a statement whose
+bindings are all unused is deleted outright; a partially-used statement
+is re-rendered keeping only the used aliases (trailing same-line
+comments on such statements are not preserved — a comment worth keeping
+belongs on its own line or in a pragma).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..core import Module
+from ..checkers.imports import (bound_aliases, exported_names, local_name,
+                                string_tokens, used_names)
+
+__all__ = ["FixResult", "fix_unused_imports"]
+
+#: Width beyond which a rewritten from-import wraps into parentheses.
+_WRAP_COLUMN = 79
+
+
+@dataclass
+class FixResult:
+    """Outcome of fixing one module's source."""
+
+    source: str
+    removed: int          #: import bindings removed
+    changed: bool
+
+
+def _render_alias(alias: ast.alias) -> str:
+    if alias.asname:
+        return f"{alias.name} as {alias.asname}"
+    return alias.name
+
+
+def _render_import(node: ast.Import | ast.ImportFrom,
+                   keep: list[ast.alias], indent: str) -> list[str]:
+    if isinstance(node, ast.Import):
+        return [f"{indent}import " + ", ".join(_render_alias(alias)
+                                               for alias in keep)]
+    origin = "." * node.level + (node.module or "")
+    rendered = ", ".join(_render_alias(alias) for alias in keep)
+    single = f"{indent}from {origin} import {rendered}"
+    if len(single) <= _WRAP_COLUMN:
+        return [single]
+    lines = [f"{indent}from {origin} import ("]
+    for alias in keep:
+        lines.append(f"{indent}    {_render_alias(alias)},")
+    lines.append(f"{indent})")
+    return lines
+
+
+def fix_unused_imports(module: Module) -> FixResult:
+    """Remove unused import bindings from *module*'s source."""
+    used = used_names(module.tree)
+    exported = exported_names(module.tree)
+    tokens = string_tokens(module.tree)
+
+    def is_used(local: str) -> bool:
+        return local in used or local in exported or local in tokens
+
+    edits: list[tuple[int, int, list[str]]] = []
+    removed = 0
+    for node, aliases in bound_aliases(module.tree):
+        if module.is_allowed("TRX601", node.lineno):
+            continue
+        keep = [alias for alias in aliases
+                if is_used(local_name(node, alias))]
+        if len(keep) == len(aliases):
+            continue
+        removed += len(aliases) - len(keep)
+        end = node.end_lineno if node.end_lineno is not None else node.lineno
+        first_line = module.lines[node.lineno - 1]
+        indent = first_line[:len(first_line) - len(first_line.lstrip())]
+        replacement = _render_import(node, keep, indent) if keep else []
+        edits.append((node.lineno, end, replacement))
+
+    if not edits:
+        return FixResult(module.source, removed=0, changed=False)
+
+    lines = list(module.lines)
+    for start, end, replacement in sorted(edits, reverse=True):
+        lines[start - 1:end] = replacement
+    trailing_newline = module.source.endswith("\n")
+    source = "\n".join(lines) + ("\n" if trailing_newline else "")
+    return FixResult(source, removed=removed, changed=True)

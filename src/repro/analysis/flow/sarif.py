@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 rendering of analysis findings.
+
+One run, one driver (``repro-analyze``), one rule entry per registered
+rule, one result per finding.  The output round-trips through GitHub
+code scanning (``github/codeql-action/upload-sarif``), which turns each
+result into an inline PR annotation at its file/line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from ..core import Finding, RULES
+from .baseline import fingerprint
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(findings: Sequence[Finding], *,
+             tool_version: str = "1.0.0") -> dict[str, object]:
+    """The SARIF log object for *findings*."""
+    used_rules = sorted({finding.rule for finding in findings} | set(RULES))
+    rule_index = {rule_id: index for index, rule_id in enumerate(used_rules)}
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": RULES[rule_id].summary if rule_id in RULES
+                else rule_id,
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id in used_rules
+    ]
+    line_cache: dict[str, list[str]] = {}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": max(finding.col, 1),
+                        },
+                    },
+                },
+            ],
+            # Same content-addressed identity the baseline file uses, so
+            # code scanning tracks a result across line-shifting edits.
+            "partialFingerprints": {
+                "reproAnalyzeFingerprint/v1":
+                    fingerprint(finding, line_cache),
+            },
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri":
+                            "https://example.invalid/repro/docs/analysis",
+                        "version": tool_version,
+                        "rules": rules,
+                    },
+                },
+                "results": results,
+            },
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """*findings* as a SARIF 2.1.0 JSON document."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True)

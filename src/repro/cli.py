@@ -443,6 +443,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         argv += ["--select", args.select]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.no_interprocedural:
+        argv.append("--no-interprocedural")
+    if args.cache:
+        argv += ["--cache", args.cache]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv += ["--write-baseline", args.write_baseline]
+    if args.fix:
+        argv.append("--fix")
     argv += ["--format", args.format]
     return analysis_main(argv)
 
@@ -649,8 +659,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="files or directories (default: src/repro)")
     analyze.add_argument("--select", default=None,
                          help="comma-separated rule ids or prefixes")
-    analyze.add_argument("--format", choices=("text", "json"), default="text")
+    analyze.add_argument("--format", choices=("text", "json", "sarif"),
+                         default="text")
     analyze.add_argument("--list-rules", action="store_true")
+    analyze.add_argument("--no-interprocedural", action="store_true",
+                         help="single-function rules only")
+    analyze.add_argument("--cache", default=None, metavar="PATH",
+                         help="incremental result cache file")
+    analyze.add_argument("--baseline", default=None, metavar="PATH",
+                         help="filter findings recorded in this baseline")
+    analyze.add_argument("--write-baseline", default=None, metavar="PATH",
+                         help="record current findings as the baseline")
+    analyze.add_argument("--fix", action="store_true",
+                         help="rewrite unused imports (TRX601) in place")
     analyze.set_defaults(func=_cmd_analyze)
     return parser
 

@@ -141,6 +141,7 @@ def iter_atoms(predicate: Predicate) -> Iterator[AboutClause | ComparisonClause]
     if isinstance(predicate, (AboutClause, ComparisonClause)):
         yield predicate
         return
+    assert isinstance(predicate, BooleanPredicate)
     for operand in predicate.operands:
         yield from iter_atoms(operand)
 

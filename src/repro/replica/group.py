@@ -391,8 +391,14 @@ class ReplicaGroup:
                             record.segment_id, record.image)
                         with self._state_lock:
                             self._counters["snapshot_installs"] += 1
-                elif self._resident_matches(engine, record):
-                    engine.catalog.drop_segment(record.segment_id)
+                elif isinstance(record, SegmentDropRecord):
+                    if self._resident_matches(engine, record):
+                        engine.catalog.drop_segment(record.segment_id)
+                else:
+                    raise ReplicaDivergenceError(
+                        f"replica {replica.index} of group {self.name!r} "
+                        f"received unknown record type "
+                        f"{type(record).__name__} at offset {offset}")
         except StorageError as exc:
             raise ReplicaDivergenceError(
                 f"replica {replica.index} of group {self.name!r} could "

@@ -250,3 +250,14 @@ def mutates_engine_state(method: _F) -> _F:
         return method(self, *args, **kwargs)
 
     return wrapper  # type: ignore[return-value]
+
+
+def serving_handler(method: _F) -> _F:
+    """Mark a method as a request-serving entry point.
+
+    Purely a marker: the TRX903 static rule requires every marked
+    handler to emit telemetry (directly or through a callee) before
+    each of its exits, so no request — including rejected ones — is
+    invisible to ``/stats``.
+    """
+    return method

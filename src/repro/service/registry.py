@@ -32,6 +32,7 @@ __all__ = [
 
 #: Exact counter names.
 COUNTERS: frozenset[str] = frozenset({
+    "service.closed_requests",
     "search.requests",
     "search.answered",
     "search.cache_hits",

@@ -181,6 +181,7 @@ class QueryService:
     # ------------------------------------------------------------------
     # Serving entry points
     # ------------------------------------------------------------------
+    @sanitizer.serving_handler
     def search(self, query: str, k: int | None = None, method: str = "auto",
                *, mode: str = "nexi", use_cache: bool = True,
                deadline: float | None = None) -> dict:
@@ -191,6 +192,7 @@ class QueryService:
         expired waiting for a worker.
         """
         if self._closed.is_set():
+            self.telemetry.incr("service.closed_requests")
             raise ServiceClosedError("service is closed")
         self.telemetry.incr("search.requests")
         key = (query, k, method, mode)
@@ -419,6 +421,7 @@ class QueryService:
             if diff:
                 self.telemetry.incr(f"replica.{key}", diff)
 
+    @sanitizer.serving_handler
     def ingest(self, xml: str, docid: int | None = None) -> dict:
         """Add one XML document; exclusive against all queries.
 
@@ -428,6 +431,7 @@ class QueryService:
         so queries never observe a half-compacted catalog.
         """
         if self._closed.is_set():
+            self.telemetry.incr("service.closed_requests")
             raise ServiceClosedError("service is closed")
         started = time.perf_counter()
         compacted = 0
@@ -467,6 +471,7 @@ class QueryService:
                 "delta_runs": after["delta_runs"],
                 "segments_compacted": compacted}
 
+    @sanitizer.serving_handler
     def compact(self, *, force: bool = False) -> dict:
         """Fold LSM delta runs into base segments on demand.
 
@@ -475,6 +480,7 @@ class QueryService:
         results, so the epoch (and hence the result cache) is untouched.
         """
         if self._closed.is_set():
+            self.telemetry.incr("service.closed_requests")
             raise ServiceClosedError("service is closed")
         started = time.perf_counter()
         with self.lock.write():
@@ -496,6 +502,7 @@ class QueryService:
         return {"segments_compacted": segments,
                 "delta_runs": after["delta_runs"]}
 
+    @sanitizer.serving_handler
     def rebuild_scorer(self) -> dict:
         """Refresh corpus statistics; exclusive against all queries."""
         with self.lock.write():

@@ -1,0 +1,11 @@
+# repro: module[repro.service.fixture_handler_bad]
+"""Fixture: a serving handler with a telemetry-free exit."""
+
+
+class Frontend:
+    @serving_handler
+    def search(self, query: str) -> dict:
+        if not query:
+            raise ValueError("empty query")
+        self.telemetry.incr("search.requests")
+        return {"query": query}

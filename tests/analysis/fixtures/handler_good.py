@@ -1,0 +1,19 @@
+# repro: module[repro.service.fixture_handler_good]
+"""Fixture: telemetry (direct or through a callee) before every exit."""
+
+
+class Frontend:
+    def _note(self) -> None:
+        self.telemetry.incr("search.requests")
+
+    @serving_handler
+    def search(self, query: str) -> dict:
+        self._note()
+        if not query:
+            raise ValueError("empty query")
+        return {"query": query}
+
+    @serving_handler
+    def stats(self) -> dict:
+        self.telemetry.incr("search.requests")
+        return {}

@@ -1,0 +1,17 @@
+# repro: module[repro.retrieval.fixture_caller]
+"""Fixture: a query path leaking cost through an exempt helper.
+
+The helper is intra-exempt (owner module), so only the whole-program
+engine can see that this call decodes blocks uncharged.
+"""
+
+from repro.storage.serialization.fixture_helper import load_everything
+
+
+def answer(seq: object) -> list:
+    return load_everything(seq)
+
+
+def answer_muted(seq: object, cost_model: object) -> list:
+    with cost_model.muted():
+        return load_everything(seq)

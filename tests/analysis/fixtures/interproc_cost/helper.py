@@ -1,0 +1,6 @@
+# repro: module[repro.storage.serialization.fixture_helper]
+"""Fixture: an owner-module helper that legitimately decodes uncharged."""
+
+
+def load_everything(seq: object) -> list:
+    return list(seq.entries())

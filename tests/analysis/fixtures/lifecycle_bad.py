@@ -1,0 +1,23 @@
+# repro: module[repro.backend.fixture_lifecycle_bad]
+"""Fixture: resources that can leak, and staging state that escapes."""
+
+
+def build_store(directory: str) -> None:
+    store = make_backend("sqlite", directory, mode="w")
+    store.write("blob", b"payload")
+    store.sync()
+    store.close()
+
+
+def read_manifest(path: str) -> bytes:
+    handle = open(path, "rb")
+    data = handle.read()
+    return data
+
+
+class Store:
+    def __init__(self, staging: str) -> None:
+        self._staging = staging
+
+    def reveal(self) -> str:
+        return self._staging

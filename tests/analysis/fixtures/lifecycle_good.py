@@ -1,0 +1,30 @@
+# repro: module[repro.backend.fixture_lifecycle_good]
+"""Fixture: every sanctioned resource-lifecycle shape."""
+
+
+def build_store(directory: str) -> None:
+    store = make_backend("sqlite", directory, mode="w")
+    try:
+        store.write("blob", b"payload")
+        store.sync()
+    finally:
+        store.close()
+
+
+def read_manifest(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def open_for_caller(directory: str) -> object:
+    store = open_backend(directory)
+    return store
+
+
+class Holder:
+    def __init__(self, directory: str) -> None:
+        store = make_backend("sqlite", directory, mode="w")
+        self._store = store
+
+    def publish(self, staging: str, final: str) -> None:
+        os.replace(staging, final)

@@ -1,0 +1,14 @@
+# repro: module[repro.service.fixture_lock_alias_bad]
+"""Fixture: holding an alias of the *wrong* lock does not cover."""
+
+
+class Counter:
+    __guarded_by__ = {"_lock": ("events",)}
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def record_wrong(self) -> None:
+        guard = self._flush_lock
+        with guard:
+            self.events += 1

@@ -1,0 +1,14 @@
+# repro: module[repro.service.fixture_lock_alias_good]
+"""Fixture: a guarded write under an *aliased* lock is recognized."""
+
+
+class Counter:
+    __guarded_by__ = {"_lock": ("events",)}
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def record(self) -> None:
+        lock = self._lock
+        with lock:
+            self.events += 1

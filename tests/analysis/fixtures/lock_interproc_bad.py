@@ -1,0 +1,26 @@
+# repro: module[repro.service.fixture_lock_interproc_bad]
+"""Fixture: a ``*_locked`` contract broken by callers.
+
+The pre-flow-engine checker exempts ``_advance_locked`` (caller holds
+the lock, by convention) and sees nothing wrong with ``tick``/``peek``
+— the whole-program engine propagates the requirement to the call
+sites.
+"""
+
+
+class Autopilot:
+    __guarded_by__ = {"_cycle_lock": ("cycles",)}
+
+    def __init__(self) -> None:
+        self.cycles = 0
+
+    def _advance_locked(self) -> None:
+        self.cycles += 1
+
+    def tick(self) -> None:
+        self._advance_locked()
+
+    def peek(self) -> int:
+        with self._cycle_lock.read():
+            self._advance_locked()
+        return self.cycles

@@ -1,0 +1,24 @@
+# repro: module[repro.service.fixture_lock_interproc_good]
+"""Fixture: every sanctioned way to discharge a ``*_locked`` contract."""
+
+
+class Autopilot:
+    __guarded_by__ = {"_cycle_lock": ("cycles",)}
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self._advance_locked()
+
+    def _advance_locked(self) -> None:
+        self.cycles += 1
+
+    def _spin_locked(self) -> None:
+        self._advance_locked()
+
+    def tick(self) -> None:
+        with self._cycle_lock:
+            self._spin_locked()
+
+    def bump(self) -> None:
+        with self._cycle_lock.write():
+            self._advance_locked()

@@ -1,0 +1,18 @@
+# repro: module[repro.service.fixture_lockorder_bad]
+"""Fixture: an ABBA lock-order cycle across two methods."""
+
+
+class Pair:
+    def __init__(self) -> None:
+        self.forwarded = 0
+        self.reversed = 0
+
+    def forward(self) -> None:
+        with self._a_lock:
+            with self._b_lock:
+                self.forwarded += 1
+
+    def backward(self) -> None:
+        with self._b_lock:
+            with self._a_lock:
+                self.reversed += 1

@@ -1,0 +1,17 @@
+# repro: module[repro.service.fixture_lockorder_good]
+"""Fixture: nested acquisitions in one consistent order are fine."""
+
+
+class Pair:
+    def __init__(self) -> None:
+        self.forwarded = 0
+
+    def forward(self) -> None:
+        with self._a_lock:
+            with self._b_lock:
+                self.forwarded += 1
+
+    def forward_again(self) -> None:
+        with self._a_lock:
+            with self._b_lock:
+                self.forwarded += 1

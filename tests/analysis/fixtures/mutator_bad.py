@@ -1,0 +1,20 @@
+# repro: module[repro.service.fixture_mutator_bad]
+"""Fixture: @mutates_engine_state reached off the writer side."""
+
+
+class Engine:
+    @mutates_engine_state
+    def install(self) -> None:
+        self._ready = True
+
+
+class Service:
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+
+    def hot_swap(self) -> None:
+        self.engine.install()
+
+    def refresh(self) -> None:
+        with self._state_lock.read():
+            self.engine.install()

@@ -1,0 +1,29 @@
+# repro: module[repro.service.fixture_mutator_good]
+"""Fixture: every write-side context that may reach a mutator."""
+
+
+class Engine:
+    @mutates_engine_state
+    def install(self) -> None:
+        self._ready = True
+
+    @mutates_engine_state
+    def chain(self) -> None:
+        self.install()
+
+
+class Service:
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.engine.install()
+
+    def swap(self) -> None:
+        with self._state_lock.write():
+            self.engine.install()
+
+    def _swap_locked(self) -> None:
+        self.engine.install()
+
+    def rotate(self) -> None:
+        with self._state_lock:
+            self._swap_locked()

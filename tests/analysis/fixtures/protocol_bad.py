@@ -1,0 +1,27 @@
+# repro: module[repro.replica.fixture_protocol_bad]
+"""Fixture: closed-union dispatch missing a member type."""
+
+from typing import Union
+
+
+class DocumentNote:
+    pass
+
+
+class InstallNote:
+    pass
+
+
+class DropNote:
+    pass
+
+
+WireNote = Union[DocumentNote, InstallNote, DropNote]
+
+
+def apply_note(note: WireNote) -> str:
+    if isinstance(note, DocumentNote):
+        return "document"
+    if isinstance(note, InstallNote):
+        return "install"
+    return "other"

@@ -1,0 +1,32 @@
+# repro: module[repro.replica.fixture_protocol_good]
+"""Fixture: exhaustive closed-union dispatch, and mere guard tests."""
+
+from typing import Union
+
+
+class DocumentNote:
+    pass
+
+
+class InstallNote:
+    pass
+
+
+class DropNote:
+    pass
+
+
+WireNote = Union[DocumentNote, InstallNote, DropNote]
+
+
+def apply_note(note: WireNote) -> str:
+    if isinstance(note, DocumentNote):
+        return "document"
+    if isinstance(note, InstallNote):
+        return "install"
+    assert isinstance(note, DropNote)
+    return "drop"
+
+
+def is_document(note: WireNote) -> bool:
+    return isinstance(note, DocumentNote)

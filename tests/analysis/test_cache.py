@@ -1,0 +1,125 @@
+"""The incremental cache: warm hits, import-fingerprint invalidation,
+and the warm-run speedup the whole feature exists for."""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis.flow.cache import analyze_with_cache
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+HELPER = '''\
+# repro: module[repro.storage.serialization.fixture_helper]
+def load_everything(seq: object) -> list:
+    return list(seq.entries())
+'''
+
+HELPER_CHARGED = '''\
+# repro: module[repro.storage.serialization.fixture_helper]
+def load_everything(seq: object) -> list:
+    return list(seq.read_block(0))
+'''
+
+CALLER = '''\
+# repro: module[repro.retrieval.fixture_caller]
+from repro.storage.serialization.fixture_helper import load_everything
+
+
+def answer(seq: object) -> list:
+    return load_everything(seq)
+'''
+
+
+def write_tree(root: Path, helper: str = HELPER) -> None:
+    (root / "helper.py").write_text(helper)
+    (root / "caller.py").write_text(CALLER)
+
+
+def test_unchanged_sources_are_a_pure_warm_hit(tmp_path: Path) -> None:
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    write_tree(tree)
+    cache = str(tmp_path / "cache.json")
+    cold = analyze_with_cache([str(tree)], cache_path=cache)
+    warm = analyze_with_cache([str(tree)], cache_path=cache)
+    assert not cold.hit and warm.hit
+    assert warm.analyzed_files == 0
+    assert warm.findings == cold.findings
+    assert [f.rule for f in warm.findings] == ["TRX201"]
+
+
+def test_editing_the_callee_reanalyzes_the_importing_caller(
+        tmp_path: Path) -> None:
+    # The TRX201 finding lives in caller.py, but the *cause* is in
+    # helper.py: fixing the helper must clear the caller's finding even
+    # though caller.py's bytes never changed.
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    write_tree(tree)
+    cache = str(tmp_path / "cache.json")
+    cold = analyze_with_cache([str(tree)], cache_path=cache)
+    assert [f.rule for f in cold.findings] == ["TRX201"]
+    assert cold.findings[0].path.endswith("caller.py")
+
+    write_tree(tree, helper=HELPER_CHARGED)
+    fixed = analyze_with_cache([str(tree)], cache_path=cache)
+    assert not fixed.hit
+    assert fixed.findings == []
+    # caller.py was re-analyzed (its transitive fingerprint changed),
+    # not reused from the stale entry.
+    assert fixed.analyzed_files == 2
+    assert fixed.reused_files == 0
+
+    # And the reverse edit brings the finding back.
+    write_tree(tree, helper=HELPER)
+    back = analyze_with_cache([str(tree)], cache_path=cache)
+    assert [f.rule for f in back.findings] == ["TRX201"]
+
+
+def test_unrelated_files_are_reused_on_partial_runs(tmp_path: Path) -> None:
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    write_tree(tree)
+    (tree / "island.py").write_text(
+        "# repro: module[repro.retrieval.fixture_island]\n"
+        "def alone(seq: object) -> list:\n"
+        "    return list(seq.entries())\n")
+    cache = str(tmp_path / "cache.json")
+    analyze_with_cache([str(tree)], cache_path=cache)
+    (tree / "island.py").write_text(
+        "# repro: module[repro.retrieval.fixture_island]\n"
+        "def alone(seq: object) -> list:\n"
+        "    return list(seq.read_block(0))\n")
+    partial = analyze_with_cache([str(tree)], cache_path=cache)
+    assert not partial.hit
+    assert partial.analyzed_files == 1          # only island.py
+    assert partial.reused_files == 2            # helper + caller reused
+    assert [f.rule for f in partial.findings] == ["TRX201"]
+
+
+def test_select_runs_bypass_the_cache(tmp_path: Path) -> None:
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    write_tree(tree)
+    cache = str(tmp_path / "cache.json")
+    analyze_with_cache([str(tree)], cache_path=cache)
+    selected = analyze_with_cache([str(tree)], cache_path=cache,
+                                  select=["TRX6"])
+    assert not selected.hit
+    assert selected.findings == []
+
+
+def test_warm_run_is_at_least_five_times_faster(tmp_path: Path) -> None:
+    cache = str(tmp_path / "cache.json")
+    started = time.perf_counter()
+    cold = analyze_with_cache([str(REPO_SRC)], cache_path=cache)
+    cold_elapsed = time.perf_counter() - started
+    started = time.perf_counter()
+    warm = analyze_with_cache([str(REPO_SRC)], cache_path=cache)
+    warm_elapsed = time.perf_counter() - started
+    assert warm.hit and warm.findings == cold.findings
+    assert cold_elapsed >= 5 * warm_elapsed, (
+        f"warm run not >=5x faster: cold {cold_elapsed:.3f}s, "
+        f"warm {warm_elapsed:.3f}s")

@@ -142,6 +142,91 @@ def test_annotation_gaps_are_reported_per_site() -> None:
 
 
 # ----------------------------------------------------------------------
+# Cross-function upgrades of TRX1xx / TRX2xx (the flow engine)
+# ----------------------------------------------------------------------
+def test_locked_convention_requirements_propagate_to_call_sites() -> None:
+    # The pre-engine checker exempts *_locked bodies and checks nothing
+    # at their callers; the flow engine must flag both callers.
+    path = str(FIXTURES / "lock_interproc_bad.py")
+    assert [(f.rule, f.line) for f in
+            run_analysis([path], interprocedural=False)] == []
+    assert findings("lock_interproc_bad.py", select=["TRX1"]) == [
+        ("TRX101", 21),   # tick() calls _advance_locked() lock-free
+        ("TRX102", 25),   # peek() calls it under the read side
+    ]
+
+
+def test_locked_convention_discharged_by_every_sanctioned_caller() -> None:
+    assert findings("lock_interproc_good.py", select=["TRX1"]) == []
+
+
+def test_lock_aliases_cover_writes_and_wrong_aliases_do_not() -> None:
+    assert findings("lock_alias_good.py", select=["TRX1"]) == []
+    assert findings("lock_alias_bad.py", select=["TRX1"]) == [
+        ("TRX101", 14),   # with <alias of _flush_lock>: does not cover _lock
+    ]
+
+
+def test_lock_order_cycles_flag_both_directions() -> None:
+    assert findings("lockorder_bad.py", select=["TRX103"]) == [
+        ("TRX103", 12),   # _b_lock acquired under _a_lock
+        ("TRX103", 17),   # _a_lock acquired under _b_lock
+    ]
+    assert findings("lockorder_good.py", select=["TRX103"]) == []
+
+
+def test_uncharged_decodes_are_caught_through_exempt_helpers() -> None:
+    # The helper lives in an owner module (intra-exempt); only the
+    # whole-program engine sees the query path decoding uncharged.
+    directory = str(FIXTURES / "interproc_cost")
+    assert [(f.rule, f.line) for f in
+            run_analysis([directory], interprocedural=False)] == []
+    flagged = [(f.rule, Path(f.path).name, f.line)
+               for f in run_analysis([directory], select=["TRX2"])]
+    assert flagged == [("TRX201", "caller.py", 12)]
+
+
+# ----------------------------------------------------------------------
+# TRX8xx — resource lifecycle
+# ----------------------------------------------------------------------
+def test_lifecycle_flags_leaks_and_staging_escapes() -> None:
+    assert findings("lifecycle_bad.py", select=["TRX8"]) == [
+        ("TRX801", 6),    # backend leaks when write()/sync() raises
+        ("TRX802", 13),   # raw handle never closed
+        ("TRX803", 23),   # staging path returned to the caller
+    ]
+
+
+def test_lifecycle_accepts_with_finally_and_ownership_transfer() -> None:
+    assert findings("lifecycle_good.py", select=["TRX8"]) == []
+
+
+# ----------------------------------------------------------------------
+# TRX9xx — protocol conformance
+# ----------------------------------------------------------------------
+def test_union_dispatch_must_cover_every_member() -> None:
+    assert findings("protocol_bad.py", select=["TRX901"]) == [
+        ("TRX901", 23),   # DropNote missing from the isinstance chain
+    ]
+    assert findings("protocol_good.py", select=["TRX901"]) == []
+
+
+def test_mutators_must_be_reached_from_write_side_contexts() -> None:
+    assert findings("mutator_bad.py", select=["TRX902"]) == [
+        ("TRX902", 16),   # no lock at all
+        ("TRX902", 20),   # read side of the state lock
+    ]
+    assert findings("mutator_good.py", select=["TRX902"]) == []
+
+
+def test_serving_handlers_emit_telemetry_on_every_exit() -> None:
+    assert findings("handler_bad.py", select=["TRX903"]) == [
+        ("TRX903", 9),    # guard-clause raise before any telemetry
+    ]
+    assert findings("handler_good.py", select=["TRX903"]) == []
+
+
+# ----------------------------------------------------------------------
 # Driver mechanics
 # ----------------------------------------------------------------------
 def test_every_registered_rule_has_a_fixture_covering_it() -> None:
