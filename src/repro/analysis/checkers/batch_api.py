@@ -11,9 +11,19 @@ path pays one per block.  TRX204 flags calls to the entry-level shims
 strategy modules; deliberate exceptions carry a
 ``# repro: allow[TRX204]`` pragma.
 
+The WAND module (``repro.retrieval.wand``) is held to a stricter
+standard still: its document-at-a-time loop must move by *pivoting* —
+``skip_to``/``leap_to`` jumps driven by the block-max bounds — so
+entry-level ``advance()`` calls are banned there too.  A plain
+``advance()`` inside a WAND strategy loop degrades the evaluator to a
+linear DAAT scan: correct results, but every block between the current
+position and the pivot gets decoded instead of leapt.
+
 Other modules — ``ta_ra`` (the random-access TA variant kept for
-ablations), tests, tools — may use the entry-level API freely: the
-shim exists precisely so they keep working.
+ablations), ``merge`` for ``advance`` specifically (its k-way merge
+legitimately advances one entry at a time between galloping phases),
+tests, tools — may use those APIs freely: the shims exist precisely so
+they keep working.
 """
 
 from __future__ import annotations
@@ -28,8 +38,12 @@ __all__ = ["BatchApiChecker"]
 
 #: The strategy modules whose inner loops are wall-clock hot.
 _HOT_MODULES = ("repro.retrieval.era", "repro.retrieval.merge",
-                "repro.retrieval.ta")
+                "repro.retrieval.ta", "repro.retrieval.wand")
 _ENTRY_SHIMS = {"next_entry", "next_position"}
+#: In the WAND module, entry-at-a-time ``advance()`` is banned as well:
+#: the DAAT loop must leap via skip_to/leap_to, not crawl.
+_WAND_MODULE = "repro.retrieval.wand"
+_WAND_SHIMS = _ENTRY_SHIMS | {"advance"}
 _LOOPS = (ast.For, ast.AsyncFor, ast.While)
 _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
 
@@ -38,33 +52,41 @@ class BatchApiChecker:
     name = "batch-api"
     rules = (
         Rule("TRX204", "per-entry iterator shims (next_entry()/"
-                       "next_position()) are banned inside loops of the "
-                       "hot strategy modules; use the batch API "
-                       "(next_entries/take_until/next_chunk)"),
+                       "next_position(), plus advance() in the WAND "
+                       "module) are banned inside loops of the hot "
+                       "strategy modules; use the batch API "
+                       "(next_entries/take_until/next_chunk) or pivot "
+                       "via skip_to/leap_to"),
     )
 
     def check(self, module: Module,
               project: object | None = None) -> Iterator[Finding]:
         if not module.in_package(*_HOT_MODULES):
             return
-        yield from self._scan(module.tree.body, module, in_loop=False)
+        shims = (_WAND_SHIMS if module.in_package(_WAND_MODULE)
+                 else _ENTRY_SHIMS)
+        yield from self._scan(module.tree.body, module, shims,
+                              in_loop=False)
 
-    def _scan(self, body: list[ast.stmt], module: Module, *,
-              in_loop: bool) -> Iterator[Finding]:
+    def _scan(self, body: list[ast.stmt], module: Module,
+              shims: set[str], *, in_loop: bool) -> Iterator[Finding]:
         for statement in body:
             looped = in_loop or isinstance(statement, _LOOPS)
             for node in ast.iter_child_nodes(statement):
                 if isinstance(node, ast.expr):
-                    yield from self._scan_expr(node, module, in_loop=looped)
+                    yield from self._scan_expr(node, module, shims,
+                                               in_loop=looped)
             for field in ("body", "orelse", "finalbody"):
                 blocks = getattr(statement, field, None)
                 if blocks:
-                    yield from self._scan(blocks, module, in_loop=looped)
+                    yield from self._scan(blocks, module, shims,
+                                          in_loop=looped)
             for handler in getattr(statement, "handlers", []) or []:
-                yield from self._scan(handler.body, module, in_loop=looped)
+                yield from self._scan(handler.body, module, shims,
+                                      in_loop=looped)
 
-    def _scan_expr(self, expr: ast.expr, module: Module, *,
-                   in_loop: bool) -> Iterator[Finding]:
+    def _scan_expr(self, expr: ast.expr, module: Module,
+                   shims: set[str], *, in_loop: bool) -> Iterator[Finding]:
         # Inside a loop statement every call site counts; outside one,
         # only calls within comprehensions (which are loops too).
         if in_loop:
@@ -78,15 +100,20 @@ class BatchApiChecker:
                 if not isinstance(call, ast.Call):
                     continue
                 callee = terminal_attr(call.func)
-                if callee not in _ENTRY_SHIMS:
+                if callee not in shims:
                     continue
                 site = (call.lineno, call.col_offset)
                 if site in seen:  # nested comprehensions share calls
                     continue
                 seen.add(site)
-                yield Finding(
-                    "TRX204", module.path, call.lineno,
-                    call.col_offset + 1,
-                    f"per-entry {callee}() loop on a hot strategy "
-                    f"path; consume whole blocks via the batch API "
-                    f"(next_entries/take_until/next_chunk)")
+                if callee == "advance":
+                    advice = ("per-entry advance() in a WAND strategy "
+                              "loop degrades pivoting to a linear DAAT "
+                              "scan; leap via skip_to/leap_to instead")
+                else:
+                    advice = (f"per-entry {callee}() loop on a hot "
+                              f"strategy path; consume whole blocks via "
+                              f"the batch API (next_entries/take_until/"
+                              f"next_chunk)")
+                yield Finding("TRX204", module.path, call.lineno,
+                              call.col_offset + 1, advice)

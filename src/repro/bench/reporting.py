@@ -51,11 +51,19 @@ def format_figure(series: dict, title: str = "") -> str:
         lines.append(title)
     lines.append(f"answers={series['answers']}  "
                  f"ERA(all)={series['era']:.0f}  Merge(all)={series['merge']:.0f}")
+    wand = series.get("wand")
     rows = []
     for i, k in enumerate(series["k_values"]):
-        rows.append([k, f"{series['ta'][i]:.0f}", f"{series['ita'][i]:.0f}",
-                     f"{series['rpl_depth_fraction'][i]:.2f}"])
-    lines.append(format_table(["k", "TA", "ITA", "rpl-read-frac"], rows))
+        row = [k, f"{series['ta'][i]:.0f}", f"{series['ita'][i]:.0f}"]
+        if wand is not None:
+            row.append(f"{wand[i]:.0f}")
+        row.append(f"{series['rpl_depth_fraction'][i]:.2f}")
+        rows.append(row)
+    headers = ["k", "TA", "ITA"]
+    if wand is not None:
+        headers.append("WAND")
+    headers.append("rpl-read-frac")
+    lines.append(format_table(headers, rows))
     return "\n".join(lines)
 
 

@@ -86,7 +86,8 @@ def figure_series(engine: TrexEngine, paper_query: PaperQuery,
                   k_values: tuple[int, ...] | None = None,
                   scope: str = "universal") -> dict:
     """E4–E10 — one evaluation-time figure: ERA and Merge levels (all
-    answers) plus TA and ITA as functions of k, in simulated cost units.
+    answers) plus TA, ITA and document-at-a-time WAND as functions of
+    k, in simulated cost units.
 
     Queries are evaluated in the paper's flat single-task mode (§2.2).
     ``scope='universal'`` reads shared whole-term lists (TA skips
@@ -100,6 +101,7 @@ def figure_series(engine: TrexEngine, paper_query: PaperQuery,
     merge = engine.evaluate(paper_query.nexi, k=None, method="merge", mode="flat")
     ks = k_values if k_values is not None else paper_query.k_sweep
     ta_costs, ita_costs, depth_fractions = [], [], []
+    wand_costs, wand_pivots, wand_evaluated = [], [], []
     for k in ks:
         result = engine.evaluate(paper_query.nexi, k=k, method="ta", mode="flat")
         ta_costs.append(result.stats.cost)
@@ -109,6 +111,11 @@ def figure_series(engine: TrexEngine, paper_query: PaperQuery,
         fraction = (sum(depths.values()) / sum(lengths.values())
                     if sum(lengths.values()) else 0.0)
         depth_fractions.append(fraction)
+        wand = engine.evaluate(paper_query.nexi, k=k, method="wand",
+                               mode="flat")
+        wand_costs.append(wand.stats.cost)
+        wand_pivots.append(wand.stats.pivot_advances)
+        wand_evaluated.append(wand.stats.docs_evaluated)
     return {
         "qid": paper_query.qid,
         "k_values": list(ks),
@@ -116,6 +123,9 @@ def figure_series(engine: TrexEngine, paper_query: PaperQuery,
         "merge": merge.stats.cost,
         "ta": ta_costs,
         "ita": ita_costs,
+        "wand": wand_costs,
+        "wand_pivot_advances": wand_pivots,
+        "wand_docs_evaluated": wand_evaluated,
         "answers": len(era.hits),
         "rpl_depth_fraction": depth_fractions,
     }

@@ -73,10 +73,11 @@ from .merge import merge_retrieve
 from .race import race as race_strategies
 from .result import EvaluationStats, ResultSet
 from .ta import DEFAULT_BATCH_SIZE, ta_retrieve
+from .wand import wand_retrieve
 
 __all__ = ["TrexEngine", "METHODS"]
 
-METHODS = ("era", "ta", "ita", "merge", "race", "auto")
+METHODS = ("era", "ta", "ita", "merge", "wand", "race", "auto")
 
 
 class TrexEngine:
@@ -454,6 +455,13 @@ class TrexEngine:
             segments = self.segments_for(clause, "erpl")
             return merge_retrieve(self.catalog, segments, clause.sids,
                                   self.cost_model, weights)
+        if method == "wand":
+            segments = self.segments_for(clause, "erpl")
+            effective_k = k if k is not None else max(
+                1, sum(s.entry_count for s in segments.values()))
+            return wand_retrieve(self.catalog, segments, clause.sids,
+                                 effective_k, self.cost_model, weights,
+                                 bound_segments=self.bound_segments_for(clause))
         raise RetrievalError(f"unknown method {method!r}")
 
     def segments_for(self, clause: TranslatedClause,
@@ -472,6 +480,15 @@ class TrexEngine:
                     segment = self.materialize_erpl(term)
             segments[term] = segment
         return segments
+
+    def bound_segments_for(
+            self, clause: TranslatedClause) -> dict[str, IndexSegment | None]:
+        """Resident RPL segments per clause term, for WAND's static
+        upper bounds.  Pure probe: absent segments map to ``None`` (the
+        evaluator falls back to the ERPL headers) — nothing is
+        materialized, so this is safe under a read lock."""
+        return {term: self.catalog.find_segment("rpl", term, clause.sids)
+                for term in clause.terms}
 
     # ------------------------------------------------------------------
     # Clause combination
@@ -640,6 +657,13 @@ class TrexEngine:
             have_rpl = have_erpl = True
         if k is not None and k <= 10 and have_rpl:
             return "ta"
+        distinct_terms = {term for clause in translated.clauses
+                          for term in clause.terms}
+        if k is not None and k > 10 and len(distinct_terms) >= 2 and have_erpl:
+            # Many moderately-selective terms at a large finite k: the
+            # DAAT pivot skips what Merge would stream and what TA
+            # would heap — WAND's sweet spot.
+            return "wand"
         if have_erpl:
             return "merge"
         if have_rpl:

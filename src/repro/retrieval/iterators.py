@@ -1,4 +1,4 @@
-"""Index iterators: the access paths of the three retrieval strategies.
+"""Index iterators: the access paths of the retrieval strategies.
 
 * :class:`ExtentIterator` — elements of one sid in (docid, endpos)
   order, with the ERA primitives ``first_element`` and
@@ -687,6 +687,8 @@ class _ErplSidStream:
         self._len_col: tuple = ()
         self._count = 0
         self._index = 0
+        #: Rows bypassed inside decoded blocks by :meth:`leap_to`.
+        self.rows_bypassed = 0
         self._done = sequence.block_count == 0
         self._model.seek()
         if self._done:
@@ -695,6 +697,10 @@ class _ErplSidStream:
         # Leap the skip directory to the first block that can hold the sid.
         self._block = sequence.find_first_block_ge((sid, 0, 0))
         self._first_block = True
+
+    @property
+    def done(self) -> bool:
+        return self._done
 
     def _load_next_block(self) -> bool:
         """Decode the next in-range block into the column fields."""
@@ -797,3 +803,129 @@ class _ErplSidStream:
             if not self._load_next_block():
                 self._done = True
                 return rows
+
+    # -- document-order skips (the WAND access path) -------------------
+    def leap_to(self, bound: Position) -> int:
+        """Advance so the next row is the first of this sid at or past
+        *bound* — ``skip_to``-style advancement.  Blocks wholly below
+        the target are leapt via the resident skip directory without
+        being decoded (the deep descent lands on exactly one block);
+        rows bypassed inside a decoded block count in ``rows_bypassed``.
+        Returns the number of undecoded blocks leapt."""
+        if self._done:
+            return 0
+        probe_key = (self.sid, bound[0], bound[1])
+        if self._index < self._count:
+            sid_col, docid_col = self._sid_col, self._docid_col
+            end_col = self._end_col
+            lo, hi = self._index, self._count
+            steps = 0
+            while lo < hi:
+                mid = (lo + hi) // 2
+                steps += 1
+                if (sid_col[mid], docid_col[mid], end_col[mid]) < probe_key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if steps:
+                self._model.compare(steps)
+            self.rows_bypassed += lo - self._index
+            self._index = lo
+            if lo < self._count:
+                if sid_col[lo] > self.sid:
+                    self._done = True
+                return 0
+        start = self._block
+        count = self._seq.block_count
+        if start >= count:
+            self._done = True
+            return 0
+        index = self._seq.find_first_block_ge(probe_key, start=start)
+        leapt = index - start
+        if index >= count or self._seq.headers[index].first_key[0] > self.sid:
+            self._done = True
+            self._block = count
+            return leapt
+        self._block = index
+        self._position_at(probe_key)
+        return leapt
+
+    def _position_at(self, probe_key: tuple[int, int, int]) -> None:
+        """Decode block ``self._block``, positioned at the first row
+        whose full key is >= *probe_key*."""
+        columns = self._seq.read_block_columns(self._block)
+        self._block += 1
+        sid_col, docid_col, end_col = columns.keys
+        lo, hi = 0, columns.count
+        steps = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            steps += 1
+            if (sid_col[mid], docid_col[mid], end_col[mid]) < probe_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if steps:
+            self._model.compare(steps)
+        self._sid_col = sid_col
+        self._docid_col = docid_col
+        self._end_col = end_col
+        self._score_col, self._len_col = columns.payloads
+        self._count = columns.count
+        self._index = lo
+        self._first_block = False
+        if lo < columns.count and sid_col[lo] > self.sid:
+            self._done = True
+
+    def probe(self, bound: Position) -> tuple[float, Position | None]:
+        """Shallow block-max probe: bound the score of this stream's
+        rows at or past *bound* without decoding anything.
+
+        Returns ``(max_score, boundary)`` where ``max_score`` is the
+        header bound of the block that would hold the first such row and
+        *boundary* is the last position that block covers for this sid
+        (``None`` when the block runs past the sid, i.e. covers its
+        whole tail).  ``(0.0, None)`` when no such row can exist.  The
+        bound is sound for every key in ``[bound, boundary]``: each such
+        row, if present, lies inside the probed block."""
+        if self._done:
+            return 0.0, None
+        probe_key = (self.sid, bound[0], bound[1])
+        headers = self._seq.headers
+        if self._index < self._count:
+            header = headers[self._block - 1]
+            if header.last_key >= probe_key:
+                return header.max_score, self._sid_clip(header.last_key)
+        index = self._block
+        count = self._seq.block_count
+        while index < count:
+            self._model.compare()
+            header = headers[index]
+            if header.first_key[0] > self.sid:
+                return 0.0, None
+            if header.last_key >= probe_key:
+                return header.max_score, self._sid_clip(header.last_key)
+            index += 1
+        return 0.0, None
+
+    def _sid_clip(self, last_key: tuple[int, int, int]) -> Position | None:
+        if last_key[0] == self.sid:
+            return (last_key[1], last_key[2])
+        return None  # block runs past the sid: covers its whole tail
+
+    def skip_tail(self) -> int:
+        """Abandon the stream: undecoded blocks that could still hold
+        rows of this sid count as skipped; the stream is done."""
+        if self._done:
+            return 0
+        self._done = True
+        headers = self._seq.headers
+        index = self._block
+        count = self._seq.block_count
+        while index < count and headers[index].first_key[0] <= self.sid:
+            index += 1
+        skipped = index - self._block
+        if skipped:
+            self._model.block_skip(skipped)
+        self._block = count
+        return skipped

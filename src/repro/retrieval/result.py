@@ -61,6 +61,12 @@ class EvaluationStats:
     replica_reads: int = 0
     #: Reads transparently retried on a sibling after a replica fault.
     replica_failovers: int = 0
+    #: WAND pivot rounds that leapt a list instead of evaluating a doc.
+    pivot_advances: int = 0
+    #: Blocks leapt undecoded because the shallow block-max check failed.
+    blocks_skipped_shallow: int = 0
+    #: Documents fully evaluated by the DAAT loop (WAND only).
+    docs_evaluated: int = 0
 
     def record_block_io(self, spent: object) -> None:
         """Copy block-level counters from a cost-snapshot difference."""
@@ -93,6 +99,9 @@ class EvaluationStats:
         self.degraded = self.degraded or other.degraded
         self.replica_reads += other.replica_reads
         self.replica_failovers += other.replica_failovers
+        self.pivot_advances += other.pivot_advances
+        self.blocks_skipped_shallow += other.blocks_skipped_shallow
+        self.docs_evaluated += other.docs_evaluated
         self.shard_stats.extend(other.shard_stats)
         for term, depth in other.list_depths.items():
             self.list_depths[term] = self.list_depths.get(term, 0) + depth

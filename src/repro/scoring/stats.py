@@ -2,7 +2,7 @@
 
 Scorers must be usable both at index-build time (to fill RPL/ERPL
 entries) and at query time (ERA scores elements on the fly), and the
-two must agree exactly — the consistency of the three retrieval
+two must agree exactly — the consistency of the retrieval
 strategies depends on it.  To make that easy to guarantee, scorers
 read from an immutable :class:`ScoringStats` snapshot taken from a
 collection once.

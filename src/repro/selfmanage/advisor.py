@@ -30,8 +30,9 @@ class AppliedPlan:
 
     plan: SelectionPlan
     segments: list[IndexSegment]
-    #: query_id -> method that the stored indexes support ('merge'/'ta'),
-    #: or 'era' for unsupported queries.
+    #: query_id -> method that the stored indexes support ('merge' or
+    #: 'wand' for ERPL choices — whichever measured cheaper — 'ta' for
+    #: RPL choices), or 'era' for unsupported queries.
     methods: dict[str, str]
 
     @property
@@ -100,6 +101,7 @@ class IndexAdvisor:
         lands compressed even in an otherwise-flat catalog."""
         segments: list[IndexSegment] = []
         methods: dict[str, str] = {query.query_id: "era" for query in workload}
+        costs = self.measure(workload)
         for choice in plan.choices:
             query = workload.query(choice.query_id)
             translated = self.engine.translate(query.nexi)
@@ -113,7 +115,18 @@ class IndexAdvisor:
                         segments.append(self.engine.materialize_rpl(
                             term, clause.sids,
                             compression=choice.compression))
-            methods[choice.query_id] = "merge" if choice.kind == "erpl" else "ta"
+            if choice.kind == "erpl":
+                # The ERPL supports both Merge and document-at-a-time
+                # WAND; route to whichever the measurement pass found
+                # cheaper for this query's k.
+                cost = costs[choice.query_id]
+                if choice.compression == "zlib":
+                    use_wand = cost.t_wand_zlib < cost.t_merge_zlib
+                else:
+                    use_wand = cost.t_wand < cost.t_merge
+                methods[choice.query_id] = "wand" if use_wand else "merge"
+            else:
+                methods[choice.query_id] = "ta"
         return AppliedPlan(plan=plan, segments=segments, methods=methods)
 
     # ------------------------------------------------------------------
@@ -127,9 +140,12 @@ class IndexAdvisor:
             if choice is None:
                 total += query.frequency * cost.t_era
             elif choice.kind == "erpl":
+                # Mirror apply(): an ERPL choice is served by the
+                # cheaper of Merge and WAND.
                 total += query.frequency * (
-                    cost.t_merge_zlib if choice.compression == "zlib"
-                    else cost.t_merge)
+                    min(cost.t_merge_zlib, cost.t_wand_zlib)
+                    if choice.compression == "zlib"
+                    else min(cost.t_merge, cost.t_wand))
             else:
                 total += query.frequency * (
                     cost.t_ta_zlib if choice.compression == "zlib"
@@ -144,7 +160,7 @@ class IndexAdvisor:
             total = 0.0
             for query in workload:
                 method = applied.methods[query.query_id]
-                k = query.k if method == "ta" else None
+                k = query.k if method in ("ta", "wand") else None
                 result = self.engine.evaluate(query.nexi, k=k, method=method)
                 total += query.frequency * result.stats.cost
             return total

@@ -3,10 +3,10 @@
 Paper §4: "The actual time savings and disk space for typical queries
 should be measured experimentally and assigned in the formulas."  This
 module does that measurement: for each workload query it materializes
-temporary query-scoped RPL and ERPL segments, runs the three retrieval
-methods, and records
+temporary query-scoped RPL and ERPL segments, runs the four retrieval
+methods (ERA, Merge, TA, and document-at-a-time WAND), and records
 
-* ``T_e``, ``T_m``, ``T_ta`` — simulated evaluation costs;
+* ``T_e``, ``T_m``, ``T_ta``, ``T_w`` — simulated evaluation costs;
 * ``T_build`` — the simulated cost of materializing the query's
   segments (one batched pass; metered on a private cost model so the
   engine's serving-side accounting is untouched);
@@ -59,6 +59,10 @@ class QueryCosts:
     s_erpl_zlib: int = 0
     t_merge_zlib: float = 0.0
     t_ta_zlib: float = 0.0
+    #: Document-at-a-time Block-Max-WAND over the same ERPL segments
+    #: (RPL block-max headers as static bounds) at the workload k.
+    t_wand: float = 0.0
+    t_wand_zlib: float = 0.0
 
     @property
     def delta_merge(self) -> float:
@@ -81,6 +85,16 @@ class QueryCosts:
         return max(self.t_era - self.t_ta_zlib, 0.0)
 
     @property
+    def delta_wand(self) -> float:
+        """ΔWAND(Q) = max(T_e - T_w, 0) — DAAT pivoting over the ERPL."""
+        return max(self.t_era - self.t_wand, 0.0)
+
+    @property
+    def delta_wand_zlib(self) -> float:
+        """ΔWAND against a zlib-compressed ERPL (decompress charges in)."""
+        return max(self.t_era - self.t_wand_zlib, 0.0)
+
+    @property
     def weighted_delta_merge(self) -> float:
         return self.frequency * self.delta_merge
 
@@ -95,6 +109,14 @@ class QueryCosts:
     @property
     def weighted_delta_ta_zlib(self) -> float:
         return self.frequency * self.delta_ta_zlib
+
+    @property
+    def weighted_delta_wand(self) -> float:
+        return self.frequency * self.delta_wand
+
+    @property
+    def weighted_delta_wand_zlib(self) -> float:
+        return self.frequency * self.delta_wand_zlib
 
 
 def measure_query(engine: TrexEngine, query: WorkloadQuery) -> QueryCosts:
@@ -137,6 +159,7 @@ def measure_query(engine: TrexEngine, query: WorkloadQuery) -> QueryCosts:
     era_result = engine.evaluate(query.nexi, k=None, method="era")
     merge_result = engine.evaluate(query.nexi, k=None, method="merge")
     ta_result = engine.evaluate(query.nexi, k=query.k, method="ta")
+    wand_result = engine.evaluate(query.nexi, k=query.k, method="wand")
 
     s_erpl = 0
     s_erpl_zlib = 0
@@ -169,6 +192,7 @@ def measure_query(engine: TrexEngine, query: WorkloadQuery) -> QueryCosts:
     # the measured runs tell exactly how many that is.
     t_merge = merge_result.stats.cost
     t_ta = ta_result.stats.cost
+    t_wand = wand_result.stats.cost
     return QueryCosts(
         query_id=query.query_id,
         frequency=query.frequency,
@@ -184,6 +208,9 @@ def measure_query(engine: TrexEngine, query: WorkloadQuery) -> QueryCosts:
         * merge_result.stats.blocks_read,
         t_ta_zlib=t_ta + Charge.BLOCK_DECOMPRESS
         * ta_result.stats.blocks_read,
+        t_wand=t_wand,
+        t_wand_zlib=t_wand + Charge.BLOCK_DECOMPRESS
+        * wand_result.stats.blocks_read,
     )
 
 

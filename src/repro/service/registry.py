@@ -63,6 +63,9 @@ COUNTERS: frozenset[str] = frozenset({
     "compaction.delta_runs_folded",
     "race.parallel_legs",
     "race.inline_fallback",
+    "wand.pivot_advances",
+    "wand.blocks_skipped_shallow",
+    "wand.docs_evaluated",
     "sanitizer.violations",
     "replica.reads",
     "replica.failovers",

@@ -63,6 +63,9 @@ _METHOD_KINDS = {
     "ta": ("rpl",),
     "ita": ("rpl",),
     "merge": ("erpl",),
+    # WAND evaluates the ERPL document-at-a-time; RPL block-max headers
+    # only sharpen its static bounds and are probed opportunistically.
+    "wand": ("erpl",),
     "race": ("rpl", "erpl"),
 }
 
@@ -270,6 +273,16 @@ class QueryService:
         self.telemetry.incr("blocks.entries_decoded",
                             payload["entries_decoded"])
         self.telemetry.incr("rows.skipped", payload["rows_skipped"])
+        # WAND pivot telemetry (zero for the doc-ordered strategies).
+        if payload["pivot_advances"]:
+            self.telemetry.incr("wand.pivot_advances",
+                                payload["pivot_advances"])
+        if payload["blocks_skipped_shallow"]:
+            self.telemetry.incr("wand.blocks_skipped_shallow",
+                                payload["blocks_skipped_shallow"])
+        if payload["docs_evaluated"]:
+            self.telemetry.incr("wand.docs_evaluated",
+                                payload["docs_evaluated"])
         if payload["degraded"]:
             self.telemetry.incr("search.degraded")
         shards = payload.get("shards")
@@ -377,6 +390,9 @@ class QueryService:
             "blocks_decoded": stats.blocks_decoded,
             "blocks_skipped": stats.blocks_skipped,
             "entries_decoded": stats.entries_decoded,
+            "pivot_advances": stats.pivot_advances,
+            "blocks_skipped_shallow": stats.blocks_skipped_shallow,
+            "docs_evaluated": stats.docs_evaluated,
             "degraded": stats.degraded,
             "epoch": epoch,
             "total": len(hits),

@@ -164,7 +164,9 @@ class ShardedIndexAdvisor:
                 if choice is None:
                     total += query.frequency * cost.t_era
                 elif choice.kind == "erpl":
-                    total += query.frequency * cost.t_merge
+                    # An ERPL serves the cheaper of Merge and WAND,
+                    # matching IndexAdvisor.apply's per-query routing.
+                    total += query.frequency * min(cost.t_merge, cost.t_wand)
                 else:
                     total += query.frequency * cost.t_ta
         return total

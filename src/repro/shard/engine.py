@@ -55,6 +55,7 @@ from ..retrieval.engine import METHODS, TrexEngine
 from ..retrieval.race import race as race_strategies
 from ..retrieval.result import EvaluationStats, ResultSet
 from ..retrieval.ta import DEFAULT_BATCH_SIZE, TaSession
+from ..retrieval.wand import WandSession
 from ..scoring.combine import ScoredHit
 from ..scoring.scorers import BM25Scorer
 from ..scoring.stats import ScoringStats
@@ -105,15 +106,17 @@ class ShardedTranslation:
 
 @dataclass
 class _ShardRun:
-    """Coordinator-side bookkeeping for one shard's TA session.
+    """Coordinator-side bookkeeping for one shard's resumable session
+    (distributed TA or distributed WAND).
 
-    ``lease`` pins the replica the session reads from; ``clause`` and
-    ``excluded`` let the coordinator rebuild the session on a healthy
-    sibling when the lease's liveness check fails mid-query.
+    ``lease`` pins the replica the session reads from; ``clause``,
+    ``method`` and ``excluded`` let the coordinator rebuild the session
+    on a healthy sibling when the lease's liveness check fails
+    mid-query.
     """
 
     shard: Shard
-    session: TaSession
+    session: TaSession | WandSession
     lease: ReplicaLease
     clause: TranslatedClause
     cost: float = 0.0
@@ -124,6 +127,7 @@ class _ShardRun:
     timed_out: bool = False
     failed: bool = False      # quorum lost mid-query (fail-soft)
     dispatched: bool = False  # has the session performed a sorted access?
+    method: str = "ta"
     excluded: set[int] = field(default_factory=set)
 
     def account(self, spent: Any, seconds: float) -> None:
@@ -351,7 +355,8 @@ class ShardedEngine:
             return ResultSet(hits=outcome.hits, stats=outcome.stats, k=k)
         if method == "auto":
             method = self.choose_method(translated, k)
-        if method in ("ta", "ita") and k is not None and mode == "flat":
+        if (method in ("ta", "ita", "wand") and k is not None
+                and mode == "flat"):
             return self._scatter_gather_ta(translated, k, method)
         return self._scatter_gather_full(translated, k, method, mode,
                                          require_phrases)
@@ -413,7 +418,7 @@ class ShardedEngine:
             total.cost = total.ideal_cost
         return ResultSet(hits=hits, stats=total, k=k)
 
-    # -- distributed TA (flat mode, finite k) ---------------------------
+    # -- distributed TA / WAND (flat mode, finite k) --------------------
     def _ta_session(self, engine: TrexEngine, clause: TranslatedClause,
                     k: int) -> TaSession:
         """One resumable TA session over *engine*'s RPL catalog."""
@@ -422,9 +427,27 @@ class ShardedEngine:
                          self.cost_model, dict(clause.term_weights),
                          batch_size=self.ta_batch_size)
 
+    def _wand_session(self, engine: TrexEngine, clause: TranslatedClause,
+                      k: int) -> WandSession:
+        """One resumable WAND session over *engine*'s ERPL catalog,
+        with resident RPL block-max headers as static bounds."""
+        segments = engine.segments_for(clause, "erpl")
+        return WandSession(engine.catalog, segments, clause.sids, k,
+                           self.cost_model, dict(clause.term_weights),
+                           bound_segments=engine.bound_segments_for(clause),
+                           batch_size=self.ta_batch_size)
+
+    def _session_for(self, method: str, engine: TrexEngine,
+                     clause: TranslatedClause,
+                     k: int) -> TaSession | WandSession:
+        if method == "wand":
+            return self._wand_session(engine, clause, k)
+        return self._ta_session(engine, clause, k)
+
     def _start_ta_run(self, shard: Shard, clause: TranslatedClause, k: int,
+                      method: str,
                       on_event: Callable[[str], None]) -> _ShardRun:
-        """Lease a replica and open its TA session, failing over on a
+        """Lease a replica and open its session, failing over on a
         dead lease before the first sorted access."""
         excluded: set[int] = set()
         while True:
@@ -432,7 +455,7 @@ class ShardedEngine:
                                       on_event=on_event)
             try:
                 lease.check()
-                session = self._ta_session(lease.engine, clause, k)
+                session = self._session_for(method, lease.engine, clause, k)
             except ReplicaFaultError:
                 lease.fail()
                 excluded.add(lease.replica.index)
@@ -443,7 +466,7 @@ class ShardedEngine:
                 lease.release()
                 raise
             return _ShardRun(shard=shard, session=session, lease=lease,
-                             clause=clause, excluded=excluded)
+                             clause=clause, method=method, excluded=excluded)
 
     def _ta_failover(self, run: _ShardRun, k: int,
                      on_event: Callable[[str], None]) -> bool:
@@ -469,7 +492,8 @@ class ShardedEngine:
                 return False
             try:
                 lease.check()
-                session = self._ta_session(lease.engine, run.clause, k)
+                session = self._session_for(run.method, lease.engine,
+                                            run.clause, k)
             except ReplicaFaultError:
                 lease.fail()
                 run.excluded.add(lease.replica.index)
@@ -498,7 +522,7 @@ class ShardedEngine:
                                                   entries_decoded=0))
                 continue
             try:
-                run = self._start_ta_run(shard, clause, k, on_event)
+                run = self._start_ta_run(shard, clause, k, method, on_event)
             except ReplicaQuorumError as error:
                 self._note_quorum_loss(shard, error)
                 empty_rows.append(self._shard_row(shard, cost=0.0, hits=0,
@@ -516,14 +540,18 @@ class ShardedEngine:
         # pruned before its FIRST dispatch — it never decodes a block.
         active = sorted(runs, key=lambda run: -run.session.threshold())
         while active:
-            floor = self._global_floor(runs, k)
             survivors: list[_ShardRun] = []
             for run in active:
-                if not run.dispatched:
-                    # Earlier shards in this round may have raised the
-                    # floor past this shard's bound: refresh before
-                    # paying for its first sorted access.
-                    floor = self._global_floor(runs, k)
+                # Earlier shards in this round may have raised the floor
+                # past this shard's bound: refresh before every dispatch
+                # (not only the first), so a batch finished moments ago
+                # on a sibling shard can prune this one immediately.
+                floor = self._global_floor(runs, k)
+                if isinstance(run.session, WandSession):
+                    # The global k-th floor feeds the shard-local pivot
+                    # bound: WAND skips past documents no shard-local
+                    # heap entry could beat *globally*.
+                    run.session.external_floor = floor
                 snapshot = self.cost_model.snapshot()
                 started = time.perf_counter()
                 if run.session.can_prune(floor):
@@ -562,7 +590,7 @@ class ShardedEngine:
             active = survivors
 
         hits: list[ScoredHit] = []
-        total = EvaluationStats(method="ita" if method == "ita" else "ta")
+        total = EvaluationStats(method="ita" if method == "ita" else method)
         for run in runs:
             if not run.failed:
                 run.lease.succeed(elapsed=run.elapsed)
@@ -677,6 +705,14 @@ class ShardedEngine:
             have_erpl = not self.missing_segments(translated, ("erpl",))
         if k is not None and k <= 10 and have_rpl:
             return "ta"
+        distinct_terms = {term for clause in translated.source.clauses
+                          for term in clause.terms}
+        if k is not None and k > 10 and len(distinct_terms) >= 2 and have_erpl:
+            # Mirror of TrexEngine.choose_method: many moderately-
+            # selective terms at a large finite k is DAAT territory, and
+            # distributed WAND additionally feeds the global k-th floor
+            # into each shard's pivot bound.
+            return "wand"
         if have_erpl:
             return "merge"
         if have_rpl:

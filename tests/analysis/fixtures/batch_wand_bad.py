@@ -1,0 +1,19 @@
+# repro: module[repro.retrieval.wand]
+"""Fixture: entry-at-a-time advancement inside WAND strategy loops."""
+
+
+def crawl_to_pivot(iterators: list, pivot_key: tuple) -> None:
+    for iterator in iterators:
+        while iterator.current_key < pivot_key:
+            iterator.advance()
+
+
+def drain(iterator: object) -> list:
+    entries = []
+    while not iterator.exhausted:
+        entries.append(iterator.next_entry())
+    return entries
+
+
+def sweep(iterators: list) -> list:
+    return [iterator.advance() for iterator in iterators]

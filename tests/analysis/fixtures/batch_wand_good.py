@@ -1,0 +1,22 @@
+# repro: module[repro.retrieval.wand]
+"""Fixture: pivot-driven advancement — leaps, not crawls."""
+
+
+def leap_to_pivot(iterators: list, pivot_key: tuple) -> int:
+    blocks = 0
+    for iterator in iterators:
+        blocks += iterator.skip_to(pivot_key)
+    return blocks
+
+
+def evaluate(iterators: list, key: tuple) -> float:
+    score = 0.0
+    for iterator in iterators:
+        if iterator.current_key == key:
+            score += iterator.consume_head().score
+    return score
+
+
+def setup(iterator: object) -> None:
+    # Outside any loop the entry-level API is fine even here.
+    iterator.advance()

@@ -80,7 +80,7 @@ class TestAdvisor:
         assert applied.segments
         assert applied.total_bytes > 0
         for choice in plan.choices:
-            assert applied.methods[choice.query_id] in ("merge", "ta")
+            assert applied.methods[choice.query_id] in ("merge", "ta", "wand")
 
     def test_applied_plan_reduces_cost_vs_era(self, engine, workload):
         advisor = IndexAdvisor(engine)
